@@ -1,0 +1,55 @@
+// Ablation — sensitivity of the remote-execution overhead to link quality.
+//
+// The paper evaluates only the 11 Mbps WaveLAN link; this sweep replays the
+// JavaNote and Biomer memory experiments over a faster wired LAN and a slow
+// cellular-class link, showing where the offloading decision's economics
+// flip.
+#include "bench_util.hpp"
+
+using namespace aide;
+using namespace aide::bench;
+
+namespace {
+
+emul::EmulationResult emulate_with_link(const RecordedApp& app,
+                                        netsim::LinkParams link) {
+  emul::EmulatorConfig cfg;
+  cfg.trigger_mode = emul::TriggerMode::memory_gc;
+  cfg.trigger = initial_trigger();
+  cfg.min_free_fraction = 0.20;
+  cfg.heap_capacity = kPaperHeap;
+  cfg.surrogate_speedup = 1.0;
+  cfg.link = link;
+  emul::Emulator emu(app.registry, cfg);
+  return emu.run(app.trace);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: remote execution overhead vs link quality");
+
+  struct LinkCase {
+    const char* name;
+    netsim::LinkParams params;
+  };
+  const LinkCase links[] = {
+      {"fast-ethernet (100 Mbps, 0.2 ms)", netsim::LinkParams::fast_ethernet()},
+      {"wavelan       (11 Mbps, 2.4 ms)", netsim::LinkParams::wavelan()},
+      {"cellular      (384 kbps, 120 ms)", netsim::LinkParams::cellular()},
+  };
+
+  for (const char* name : {"JavaNote", "Biomer"}) {
+    const RecordedApp app = record_app(name);
+    std::printf("  %s\n", name);
+    for (const auto& [label, params] : links) {
+      const auto r = emulate_with_link(app, params);
+      std::printf("    %-34s %8.1f s -> %8.1f s  (overhead %+7.1f%%)%s\n",
+                  label, sim_to_seconds(r.base_time),
+                  sim_to_seconds(r.emulated_time),
+                  r.overhead_fraction() * 100.0,
+                  r.offloaded() ? "" : "  [no offload]");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Section 5.1, "Avoiding Memory Constraints" — the paper's headline
+// prototype experiment:
+//
+//   * JavaNote loading a 600 KB file on an unmodified 6 MB-heap VM fails
+//     with an out-of-memory error;
+//   * on the AIDE prototype, the low-memory condition is detected, data and
+//     computation are offloaded to the surrogate, and execution continues;
+//   * the selected partitioning frees well over the required 20% of the heap
+//     (the paper observed ~90% offloaded because that minimized bandwidth),
+//     with a predicted cross-partition bandwidth far below the 11 Mbps link
+//     (paper: ~100 KB/s);
+//   * the partitioning heuristic itself takes ~0.1 s to compute.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+using namespace aide;
+using namespace aide::bench;
+
+int main() {
+  print_header("Section 5.1: avoiding memory constraints (JavaNote, 600 KB file)");
+
+  const auto& app = apps::app_by_name("JavaNote");
+  const apps::AppParams params;
+
+  // --- unmodified VM, 6 MB heap ------------------------------------------
+  {
+    auto registry = std::make_shared<vm::ClassRegistry>();
+    app.register_classes(*registry);
+    SimClock clock;
+    vm::VmConfig cfg;
+    cfg.name = "unmodified";
+    cfg.heap_capacity = kPaperHeap;
+    vm::Vm vm(cfg, registry, clock);
+    try {
+      app.run(vm, params);
+      std::printf("  unmodified VM @6MB: UNEXPECTEDLY COMPLETED\n");
+    } catch (const VmError& e) {
+      std::printf("  unmodified VM @6MB: failed as expected (%s)\n", e.what());
+    }
+  }
+
+  // --- AIDE prototype, 6 MB client heap ----------------------------------
+  auto registry = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*registry);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = kPaperHeap;
+  cfg.trigger = initial_trigger();
+  cfg.min_free_fraction = 0.20;
+  platform::Platform aide_platform(registry, cfg);
+
+  const std::uint64_t checksum = app.run(aide_platform.client(), params);
+  std::printf("  AIDE prototype @6MB: completed (checksum %016llx)\n",
+              static_cast<unsigned long long>(checksum));
+  std::printf("  simulated execution time: %.1f s\n",
+              sim_to_seconds(aide_platform.elapsed()));
+
+  for (const auto& o : aide_platform.offloads()) {
+    const double frac =
+        static_cast<double>(o.client_heap_used_before -
+                            o.client_heap_used_after) /
+        static_cast<double>(o.client_heap_used_before);
+    std::printf(
+        "  offload @t=%.1fs: %zu objects, %llu KB shipped\n"
+        "    client heap %lld KB -> %lld KB (%.0f%% of used heap offloaded; "
+        "policy required >= 20%% of capacity)\n"
+        "    predicted cross-partition bandwidth: %.1f KB/s (link: 11 Mbps)\n"
+        "    partitioning heuristic compute time: %.3f s "
+        "(%zu candidates evaluated)\n",
+        sim_to_seconds(o.at), o.objects_migrated,
+        static_cast<unsigned long long>(o.bytes_migrated / 1024),
+        static_cast<long long>(o.client_heap_used_before / 1024),
+        static_cast<long long>(o.client_heap_used_after / 1024), frac * 100.0,
+        o.decision.predicted_bandwidth_bps / 8.0 / 1024.0,
+        o.decision.compute_seconds, o.decision.candidates_total);
+  }
+
+  std::printf("  remote RPCs after offload: %llu (%llu KB on the wire)\n",
+              static_cast<unsigned long long>(
+                  aide_platform.client_endpoint().stats().rpcs_sent +
+                  aide_platform.surrogate_endpoint().stats().rpcs_sent),
+              static_cast<unsigned long long>(
+                  (aide_platform.client_endpoint().stats().bytes_sent +
+                   aide_platform.surrogate_endpoint().stats().bytes_sent) /
+                  1024));
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "vm/vm.hpp"
+
+namespace aide::bench {
+
+RecordedApp record_app(const std::string& name, apps::AppParams params) {
+  RecordedApp out;
+  out.params = params;
+  out.registry = std::make_shared<vm::ClassRegistry>();
+  const auto& app = apps::app_by_name(name);
+  app.register_classes(*out.registry);
+
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.name = "prototype";
+  cfg.heap_capacity = std::int64_t{64} << 20;
+  // Frequent GC reports give the emulator a dense resource signal.
+  cfg.gc_alloc_count_threshold = 1024;
+  cfg.gc_alloc_bytes_divisor = 256;
+  vm::Vm vm(cfg, out.registry, clock);
+
+  emul::TraceRecorder recorder;
+  vm.add_hooks(&recorder);
+  const auto wall0 = std::chrono::steady_clock::now();
+  out.checksum = app.run(vm, params);
+  out.record_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  out.trace = recorder.take();
+  return out;
+}
+
+emul::EmulationResult emulate_memory(const RecordedApp& app,
+                                     monitor::TriggerPolicy trigger,
+                                     double min_free_fraction,
+                                     std::int64_t heap,
+                                     bool stateless_natives_local,
+                                     bool arrays_as_objects) {
+  emul::EmulatorConfig cfg;
+  cfg.trigger_mode = emul::TriggerMode::memory_gc;
+  cfg.trigger = trigger;
+  cfg.min_free_fraction = min_free_fraction;
+  cfg.heap_capacity = heap;
+  cfg.objective = partition::Objective::free_memory;
+  // Figure 6: "the same processor speed was used for both the client and
+  // the surrogate".
+  cfg.surrogate_speedup = 1.0;
+  cfg.stateless_natives_local = stateless_natives_local;
+  cfg.arrays_as_objects = arrays_as_objects;
+  // The memory experiments model near-exhaustion GC pressure (see
+  // EmulatorConfig::gc_pressure_cost_ns_per_live_byte).
+  cfg.gc_pressure_cost_ns_per_live_byte = 100.0;
+  emul::Emulator emu(app.registry, cfg);
+  return emu.run(app.trace);
+}
+
+emul::EmulationResult emulate_cpu(const RecordedApp& app,
+                                  bool stateless_natives_local,
+                                  bool arrays_as_objects,
+                                  double surrogate_speedup,
+                                  double eval_at_fraction) {
+  emul::EmulatorConfig cfg;
+  cfg.trigger_mode = emul::TriggerMode::trace_fraction;
+  cfg.eval_at_fraction = eval_at_fraction;
+  cfg.objective = partition::Objective::speed_up;
+  cfg.surrogate_speedup = surrogate_speedup;
+  cfg.heap_capacity = std::int64_t{64} << 20;
+  cfg.stateless_natives_local = stateless_natives_local;
+  cfg.arrays_as_objects = arrays_as_objects;
+  emul::Emulator emu(app.registry, cfg);
+  return emu.run(app.trace);
+}
+
+}  // namespace aide::bench

@@ -1,0 +1,32 @@
+#include "apps/apps.hpp"
+
+#include <stdexcept>
+
+namespace aide::apps {
+
+const std::vector<AppInfo>& all_apps() {
+  static const std::vector<AppInfo> apps = {
+      AppInfo{"JavaNote", "Simple text editor",
+              "Content-based memory intensive", &register_javanote,
+              &run_javanote},
+      AppInfo{"Dia", "Image manipulation program",
+              "Content-based memory intensive", &register_dia, &run_dia},
+      AppInfo{"Biomer", "Molecular editing application",
+              "Memory/CPU intensive", &register_biomer, &run_biomer},
+      AppInfo{"Voxel", "Fractal landscape generator",
+              "CPU intensive, interactive", &register_voxel, &run_voxel},
+      AppInfo{"Tracer", "Interactive Java Raytracer",
+              "CPU intensive, low interaction", &register_tracer,
+              &run_tracer},
+  };
+  return apps;
+}
+
+const AppInfo& app_by_name(std::string_view name) {
+  for (const AppInfo& app : all_apps()) {
+    if (app.name == name) return app;
+  }
+  throw std::invalid_argument("unknown application: " + std::string(name));
+}
+
+}  // namespace aide::apps

@@ -1,0 +1,91 @@
+// The five workload applications of Table 1.
+//
+//   JavaNote — simple text editor            (content-based, memory intensive)
+//   Dia      — image manipulation program    (content-based, memory intensive)
+//   Biomer   — molecular editing application (memory/CPU intensive)
+//   Voxel    — fractal landscape generator   (CPU intensive, interactive)
+//   Tracer   — interactive raytracer         (CPU intensive, low interaction)
+//
+// Each application is a managed program on the MiniVM: its classes are
+// registered into a ClassRegistry, and its scenario is driven through the
+// VM's instrumented context API, so monitoring, partitioning, offloading and
+// remote execution all apply to it without the application being aware —
+// the paper's transparency requirement. run() returns a deterministic
+// checksum of the application's observable final state (including what was
+// drawn through the pinned Display natives), which the transparency property
+// tests compare across offloaded and non-offloaded executions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vm/klass.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::apps {
+
+struct AppParams {
+  // Global scale multiplier for quick test runs (1 = paper-sized scenario).
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+
+  // JavaNote: size of the loaded text file (paper: 600 KB) and edit count.
+  std::int64_t doc_bytes = 600 * 1024;
+  int edits = 200;
+  int scrolls = 220;
+
+  // Dia: square image side, number of layers, filter passes.
+  int image_size = 256;
+  int layers = 6;
+  int filter_passes = 9;
+
+  // Biomer: atom count and minimizer iterations.
+  int atoms = 640;
+  int iterations = 28;
+
+  // Voxel: heightfield side (2^k + 1), rendered frames, screen columns.
+  int field_size = 129;
+  int frames = 26;
+  int columns = 96;
+
+  // Tracer: image size and sphere count.
+  int trace_w = 72;
+  int trace_h = 54;
+  int spheres = 14;
+};
+
+struct AppInfo {
+  std::string name;
+  std::string description;       // Table 1 "Description"
+  std::string resource_demands;  // Table 1 "Resource Demands"
+  // Registers the app's classes (and the stdlib) into the registry.
+  std::function<void(vm::ClassRegistry&)> register_classes;
+  // Runs the scenario on `client`; returns the state checksum.
+  std::function<std::uint64_t(vm::Vm& client, const AppParams&)> run;
+};
+
+// Table 1, in paper order.
+const std::vector<AppInfo>& all_apps();
+
+// Lookup by name ("JavaNote", "Dia", "Biomer", "Voxel", "Tracer").
+const AppInfo& app_by_name(std::string_view name);
+
+// Individual registration/run entry points.
+void register_javanote(vm::ClassRegistry& reg);
+std::uint64_t run_javanote(vm::Vm& client, const AppParams& params);
+
+void register_dia(vm::ClassRegistry& reg);
+std::uint64_t run_dia(vm::Vm& client, const AppParams& params);
+
+void register_biomer(vm::ClassRegistry& reg);
+std::uint64_t run_biomer(vm::Vm& client, const AppParams& params);
+
+void register_voxel(vm::ClassRegistry& reg);
+std::uint64_t run_voxel(vm::Vm& client, const AppParams& params);
+
+void register_tracer(vm::ClassRegistry& reg);
+std::uint64_t run_tracer(vm::Vm& client, const AppParams& params);
+
+}  // namespace aide::apps

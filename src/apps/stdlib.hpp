@@ -1,0 +1,49 @@
+// Managed standard library for the MiniVM workloads.
+//
+// A Java-flavoured class library shared by all five applications:
+//
+//  * pinned system classes with stateful native methods (Display, Console,
+//    FileSystem, System, EventQueue) — these anchor the client partition,
+//  * Math with stateless static natives (the paper's "Native" enhancement
+//    candidates: "many of these native methods ... are stateless and/or
+//    idempotent operations such as string copy or mathematical functions"),
+//  * managed value classes (String, StringBuilder, boxes) — the "common
+//    generic types, such as String or Integer" whose class-granularity
+//    placement the paper calls out,
+//  * managed collections (ArrayList, HashMap, Pair, Iterator) built from
+//    chunked objects so every element operation flows through instrumented
+//    field accesses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "vm/klass.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::apps {
+
+// Registers the library into `reg` (idempotent: returns immediately if the
+// classes are already present).
+void register_stdlib(vm::ClassRegistry& reg);
+
+// --- convenience wrappers used by application code ---------------------------
+
+// Allocates a managed String holding `text`.
+vm::ObjectRef make_string(vm::Vm& ctx, std::string_view text);
+
+// Reads a managed String's contents.
+std::string string_value(vm::Vm& ctx, vm::ObjectRef str);
+
+// Allocates an ArrayList.
+vm::ObjectRef make_list(vm::Vm& ctx);
+
+// list.add(item) / list.get(i) / list.size()
+void list_add(vm::Vm& ctx, vm::ObjectRef list, const vm::Value& item);
+vm::Value list_get(vm::Vm& ctx, vm::ObjectRef list, std::int64_t index);
+std::int64_t list_size(vm::Vm& ctx, vm::ObjectRef list);
+
+// Allocates a boxed Integer.
+vm::ObjectRef box_int(vm::Vm& ctx, std::int64_t value);
+
+}  // namespace aide::apps

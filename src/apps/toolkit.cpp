@@ -1,0 +1,433 @@
+#include "apps/toolkit.hpp"
+
+#include <string>
+
+#include "apps/stdlib.hpp"
+
+namespace aide::apps {
+
+using vm::ClassBuilder;
+using vm::ObjectRef;
+using vm::Value;
+using vm::Vm;
+
+namespace {
+
+const Value& arg(std::span<const Value> args, std::size_t i) {
+  static const Value nil;
+  return i < args.size() ? args[i] : nil;
+}
+
+constexpr SimDuration kPaintWork = sim_us(180);
+constexpr SimDuration kLayoutWork = sim_us(60);
+
+// Widget base layout shared by every concrete widget class:
+//   0: bounds (ui.Rect-like "Rect" from the stdlib)
+//   1: label  (String, may be nil)
+//   2: state  (int)
+//   3: display (Display, set at build time)
+constexpr FieldId kWBounds{0}, kWLabel{1}, kWState{2}, kWDisplay{3};
+
+// Paints a generic widget: a frame plus its label text.
+Value paint_widget(Vm& ctx, ObjectRef self) {
+  ctx.work(kPaintWork);
+  const Value display_v = ctx.get_field(self, kWDisplay);
+  if (!display_v.is_ref() || display_v.as_ref().is_null()) return Value{};
+  const ObjectRef display = display_v.as_ref();
+  const Value bounds_v = ctx.get_field(self, kWBounds);
+  std::int64_t x = 0, y = 0, w = 10, h = 10;
+  if (bounds_v.is_ref() && !bounds_v.as_ref().is_null()) {
+    const ObjectRef r = bounds_v.as_ref();
+    x = ctx.get_field(r, FieldId{0}).as_int();
+    y = ctx.get_field(r, FieldId{1}).as_int();
+    w = ctx.get_field(r, FieldId{2}).as_int();
+    h = ctx.get_field(r, FieldId{3}).as_int();
+  }
+  ctx.call(display, "drawLine", {Value{x}, Value{y}, Value{x + w}, Value{y}});
+  ctx.call(display, "drawLine",
+           {Value{x}, Value{y + h}, Value{x + w}, Value{y + h}});
+  const Value label_v = ctx.get_field(self, kWLabel);
+  if (label_v.is_str()) {
+    ctx.call(display, "drawText", {Value{x + 2}, Value{y + 2}, label_v});
+  }
+  return Value{};
+}
+
+// Registers a widget class with the standard 4 fields, a paint method, and
+// a handle method computing the new state from an event code.
+void register_widget(vm::ClassRegistry& reg, const std::string& name,
+                     std::int64_t state_stride) {
+  reg.register_class(
+      ClassBuilder(name)
+          .field("bounds")
+          .field("label")
+          .field("state")
+          .field("display")
+          .method("paint",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    return paint_widget(ctx, self);
+                  })
+          .method("handle",
+                  [state_stride](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    const Value st = ctx.get_field(self, kWState);
+                    const std::int64_t next =
+                        (st.is_int() ? st.as_int() : 0) +
+                        state_stride * (1 + arg(args, 0).as_int() % 3);
+                    ctx.put_field(self, kWState, Value{next});
+                    return Value{next};
+                  })
+          .build());
+}
+
+ObjectRef make_rect(Vm& ctx, std::int64_t x, std::int64_t y, std::int64_t w,
+                    std::int64_t h) {
+  const ObjectRef r = ctx.new_object("Rect");
+  ctx.put_field(r, FieldId{0}, Value{x});
+  ctx.put_field(r, FieldId{1}, Value{y});
+  ctx.put_field(r, FieldId{2}, Value{w});
+  ctx.put_field(r, FieldId{3}, Value{h});
+  return r;
+}
+
+ObjectRef make_widget(Vm& ctx, std::string_view cls, ObjectRef display,
+                      std::string_view label, std::int64_t x, std::int64_t y) {
+  const ObjectRef w = ctx.new_object(cls);
+  ctx.put_field(w, kWBounds, Value{make_rect(ctx, x, y, 48, 14)});
+  if (!label.empty()) {
+    // Labels are interned primitive strings, not shared String objects: the
+    // paper's "common generic types" problem means a String placed by class
+    // granularity would drag every widget label across the cut.
+    ctx.put_field(w, kWLabel, Value{std::string(label)});
+  }
+  ctx.put_field(w, kWState, Value{0});
+  ctx.put_field(w, kWDisplay, Value{display});
+  return w;
+}
+
+}  // namespace
+
+void register_toolkit(vm::ClassRegistry& reg) {
+  register_stdlib(reg);
+  if (reg.contains("ui.Window")) return;
+
+  // Concrete widgets.
+  register_widget(reg, "ui.Button", 7);
+  register_widget(reg, "ui.Label", 0);
+  register_widget(reg, "ui.TextField", 3);
+  register_widget(reg, "ui.CheckBox", 1);
+  register_widget(reg, "ui.RadioButton", 1);
+  register_widget(reg, "ui.ScrollBar", 5);
+  register_widget(reg, "ui.ListBox", 11);
+  register_widget(reg, "ui.ComboBox", 13);
+  register_widget(reg, "ui.ProgressBar", 2);
+  register_widget(reg, "ui.Separator", 0);
+  register_widget(reg, "ui.ToolTip", 0);
+  register_widget(reg, "ui.StatusField", 1);
+  register_widget(reg, "ui.TabStrip", 17);
+  register_widget(reg, "ui.Spinner", 4);
+
+  // Icons: small primitive-array-backed resources.
+  reg.register_class(
+      ClassBuilder("ui.Icon")
+          .field("pixels")
+          .field("size")
+          .method("initIcon",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    const std::int64_t size = arg(args, 0).as_int();
+                    const ObjectRef pixels = ctx.new_int_array(size * size);
+                    const std::int64_t seed = arg(args, 1).as_int();
+                    for (std::int64_t i = 0; i < size * size; i += 4) {
+                      ctx.array_put(pixels, i,
+                                    Value{static_cast<std::int64_t>(
+                                        (seed * 2654435761LL + i) &
+                                        0xFFFFFF)});
+                    }
+                    ctx.put_field(self, FieldId{0}, Value{pixels});
+                    ctx.put_field(self, FieldId{1}, Value{size});
+                    return Value{};
+                  })
+          .build());
+
+  // Layout managers: assign widget bounds in rows/columns.
+  reg.register_class(
+      ClassBuilder("ui.FlowLayout")
+          .field("gap")
+          .method(
+              "layout",
+              [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                const ObjectRef children = arg(args, 0).as_ref();
+                const Value gap_v = ctx.get_field(self, FieldId{0});
+                const std::int64_t gap = gap_v.is_int() ? gap_v.as_int() : 4;
+                const std::int64_t n = ctx.call(children, "size").as_int();
+                std::int64_t x = gap;
+                for (std::int64_t i = 0; i < n; ++i) {
+                  ctx.work(kLayoutWork);
+                  const ObjectRef w =
+                      ctx.call(children, "get", {Value{i}}).as_ref();
+                  const ObjectRef bounds =
+                      ctx.get_field(w, kWBounds).as_ref();
+                  ctx.put_field(bounds, FieldId{0}, Value{x});
+                  x += ctx.get_field(bounds, FieldId{2}).as_int() + gap;
+                }
+                return Value{x};
+              })
+          .build());
+
+  reg.register_class(
+      ClassBuilder("ui.ColumnLayout")
+          .field("gap")
+          .method(
+              "layout",
+              [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                const ObjectRef children = arg(args, 0).as_ref();
+                const Value gap_v = ctx.get_field(self, FieldId{0});
+                const std::int64_t gap = gap_v.is_int() ? gap_v.as_int() : 4;
+                const std::int64_t n = ctx.call(children, "size").as_int();
+                std::int64_t y = 20;
+                for (std::int64_t i = 0; i < n; ++i) {
+                  ctx.work(kLayoutWork);
+                  const ObjectRef w =
+                      ctx.call(children, "get", {Value{i}}).as_ref();
+                  const ObjectRef bounds =
+                      ctx.get_field(w, kWBounds).as_ref();
+                  ctx.put_field(bounds, FieldId{1}, Value{y});
+                  y += ctx.get_field(bounds, FieldId{3}).as_int() + gap;
+                }
+                return Value{y};
+              })
+          .build());
+
+  // Theme: static data (lives on the client, like all statics).
+  reg.register_class(ClassBuilder("ui.Theme")
+                         .static_slot("fg")
+                         .static_slot("bg")
+                         .static_slot("accent")
+                         .static_method(
+                             "accentFor",
+                             [](Vm& ctx, ObjectRef, auto args) -> Value {
+                               const ClassId cls = ctx.find_class("ui.Theme");
+                               const Value accent = ctx.get_static(cls, 2);
+                               return Value{(accent.is_int()
+                                                 ? accent.as_int()
+                                                 : 0x3366CC) ^
+                                            arg(args, 0).as_int()};
+                             })
+                         .build());
+
+  // Panels hold children and delegate painting.
+  reg.register_class(
+      ClassBuilder("ui.Panel")
+          .field("children")
+          .field("layout")
+          .field("title")
+          .method("addChild",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    Value children_v = ctx.get_field(self, FieldId{0});
+                    if (!children_v.is_ref() ||
+                        children_v.as_ref().is_null()) {
+                      children_v = Value{make_list(ctx)};
+                      ctx.put_field(self, FieldId{0}, children_v);
+                    }
+                    ctx.call(children_v.as_ref(), "add", {arg(args, 0)});
+                    return Value{};
+                  })
+          .method("doLayout",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    const Value layout_v = ctx.get_field(self, FieldId{1});
+                    const Value children_v = ctx.get_field(self, FieldId{0});
+                    if (layout_v.is_ref() && !layout_v.as_ref().is_null() &&
+                        children_v.is_ref() &&
+                        !children_v.as_ref().is_null()) {
+                      return ctx.call(layout_v.as_ref(), "layout",
+                                      {children_v});
+                    }
+                    return Value{};
+                  })
+          .method("paintAll",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    const Value children_v = ctx.get_field(self, FieldId{0});
+                    if (!children_v.is_ref() ||
+                        children_v.as_ref().is_null()) {
+                      return Value{0};
+                    }
+                    const ObjectRef children = children_v.as_ref();
+                    const std::int64_t n =
+                        ctx.call(children, "size").as_int();
+                    for (std::int64_t i = 0; i < n; ++i) {
+                      const ObjectRef w =
+                          ctx.call(children, "get", {Value{i}}).as_ref();
+                      ctx.call(w, "paint");
+                    }
+                    return Value{n};
+                  })
+          .build());
+
+  // Keyboard map: event code -> focus index, stored in a HashMap.
+  reg.register_class(
+      ClassBuilder("ui.KeyMap")
+          .field("bindings")
+          .method("bind",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    Value map_v = ctx.get_field(self, FieldId{0});
+                    if (!map_v.is_ref() || map_v.as_ref().is_null()) {
+                      map_v = Value{ctx.new_object("HashMap")};
+                      ctx.put_field(self, FieldId{0}, map_v);
+                    }
+                    return ctx.call(map_v.as_ref(), "put",
+                                    {arg(args, 0), arg(args, 1)});
+                  })
+          .method("lookup",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    const Value map_v = ctx.get_field(self, FieldId{0});
+                    if (!map_v.is_ref() || map_v.as_ref().is_null()) {
+                      return Value{};
+                    }
+                    return ctx.call(map_v.as_ref(), "get", {arg(args, 0)});
+                  })
+          .build());
+
+  // Event dispatcher: routes an event to the focused child of a panel.
+  reg.register_class(
+      ClassBuilder("ui.EventDispatcher")
+          .field("keymap")
+          .field("dispatched")
+          .method(
+              "dispatch",
+              [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                const ObjectRef panel = arg(args, 0).as_ref();
+                const std::int64_t code = arg(args, 1).as_int();
+                const Value keymap_v = ctx.get_field(self, FieldId{0});
+                std::int64_t focus = code;
+                if (keymap_v.is_ref() && !keymap_v.as_ref().is_null()) {
+                  const Value bound =
+                      ctx.call(keymap_v.as_ref(), "lookup", {Value{code}});
+                  if (bound.is_int()) focus = bound.as_int();
+                }
+                const Value children_v = ctx.get_field(panel, FieldId{0});
+                if (!children_v.is_ref() || children_v.as_ref().is_null()) {
+                  return Value{0};
+                }
+                const ObjectRef children = children_v.as_ref();
+                const std::int64_t n = ctx.call(children, "size").as_int();
+                if (n == 0) return Value{0};
+                const ObjectRef target =
+                    ctx.call(children, "get", {Value{focus % n}}).as_ref();
+                const Value state = ctx.call(target, "handle", {Value{code}});
+                const Value count = ctx.get_field(self, FieldId{1});
+                ctx.put_field(self, FieldId{1},
+                              Value{(count.is_int() ? count.as_int() : 0) +
+                                    1});
+                return state;
+              })
+          .build());
+
+  // The window ties it together.
+  reg.register_class(
+      ClassBuilder("ui.Window")
+          .field("title")
+          .field("toolbar")
+          .field("content")
+          .field("dispatcher")
+          .field("display")
+          .field("paints")
+          .method("paintTree",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    const ObjectRef display =
+                        ctx.get_field(self, FieldId{4}).as_ref();
+                    const Value title_v = ctx.get_field(self, FieldId{0});
+                    if (title_v.is_ref() && !title_v.as_ref().is_null()) {
+                      ctx.call(display, "drawText",
+                               {Value{2}, Value{2},
+                                Value{string_value(ctx, title_v.as_ref())}});
+                    }
+                    std::int64_t painted = 0;
+                    for (const FieldId panel_field : {FieldId{1}, FieldId{2}}) {
+                      const Value panel_v = ctx.get_field(self, panel_field);
+                      if (panel_v.is_ref() && !panel_v.as_ref().is_null()) {
+                        painted +=
+                            ctx.call(panel_v.as_ref(), "paintAll").as_int();
+                      }
+                    }
+                    ctx.call(display, "flush");
+                    const Value paints = ctx.get_field(self, FieldId{5});
+                    ctx.put_field(
+                        self, FieldId{5},
+                        Value{(paints.is_int() ? paints.as_int() : 0) + 1});
+                    return Value{painted};
+                  })
+          .build());
+}
+
+ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
+                                std::string_view title, int buttons,
+                                int labels) {
+  const ObjectRef window = ctx.new_object("ui.Window");
+  ctx.put_field(window, FieldId{0}, Value{make_string(ctx, title)});
+  ctx.put_field(window, FieldId{4}, Value{display});
+  ctx.put_field(window, FieldId{5}, Value{0});
+
+  ctx.put_static("ui.Theme", "fg", Value{0x202020});
+  ctx.put_static("ui.Theme", "bg", Value{0xF4F4F0});
+  ctx.put_static("ui.Theme", "accent",
+                 ctx.call_static("ui.Theme", "accentFor", {Value{7}}));
+
+  // Toolbar: buttons with icons, flow-layouted.
+  const ObjectRef toolbar = ctx.new_object("ui.Panel");
+  const ObjectRef flow = ctx.new_object("ui.FlowLayout");
+  ctx.put_field(flow, FieldId{0}, Value{6});
+  ctx.put_field(toolbar, FieldId{1}, Value{flow});
+  for (int i = 0; i < buttons; ++i) {
+    const ObjectRef button = make_widget(
+        ctx, "ui.Button", display, "btn" + std::to_string(i), 4 + i * 52, 18);
+    const ObjectRef icon = ctx.new_object("ui.Icon");
+    ctx.call(icon, "initIcon", {Value{8}, Value{i}});
+    ctx.call(toolbar, "addChild", {Value{button}});
+  }
+  ctx.call(toolbar, "doLayout");
+  ctx.put_field(window, FieldId{1}, Value{toolbar});
+
+  // Content: labels, a checkbox, scrollbar, list, status, tabs, progress.
+  const ObjectRef content = ctx.new_object("ui.Panel");
+  const ObjectRef column = ctx.new_object("ui.ColumnLayout");
+  ctx.put_field(column, FieldId{0}, Value{3});
+  ctx.put_field(content, FieldId{1}, Value{column});
+  for (int i = 0; i < labels; ++i) {
+    ctx.call(content, "addChild",
+             {Value{make_widget(ctx, "ui.Label", display,
+                                "label " + std::to_string(i), 4, 0)}});
+  }
+  for (const char* cls : {"ui.TextField", "ui.CheckBox", "ui.RadioButton",
+                          "ui.ScrollBar", "ui.ListBox", "ui.ComboBox",
+                          "ui.ProgressBar", "ui.Separator", "ui.StatusField",
+                          "ui.TabStrip", "ui.Spinner"}) {
+    ctx.call(content, "addChild",
+             {Value{make_widget(ctx, cls, display, cls, 4, 0)}});
+  }
+  ctx.call(content, "doLayout");
+  ctx.put_field(window, FieldId{2}, Value{content});
+
+  // Dispatcher with a few key bindings.
+  const ObjectRef dispatcher = ctx.new_object("ui.EventDispatcher");
+  const ObjectRef keymap = ctx.new_object("ui.KeyMap");
+  for (int code = 0; code < 7; ++code) {
+    ctx.call(keymap, "bind", {Value{code}, Value{(code * 3) % 11}});
+  }
+  ctx.put_field(dispatcher, FieldId{0}, Value{keymap});
+  ctx.put_field(window, FieldId{3}, Value{dispatcher});
+  return window;
+}
+
+void paint_window(Vm& ctx, ObjectRef window) {
+  ctx.call(window, "paintTree");
+}
+
+std::int64_t dispatch_ui_event(Vm& ctx, ObjectRef window,
+                               std::int64_t event_code) {
+  const ObjectRef dispatcher = ctx.get_field(window, FieldId{3}).as_ref();
+  const ObjectRef content = ctx.get_field(window, FieldId{2}).as_ref();
+  const Value state =
+      ctx.call(dispatcher, "dispatch", {Value{content}, Value{event_code}});
+  return state.is_int() ? state.as_int() : 0;
+}
+
+}  // namespace aide::apps

@@ -1,0 +1,40 @@
+// A managed widget toolkit ("ui.*") — the AWT-equivalent class library the
+// paper's Java applications ran against.
+//
+// Real JVM applications drag in dozens of library classes (the paper's
+// JavaNote touched ~134); the execution graphs of our workloads gain the
+// same character from this toolkit: a tree of managed widget objects whose
+// paint path funnels into the pinned Display natives, layout managers and
+// themes with static data, icons backed by primitive arrays, and an event
+// dispatcher driven by the pinned EventQueue.
+//
+// All widget state and behaviour flows through the instrumented VM context,
+// so the monitor sees every widget interaction and the partitioner places
+// widget classes like any other component (in practice: glued to the client
+// by their Display coupling — which is exactly what the paper observed).
+#pragma once
+
+#include "vm/klass.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::apps {
+
+// Registers the toolkit classes (idempotent); includes the stdlib.
+void register_toolkit(vm::ClassRegistry& reg);
+
+// Builds a standard application window: a titled frame with a toolbar of
+// buttons, a content panel with labels/checkbox/scrollbar/status field, a
+// list box, and theme/keymap wiring. Returns the ui.Window object.
+vm::ObjectRef build_standard_window(vm::Vm& ctx, vm::ObjectRef display,
+                                    std::string_view title, int buttons = 6,
+                                    int labels = 4);
+
+// Repaints the whole widget tree through the Display natives.
+void paint_window(vm::Vm& ctx, vm::ObjectRef window);
+
+// Routes one input event (from EventQueue::poll) through the dispatcher to
+// the focused widget. Returns the handling widget's state value.
+std::int64_t dispatch_ui_event(vm::Vm& ctx, vm::ObjectRef window,
+                               std::int64_t event_code);
+
+}  // namespace aide::apps

@@ -1,0 +1,82 @@
+// Strongly-typed identifiers used across the AIDE platform.
+//
+// Every entity the platform reasons about (classes, objects, methods, fields,
+// nodes in the distributed platform) gets its own id type so that a ClassId
+// can never be passed where an ObjectId is expected. Ids are trivially
+// copyable 32/64-bit wrappers with full value semantics and hashing support.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace aide {
+
+// CRTP-free strong id wrapper. Tag makes each instantiation a distinct type.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != invalid_value;
+  }
+
+  static constexpr Rep invalid_value = static_cast<Rep>(-1);
+  static constexpr StrongId invalid() noexcept {
+    return StrongId{invalid_value};
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) noexcept = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = invalid_value;
+};
+
+struct ClassTag {};
+struct ObjectTag {};
+struct MethodTag {};
+struct FieldTag {};
+struct NodeTag {};
+struct HandleTag {};
+
+// A class loaded into a VM. Class ids are assigned by the class registry and
+// are identical on every VM that shares the application's "bytecodes"
+// (paper section 4: both VMs have access to the application's classes).
+using ClassId = StrongId<ClassTag>;
+
+// A live object within one VM's private reference namespace (paper 3.2).
+using ObjectId = StrongId<ObjectTag, std::uint64_t>;
+
+// A method within a class (index into the class's method table).
+using MethodId = StrongId<MethodTag>;
+
+// A field within a class (index into the instance field table).
+using FieldId = StrongId<FieldTag>;
+
+// A device participating in the distributed platform (client, surrogate(s)).
+using NodeId = StrongId<NodeTag>;
+
+// An export handle: the wire name a VM gives one of its objects so that the
+// peer VM can refer to it without understanding the private ObjectId space.
+using ExportHandle = StrongId<HandleTag, std::uint64_t>;
+
+}  // namespace aide
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<aide::StrongId<Tag, Rep>> {
+  size_t operator()(aide::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

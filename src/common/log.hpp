@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Experiments and examples narrate platform decisions (trigger fired,
+// partitioning selected, objects migrated) at info level; tests run silent by
+// default. A single global level keeps the hot paths branch-cheap.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace aide {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class Log {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::warn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) noexcept { return lvl >= level(); }
+
+  template <typename... Args>
+  static void emit(LogLevel lvl, std::string_view tag, const Args&... args) {
+    if (!enabled(lvl)) return;
+    std::ostringstream os;
+    os << '[' << tag << "] ";
+    (os << ... << args);
+    std::cerr << os.str() << '\n';
+  }
+};
+
+#define AIDE_LOG_INFO(tag, ...) \
+  ::aide::Log::emit(::aide::LogLevel::info, tag, __VA_ARGS__)
+#define AIDE_LOG_DEBUG(tag, ...) \
+  ::aide::Log::emit(::aide::LogLevel::debug, tag, __VA_ARGS__)
+#define AIDE_LOG_WARN(tag, ...) \
+  ::aide::Log::emit(::aide::LogLevel::warn, tag, __VA_ARGS__)
+
+}  // namespace aide

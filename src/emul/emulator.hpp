@@ -1,0 +1,162 @@
+// Trace-driven emulator (paper section 4).
+//
+// Replays a recorded execution trace through the same monitoring, resource
+// and partitioning modules as the prototype, and stretches simulated
+// execution time to account for remote invocations and data accesses over
+// the modeled link. Distributed execution is assumed equivalent to serial
+// execution of the trace (the paper's simplification), so emulated time is:
+//
+//     sum(self_time / speed(placement(component)))
+//   + sum(rpc cost for every cut-crossing interaction)
+//   + migration cost for each offload event.
+//
+// The emulator supports repeated repartitioning, arbitrary trigger and
+// partitioning policies (Figure 7's sweep), an emulated client heap capacity
+// independent of the one the trace was recorded with, and the paper's two
+// section 5.2 enhancements (stateless natives local, int arrays at object
+// granularity).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "emul/trace.hpp"
+#include "graph/mincut.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/resource_monitor.hpp"
+#include "netsim/link.hpp"
+#include "partition/partitioner.hpp"
+#include "vm/klass.hpp"
+
+namespace aide::emul {
+
+enum class TriggerMode {
+  // Low-memory GC reports trigger partitioning (memory experiments, 5.1).
+  memory_gc,
+  // Partitioning is evaluated once after a fixed fraction of the trace has
+  // replayed (processing experiments, 5.2).
+  trace_fraction,
+};
+
+struct EmulatorConfig {
+  netsim::LinkParams link = netsim::LinkParams::wavelan();
+  // Surrogate/client CPU ratio. Figure 6 uses 1.0 ("the same processor speed
+  // was used for both"); Figure 10 uses 3.5.
+  double surrogate_speedup = 1.0;
+
+  TriggerMode trigger_mode = TriggerMode::memory_gc;
+  monitor::TriggerPolicy trigger;
+  double eval_at_fraction = 0.10;  // trace_fraction mode
+
+  partition::Objective objective = partition::Objective::free_memory;
+  double min_free_fraction = 0.20;
+  double min_improvement = 0.0;
+  std::size_t max_offloads = 1;
+
+  // Client heap capacity the emulation assumes (may differ from the heap the
+  // trace was recorded with).
+  std::int64_t heap_capacity = std::int64_t{6} << 20;
+
+  // Paper 5.2 enhancements.
+  bool stateless_natives_local = false;  // "Native"
+  bool arrays_as_objects = false;        // "Array"
+  std::int64_t min_array_bytes = 4096;
+
+  graph::EdgeWeightFn weight;
+  bool charge_migration = true;
+
+  // GC-pressure model: as the client heap approaches exhaustion, collection
+  // cycles run back-to-back ("triggered by space limitations"), each paying a
+  // mark/sweep pass over the live set. Per GC report the emulator charges
+  //   (bytes allocated since last report / free headroom) * live * this cost.
+  // 0 disables the model (CPU experiments run with ample heap anyway); the
+  // memory experiments enable it — it is why the paper's early-trigger
+  // policies beat the initial policy for Dia and Biomer (Figure 7).
+  double gc_pressure_cost_ns_per_live_byte = 0.0;
+
+  // Manual partitioning (paper 5.2: "by partitioning the application
+  // manually, we were able to find a beneficial partitioning"): when
+  // non-empty, the trigger offloads exactly the named classes instead of
+  // consulting the partitioning policy.
+  std::vector<std::string> manual_offload_classes;
+};
+
+struct OffloadSnapshot {
+  SimTime at = 0;  // trace time of the offload
+  partition::PartitionDecision decision;
+  std::uint64_t migrated_bytes = 0;
+  std::size_t components = 0;
+};
+
+struct EmulationResult {
+  SimDuration base_time = 0;      // client-only execution of the trace
+  SimDuration emulated_time = 0;  // with offloading and stretching
+  SimDuration comm_time = 0;      // stretching added for remote interactions
+  SimDuration migration_time = 0;
+  SimDuration gc_pressure_time = 0;  // near-exhaustion collection overhead
+
+  std::uint64_t total_invocations = 0;
+  std::uint64_t remote_invocations = 0;
+  std::uint64_t remote_native_invocations = 0;  // Figure 8
+  std::uint64_t total_accesses = 0;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t remote_bytes = 0;
+
+  // Peak emulated client heap occupancy (bytes); exceeding the configured
+  // capacity with offloading disabled means the run would have failed with
+  // an out-of-memory error (the paper's JavaNote-at-6MB scenario).
+  std::int64_t peak_client_live = 0;
+
+  std::vector<OffloadSnapshot> offloads;
+  // The last evaluation that declined to offload (Biomer's Figure 10 case).
+  std::vector<partition::PartitionDecision> declined;
+
+  [[nodiscard]] bool offloaded() const noexcept { return !offloads.empty(); }
+  [[nodiscard]] double overhead_fraction() const noexcept {
+    if (base_time <= 0) return 0.0;
+    return static_cast<double>(emulated_time - base_time) /
+           static_cast<double>(base_time);
+  }
+  [[nodiscard]] double speedup() const noexcept {
+    if (emulated_time <= 0) return 1.0;
+    return static_cast<double>(base_time) /
+           static_cast<double>(emulated_time);
+  }
+};
+
+class Emulator {
+ public:
+  Emulator(std::shared_ptr<const vm::ClassRegistry> registry,
+           EmulatorConfig config);
+
+  [[nodiscard]] EmulationResult run(const Trace& trace);
+
+  // The execution graph accumulated during the last run (Figure 5 rendering).
+  [[nodiscard]] const monitor::ExecutionMonitor& last_monitor() const {
+    return *monitor_;
+  }
+
+ private:
+  [[nodiscard]] int placement_of(const graph::ComponentKey& key) const {
+    const auto it = placement_.find(key);
+    return it == placement_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] SimDuration rpc_cost(std::uint64_t bytes) const;
+  void try_offload(SimTime at, EmulationResult& result);
+
+  std::shared_ptr<const vm::ClassRegistry> registry_;
+  EmulatorConfig config_;
+  std::unique_ptr<monitor::ExecutionMonitor> monitor_;
+  std::unique_ptr<monitor::ResourceMonitor> resource_;
+  std::unordered_map<graph::ComponentKey, int> placement_;
+
+  // Emulated heap model.
+  std::int64_t live_bytes_ = 0;
+  std::int64_t freed_since_gc_ = 0;
+  std::int64_t alloc_since_gc_ = 0;
+};
+
+}  // namespace aide::emul

@@ -1,0 +1,62 @@
+#include "emul/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aide::emul {
+
+void Trace::save_csv(std::ostream& os) const {
+  os << "type,flags,t,cls_a,cls_b,obj_a,obj_b,method,bytes,aux1,aux2\n";
+  for (const auto& e : events) {
+    os << static_cast<int>(e.type) << ',' << static_cast<int>(e.flags) << ','
+       << e.t << ',' << e.cls_a.value() << ',' << e.cls_b.value() << ','
+       << e.obj_a.value() << ',' << e.obj_b.value() << ','
+       << e.method.value() << ',' << e.bytes << ',' << e.aux1 << ','
+       << e.aux2 << '\n';
+  }
+}
+
+Trace Trace::load_csv(std::istream& is) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(is, line)) return trace;  // header (or empty)
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceEvent e;
+    std::uint64_t v = 0;
+    char comma = 0;
+    auto read_u64 = [&](std::uint64_t& out) {
+      if (!(ls >> out)) throw std::runtime_error("trace csv: bad field");
+      ls >> comma;
+    };
+    auto read_i64 = [&](std::int64_t& out) {
+      if (!(ls >> out)) throw std::runtime_error("trace csv: bad field");
+      ls >> comma;
+    };
+    read_u64(v);
+    e.type = static_cast<TraceEventType>(v);
+    read_u64(v);
+    e.flags = static_cast<std::uint8_t>(v);
+    read_i64(e.t);
+    read_u64(v);
+    e.cls_a = ClassId{static_cast<std::uint32_t>(v)};
+    read_u64(v);
+    e.cls_b = ClassId{static_cast<std::uint32_t>(v)};
+    read_u64(v);
+    e.obj_a = ObjectId{v};
+    read_u64(v);
+    e.obj_b = ObjectId{v};
+    read_u64(v);
+    e.method = MethodId{static_cast<std::uint32_t>(v)};
+    read_i64(e.bytes);
+    read_i64(e.aux1);
+    read_i64(e.aux2);
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+}  // namespace aide::emul

@@ -1,0 +1,50 @@
+// Component identity for monitoring and placement.
+//
+// The paper selects classes as the component granularity (section 3.1), and
+// later shows (section 5.2, "Array" enhancement) that promoting primitive
+// arrays to object granularity improves placement. A ComponentKey expresses
+// both: class-level components leave `object` invalid; object-granularity
+// components carry the specific object id.
+#pragma once
+
+#include <functional>
+#include <ostream>
+
+#include "common/ids.hpp"
+
+namespace aide::graph {
+
+struct ComponentKey {
+  ClassId cls;
+  // Invalid for class-granularity components; set when a single object is
+  // tracked and placed independently of its class (the Array enhancement).
+  ObjectId object = ObjectId::invalid();
+
+  [[nodiscard]] bool is_object_granularity() const noexcept {
+    return object.valid();
+  }
+
+  friend bool operator==(const ComponentKey&, const ComponentKey&) noexcept =
+      default;
+  friend auto operator<=>(const ComponentKey&, const ComponentKey&) noexcept =
+      default;
+
+  friend std::ostream& operator<<(std::ostream& os, const ComponentKey& k) {
+    os << 'C' << k.cls;
+    if (k.object.valid()) os << "#" << k.object;
+    return os;
+  }
+};
+
+}  // namespace aide::graph
+
+namespace std {
+template <>
+struct hash<aide::graph::ComponentKey> {
+  size_t operator()(const aide::graph::ComponentKey& k) const noexcept {
+    const size_t h1 = std::hash<aide::ClassId>{}(k.cls);
+    const size_t h2 = std::hash<aide::ObjectId>{}(k.object);
+    return h1 ^ (h2 * 0x9E3779B97F4A7C15ULL);
+  }
+};
+}  // namespace std

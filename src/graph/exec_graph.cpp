@@ -1,0 +1,90 @@
+#include "graph/exec_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aide::graph {
+
+namespace {
+
+std::string node_id_str(const ComponentKey& key) {
+  std::ostringstream os;
+  os << "n" << key.cls.value();
+  if (key.object.valid()) os << "_" << key.object.value();
+  return os.str();
+}
+
+std::string node_label(const ComponentKey& key,
+                       const std::unordered_map<ComponentKey, std::string>*
+                           names,
+                       const NodeInfo& info) {
+  std::ostringstream os;
+  if (names != nullptr) {
+    const auto it = names->find(key);
+    if (it != names->end()) {
+      os << it->second;
+    } else {
+      os << key;
+    }
+  } else {
+    os << key;
+  }
+  os << "\\n" << info.mem_bytes / 1024 << "KB";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ExecGraph::to_dot(
+    const std::unordered_map<ComponentKey, int>* placement,
+    const std::unordered_map<ComponentKey, std::string>* names) const {
+  // Sort nodes/edges for deterministic output.
+  std::vector<const NodeMap::value_type*> sorted_nodes;
+  sorted_nodes.reserve(nodes_.size());
+  for (const auto& kv : nodes_) sorted_nodes.push_back(&kv);
+  std::sort(sorted_nodes.begin(), sorted_nodes.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  std::vector<const EdgeMap::value_type*> sorted_edges;
+  sorted_edges.reserve(edges_.size());
+  for (const auto& kv : edges_) sorted_edges.push_back(&kv);
+  std::sort(sorted_edges.begin(), sorted_edges.end(),
+            [](const auto* a, const auto* b) {
+              return std::tie(a->first.a, a->first.b) <
+                     std::tie(b->first.a, b->first.b);
+            });
+
+  std::ostringstream os;
+  os << "graph exec {\n  node [shape=ellipse, fontsize=9];\n";
+  for (const auto* kv : sorted_nodes) {
+    const auto& [key, info] = *kv;
+    os << "  " << node_id_str(key) << " [label=\""
+       << node_label(key, names, info) << "\"";
+    if (info.pinned) os << ", style=bold";
+    if (placement != nullptr) {
+      const auto it = placement->find(key);
+      const int part = (it == placement->end()) ? 0 : it->second;
+      os << ", color=" << (part == 0 ? "\"black\"" : "\"blue\"");
+    }
+    os << "];\n";
+  }
+  for (const auto* kv : sorted_edges) {
+    const auto& [ekey, info] = *kv;
+    bool remote = false;
+    if (placement != nullptr) {
+      const auto ia = placement->find(ekey.a);
+      const auto ib = placement->find(ekey.b);
+      const int pa = (ia == placement->end()) ? 0 : ia->second;
+      const int pb = (ib == placement->end()) ? 0 : ib->second;
+      remote = (pa != pb);
+    }
+    os << "  " << node_id_str(ekey.a) << " -- " << node_id_str(ekey.b)
+       << " [label=\"" << info.interactions() << "/" << info.bytes << "B\"";
+    if (remote) os << ", style=dashed, len=3.0";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aide::graph

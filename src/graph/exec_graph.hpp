@@ -1,0 +1,193 @@
+// The execution graph (paper section 3.4).
+//
+// A fully-connected weighted graph reflecting the application's execution
+// history. Each node represents a component (normally a class) annotated
+// with the memory occupied by its live objects and the CPU self-time spent in
+// its methods (Figure 9 attribution). Each edge represents the interactions
+// between two components, annotated with the interaction count and the total
+// bytes exchanged through parameters, return values and data accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/simclock.hpp"
+#include "graph/component.hpp"
+
+namespace aide::graph {
+
+struct NodeInfo {
+  // Bytes currently occupied by live objects of this component.
+  std::int64_t mem_bytes = 0;
+  // Peak of mem_bytes over the component's lifetime.
+  std::int64_t peak_mem_bytes = 0;
+  // CPU self-time spent in this component's methods (nested calls excluded).
+  SimDuration exec_self_time = 0;
+  // Components that cannot leave the client (native state, statics).
+  bool pinned = false;
+  // Number of live objects aggregated into this node.
+  std::int64_t live_objects = 0;
+};
+
+struct EdgeInfo {
+  std::uint64_t invocations = 0;  // method-invocation interaction events
+  std::uint64_t accesses = 0;     // data-field access interaction events
+  std::uint64_t bytes = 0;        // parameters + returns + accessed data
+
+  [[nodiscard]] std::uint64_t interactions() const noexcept {
+    return invocations + accesses;
+  }
+};
+
+struct EdgeKey {
+  ComponentKey a, b;  // canonical: a <= b
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) noexcept = default;
+};
+
+}  // namespace aide::graph
+
+namespace std {
+template <>
+struct hash<aide::graph::EdgeKey> {
+  size_t operator()(const aide::graph::EdgeKey& e) const noexcept {
+    const size_t h1 = std::hash<aide::graph::ComponentKey>{}(e.a);
+    const size_t h2 = std::hash<aide::graph::ComponentKey>{}(e.b);
+    return h1 * 0x100000001B3ULL ^ h2;
+  }
+};
+}  // namespace std
+
+namespace aide::graph {
+
+class ExecGraph {
+ public:
+  using NodeMap = std::unordered_map<ComponentKey, NodeInfo>;
+  using EdgeMap = std::unordered_map<EdgeKey, EdgeInfo>;
+
+  // --- construction -------------------------------------------------------
+
+  NodeInfo& node(const ComponentKey& key) {
+    return nodes_[key];
+  }
+
+  [[nodiscard]] const NodeInfo* find_node(const ComponentKey& key) const {
+    const auto it = nodes_.find(key);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  // Records one interaction (invocation or access) between two components.
+  // Self-interactions (same component) are not recorded, matching the paper:
+  // "Information is recorded only for interactions between two different
+  // classes."
+  void record_interaction(const ComponentKey& from, const ComponentKey& to,
+                          bool is_invocation, std::uint64_t transferred_bytes) {
+    if (from == to) return;
+    auto& e = edges_[make_edge_key(from, to)];
+    if (is_invocation) {
+      e.invocations += 1;
+    } else {
+      e.accesses += 1;
+    }
+    e.bytes += transferred_bytes;
+    // Interactions imply node existence even before any allocation.
+    nodes_[from];
+    nodes_[to];
+  }
+
+  // Installs a complete edge record (used when rebuilding/merging graphs).
+  void set_edge(const ComponentKey& a, const ComponentKey& b,
+                const EdgeInfo& info) {
+    if (a == b) return;
+    edges_[make_edge_key(a, b)] = info;
+    nodes_[a];
+    nodes_[b];
+  }
+
+  void add_memory(const ComponentKey& key, std::int64_t delta_bytes,
+                  std::int64_t delta_objects) {
+    auto& n = nodes_[key];
+    n.mem_bytes += delta_bytes;
+    n.live_objects += delta_objects;
+    if (n.mem_bytes > n.peak_mem_bytes) n.peak_mem_bytes = n.mem_bytes;
+  }
+
+  void add_self_time(const ComponentKey& key, SimDuration delta) {
+    nodes_[key].exec_self_time += delta;
+  }
+
+  void set_pinned(const ComponentKey& key, bool pinned) {
+    nodes_[key].pinned = pinned;
+  }
+
+  // --- inspection ---------------------------------------------------------
+
+  [[nodiscard]] const NodeMap& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const EdgeMap& edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  [[nodiscard]] const EdgeInfo* find_edge(const ComponentKey& a,
+                                          const ComponentKey& b) const {
+    const auto it = edges_.find(make_edge_key(a, b));
+    return it == edges_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::int64_t total_mem_bytes() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& [key, n] : nodes_) total += n.mem_bytes;
+    return total;
+  }
+
+  [[nodiscard]] SimDuration total_self_time() const noexcept {
+    SimDuration total = 0;
+    for (const auto& [key, n] : nodes_) total += n.exec_self_time;
+    return total;
+  }
+
+  [[nodiscard]] std::vector<ComponentKey> pinned_components() const {
+    std::vector<ComponentKey> out;
+    for (const auto& [key, n] : nodes_) {
+      if (n.pinned) out.push_back(key);
+    }
+    return out;
+  }
+
+  // Approximate in-memory footprint of the graph itself: the monitoring
+  // storage-overhead experiment (Table 2 discussion) reports this.
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return nodes_.size() * (sizeof(ComponentKey) + sizeof(NodeInfo)) +
+           edges_.size() * (sizeof(EdgeKey) + sizeof(EdgeInfo));
+  }
+
+  void clear() {
+    nodes_.clear();
+    edges_.clear();
+  }
+
+  // Renders the graph in Graphviz DOT format. `placement` optionally maps
+  // components to a partition index; edges that cross partitions are drawn
+  // dashed (Figure 5b's "stretched" remote interactions).
+  [[nodiscard]] std::string to_dot(
+      const std::unordered_map<ComponentKey, int>* placement = nullptr,
+      const std::unordered_map<ComponentKey, std::string>* names = nullptr)
+      const;
+
+  static EdgeKey make_edge_key(const ComponentKey& x, const ComponentKey& y) {
+    return (y < x) ? EdgeKey{y, x} : EdgeKey{x, y};
+  }
+
+ private:
+  NodeMap nodes_;
+  EdgeMap edges_;
+};
+
+}  // namespace aide::graph

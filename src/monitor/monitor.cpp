@@ -1,0 +1,183 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+
+namespace aide::monitor {
+
+ExecutionMonitor::ExecutionMonitor(
+    std::shared_ptr<const vm::ClassRegistry> registry, MonitorConfig config)
+    : registry_(std::move(registry)), config_(std::move(config)) {
+  for (const ClassId cls : config_.granularity.object_granularity_classes) {
+    object_granularity_classes_.insert(cls);
+  }
+}
+
+graph::ComponentKey ExecutionMonitor::component_of(ClassId cls,
+                                                   ObjectId obj) const {
+  // Object-granularity promotion only ever happens under the Array
+  // enhancement, so the common configuration skips the per-event lookup.
+  if (config_.granularity.arrays_as_objects && obj.valid()) {
+    const auto it = object_component_.find(obj);
+    if (it != object_component_.end()) return it->second;
+  }
+  return graph::ComponentKey{cls};
+}
+
+graph::ComponentKey ExecutionMonitor::ensure_component(ClassId cls,
+                                                       ObjectId obj) {
+  const graph::ComponentKey key = component_of(cls, obj);
+  if (cls.value() >= class_seen_.size()) {
+    class_seen_.resize(registry_->size(), false);
+  }
+  if (!class_seen_[cls.value()]) {
+    class_seen_[cls.value()] = true;
+    ++classes_seen_count_;
+    counters_.class_events += 1;
+    // Pinning rule (paper 3.3): classes containing (stateful) native methods
+    // cannot be offloaded and seed the client partition.
+    graph_.set_pinned(graph::ComponentKey{cls},
+                      registry_->get(cls).has_stateful_native());
+  }
+  return key;
+}
+
+void ExecutionMonitor::on_invoke(const vm::InvokeEvent& ev) {
+  counters_.invoke_events += 1;
+  if (ev.remote) {
+    counters_.remote_invocations += 1;
+    if (ev.is_native) counters_.remote_native_invocations += 1;
+  }
+  const auto from = ensure_component(ev.caller_cls, ev.caller_obj);
+  const auto to = ensure_component(ev.callee_cls, ev.callee_obj);
+  graph_.record_interaction(from, to, /*is_invocation=*/true, ev.bytes);
+}
+
+void ExecutionMonitor::on_access(const vm::AccessEvent& ev) {
+  counters_.access_events += 1;
+  if (ev.remote) counters_.remote_accesses += 1;
+  const auto from = ensure_component(ev.from_cls, ev.from_obj);
+  const auto to = ensure_component(ev.to_cls, ev.to_obj);
+  graph_.record_interaction(from, to, /*is_invocation=*/false, ev.bytes);
+}
+
+void ExecutionMonitor::on_method_exit(NodeId, ClassId cls, ObjectId obj,
+                                      MethodId, SimDuration self_time,
+                                      SimTime) {
+  graph_.add_self_time(component_of(cls, obj), self_time);
+}
+
+void ExecutionMonitor::on_alloc(NodeId, ObjectId obj, ClassId cls,
+                                std::int64_t bytes, SimTime) {
+  counters_.objects_created += 1;
+  counters_.class_events += 1;
+
+  graph::ComponentKey key{cls};
+  const auto& g = config_.granularity;
+  if (g.arrays_as_objects && bytes >= g.min_array_bytes &&
+      object_granularity_classes_.contains(cls)) {
+    key = graph::ComponentKey{cls, obj};
+    object_component_[obj] = key;
+  }
+  ensure_component(cls, ObjectId::invalid());
+  graph_.add_memory(key, bytes, +1);
+}
+
+void ExecutionMonitor::on_resize(NodeId, ObjectId obj, ClassId cls,
+                                 std::int64_t delta) {
+  graph_.add_memory(component_of(cls, obj), delta, 0);
+}
+
+void ExecutionMonitor::on_free(NodeId, ObjectId obj, ClassId cls,
+                               std::int64_t bytes, SimTime) {
+  counters_.objects_freed += 1;
+  counters_.class_events += 1;
+  graph_.add_memory(component_of(cls, obj), -bytes, -1);
+  object_component_.erase(obj);
+}
+
+void ExecutionMonitor::on_gc(NodeId, const vm::GcReport&) {
+  MetricsSample s;
+  s.classes = classes_seen_count_;
+  s.live_objects = static_cast<std::size_t>(
+      counters_.objects_created - counters_.objects_freed);
+  s.links = graph_.edge_count();
+  samples_.push_back(s);
+}
+
+std::unordered_map<graph::ComponentKey, std::string>
+ExecutionMonitor::component_names() const {
+  std::unordered_map<graph::ComponentKey, std::string> names;
+  for (const auto& [key, info] : graph_.nodes()) {
+    std::string label = registry_->get(key.cls).name;
+    if (key.is_object_granularity()) {
+      label += "#" + std::to_string(key.object.value() & 0xFFFFFFFFULL);
+    }
+    names[key] = std::move(label);
+  }
+  return names;
+}
+
+MetricsSummary ExecutionMonitor::metrics_summary() const {
+  MetricsSummary out;
+  out.total_classes = classes_seen_count_;
+  out.total_objects = counters_.objects_created;
+  out.total_interaction_events = counters_.interaction_events();
+  if (samples_.empty()) {
+    out.avg_classes = static_cast<double>(classes_seen_count_);
+    out.max_classes = classes_seen_count_;
+    out.avg_links = static_cast<double>(graph_.edge_count());
+    out.max_links = graph_.edge_count();
+    return out;
+  }
+  double sc = 0, so = 0, sl = 0;
+  for (const auto& s : samples_) {
+    sc += static_cast<double>(s.classes);
+    so += static_cast<double>(s.live_objects);
+    sl += static_cast<double>(s.links);
+    out.max_classes = std::max(out.max_classes, s.classes);
+    out.max_objects = std::max(out.max_objects, s.live_objects);
+    out.max_links = std::max(out.max_links, s.links);
+  }
+  const auto n = static_cast<double>(samples_.size());
+  out.avg_classes = sc / n;
+  out.avg_objects = so / n;
+  out.avg_links = sl / n;
+  return out;
+}
+
+void ExecutionMonitor::prune_dead_components() {
+  // Object-granularity nodes whose objects died carry no future-placement
+  // information; drop them (with their edges) before partitioning.
+  std::vector<graph::ComponentKey> dead;
+  for (const auto& [key, info] : graph_.nodes()) {
+    if (key.is_object_granularity() && info.live_objects <= 0) {
+      dead.push_back(key);
+    }
+  }
+  if (dead.empty()) return;
+
+  graph::ExecGraph pruned;
+  for (const auto& [key, info] : graph_.nodes()) {
+    if (std::find(dead.begin(), dead.end(), key) != dead.end()) continue;
+    pruned.node(key) = info;
+  }
+  for (const auto& [ekey, einfo] : graph_.edges()) {
+    const bool drop =
+        std::find(dead.begin(), dead.end(), ekey.a) != dead.end() ||
+        std::find(dead.begin(), dead.end(), ekey.b) != dead.end();
+    if (drop) continue;
+    pruned.set_edge(ekey.a, ekey.b, einfo);
+  }
+  graph_ = std::move(pruned);
+}
+
+void ExecutionMonitor::reset() {
+  graph_.clear();
+  counters_ = MonitorCounters{};
+  object_component_.clear();
+  samples_.clear();
+  class_seen_.clear();
+  classes_seen_count_ = 0;
+}
+
+}  // namespace aide::monitor

@@ -1,0 +1,88 @@
+// Analytic wireless-link model.
+//
+// The paper's emulator charges remote interactions against an 11 Mbps
+// WaveLAN link with a 2.4 ms round-trip time for a null message (section 4).
+// This module reproduces exactly that cost model: a message costs half the
+// null-message RTT (per direction) plus its serialized size over the link
+// bandwidth, with an optional deterministic jitter term for sensitivity
+// studies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/simclock.hpp"
+
+namespace aide::netsim {
+
+struct LinkParams {
+  // Raw link bandwidth in bits per second.
+  double bandwidth_bps = 11e6;
+  // Round-trip time of a zero-payload request/response pair.
+  SimDuration null_rtt = sim_us(2400);
+  // Fraction of one-way latency added as uniform jitter (0 = deterministic).
+  double jitter_fraction = 0.0;
+  // Seed for the jitter stream; irrelevant when jitter_fraction == 0.
+  std::uint64_t jitter_seed = 42;
+
+  // The paper's measured link (WaveLAN, 11 Mbps, 2.4 ms null RTT).
+  static LinkParams wavelan() noexcept { return LinkParams{}; }
+
+  // A wired 100 Mbps LAN, used by the link-quality ablation bench.
+  static LinkParams fast_ethernet() noexcept {
+    return LinkParams{.bandwidth_bps = 100e6, .null_rtt = sim_us(200)};
+  }
+
+  // A slow wide-area cellular-class link.
+  static LinkParams cellular() noexcept {
+    return LinkParams{.bandwidth_bps = 384e3, .null_rtt = sim_ms(120)};
+  }
+};
+
+// Cumulative traffic accounting for one link.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  SimDuration busy_time = 0;
+
+  void reset() noexcept { *this = LinkStats{}; }
+};
+
+class Link {
+ public:
+  explicit Link(LinkParams params = LinkParams::wavelan()) noexcept
+      : params_(params), jitter_rng_(params.jitter_seed) {}
+
+  [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  // Time for one message of `payload_bytes` to cross the link one way.
+  [[nodiscard]] SimDuration one_way_cost(std::uint64_t payload_bytes) noexcept {
+    const double serialization_s =
+        static_cast<double>(payload_bytes) * 8.0 / params_.bandwidth_bps;
+    SimDuration cost = params_.null_rtt / 2 +
+                       static_cast<SimDuration>(serialization_s * 1e9);
+    if (params_.jitter_fraction > 0.0) {
+      const double j = jitter_rng_.next_double() * params_.jitter_fraction;
+      cost += static_cast<SimDuration>(static_cast<double>(cost) * j);
+    }
+    stats_.messages += 1;
+    stats_.bytes += payload_bytes;
+    stats_.busy_time += cost;
+    return cost;
+  }
+
+  // Time for a synchronous request/response exchange.
+  [[nodiscard]] SimDuration round_trip_cost(std::uint64_t request_bytes,
+                                            std::uint64_t response_bytes) noexcept {
+    return one_way_cost(request_bytes) + one_way_cost(response_bytes);
+  }
+
+ private:
+  LinkParams params_;
+  LinkStats stats_;
+  Rng jitter_rng_;
+};
+
+}  // namespace aide::netsim

@@ -1,0 +1,104 @@
+#include "partition/partitioner.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace aide::partition {
+
+SimDuration predicted_comm_time(const graph::Candidate& cand,
+                                const netsim::LinkParams& link) {
+  // Each cut-crossing interaction is a synchronous message exchange: a full
+  // null-message RTT plus the historical payload over the link bandwidth.
+  const double rtt_s = sim_to_seconds(link.null_rtt);
+  const double serialization_s =
+      static_cast<double>(cand.cut_bytes) * 8.0 / link.bandwidth_bps;
+  const double total_s =
+      static_cast<double>(cand.cut_interactions()) * rtt_s + serialization_s;
+  return static_cast<SimDuration>(total_s * 1e9);
+}
+
+SimDuration predicted_offload_time(const graph::Candidate& cand,
+                                   SimDuration total_self_time,
+                                   const PartitionRequest& req) {
+  const SimDuration client_self = total_self_time - cand.offload_self_time;
+  const double client_s =
+      sim_to_seconds(client_self) / req.client_speed;
+  const double surrogate_s = sim_to_seconds(cand.offload_self_time) /
+                             (req.client_speed * req.surrogate_speedup);
+  SimDuration t = static_cast<SimDuration>((client_s + surrogate_s) * 1e9) +
+                  predicted_comm_time(cand, req.link);
+  if (req.charge_migration) {
+    const double mig_s = static_cast<double>(cand.offload_mem_bytes) * 8.0 /
+                             req.link.bandwidth_bps +
+                         sim_to_seconds(req.link.null_rtt);
+    t += static_cast<SimDuration>(mig_s * 1e9);
+  }
+  return t;
+}
+
+PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
+                                      const PartitionRequest& req) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  PartitionDecision decision;
+  const auto candidates = graph::modified_mincut(graph, req.weight);
+  decision.candidates_total = candidates.size();
+
+  const SimDuration total_self = graph.total_self_time();
+  decision.predicted_original_time = static_cast<SimDuration>(
+      sim_to_seconds(total_self) / req.client_speed * 1e9);
+
+  if (req.objective == Objective::free_memory) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const auto& cand : candidates) {
+      if (cand.offload_mem_bytes < req.min_free_bytes) continue;
+      ++decision.candidates_feasible;
+      if (cand.cut_weight < best_cost) {
+        best_cost = cand.cut_weight;
+        decision.selected = cand;
+        decision.offload = true;
+      }
+    }
+    if (decision.offload && req.history_duration > 0) {
+      decision.predicted_bandwidth_bps =
+          static_cast<double>(decision.selected.cut_bytes) * 8.0 /
+          sim_to_seconds(req.history_duration);
+    }
+  } else {
+    SimDuration best_time = decision.predicted_original_time;
+    const SimDuration required_bound = static_cast<SimDuration>(
+        static_cast<double>(decision.predicted_original_time) *
+        (1.0 - req.min_improvement));
+    SimDuration best_any = std::numeric_limits<SimDuration>::max();
+    for (const auto& cand : candidates) {
+      if (cand.offload_self_time <= 0) continue;
+      const SimDuration t = predicted_offload_time(cand, total_self, req);
+      best_any = std::min(best_any, t);
+      if (t <= required_bound && t < best_time) {
+        ++decision.candidates_feasible;
+        best_time = t;
+        decision.selected = cand;
+        decision.offload = true;
+      }
+    }
+    // When declining, still report the best candidate's prediction — the
+    // paper reports Biomer's "best partitioning was predicted to take 790
+    // seconds while the unpartitioned application took 750".
+    if (decision.offload) {
+      decision.predicted_offloaded_time = best_time;
+    } else {
+      decision.predicted_offloaded_time =
+          best_any == std::numeric_limits<SimDuration>::max()
+              ? decision.predicted_original_time
+              : best_any;
+    }
+  }
+
+  decision.compute_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return decision;
+}
+
+}  // namespace aide::partition

@@ -1,0 +1,88 @@
+// Partitioning policy evaluation (paper section 3.3).
+//
+// The partitioner reduces "is there a beneficial offloading?" to evaluating
+// the candidate series produced by the modified MINCUT heuristic against a
+// policy:
+//
+//  * free_memory objective (section 5.1) — a candidate is feasible if it
+//    frees at least the policy's minimum fraction of the client heap; among
+//    feasible candidates the one with the smallest interaction cost across
+//    the cut is selected ("offloads a sufficient amount of information while
+//    placing the smallest demand on network bandwidth").
+//
+//  * speed_up objective (section 5.2) — each candidate's total execution time
+//    is predicted from per-component CPU self-times (client speed vs the
+//    3.5x surrogate) plus communication for cut-crossing interactions; the
+//    fastest candidate is selected only if it beats staying on the client
+//    (Biomer: the system "correctly decided not to offload any objects").
+#pragma once
+
+#include <cstdint>
+
+#include "common/simclock.hpp"
+#include "graph/mincut.hpp"
+#include "netsim/link.hpp"
+
+namespace aide::partition {
+
+enum class Objective { free_memory, speed_up };
+
+struct PartitionRequest {
+  Objective objective = Objective::free_memory;
+
+  // --- free_memory objective ----------------------------------------------
+  std::int64_t heap_capacity = 0;
+  // Minimum client heap bytes a partitioning must free to be acceptable
+  // (paper: "at least 20% of the Java heap").
+  std::int64_t min_free_bytes = 0;
+
+  // --- speed_up objective ---------------------------------------------------
+  double client_speed = 1.0;
+  double surrogate_speedup = 3.5;
+  // Fraction of predicted-original time a candidate must beat to be selected.
+  double min_improvement = 0.0;
+
+  // --- shared ----------------------------------------------------------------
+  netsim::LinkParams link = netsim::LinkParams::wavelan();
+  // Duration of the execution history the graph summarizes; used to convert
+  // historical cut bytes into a predicted bandwidth and to scale the
+  // history's communication volume into the time prediction.
+  SimDuration history_duration = sim_sec(1);
+  graph::EdgeWeightFn weight;
+  // One-time object migration is charged into speed-up predictions.
+  bool charge_migration = true;
+};
+
+struct PartitionDecision {
+  bool offload = false;
+  graph::Candidate selected;
+  std::size_t candidates_total = 0;
+  std::size_t candidates_feasible = 0;
+
+  // free_memory: predicted steady-state bandwidth across the cut.
+  double predicted_bandwidth_bps = 0.0;
+
+  // speed_up: predicted times over the history window.
+  SimDuration predicted_original_time = 0;
+  SimDuration predicted_offloaded_time = 0;
+
+  // Real wall-clock cost of running the heuristic + evaluation (the paper
+  // reports ~0.1 s on a 600 MHz Pentium).
+  double compute_seconds = 0.0;
+};
+
+// Predicted communication time for one candidate's historical cut traffic.
+[[nodiscard]] SimDuration predicted_comm_time(const graph::Candidate& cand,
+                                              const netsim::LinkParams& link);
+
+// Predicted total execution time of the recorded history if `cand` had been
+// in effect, under the speed_up objective.
+[[nodiscard]] SimDuration predicted_offload_time(const graph::Candidate& cand,
+                                                 SimDuration total_self_time,
+                                                 const PartitionRequest& req);
+
+// Evaluates the modified-MINCUT candidate series against the policy.
+[[nodiscard]] PartitionDecision decide_partitioning(
+    const graph::ExecGraph& graph, const PartitionRequest& req);
+
+}  // namespace aide::partition

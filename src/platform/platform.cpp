@@ -1,0 +1,173 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace aide::platform {
+
+namespace {
+constexpr NodeId kClientNode{1};
+constexpr NodeId kSurrogateNode{2};
+}  // namespace
+
+Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
+                   PlatformConfig config)
+    : config_(config),
+      link_(config.link),
+      registry_(std::move(registry)),
+      exec_monitor_(registry_,
+                    monitor::MonitorConfig{monitor::GranularityPolicy{
+                        config.enhancements.arrays_as_objects,
+                        config.enhancements.min_array_bytes,
+                        {registry_->int_array_class()}}}),
+      resource_monitor_(kClientNode, config.trigger) {
+  vm::VmConfig client_cfg;
+  client_cfg.node = kClientNode;
+  client_cfg.name = "client";
+  client_cfg.is_client = true;
+  client_cfg.cpu_speed = 1.0;
+  client_cfg.heap_capacity = config_.client_heap;
+  client_cfg.gc_alloc_count_threshold =
+      config_.client_gc_alloc_count_threshold;
+  client_cfg.gc_alloc_bytes_divisor = config_.client_gc_alloc_bytes_divisor;
+  client_cfg.stateless_natives_local =
+      config_.enhancements.stateless_natives_local;
+  client_ = std::make_unique<vm::Vm>(client_cfg, registry_, clock_);
+
+  vm::VmConfig surrogate_cfg;
+  surrogate_cfg.node = kSurrogateNode;
+  surrogate_cfg.name = "surrogate";
+  surrogate_cfg.is_client = false;
+  surrogate_cfg.cpu_speed = config_.surrogate_speedup;
+  surrogate_cfg.heap_capacity = config_.surrogate_heap;
+  surrogate_cfg.stateless_natives_local =
+      config_.enhancements.stateless_natives_local;
+  surrogate_ = std::make_unique<vm::Vm>(surrogate_cfg, registry_, clock_);
+
+  client_ep_ = std::make_unique<rpc::Endpoint>(*client_, link_);
+  surrogate_ep_ = std::make_unique<rpc::Endpoint>(*surrogate_, link_);
+  rpc::Endpoint::connect(*client_ep_, *surrogate_ep_);
+
+  client_->add_hooks(&exec_monitor_);
+  client_->add_hooks(&resource_monitor_);
+  client_->add_hooks(this);
+  surrogate_->add_hooks(&exec_monitor_);
+
+  client_->set_low_memory_handler(
+      [this](vm::Vm& vm) { return low_memory_rescue(vm); });
+}
+
+Platform::~Platform() {
+  client_->remove_hooks(this);
+  client_->remove_hooks(&resource_monitor_);
+  client_->remove_hooks(&exec_monitor_);
+  surrogate_->remove_hooks(&exec_monitor_);
+}
+
+PlatformConfig Platform::config_for(const SurrogateInfo& surrogate,
+                                    PlatformConfig base) {
+  base.surrogate_heap = surrogate.heap_capacity;
+  base.surrogate_speedup = surrogate.cpu_speed;
+  base.link = surrogate.link;
+  return base;
+}
+
+void Platform::on_gc(NodeId vm, const vm::GcReport&) {
+  if (vm != kClientNode || !config_.auto_offload || offloading_in_progress_) {
+    return;
+  }
+  if (offloads_.size() >= config_.max_offloads) return;
+  if (resource_monitor_.triggered()) {
+    resource_monitor_.consume_trigger();
+    offload_now();
+  }
+}
+
+bool Platform::low_memory_rescue(vm::Vm&) {
+  if (offloading_in_progress_) return false;
+  // Forced offload: free at least the configured fraction, but accept any
+  // partitioning that frees something if the policy's constraint cannot be
+  // met — failing the allocation is strictly worse.
+  auto report = offload_now();
+  if (!report.has_value()) {
+    report = offload_now(std::int64_t{1});
+  }
+  return report.has_value();
+}
+
+partition::PartitionRequest Platform::make_request(
+    std::optional<std::int64_t> min_free_override) const {
+  partition::PartitionRequest req;
+  req.objective = config_.objective;
+  req.heap_capacity = config_.client_heap;
+  req.min_free_bytes =
+      min_free_override.value_or(static_cast<std::int64_t>(
+          config_.min_free_fraction *
+          static_cast<double>(config_.client_heap)));
+  req.client_speed = 1.0;
+  req.surrogate_speedup = config_.surrogate_speedup;
+  req.min_improvement = config_.min_improvement;
+  req.link = config_.link;
+  const SimTime since = offloads_.empty() ? 0 : offloads_.back().at;
+  req.history_duration = std::max<SimDuration>(clock_.now() - since, 1);
+  req.weight = config_.edge_weight;
+  return req;
+}
+
+std::optional<OffloadReport> Platform::offload_now(
+    std::optional<std::int64_t> min_free_override) {
+  if (offloading_in_progress_) return std::nullopt;
+  offloading_in_progress_ = true;
+
+  exec_monitor_.prune_dead_components();
+  const auto req = make_request(min_free_override);
+  const auto decision =
+      partition::decide_partitioning(exec_monitor_.graph(), req);
+
+  if (!decision.offload) {
+    AIDE_LOG_INFO("platform", "no beneficial partitioning (",
+                  decision.candidates_total, " candidates)");
+    offloading_in_progress_ = false;
+    return std::nullopt;
+  }
+
+  // Gather the client-resident objects of every selected component. The
+  // monitor's component mapping respects the granularity policy: an
+  // object-granularity array moves alone; a class component moves all of its
+  // (class-mapped) objects.
+  std::vector<ObjectId> to_move;
+  for (const auto& comp : decision.selected.offload) {
+    if (comp.is_object_granularity()) {
+      if (client_->is_local(comp.object)) to_move.push_back(comp.object);
+      continue;
+    }
+    for (const ObjectId id : client_->local_objects_of_class(comp.cls)) {
+      if (exec_monitor_.component_of(comp.cls, id) == comp) {
+        to_move.push_back(id);
+      }
+    }
+  }
+  std::sort(to_move.begin(), to_move.end());
+
+  OffloadReport report;
+  report.decision = decision;
+  report.at = clock_.now();
+  report.client_heap_used_before = client_->heap().used();
+  if (!to_move.empty()) {
+    report.bytes_migrated = client_ep_->migrate_objects(to_move);
+  }
+  report.objects_migrated = to_move.size();
+  report.client_heap_used_after = client_->heap().used();
+
+  AIDE_LOG_INFO("platform", "offloaded ", report.objects_migrated,
+                " objects, ", report.bytes_migrated, " bytes, heap ",
+                report.client_heap_used_before / 1024, "KB -> ",
+                report.client_heap_used_after / 1024, "KB");
+
+  offloads_.push_back(report);
+  offloading_in_progress_ = false;
+  return report;
+}
+
+}  // namespace aide::platform

@@ -1,0 +1,153 @@
+// The AIDE distributed platform (the paper's primary contribution).
+//
+// A Platform pairs a resource-constrained client VM with a surrogate VM over
+// a simulated wireless link and wires up the three modules of Figure 4:
+//
+//   Monitor   — ExecutionMonitor + ResourceMonitor attached to both VMs,
+//   Partition — modified-MINCUT candidate evaluation against the configured
+//               policy when a low-memory trigger fires (or on demand),
+//   Remote    — rpc::Endpoint pair providing transparent remote invocations,
+//               data access, reference mapping and distributed GC.
+//
+// Offloading is adaptive and transparent: the application executes through
+// the client VM's ordinary context API; when the trigger policy fires (N
+// successive low-memory GC reports) or an allocation would fail outright, the
+// platform partitions the execution graph and migrates the selected
+// components' objects to the surrogate. Execution then transparently follows
+// the objects.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/simclock.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/resource_monitor.hpp"
+#include "netsim/link.hpp"
+#include "partition/partitioner.hpp"
+#include "platform/surrogate_registry.hpp"
+#include "rpc/endpoint.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::platform {
+
+struct Enhancements {
+  // Execute stateless native methods where invoked (paper 5.2, "Native").
+  bool stateless_natives_local = false;
+  // Place large primitive int arrays at object granularity ("Array").
+  bool arrays_as_objects = false;
+  std::int64_t min_array_bytes = 4096;
+};
+
+struct PlatformConfig {
+  std::int64_t client_heap = std::int64_t{6} << 20;   // paper: 6 MB Java heap
+  std::int64_t surrogate_heap = std::int64_t{64} << 20;
+  // Client GC cadence: frequent cycles near exhaustion give the resource
+  // monitor its "frequent memory usage updates" (paper 5.1).
+  std::int64_t client_gc_alloc_count_threshold = 1024;
+  std::int64_t client_gc_alloc_bytes_divisor = 32;
+  double surrogate_speedup = 3.5;                     // paper-measured ratio
+  netsim::LinkParams link = netsim::LinkParams::wavelan();
+
+  monitor::TriggerPolicy trigger;                     // paper: <5% free, x3
+  // Minimum client-heap fraction an acceptable partitioning must free
+  // (paper: at least 20%).
+  double min_free_fraction = 0.20;
+  partition::Objective objective = partition::Objective::free_memory;
+  double min_improvement = 0.0;  // speed_up objective margin
+
+  Enhancements enhancements;
+
+  // React to triggers automatically; otherwise only offload_now() offloads.
+  bool auto_offload = true;
+  // The paper's prototype "performs a single offloading from a client device
+  // to a single surrogate server".
+  std::size_t max_offloads = 1;
+
+  graph::EdgeWeightFn edge_weight;
+};
+
+struct OffloadReport {
+  partition::PartitionDecision decision;
+  std::size_t objects_migrated = 0;
+  std::uint64_t bytes_migrated = 0;
+  SimTime at = 0;
+  std::int64_t client_heap_used_before = 0;
+  std::int64_t client_heap_used_after = 0;
+};
+
+class Platform : private vm::VmHooks {
+ public:
+  Platform(std::shared_ptr<const vm::ClassRegistry> registry,
+           PlatformConfig config = {});
+  ~Platform() override;
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // Convenience: builds a config from a registry-selected surrogate.
+  static PlatformConfig config_for(const SurrogateInfo& surrogate,
+                                   PlatformConfig base = {});
+
+  [[nodiscard]] vm::Vm& client() noexcept { return *client_; }
+  [[nodiscard]] vm::Vm& surrogate() noexcept { return *surrogate_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] netsim::Link& link() noexcept { return link_; }
+  [[nodiscard]] monitor::ExecutionMonitor& exec_monitor() noexcept {
+    return exec_monitor_;
+  }
+  [[nodiscard]] monitor::ResourceMonitor& resource_monitor() noexcept {
+    return resource_monitor_;
+  }
+  [[nodiscard]] rpc::Endpoint& client_endpoint() noexcept {
+    return *client_ep_;
+  }
+  [[nodiscard]] rpc::Endpoint& surrogate_endpoint() noexcept {
+    return *surrogate_ep_;
+  }
+  [[nodiscard]] const PlatformConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] const std::vector<OffloadReport>& offloads() const noexcept {
+    return offloads_;
+  }
+  [[nodiscard]] bool offloaded() const noexcept { return !offloads_.empty(); }
+
+  // Evaluates the partitioning policy now; migrates and returns a report if a
+  // beneficial offloading exists. `min_free_override` tightens/loosens the
+  // memory constraint for forced (allocation-failure) offloads.
+  std::optional<OffloadReport> offload_now(
+      std::optional<std::int64_t> min_free_override = std::nullopt);
+
+  // Total simulated time elapsed.
+  [[nodiscard]] SimDuration elapsed() const noexcept { return clock_.now(); }
+
+ private:
+  // VmHooks: the platform watches client GC reports for the trigger.
+  void on_gc(NodeId vm, const vm::GcReport& report) override;
+
+  bool low_memory_rescue(vm::Vm& vm);
+  [[nodiscard]] partition::PartitionRequest make_request(
+      std::optional<std::int64_t> min_free_override) const;
+
+  PlatformConfig config_;
+  SimClock clock_;
+  netsim::Link link_;
+  std::shared_ptr<const vm::ClassRegistry> registry_;
+
+  std::unique_ptr<vm::Vm> client_;
+  std::unique_ptr<vm::Vm> surrogate_;
+  std::unique_ptr<rpc::Endpoint> client_ep_;
+  std::unique_ptr<rpc::Endpoint> surrogate_ep_;
+
+  monitor::ExecutionMonitor exec_monitor_;
+  monitor::ResourceMonitor resource_monitor_;
+
+  std::vector<OffloadReport> offloads_;
+  bool offloading_in_progress_ = false;
+};
+
+}  // namespace aide::platform

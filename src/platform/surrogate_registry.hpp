@@ -1,0 +1,81 @@
+// Ad-hoc platform creation (paper section 2).
+//
+// "It should be possible to create and tear down the distributed platform
+// between a client and a surrogate at run time. Clients [should] determine
+// which surrogate(s) are the most appropriate based on factors such as
+// latency of access and resource availability."
+//
+// Surrogates advertise themselves here; a client selects the best candidate
+// for its requirements: sufficient free heap first, then lowest link latency,
+// then highest CPU speed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "netsim/link.hpp"
+
+namespace aide::platform {
+
+struct SurrogateInfo {
+  NodeId id;
+  std::string name;
+  double cpu_speed = 1.0;  // relative to the client
+  std::int64_t heap_capacity = 0;
+  netsim::LinkParams link;
+
+  [[nodiscard]] SimDuration latency() const noexcept { return link.null_rtt; }
+};
+
+struct SurrogateRequirements {
+  std::int64_t min_heap_bytes = 0;
+  double min_cpu_speed = 0.0;
+  SimDuration max_latency = sim_sec(3600);
+};
+
+class SurrogateRegistry {
+ public:
+  void advertise(SurrogateInfo info) {
+    withdraw(info.id);
+    surrogates_.push_back(std::move(info));
+  }
+
+  void withdraw(NodeId id) {
+    surrogates_.erase(
+        std::remove_if(surrogates_.begin(), surrogates_.end(),
+                       [id](const SurrogateInfo& s) { return s.id == id; }),
+        surrogates_.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return surrogates_.size(); }
+  [[nodiscard]] const std::vector<SurrogateInfo>& all() const noexcept {
+    return surrogates_;
+  }
+
+  // Best surrogate meeting the requirements: lowest latency wins; CPU speed
+  // breaks ties.
+  [[nodiscard]] std::optional<SurrogateInfo> select(
+      const SurrogateRequirements& req = {}) const {
+    const SurrogateInfo* best = nullptr;
+    for (const auto& s : surrogates_) {
+      if (s.heap_capacity < req.min_heap_bytes) continue;
+      if (s.cpu_speed < req.min_cpu_speed) continue;
+      if (s.latency() > req.max_latency) continue;
+      if (best == nullptr || s.latency() < best->latency() ||
+          (s.latency() == best->latency() && s.cpu_speed > best->cpu_speed)) {
+        best = &s;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+ private:
+  std::vector<SurrogateInfo> surrogates_;
+};
+
+}  // namespace aide::platform

@@ -1,0 +1,457 @@
+#include "rpc/endpoint.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace aide::rpc {
+
+namespace {
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusVmError = 1;
+}  // namespace
+
+Endpoint::Endpoint(vm::Vm& local_vm, netsim::Link& link)
+    : vm_(local_vm), link_(link) {
+  vm_.set_extra_roots_provider(
+      [this](const std::function<void(ObjectId)>& visit) {
+        refs_.for_each_export(visit);
+      });
+  vm_.set_stub_release_handler([this](std::span<const ObjectId> ids) {
+    if (peer_ != nullptr) release(ids);
+  });
+}
+
+void Endpoint::connect(Endpoint& a, Endpoint& b) {
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.vm_.set_peer(&a);
+  b.vm_.set_peer(&b);
+}
+
+// --- reference translation ----------------------------------------------------
+
+WireRef Endpoint::translate_out(vm::ObjectRef ref) {
+  WireRef wire;
+  wire.id = ref.id;
+  wire.cls = vm_.class_of(ref.id);
+  if (vm::Object* obj = vm_.find_object(ref.id); obj != nullptr) {
+    wire.kind = obj->kind;
+    wire.owner = vm_.node();
+    wire.handle = refs_.export_object(ref.id);
+  } else {
+    // A stub: the peer owns the object. For co-migrated objects mid-batch the
+    // import handle is not known yet; the id is sufficient for the peer.
+    wire.owner = peer_ != nullptr ? peer_->vm_.node() : NodeId::invalid();
+    wire.handle = refs_.import_handle_for(ref.id);
+    wire.kind = vm::ObjectKind::plain;  // refined on the receiving side
+  }
+  return wire;
+}
+
+vm::ObjectRef Endpoint::translate_in(const WireRef& wire) {
+  if (wire.owner == vm_.node()) {
+    // A reference to one of our own objects came back.
+    if (wire.handle.valid()) {
+      const ObjectId id = refs_.resolve_export(wire.handle);
+      assert(id == wire.id);
+      return vm::ObjectRef{id};
+    }
+    if (vm_.is_local(wire.id)) return vm::ObjectRef{wire.id};
+    throw VmError(VmErrorCode::null_reference,
+                  "wire ref to unknown local object");
+  }
+  // The peer owns it: hold a stub and remember the peer's handle.
+  vm_.install_stub(wire.id, wire.cls, wire.kind);
+  if (wire.handle.valid()) refs_.note_import(wire.handle, wire.id);
+  return vm::ObjectRef{wire.id};
+}
+
+// --- transport ----------------------------------------------------------------
+
+std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
+  if (peer_ == nullptr) {
+    throw VmError(VmErrorCode::null_reference, "endpoint not connected");
+  }
+  const auto req = std::move(request).take();
+  stats_.rpcs_sent += 1;
+  stats_.bytes_sent += req.size();
+  vm_.clock().advance(link_.one_way_cost(req.size()));
+
+  auto resp = peer_->serve(req);
+
+  stats_.bytes_received += resp.size();
+  vm_.clock().advance(link_.one_way_cost(resp.size()));
+
+  ByteReader r(resp);
+  const auto status = r.read_u8();
+  if (status == kStatusVmError) {
+    const auto code = static_cast<VmErrorCode>(r.read_u8());
+    throw VmError(code, "remote: " + r.read_string());
+  }
+  // Strip the status byte; hand the remainder to the caller.
+  return {resp.begin() + 1, resp.end()};
+}
+
+ObjectId Endpoint::resolve_target(ByteReader& r) {
+  const WireRef wire = read_wire_ref(r);
+  const vm::ObjectRef ref = translate_in(wire);
+  return ref.id;
+}
+
+void Endpoint::write_target(ByteWriter& w, ObjectId id) {
+  write_wire_ref(w, translate_out(vm::ObjectRef{id}));
+}
+
+// --- outgoing operations --------------------------------------------------------
+
+vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
+                           std::span<const vm::Value> args) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::invoke));
+  write_target(w, target);
+  w.write_u32(cls.value());
+  w.write_u32(method.value());
+  w.write_u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) write_value(w, a, *this);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return read_value(r, *this);
+}
+
+vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
+                                  std::span<const vm::Value> args) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::invoke_static));
+  w.write_u32(cls.value());
+  w.write_u32(method.value());
+  w.write_u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) write_value(w, a, *this);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return read_value(r, *this);
+}
+
+vm::Value Endpoint::get_field(ObjectId target, FieldId field) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::get_field));
+  write_target(w, target);
+  w.write_u32(field.value());
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return read_value(r, *this);
+}
+
+void Endpoint::put_field(ObjectId target, FieldId field, const vm::Value& v) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::put_field));
+  write_target(w, target);
+  w.write_u32(field.value());
+  write_value(w, v, *this);
+  transact(std::move(w));
+}
+
+vm::Value Endpoint::get_static(ClassId cls, std::uint32_t slot) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::get_static));
+  w.write_u32(cls.value());
+  w.write_u32(slot);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return read_value(r, *this);
+}
+
+void Endpoint::put_static(ClassId cls, std::uint32_t slot,
+                          const vm::Value& v) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::put_static));
+  w.write_u32(cls.value());
+  w.write_u32(slot);
+  write_value(w, v, *this);
+  transact(std::move(w));
+}
+
+vm::Value Endpoint::array_get(ObjectId target, std::int64_t index) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::array_get));
+  write_target(w, target);
+  w.write_i64(index);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return read_value(r, *this);
+}
+
+void Endpoint::array_put(ObjectId target, std::int64_t index,
+                         const vm::Value& v) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::array_put));
+  write_target(w, target);
+  w.write_i64(index);
+  write_value(w, v, *this);
+  transact(std::move(w));
+}
+
+std::int64_t Endpoint::array_length(ObjectId target) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::array_len));
+  write_target(w, target);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return r.read_i64();
+}
+
+std::string Endpoint::chars_read(ObjectId target, std::int64_t offset,
+                                 std::int64_t length) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::chars_read));
+  write_target(w, target);
+  w.write_i64(offset);
+  w.write_i64(length);
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  return r.read_string();
+}
+
+void Endpoint::chars_write(ObjectId target, std::int64_t offset,
+                           std::string_view data) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::chars_write));
+  write_target(w, target);
+  w.write_i64(offset);
+  w.write_string(data);
+  transact(std::move(w));
+}
+
+void Endpoint::release(std::span<const ObjectId> ids) {
+  // Map stubs back to the peer's handles; skip ids we never learned handles
+  // for (they were never resolvable remotely anyway).
+  std::vector<ExportHandle> handles;
+  handles.reserve(ids.size());
+  for (const ObjectId id : ids) {
+    const ExportHandle h = refs_.import_handle_for(id);
+    if (h.valid()) handles.push_back(h);
+    refs_.forget_import(id);
+  }
+  if (handles.empty() || peer_ == nullptr) return;
+
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::release));
+  w.write_u32(static_cast<std::uint32_t>(handles.size()));
+  for (const ExportHandle h : handles) w.write_u64(h.value());
+  stats_.releases_sent += 1;
+  transact(std::move(w));
+}
+
+std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
+  if (peer_ == nullptr) {
+    throw VmError(VmErrorCode::null_reference, "endpoint not connected");
+  }
+
+  // Phase 1: extract everything first so cross-references among the batch
+  // serialize consistently (they all become stubs locally).
+  std::vector<std::unique_ptr<vm::Object>> objects;
+  objects.reserve(ids.size());
+  for (const ObjectId id : ids) {
+    objects.push_back(vm_.migrate_out(id));
+    // The peer's references to this object now resolve locally on the peer.
+    refs_.release_export(id);
+  }
+
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::migrate));
+  w.write_u32(static_cast<std::uint32_t>(objects.size()));
+  for (const auto& obj : objects) write_object_header(w, *obj);
+  for (const auto& obj : objects) write_object_payload(w, *obj, *this);
+
+  const std::uint64_t bytes = w.size();
+  stats_.migrations_sent += 1;
+  stats_.objects_migrated_out += objects.size();
+  stats_.bytes_migrated_out += bytes;
+
+  const auto resp = transact(std::move(w));
+  ByteReader r(resp);
+  const auto count = r.read_u32();
+  if (count != objects.size()) {
+    throw OffloadError(OffloadErrorCode::protocol_error,
+                       "migration response count mismatch");
+  }
+  // The peer exported the adopted objects back to us; remember the handles so
+  // our stubs resolve on future operations.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ExportHandle h{r.read_u64()};
+    refs_.note_import(h, objects[i]->id);
+  }
+  return bytes;
+}
+
+// --- serving ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> Endpoint::serve(
+    std::span<const std::uint8_t> request) {
+  stats_.rpcs_served += 1;
+  ByteWriter out;
+  try {
+    ByteReader r(request);
+    const auto op = static_cast<Op>(r.read_u8());
+    switch (op) {
+      case Op::invoke: {
+        const ObjectId target = resolve_target(r);
+        const ClassId cls{r.read_u32()};
+        (void)cls;
+        const MethodId method{r.read_u32()};
+        const auto argc = r.read_u32();
+        std::vector<vm::Value> args;
+        args.reserve(argc);
+        for (std::uint32_t i = 0; i < argc; ++i) {
+          args.push_back(read_value(r, *this));
+        }
+        const vm::Value ret = vm_.run_incoming_invoke(target, method, args);
+        out.write_u8(kStatusOk);
+        write_value(out, ret, *this);
+        break;
+      }
+      case Op::invoke_static: {
+        const ClassId cls{r.read_u32()};
+        const MethodId method{r.read_u32()};
+        const auto argc = r.read_u32();
+        std::vector<vm::Value> args;
+        args.reserve(argc);
+        for (std::uint32_t i = 0; i < argc; ++i) {
+          args.push_back(read_value(r, *this));
+        }
+        const vm::Value ret =
+            vm_.run_incoming_invoke_static(cls, method, args);
+        out.write_u8(kStatusOk);
+        write_value(out, ret, *this);
+        break;
+      }
+      case Op::get_field: {
+        const ObjectId target = resolve_target(r);
+        const FieldId field{r.read_u32()};
+        out.write_u8(kStatusOk);
+        write_value(out, vm_.raw_get_field(target, field), *this);
+        break;
+      }
+      case Op::put_field: {
+        const ObjectId target = resolve_target(r);
+        const FieldId field{r.read_u32()};
+        vm_.raw_put_field(target, field, read_value(r, *this));
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::get_static: {
+        const ClassId cls{r.read_u32()};
+        const auto slot = r.read_u32();
+        out.write_u8(kStatusOk);
+        write_value(out, vm_.raw_get_static(cls, slot), *this);
+        break;
+      }
+      case Op::put_static: {
+        const ClassId cls{r.read_u32()};
+        const auto slot = r.read_u32();
+        vm_.raw_put_static(cls, slot, read_value(r, *this));
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::array_get: {
+        const ObjectId target = resolve_target(r);
+        const std::int64_t index = r.read_i64();
+        out.write_u8(kStatusOk);
+        write_value(out, vm_.raw_array_get(target, index), *this);
+        break;
+      }
+      case Op::array_put: {
+        const ObjectId target = resolve_target(r);
+        const std::int64_t index = r.read_i64();
+        vm_.raw_array_put(target, index, read_value(r, *this));
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::array_len: {
+        const ObjectId target = resolve_target(r);
+        out.write_u8(kStatusOk);
+        out.write_i64(vm_.raw_array_length(target));
+        break;
+      }
+      case Op::chars_read: {
+        const ObjectId target = resolve_target(r);
+        const std::int64_t offset = r.read_i64();
+        const std::int64_t length = r.read_i64();
+        out.write_u8(kStatusOk);
+        out.write_string(vm_.raw_chars_read(target, offset, length));
+        break;
+      }
+      case Op::chars_write: {
+        const ObjectId target = resolve_target(r);
+        const std::int64_t offset = r.read_i64();
+        const std::string data = r.read_string();
+        vm_.raw_chars_write(target, offset, data);
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::release: {
+        const auto count = r.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          refs_.release_export_handle(ExportHandle{r.read_u64()});
+        }
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::migrate: {
+        const auto count = r.read_u32();
+        std::vector<vm::Object*> adopted;
+        adopted.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const ObjectHeader h = read_object_header(r);
+          auto obj = std::make_unique<vm::Object>();
+          obj->id = h.id;
+          obj->cls = h.cls;
+          obj->kind = h.kind;
+          obj->fields.assign(h.field_count, vm::Value{});
+          obj->ints.assign(static_cast<std::size_t>(h.ints_len), 0);
+          obj->chars.assign(static_cast<std::size_t>(h.chars_len), '\0');
+          vm::Object* raw = obj.get();
+          refs_.forget_import(h.id);
+          vm_.migrate_in(std::move(obj));
+          // Pin until the whole batch lands: migrate_in may GC to make room,
+          // and earlier adoptees are not yet referenced by anything local.
+          vm_.add_root(vm::ObjectRef{raw->id});
+          adopted.push_back(raw);
+        }
+        for (vm::Object* obj : adopted) {
+          const std::int64_t before = obj->size_bytes();
+          read_object_payload(r, *obj, *this);
+          // String fields arrive in the payload; account their bytes.
+          vm_.heap().adjust_used(obj->size_bytes() - before);
+        }
+        out.write_u8(kStatusOk);
+        out.write_u32(count);
+        for (vm::Object* obj : adopted) {
+          out.write_u64(refs_.export_object(obj->id).value());
+          vm_.remove_root(vm::ObjectRef{obj->id});
+        }
+        break;
+      }
+      default:
+        throw VmError(VmErrorCode::type_mismatch, "unknown rpc opcode");
+    }
+  } catch (const VmError& e) {
+    ByteWriter err;
+    err.write_u8(kStatusVmError);
+    err.write_u8(static_cast<std::uint8_t>(e.code()));
+    err.write_string(e.what());
+    return std::move(err).take();
+  }
+  return std::move(out).take();
+}
+
+}  // namespace aide::rpc

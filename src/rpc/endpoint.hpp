@@ -1,0 +1,122 @@
+// RPC endpoint: the remote-execution boundary between two VMs.
+//
+// Each VM owns one Endpoint; connect() cross-wires a pair. An outgoing
+// operation is encoded to bytes, charged against the simulated link, decoded
+// by the peer endpoint, executed on the peer VM (possibly recursing back —
+// the paper's surrogate transparently refers back to the client for native
+// methods and static data), and the response travels the same way.
+//
+// The endpoint also implements:
+//  * reference translation over its RefMap tables (paper 3.2),
+//  * object migration with a two-section encoding that tolerates reference
+//    cycles among co-migrated objects,
+//  * the distributed-GC release protocol ("a simple distributed garbage
+//    collection scheme", paper section 4).
+//
+// Execution is synchronous and serial, matching the paper's emulator model:
+// "the two VMs do not execute application code simultaneously".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "rpc/refmap.hpp"
+#include "rpc/serializer.hpp"
+#include "vm/remote.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::rpc {
+
+struct EndpointStats {
+  std::uint64_t rpcs_sent = 0;
+  std::uint64_t rpcs_served = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t releases_sent = 0;
+  std::uint64_t migrations_sent = 0;
+  std::uint64_t objects_migrated_out = 0;
+  std::uint64_t bytes_migrated_out = 0;
+};
+
+class Endpoint final : public vm::RemotePeer, private RefTranslator {
+ public:
+  Endpoint(vm::Vm& local_vm, netsim::Link& link);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // Cross-wires two endpoints and attaches them as their VMs' peers.
+  static void connect(Endpoint& a, Endpoint& b);
+
+  [[nodiscard]] vm::Vm& local_vm() noexcept { return vm_; }
+  [[nodiscard]] RefMap& refs() noexcept { return refs_; }
+  [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
+
+  // --- vm::RemotePeer (outgoing operations) --------------------------------
+
+  vm::Value invoke(ObjectId target, ClassId cls, MethodId method,
+                   std::span<const vm::Value> args) override;
+  vm::Value invoke_static(ClassId cls, MethodId method,
+                          std::span<const vm::Value> args) override;
+  vm::Value get_field(ObjectId target, FieldId field) override;
+  void put_field(ObjectId target, FieldId field, const vm::Value& v) override;
+  vm::Value get_static(ClassId cls, std::uint32_t slot) override;
+  void put_static(ClassId cls, std::uint32_t slot,
+                  const vm::Value& v) override;
+  vm::Value array_get(ObjectId target, std::int64_t index) override;
+  void array_put(ObjectId target, std::int64_t index,
+                 const vm::Value& v) override;
+  std::int64_t array_length(ObjectId target) override;
+  std::string chars_read(ObjectId target, std::int64_t offset,
+                         std::int64_t length) override;
+  void chars_write(ObjectId target, std::int64_t offset,
+                   std::string_view data) override;
+  void release(std::span<const ObjectId> ids) override;
+
+  // Offloads the given local objects to the peer VM. Returns the number of
+  // payload bytes shipped. Stubs are left behind; the peer exports the
+  // adopted objects back so future references resolve.
+  std::uint64_t migrate_objects(std::span<const ObjectId> ids);
+
+ private:
+  enum class Op : std::uint8_t {
+    invoke = 1,
+    invoke_static = 2,
+    get_field = 3,
+    put_field = 4,
+    get_static = 5,
+    put_static = 6,
+    array_get = 7,
+    array_put = 8,
+    array_len = 9,
+    chars_read = 10,
+    chars_write = 11,
+    release = 12,
+    migrate = 13,
+  };
+
+  // RefTranslator.
+  WireRef translate_out(vm::ObjectRef ref) override;
+  vm::ObjectRef translate_in(const WireRef& wire) override;
+
+  // Sends an encoded request across the link and returns the decoded-raw
+  // response bytes. Throws VmError if the peer reported one.
+  std::vector<std::uint8_t> transact(ByteWriter request);
+
+  // Serves one request on the receiving side.
+  std::vector<std::uint8_t> serve(std::span<const std::uint8_t> request);
+
+  // Resolves an incoming wire target (our export handle) to a local object.
+  ObjectId resolve_target(ByteReader& r);
+  void write_target(ByteWriter& w, ObjectId id);
+
+  vm::Vm& vm_;
+  netsim::Link& link_;
+  Endpoint* peer_ = nullptr;
+  RefMap refs_;
+  EndpointStats stats_;
+};
+
+}  // namespace aide::rpc

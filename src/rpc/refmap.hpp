@@ -1,0 +1,100 @@
+// Per-VM reference-mapping tables (paper section 3.2, "Object references").
+//
+// Each JVM has a private object-reference namespace and does not understand a
+// reference from the other JVM. The paper's solution: each VM keeps stub
+// local references for remote objects, and maps the peer's references into
+// its own namespace. A RefMap holds both directions for one endpoint:
+//
+//   exports — local objects the peer may reference. Each gets a stable
+//             ExportHandle; exported objects are GC roots until the peer's
+//             distributed GC releases them.
+//   imports — peer handles for which this VM holds local stubs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace aide::rpc {
+
+class RefMap {
+ public:
+  // --- export side ----------------------------------------------------------
+
+  // Registers (idempotently) a local object as referenced by the peer.
+  ExportHandle export_object(ObjectId id) {
+    const auto it = export_by_id_.find(id);
+    if (it != export_by_id_.end()) return it->second;
+    const ExportHandle h{next_handle_++};
+    export_by_id_.emplace(id, h);
+    export_by_handle_.emplace(h, id);
+    return h;
+  }
+
+  [[nodiscard]] ObjectId resolve_export(ExportHandle h) const {
+    const auto it = export_by_handle_.find(h);
+    if (it == export_by_handle_.end()) {
+      throw VmError(VmErrorCode::null_reference,
+                    "unknown export handle " + std::to_string(h.value()));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool is_exported(ObjectId id) const {
+    return export_by_id_.contains(id);
+  }
+
+  // Peer released its reference (distributed GC), or the object migrated.
+  void release_export(ObjectId id) {
+    const auto it = export_by_id_.find(id);
+    if (it == export_by_id_.end()) return;
+    export_by_handle_.erase(it->second);
+    export_by_id_.erase(it);
+  }
+
+  void release_export_handle(ExportHandle h) {
+    const auto it = export_by_handle_.find(h);
+    if (it == export_by_handle_.end()) return;
+    export_by_id_.erase(it->second);
+    export_by_handle_.erase(it);
+  }
+
+  // Exported objects are GC roots on the owning VM.
+  void for_each_export(const std::function<void(ObjectId)>& fn) const {
+    for (const auto& [id, handle] : export_by_id_) fn(id);
+  }
+
+  [[nodiscard]] std::size_t export_count() const noexcept {
+    return export_by_id_.size();
+  }
+
+  // --- import side ----------------------------------------------------------
+
+  void note_import(ExportHandle peer_handle, ObjectId local_id) {
+    import_by_id_[local_id] = peer_handle;
+  }
+
+  // Handle to use on the wire for a stub we hold; invalid if unknown (e.g. a
+  // co-migrated object mid-batch).
+  [[nodiscard]] ExportHandle import_handle_for(ObjectId local_id) const {
+    const auto it = import_by_id_.find(local_id);
+    return it == import_by_id_.end() ? ExportHandle::invalid() : it->second;
+  }
+
+  void forget_import(ObjectId local_id) { import_by_id_.erase(local_id); }
+
+  [[nodiscard]] std::size_t import_count() const noexcept {
+    return import_by_id_.size();
+  }
+
+ private:
+  std::unordered_map<ObjectId, ExportHandle> export_by_id_;
+  std::unordered_map<ExportHandle, ObjectId> export_by_handle_;
+  std::unordered_map<ObjectId, ExportHandle> import_by_id_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace aide::rpc

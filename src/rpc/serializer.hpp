@@ -1,0 +1,63 @@
+// Wire serialization for values and migrated objects.
+//
+// Every remote interaction between the two VMs is really encoded to bytes and
+// decoded on the other side — the byte counts are what the link model charges
+// and what the execution monitor records as "information exchanged".
+// Object references are translated through a RefTranslator implemented by the
+// endpoint over its reference-mapping tables (paper 3.2: each JVM maps the
+// other's references into its own namespace).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "vm/object.hpp"
+#include "vm/value.hpp"
+
+namespace aide::rpc {
+
+// A reference as it appears on the wire: the owning node and the owner's
+// export handle, plus enough metadata (identity, class, shape) for the
+// receiver to materialize a stub without a round trip.
+struct WireRef {
+  NodeId owner;
+  ExportHandle handle = ExportHandle::invalid();
+  ObjectId id;
+  ClassId cls;
+  vm::ObjectKind kind = vm::ObjectKind::plain;
+};
+
+class RefTranslator {
+ public:
+  virtual ~RefTranslator() = default;
+  // Outgoing: local reference -> wire form (registering exports as needed).
+  virtual WireRef translate_out(vm::ObjectRef ref) = 0;
+  // Incoming: wire form -> local reference (installing stubs as needed).
+  virtual vm::ObjectRef translate_in(const WireRef& wire) = 0;
+};
+
+void write_wire_ref(ByteWriter& w, const WireRef& ref);
+[[nodiscard]] WireRef read_wire_ref(ByteReader& r);
+
+void write_value(ByteWriter& w, const vm::Value& v, RefTranslator& tr);
+[[nodiscard]] vm::Value read_value(ByteReader& r, RefTranslator& tr);
+
+// Object migration is encoded in two sections so that reference cycles among
+// co-migrated objects resolve: first all object headers (identity + shape),
+// then all payloads (fields / array contents).
+void write_object_header(ByteWriter& w, const vm::Object& obj);
+struct ObjectHeader {
+  ObjectId id;
+  ClassId cls;
+  vm::ObjectKind kind;
+  std::int64_t ints_len = 0;
+  std::int64_t chars_len = 0;
+  std::uint32_t field_count = 0;
+};
+[[nodiscard]] ObjectHeader read_object_header(ByteReader& r);
+
+void write_object_payload(ByteWriter& w, const vm::Object& obj,
+                          RefTranslator& tr);
+// Fills `obj` (created from its header) from the payload section.
+void read_object_payload(ByteReader& r, vm::Object& obj, RefTranslator& tr);
+
+}  // namespace aide::rpc

@@ -1,0 +1,124 @@
+// Object heap with capacity accounting.
+//
+// Storage and byte accounting for one VM's live objects. Garbage collection
+// policy (mark roots, sweep, report) is orchestrated by the Vm, which owns
+// the root set; the heap provides storage, capacity checks and sweep support.
+// GC reports mirror what the paper extracts from Chai's incremental
+// mark-and-sweep collector: the amount of free heap after each cycle
+// (section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "vm/object.hpp"
+
+namespace aide::vm {
+
+struct GcReport {
+  std::uint32_t cycle = 0;
+  std::int64_t used_before = 0;
+  std::int64_t used_after = 0;
+  std::int64_t capacity = 0;
+  std::int64_t freed = 0;
+  std::int64_t live_objects = 0;
+
+  [[nodiscard]] double free_fraction() const noexcept {
+    if (capacity <= 0) return 1.0;
+    return 1.0 - static_cast<double>(used_after) / static_cast<double>(capacity);
+  }
+};
+
+class Heap {
+ public:
+  explicit Heap(std::int64_t capacity_bytes) noexcept
+      : capacity_(capacity_bytes) {}
+
+  [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::int64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::int64_t free_bytes() const noexcept {
+    return capacity_ - used_;
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+
+  [[nodiscard]] bool fits(std::int64_t bytes) const noexcept {
+    return used_ + bytes <= capacity_;
+  }
+
+  // Inserts a fully-formed object; the caller has already verified capacity.
+  Object& insert(std::unique_ptr<Object> obj) {
+    used_ += obj->size_bytes();
+    Object& ref = *obj;
+    objects_[obj->id] = std::move(obj);
+    return ref;
+  }
+
+  [[nodiscard]] Object* find(ObjectId id) noexcept {
+    const auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] const Object* find(ObjectId id) const noexcept {
+    const auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] bool contains(ObjectId id) const noexcept {
+    return objects_.contains(id);
+  }
+
+  // Adjusts accounting after an in-place mutation changed an object's size
+  // (e.g. a string field grew).
+  void adjust_used(std::int64_t delta) noexcept { used_ += delta; }
+
+  // Removes an object without destroying it — used by migration, which moves
+  // the object to the peer VM.
+  std::unique_ptr<Object> extract(ObjectId id) {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) return nullptr;
+    auto obj = std::move(it->second);
+    objects_.erase(it);
+    used_ -= obj->size_bytes();
+    return obj;
+  }
+
+  // Sweep phase: destroys every unmarked object, invoking `on_free` for each,
+  // and clears all marks. Returns bytes freed.
+  std::int64_t sweep(const std::function<void(const Object&)>& on_free) {
+    std::int64_t freed = 0;
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      Object& obj = *it->second;
+      if (!obj.gc_mark) {
+        freed += obj.size_bytes();
+        if (on_free) on_free(obj);
+        it = objects_.erase(it);
+      } else {
+        obj.gc_mark = false;
+        ++it;
+      }
+    }
+    used_ -= freed;
+    return freed;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, obj] : objects_) fn(*obj);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [id, obj] : objects_) fn(*obj);
+  }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::unordered_map<ObjectId, std::unique_ptr<Object>> objects_;
+};
+
+}  // namespace aide::vm

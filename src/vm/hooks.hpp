@@ -1,0 +1,76 @@
+// VM instrumentation hooks.
+//
+// The paper augments the JVM's code for "method invocations, data field
+// accesses, object creation, and object deletion" (section 3.4). VmHooks is
+// that augmentation surface: the execution monitor, the resource monitor and
+// the trace recorder all implement this interface, and a VM dispatches every
+// instrumented event to its registered hooks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/simclock.hpp"
+#include "vm/heap.hpp"
+
+namespace aide::vm {
+
+// One method-invocation interaction, reported by the *calling* VM after the
+// call returned. `bytes` covers parameters plus the return value.
+struct InvokeEvent {
+  NodeId vm;
+  ClassId caller_cls;
+  ObjectId caller_obj = ObjectId::invalid();
+  ClassId callee_cls;
+  ObjectId callee_obj = ObjectId::invalid();  // invalid for static methods
+  MethodId method;
+  bool is_native = false;
+  bool is_static = false;
+  bool is_stateless = false;
+  bool remote = false;  // the call crossed to the other VM
+  std::uint64_t bytes = 0;
+  SimTime t = 0;
+};
+
+// One data access (instance field, static slot, or array element).
+struct AccessEvent {
+  NodeId vm;
+  ClassId from_cls;
+  ObjectId from_obj = ObjectId::invalid();
+  ClassId to_cls;
+  ObjectId to_obj = ObjectId::invalid();  // invalid for static slots
+  bool is_write = false;
+  bool is_static = false;
+  bool remote = false;
+  std::uint64_t bytes = 0;
+  SimTime t = 0;
+};
+
+class VmHooks {
+ public:
+  virtual ~VmHooks() = default;
+
+  virtual void on_invoke(const InvokeEvent&) {}
+  virtual void on_access(const AccessEvent&) {}
+
+  // Frame lifecycle on the *executing* VM; `self_time` excludes nested calls
+  // (the Figure 9 attribution is computed by the VM's frame bookkeeping).
+  virtual void on_method_enter(NodeId /*vm*/, ClassId /*cls*/,
+                               ObjectId /*obj*/, MethodId /*m*/,
+                               SimTime /*t*/) {}
+  virtual void on_method_exit(NodeId /*vm*/, ClassId /*cls*/, ObjectId /*obj*/,
+                              MethodId /*m*/, SimDuration /*self_time*/,
+                              SimTime /*t*/) {}
+
+  virtual void on_alloc(NodeId /*vm*/, ObjectId /*obj*/, ClassId /*cls*/,
+                        std::int64_t /*bytes*/, SimTime /*t*/) {}
+  // An existing object's footprint changed in place (string field grew).
+  virtual void on_resize(NodeId /*vm*/, ObjectId /*obj*/, ClassId /*cls*/,
+                         std::int64_t /*delta_bytes*/) {}
+  virtual void on_free(NodeId /*vm*/, ObjectId /*obj*/, ClassId /*cls*/,
+                       std::int64_t /*bytes*/, SimTime /*t*/) {}
+
+  virtual void on_gc(NodeId /*vm*/, const GcReport&) {}
+};
+
+}  // namespace aide::vm

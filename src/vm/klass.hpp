@@ -1,0 +1,218 @@
+// Class definitions and the shared class registry.
+//
+// A ClassDef describes instance fields, methods (managed or native), and
+// static slots. Method bodies are C++ callables that interact with the VM
+// exclusively through the VmContext API — every field access, invocation and
+// allocation they perform flows through the VM's instrumented paths, which is
+// precisely where the paper hooks its modified JVM (section 3.4).
+//
+// Native methods model Java methods "implemented with native code": they are
+// not migratable, and by default they must execute on the client VM (paper
+// 3.2). Stateless natives (Math functions, string utilities) can be relaxed
+// to execute wherever they are invoked when the corresponding enhancement is
+// enabled (paper 5.2).
+//
+// Both VMs share one immutable ClassRegistry — the paper's simplifying
+// assumption that "both VMs have access to the application's Java bytecodes"
+// (section 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/simclock.hpp"
+#include "vm/value.hpp"
+
+namespace aide::vm {
+
+class Vm;
+// Managed method bodies receive the VM they execute on as their context.
+using VmContext = Vm;
+
+// Body of a managed or native method. `self` is null for static methods.
+using MethodBody =
+    std::function<Value(VmContext&, ObjectRef self, std::span<const Value>)>;
+
+enum class MethodKind : std::uint8_t { managed, native };
+
+struct MethodDef {
+  std::string name;
+  MethodKind kind = MethodKind::managed;
+  bool is_static = false;
+  // Stateless/idempotent native (math, string copy): may run on either VM
+  // when the stateless-native enhancement is enabled.
+  bool stateless = false;
+  // Fixed CPU work charged when the method body starts (in addition to any
+  // explicit VmContext::work the body performs).
+  SimDuration base_cost = 0;
+  MethodBody body;
+};
+
+struct FieldDef {
+  std::string name;
+};
+
+struct ClassDef {
+  ClassId id;
+  std::string name;
+  std::vector<FieldDef> fields;
+  std::vector<MethodDef> methods;
+  std::vector<std::string> statics;  // static slot names (data lives on client)
+
+  // True if any method is native and stateful — such classes are pinned to
+  // the client device (paper 3.3: the client partition is seeded with
+  // "classes that cannot be offloaded, such as classes that contain native
+  // methods").
+  [[nodiscard]] bool has_stateful_native() const noexcept {
+    for (const auto& m : methods) {
+      if (m.kind == MethodKind::native && !m.stateless) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] MethodId find_method(std::string_view name) const {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      if (methods[i].name == name) {
+        return MethodId{static_cast<std::uint32_t>(i)};
+      }
+    }
+    return MethodId::invalid();
+  }
+
+  [[nodiscard]] FieldId find_field(std::string_view name) const {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == name) {
+        return FieldId{static_cast<std::uint32_t>(i)};
+      }
+    }
+    return FieldId::invalid();
+  }
+
+  [[nodiscard]] std::uint32_t find_static(std::string_view name) const {
+    for (std::size_t i = 0; i < statics.size(); ++i) {
+      if (statics[i] == name) return static_cast<std::uint32_t>(i);
+    }
+    throw VmError(VmErrorCode::unknown_field,
+                  "static slot " + std::string(name) + " in " + this->name);
+  }
+};
+
+// Fluent builder used by the managed standard library and the applications.
+class ClassBuilder {
+ public:
+  explicit ClassBuilder(std::string name) { def_.name = std::move(name); }
+
+  ClassBuilder& field(std::string name) {
+    def_.fields.push_back(FieldDef{std::move(name)});
+    return *this;
+  }
+
+  ClassBuilder& static_slot(std::string name) {
+    def_.statics.push_back(std::move(name));
+    return *this;
+  }
+
+  ClassBuilder& method(std::string name, MethodBody body,
+                       SimDuration base_cost = sim_ns(200)) {
+    def_.methods.push_back(MethodDef{.name = std::move(name),
+                                     .kind = MethodKind::managed,
+                                     .base_cost = base_cost,
+                                     .body = std::move(body)});
+    return *this;
+  }
+
+  ClassBuilder& static_method(std::string name, MethodBody body,
+                              SimDuration base_cost = sim_ns(200)) {
+    def_.methods.push_back(MethodDef{.name = std::move(name),
+                                     .kind = MethodKind::managed,
+                                     .is_static = true,
+                                     .base_cost = base_cost,
+                                     .body = std::move(body)});
+    return *this;
+  }
+
+  ClassBuilder& native_method(std::string name, MethodBody body,
+                              bool stateless = false, bool is_static = false,
+                              SimDuration base_cost = sim_ns(400)) {
+    def_.methods.push_back(MethodDef{.name = std::move(name),
+                                     .kind = MethodKind::native,
+                                     .is_static = is_static,
+                                     .stateless = stateless,
+                                     .base_cost = base_cost,
+                                     .body = std::move(body)});
+    return *this;
+  }
+
+  // Consumes the builder; the chained fluent calls return lvalue references,
+  // so this is deliberately not rvalue-qualified.
+  [[nodiscard]] ClassDef build() { return std::move(def_); }
+
+ private:
+  ClassDef def_;
+};
+
+// Immutable after setup; shared by client and surrogate VMs.
+class ClassRegistry {
+ public:
+  ClassRegistry() {
+    // Well-known array classes are always present. Reference arrays are
+    // plain objects whose field count is fixed at allocation time.
+    int_array_ = register_class(ClassBuilder("int[]").build());
+    char_array_ = register_class(ClassBuilder("char[]").build());
+    object_array_ = register_class(ClassBuilder("Object[]").build());
+  }
+
+  ClassId register_class(ClassDef def) {
+    const ClassId id{static_cast<std::uint32_t>(classes_.size())};
+    def.id = id;
+    by_name_[def.name] = id;
+    classes_.push_back(std::move(def));
+    return id;
+  }
+
+  [[nodiscard]] const ClassDef& get(ClassId id) const {
+    if (id.value() >= classes_.size()) {
+      throw VmError(VmErrorCode::unknown_class,
+                    "class id " + std::to_string(id.value()));
+    }
+    return classes_[id.value()];
+  }
+
+  [[nodiscard]] ClassId find(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end()) {
+      throw VmError(VmErrorCode::unknown_class, std::string(name));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return by_name_.contains(std::string(name));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return classes_.size(); }
+
+  [[nodiscard]] ClassId int_array_class() const noexcept { return int_array_; }
+  [[nodiscard]] ClassId char_array_class() const noexcept {
+    return char_array_;
+  }
+  [[nodiscard]] ClassId object_array_class() const noexcept {
+    return object_array_;
+  }
+
+ private:
+  std::vector<ClassDef> classes_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  ClassId int_array_;
+  ClassId char_array_;
+  ClassId object_array_;
+};
+
+}  // namespace aide::vm

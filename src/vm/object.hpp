@@ -1,0 +1,65 @@
+// Heap objects.
+//
+// Three object shapes exist: plain objects (a vector of Value fields),
+// primitive int arrays, and primitive char arrays. Arrays are first-class
+// objects of the well-known classes "int[]" and "char[]" — the paper's
+// component-granularity discussion (sections 5.1/5.2) revolves around exactly
+// these primitive array classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "vm/value.hpp"
+
+namespace aide::vm {
+
+enum class ObjectKind : std::uint8_t { plain, int_array, char_array };
+
+struct Object {
+  ObjectId id;
+  ClassId cls;
+  ObjectKind kind = ObjectKind::plain;
+
+  std::vector<Value> fields;      // plain objects
+  std::vector<std::int64_t> ints; // int_array payload
+  std::string chars;              // char_array payload
+
+  bool gc_mark = false;
+
+  // Heap footprint charged against the VM's capacity. Mirrors a JVM's
+  // header + slots accounting.
+  [[nodiscard]] std::int64_t size_bytes() const noexcept {
+    constexpr std::int64_t header = 16;
+    switch (kind) {
+      case ObjectKind::plain: {
+        std::int64_t sz = header + static_cast<std::int64_t>(fields.size()) * 8;
+        for (const auto& f : fields) {
+          if (f.is_str()) sz += static_cast<std::int64_t>(f.as_str().size());
+        }
+        return sz;
+      }
+      case ObjectKind::int_array:
+        return header + static_cast<std::int64_t>(ints.size()) * 8;
+      case ObjectKind::char_array:
+        return header + static_cast<std::int64_t>(chars.size());
+    }
+    return header;
+  }
+
+  [[nodiscard]] std::int64_t array_length() const noexcept {
+    switch (kind) {
+      case ObjectKind::int_array:
+        return static_cast<std::int64_t>(ints.size());
+      case ObjectKind::char_array:
+        return static_cast<std::int64_t>(chars.size());
+      case ObjectKind::plain:
+        return 0;
+    }
+    return 0;
+  }
+};
+
+}  // namespace aide::vm

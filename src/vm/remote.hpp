@@ -1,0 +1,45 @@
+// The remote-execution boundary seen by a VM.
+//
+// When an instrumented operation targets an object that lives on the other
+// VM (or a native method / static slot that must live on the client), the VM
+// forwards it through this interface. The rpc module implements it with wire
+// serialization, reference-mapping tables and simulated link costs; unit
+// tests implement it with in-memory fakes.
+#pragma once
+
+#include <span>
+
+#include "common/ids.hpp"
+#include "vm/value.hpp"
+
+namespace aide::vm {
+
+class RemotePeer {
+ public:
+  virtual ~RemotePeer() = default;
+
+  virtual Value invoke(ObjectId target, ClassId cls, MethodId method,
+                       std::span<const Value> args) = 0;
+  virtual Value invoke_static(ClassId cls, MethodId method,
+                              std::span<const Value> args) = 0;
+
+  virtual Value get_field(ObjectId target, FieldId field) = 0;
+  virtual void put_field(ObjectId target, FieldId field, const Value& v) = 0;
+
+  virtual Value get_static(ClassId cls, std::uint32_t slot) = 0;
+  virtual void put_static(ClassId cls, std::uint32_t slot, const Value& v) = 0;
+
+  virtual Value array_get(ObjectId target, std::int64_t index) = 0;
+  virtual void array_put(ObjectId target, std::int64_t index,
+                         const Value& v) = 0;
+  virtual std::int64_t array_length(ObjectId target) = 0;
+  virtual std::string chars_read(ObjectId target, std::int64_t offset,
+                                 std::int64_t length) = 0;
+  virtual void chars_write(ObjectId target, std::int64_t offset,
+                           std::string_view data) = 0;
+
+  // Distributed GC: this VM no longer holds references to these peer objects.
+  virtual void release(std::span<const ObjectId> ids) = 0;
+};
+
+}  // namespace aide::vm

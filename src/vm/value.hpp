@@ -1,0 +1,116 @@
+// Managed values.
+//
+// The MiniVM is dynamically typed at the slot level (like JVM locals): a
+// Value holds nil, a boolean, a 64-bit integer, a double, an object
+// reference, or an immutable short string. wire_size() gives the number of
+// bytes the value occupies when crossing the simulated link; the monitoring
+// module charges interaction edges with exactly these sizes (paper 3.4: "the
+// amount of information exchanged between two classes as represented by the
+// parameters and return values").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace aide::vm {
+
+// A reference into the VM's object namespace.
+struct ObjectRef {
+  ObjectId id = ObjectId::invalid();
+
+  [[nodiscard]] bool is_null() const noexcept { return !id.valid(); }
+  friend bool operator==(ObjectRef, ObjectRef) noexcept = default;
+};
+
+inline constexpr ObjectRef kNullRef{};
+
+class Value {
+ public:
+  Value() noexcept : v_(std::monostate{}) {}
+  Value(bool b) noexcept : v_(b) {}                       // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) noexcept : v_(i) {}               // NOLINT(google-explicit-constructor)
+  Value(int i) noexcept : v_(std::int64_t{i}) {}          // NOLINT(google-explicit-constructor)
+  Value(double d) noexcept : v_(d) {}                     // NOLINT(google-explicit-constructor)
+  Value(ObjectRef r) noexcept : v_(r) {}                  // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}              // NOLINT(google-explicit-constructor)
+  Value(const char* s) : v_(std::string(s)) {}            // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_nil() const noexcept {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_real() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_ref() const noexcept {
+    return std::holds_alternative<ObjectRef>(v_);
+  }
+  [[nodiscard]] bool is_str() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>(); }
+  [[nodiscard]] std::int64_t as_int() const { return get<std::int64_t>(); }
+  [[nodiscard]] double as_real() const { return get<double>(); }
+  [[nodiscard]] ObjectRef as_ref() const { return get<ObjectRef>(); }
+  [[nodiscard]] const std::string& as_str() const {
+    return get<std::string>();
+  }
+
+  // Numeric coercion helper: many managed methods accept int-or-real.
+  [[nodiscard]] double to_real() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return as_real();
+  }
+
+  // Bytes this value contributes to a serialized message.
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    struct Sizer {
+      std::uint64_t operator()(std::monostate) const noexcept { return 1; }
+      std::uint64_t operator()(bool) const noexcept { return 1; }
+      std::uint64_t operator()(std::int64_t) const noexcept { return 8; }
+      std::uint64_t operator()(double) const noexcept { return 8; }
+      std::uint64_t operator()(ObjectRef) const noexcept { return 8; }
+      std::uint64_t operator()(const std::string& s) const noexcept {
+        return 4 + s.size();
+      }
+    };
+    return std::visit(Sizer{}, v_);
+  }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    const T* p = std::get_if<T>(&v_);
+    if (p == nullptr) {
+      throw VmError(VmErrorCode::type_mismatch, "bad Value access");
+    }
+    return *p;
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, double, ObjectRef,
+               std::string>
+      v_;
+};
+
+// Total wire size of an argument pack plus a fixed per-message header.
+[[nodiscard]] inline std::uint64_t args_wire_size(
+    std::span<const Value> args) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& v : args) total += v.wire_size();
+  return total;
+}
+
+}  // namespace aide::vm

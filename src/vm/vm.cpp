@@ -1,0 +1,892 @@
+#include "vm/vm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aide::vm {
+
+Vm::Vm(VmConfig cfg, std::shared_ptr<const ClassRegistry> registry,
+       SimClock& clock)
+    : cfg_(std::move(cfg)),
+      registry_(std::move(registry)),
+      clock_(clock),
+      heap_(cfg_.heap_capacity),
+      rng_(cfg_.rng_seed) {}
+
+void Vm::add_hooks(VmHooks* hooks) {
+  if (hooks != nullptr) hooks_.push_back(hooks);
+}
+
+void Vm::remove_hooks(VmHooks* hooks) {
+  hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks),
+               hooks_.end());
+}
+
+// --- allocation -------------------------------------------------------------
+
+ObjectRef Vm::new_object(ClassId cls) {
+  const ClassDef& def = registry_->get(cls);
+  return allocate(cls, ObjectKind::plain,
+                  static_cast<std::int64_t>(def.fields.size()), 0, {});
+}
+
+ObjectRef Vm::new_int_array(std::int64_t length) {
+  return allocate(registry_->int_array_class(), ObjectKind::int_array, length,
+                  0, {});
+}
+
+ObjectRef Vm::new_ref_array(std::int64_t length) {
+  return allocate(registry_->object_array_class(), ObjectKind::plain, length,
+                  0, {});
+}
+
+ObjectRef Vm::new_char_array(std::int64_t length) {
+  return allocate(registry_->char_array_class(), ObjectKind::char_array, 0,
+                  length, {});
+}
+
+ObjectRef Vm::new_char_array(std::string_view initial) {
+  return allocate(registry_->char_array_class(), ObjectKind::char_array, 0,
+                  static_cast<std::int64_t>(initial.size()), initial);
+}
+
+ObjectRef Vm::allocate(ClassId cls, ObjectKind kind, std::int64_t ints_len,
+                       std::int64_t chars_len, std::string_view chars_init) {
+  constexpr std::int64_t header = 16;
+  std::int64_t size = header;
+  switch (kind) {
+    case ObjectKind::plain: size += ints_len * 8; break;      // field slots
+    case ObjectKind::int_array: size += ints_len * 8; break;
+    case ObjectKind::char_array: size += chars_len; break;
+  }
+
+  maybe_gc_after_alloc(size);
+  ensure_capacity(size);
+
+  auto obj = std::make_unique<Object>();
+  obj->id = next_object_id();
+  obj->cls = cls;
+  obj->kind = kind;
+  switch (kind) {
+    case ObjectKind::plain:
+      obj->fields.assign(static_cast<std::size_t>(ints_len), Value{});
+      break;
+    case ObjectKind::int_array:
+      obj->ints.assign(static_cast<std::size_t>(ints_len), 0);
+      break;
+    case ObjectKind::char_array:
+      if (!chars_init.empty()) {
+        obj->chars.assign(chars_init);
+      } else {
+        obj->chars.assign(static_cast<std::size_t>(chars_len), '\0');
+      }
+      break;
+  }
+
+  const ObjectId id = obj->id;
+  heap_.insert(std::move(obj));
+
+  stats_.allocations += 1;
+  stats_.alloc_bytes += static_cast<std::uint64_t>(size);
+  allocs_since_gc_ += 1;
+  alloc_bytes_since_gc_ += size;
+
+  fire([&](VmHooks& h) { h.on_alloc(cfg_.node, id, cls, size, clock_.now()); });
+
+  const ObjectRef ref{id};
+  root_in_frame(ref);
+  return ref;
+}
+
+void Vm::maybe_gc_after_alloc(std::int64_t upcoming_bytes) {
+  if (in_gc_) return;
+  const bool by_count = allocs_since_gc_ >= cfg_.gc_alloc_count_threshold;
+  const bool by_bytes =
+      cfg_.gc_alloc_bytes_divisor > 0 &&
+      alloc_bytes_since_gc_ >= heap_.capacity() / cfg_.gc_alloc_bytes_divisor;
+  const bool by_space = !heap_.fits(upcoming_bytes);
+  if (by_count || by_bytes || by_space) collect_garbage();
+}
+
+void Vm::ensure_capacity(std::int64_t bytes) {
+  if (heap_.fits(bytes)) return;
+  if (!in_gc_) collect_garbage();
+  if (heap_.fits(bytes)) return;
+  if (low_memory_handler_ && !in_gc_) {
+    // Last-resort rescue: the platform may offload components to free heap
+    // (the paper's JavaNote experiment: the application would otherwise fail
+    // with an out-of-memory error).
+    if (low_memory_handler_(*this)) {
+      collect_garbage();
+      if (heap_.fits(bytes)) {
+        stats_.low_memory_rescues += 1;
+        return;
+      }
+    }
+  }
+  throw VmError(VmErrorCode::out_of_memory,
+                cfg_.name + ": need " + std::to_string(bytes) + "B, " +
+                    std::to_string(heap_.free_bytes()) + "B free");
+}
+
+// --- garbage collection -------------------------------------------------------
+
+void Vm::mark_value(const Value& v, std::vector<ObjectId>& worklist) const {
+  if (v.is_ref() && !v.as_ref().is_null()) worklist.push_back(v.as_ref().id);
+}
+
+GcReport Vm::collect_garbage() {
+  in_gc_ = true;
+  const std::int64_t used_before = heap_.used();
+
+  // Mark.
+  std::vector<ObjectId> worklist;
+  for (const Frame& f : frames_) {
+    if (f.self.valid()) worklist.push_back(f.self);
+    worklist.insert(worklist.end(), f.local_roots.begin(),
+                    f.local_roots.end());
+  }
+  for (const auto& [id, count] : external_roots_) {
+    if (count > 0) worklist.push_back(id);
+  }
+  worklist.insert(worklist.end(), driver_roots_.begin(), driver_roots_.end());
+  for (const auto& [key, v] : statics_) mark_value(v, worklist);
+  if (extra_roots_provider_) {
+    extra_roots_provider_([&](ObjectId id) { worklist.push_back(id); });
+  }
+
+  while (!worklist.empty()) {
+    const ObjectId id = worklist.back();
+    worklist.pop_back();
+    if (Object* obj = heap_.find(id); obj != nullptr) {
+      if (obj->gc_mark) continue;
+      obj->gc_mark = true;
+      for (const Value& v : obj->fields) mark_value(v, worklist);
+    } else if (auto it = stubs_.find(id); it != stubs_.end()) {
+      it->second.gc_mark = true;
+    }
+  }
+
+  // Sweep local objects.
+  const SimTime t = clock_.now();
+  const std::int64_t freed = heap_.sweep([&](const Object& obj) {
+    stats_.frees += 1;
+    fire([&](VmHooks& h) {
+      h.on_free(cfg_.node, obj.id, obj.cls, obj.size_bytes(), t);
+    });
+  });
+
+  // Sweep unreachable stubs and notify the distributed GC.
+  std::vector<ObjectId> released;
+  for (auto it = stubs_.begin(); it != stubs_.end();) {
+    if (!it->second.gc_mark) {
+      released.push_back(it->first);
+      it = stubs_.erase(it);
+    } else {
+      it->second.gc_mark = false;
+      ++it;
+    }
+  }
+  if (!released.empty() && stub_release_handler_) {
+    stub_release_handler_(released);
+  }
+
+  // Charge the simulated cost of the collection cycle.
+  work(cfg_.gc_cost_per_live_object *
+       static_cast<SimDuration>(heap_.object_count()));
+
+  GcReport report;
+  report.cycle = ++gc_cycle_;
+  report.used_before = used_before;
+  report.used_after = heap_.used();
+  report.capacity = heap_.capacity();
+  report.freed = freed;
+  report.live_objects = static_cast<std::int64_t>(heap_.object_count());
+
+  stats_.gc_cycles += 1;
+  allocs_since_gc_ = 0;
+  alloc_bytes_since_gc_ = 0;
+  in_gc_ = false;
+
+  fire([&](VmHooks& h) { h.on_gc(cfg_.node, report); });
+  return report;
+}
+
+// --- roots -------------------------------------------------------------------
+
+void Vm::add_root(ObjectRef obj) {
+  if (!obj.is_null()) external_roots_[obj.id] += 1;
+}
+
+void Vm::remove_root(ObjectRef obj) {
+  if (obj.is_null()) return;
+  const auto it = external_roots_.find(obj.id);
+  if (it != external_roots_.end() && --it->second <= 0) {
+    external_roots_.erase(it);
+  }
+}
+
+void Vm::root_in_frame(const Value& v) {
+  if (v.is_ref()) root_in_frame(v.as_ref());
+}
+
+void Vm::root_in_frame(ObjectRef r) {
+  if (r.is_null()) return;
+  if (!frames_.empty()) {
+    frames_.back().local_roots.push_back(r.id);
+  } else {
+    // Driver-level code holds references in C++ locals the collector cannot
+    // see; pin them until the driver releases its roots.
+    driver_roots_.push_back(r.id);
+  }
+}
+
+// --- lookup helpers ----------------------------------------------------------
+
+Object& Vm::require_local(ObjectId id) {
+  Object* obj = heap_.find(id);
+  if (obj == nullptr) {
+    throw VmError(VmErrorCode::null_reference,
+                  cfg_.name + ": object " + std::to_string(id.value()) +
+                      " is not local");
+  }
+  return *obj;
+}
+
+ClassId Vm::class_of(ObjectId id) const {
+  if (const Object* obj = heap_.find(id); obj != nullptr) return obj->cls;
+  if (const auto it = stubs_.find(id); it != stubs_.end()) {
+    return it->second.cls;
+  }
+  throw VmError(VmErrorCode::null_reference,
+                cfg_.name + ": unknown object " + std::to_string(id.value()));
+}
+
+const MethodDef& Vm::method_def(ClassId cls, MethodId m) const {
+  const ClassDef& def = registry_->get(cls);
+  if (!m.valid() || m.value() >= def.methods.size()) {
+    throw VmError(VmErrorCode::unknown_method,
+                  def.name + " method #" + std::to_string(m.value()));
+  }
+  return def.methods[m.value()];
+}
+
+// --- invocation ----------------------------------------------------------------
+
+Value Vm::call(ObjectRef obj, std::string_view method,
+               std::initializer_list<Value> args) {
+  const ClassId cls = class_of(obj.id);
+  const MethodId m = registry_->get(cls).find_method(method);
+  if (!m.valid()) {
+    throw VmError(VmErrorCode::unknown_method,
+                  registry_->get(cls).name + "." + std::string(method));
+  }
+  return invoke(obj, m, std::span<const Value>(args.begin(), args.size()));
+}
+
+Value Vm::call_static(std::string_view cls, std::string_view method,
+                      std::initializer_list<Value> args) {
+  const ClassId cid = registry_->find(cls);
+  const MethodId m = registry_->get(cid).find_method(method);
+  if (!m.valid()) {
+    throw VmError(VmErrorCode::unknown_method,
+                  std::string(cls) + "." + std::string(method));
+  }
+  return invoke_static(cid, m,
+                       std::span<const Value>(args.begin(), args.size()));
+}
+
+Value Vm::invoke(ObjectRef obj, MethodId method, std::span<const Value> args) {
+  if (obj.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "invoke on null");
+  }
+  const ClassId cls = class_of(obj.id);
+  return dispatch_invoke(obj, cls, method, args, /*is_static=*/false);
+}
+
+Value Vm::invoke_static(ClassId cls, MethodId method,
+                        std::span<const Value> args) {
+  return dispatch_invoke(kNullRef, cls, method, args, /*is_static=*/true);
+}
+
+Value Vm::dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
+                          std::span<const Value> args, bool is_static) {
+  const MethodDef& m = method_def(cls, mid);
+  if (m.is_static != is_static) {
+    throw VmError(VmErrorCode::unknown_method,
+                  registry_->get(cls).name + "." + m.name +
+                      ": static/instance mismatch");
+  }
+
+  // Execution-site rules (paper 3.2):
+  //  * native methods execute on the client, unless stateless and the
+  //    stateless-native enhancement is enabled;
+  //  * static managed methods execute on the invoking VM;
+  //  * instance managed methods follow the placement of the target object.
+  bool run_here;
+  if (m.kind == MethodKind::native) {
+    if (m.stateless && cfg_.stateless_natives_local) {
+      run_here = is_static || is_local(target.id);
+    } else {
+      run_here = cfg_.is_client;
+    }
+    if (run_here && !is_static && !is_local(target.id)) run_here = false;
+  } else if (is_static) {
+    run_here = true;
+  } else {
+    run_here = is_local(target.id);
+  }
+
+  const SimTime t0 = clock_.now();
+  const std::uint64_t arg_bytes = args_wire_size(args);
+
+  Value ret;
+  if (run_here) {
+    ret = execute_local(target, cls, mid, args);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference,
+                    cfg_.name + ": remote invoke with no peer attached");
+    }
+    stats_.remote_invocations += 1;
+    ret = is_static ? peer_->invoke_static(cls, mid, args)
+                    : peer_->invoke(target.id, cls, mid, args);
+    root_in_frame(ret);
+  }
+
+  stats_.invocations += 1;
+  InvokeEvent ev;
+  ev.vm = cfg_.node;
+  ev.caller_cls = current_cls().valid() ? current_cls() : cls;
+  ev.caller_obj = current_obj();
+  ev.callee_cls = cls;
+  ev.callee_obj = is_static ? ObjectId::invalid() : target.id;
+  ev.method = mid;
+  ev.is_native = (m.kind == MethodKind::native);
+  ev.is_static = is_static;
+  ev.is_stateless = m.stateless;
+  ev.remote = !run_here;
+  ev.bytes = arg_bytes + ret.wire_size();
+  ev.t = t0;
+  fire([&](VmHooks& h) { h.on_invoke(ev); });
+
+  return ret;
+}
+
+Value Vm::execute_local(ObjectRef self, ClassId cls, MethodId mid,
+                        std::span<const Value> args) {
+  if (frames_.size() >= cfg_.max_stack_depth) {
+    throw VmError(VmErrorCode::stack_overflow, registry_->get(cls).name);
+  }
+  const MethodDef& m = method_def(cls, mid);
+  if (!m.body) {
+    throw VmError(VmErrorCode::native_not_registered,
+                  registry_->get(cls).name + "." + m.name);
+  }
+
+  frames_.push_back(Frame{cls, self.id, mid, clock_.now(), 0, {}});
+  const std::size_t frame_ix = frames_.size() - 1;
+  if (self.id.valid()) frames_[frame_ix].local_roots.push_back(self.id);
+  for (const Value& a : args) {
+    if (a.is_ref() && !a.as_ref().is_null()) {
+      frames_[frame_ix].local_roots.push_back(a.as_ref().id);
+    }
+  }
+
+  fire([&](VmHooks& h) {
+    h.on_method_enter(cfg_.node, cls, self.id, mid, clock_.now());
+  });
+
+  work(m.base_cost);
+
+  Value ret;
+  try {
+    ret = m.body(*this, self, args);
+  } catch (...) {
+    // Unwind bookkeeping, then let the error propagate (possibly across the
+    // simulated RPC boundary, where the endpoint converts it).
+    const SimDuration total = clock_.now() - frames_[frame_ix].start;
+    frames_.pop_back();
+    if (!frames_.empty()) frames_.back().child_time += total;
+    throw;
+  }
+
+  const SimDuration total = clock_.now() - frames_[frame_ix].start;
+  const SimDuration self_time = total - frames_[frame_ix].child_time;
+  fire([&](VmHooks& h) {
+    h.on_method_exit(cfg_.node, cls, self.id, mid, self_time, clock_.now());
+  });
+
+  frames_.pop_back();
+  if (!frames_.empty()) frames_.back().child_time += total;
+  root_in_frame(ret);
+  return ret;
+}
+
+Value Vm::run_incoming_invoke(ObjectId target, MethodId method,
+                              std::span<const Value> args) {
+  const ClassId cls = class_of(target);
+  return execute_local(ObjectRef{target}, cls, method, args);
+}
+
+Value Vm::run_incoming_invoke_static(ClassId cls, MethodId method,
+                                     std::span<const Value> args) {
+  return execute_local(kNullRef, cls, method, args);
+}
+
+// --- field access --------------------------------------------------------------
+
+Value Vm::get_field(ObjectRef obj, FieldId field) {
+  if (obj.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "get_field on null");
+  }
+  Value v;
+  bool remote = false;
+  ClassId tcls;
+  if (Object* o = heap_.find(obj.id); o != nullptr) {
+    tcls = o->cls;
+    if (field.value() >= o->fields.size()) {
+      throw VmError(VmErrorCode::unknown_field,
+                    registry_->get(tcls).name + " field #" +
+                        std::to_string(field.value()));
+    }
+    v = o->fields[field.value()];
+  } else {
+    tcls = class_of(obj.id);  // throws if unknown
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote field, no peer");
+    }
+    v = peer_->get_field(obj.id, field);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = obj.id;
+  ev.is_write = false;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+
+  root_in_frame(v);
+  return v;
+}
+
+Value Vm::get_field(ObjectRef obj, std::string_view field) {
+  const ClassDef& def = registry_->get(class_of(obj.id));
+  const FieldId f = def.find_field(field);
+  if (!f.valid()) {
+    throw VmError(VmErrorCode::unknown_field,
+                  def.name + "." + std::string(field));
+  }
+  return get_field(obj, f);
+}
+
+void Vm::put_field(ObjectRef obj, FieldId field, const Value& v) {
+  if (obj.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "put_field on null");
+  }
+  bool remote = false;
+  ClassId tcls;
+  if (heap_.contains(obj.id)) {
+    tcls = class_of(obj.id);
+    raw_put_field(obj.id, field, v);
+  } else {
+    tcls = class_of(obj.id);
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote field, no peer");
+    }
+    peer_->put_field(obj.id, field, v);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = obj.id;
+  ev.is_write = true;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+}
+
+void Vm::put_field(ObjectRef obj, std::string_view field, const Value& v) {
+  const ClassDef& def = registry_->get(class_of(obj.id));
+  const FieldId f = def.find_field(field);
+  if (!f.valid()) {
+    throw VmError(VmErrorCode::unknown_field,
+                  def.name + "." + std::string(field));
+  }
+  put_field(obj, f, v);
+}
+
+Value Vm::raw_get_field(ObjectId target, FieldId field) {
+  Object& o = require_local(target);
+  if (field.value() >= o.fields.size()) {
+    throw VmError(VmErrorCode::unknown_field,
+                  "field #" + std::to_string(field.value()));
+  }
+  return o.fields[field.value()];
+}
+
+void Vm::raw_put_field(ObjectId target, FieldId field, const Value& v) {
+  Object& o = require_local(target);
+  if (field.value() >= o.fields.size()) {
+    throw VmError(VmErrorCode::unknown_field,
+                  "field #" + std::to_string(field.value()));
+  }
+  // Only string payloads change an object's footprint; compute the delta
+  // from the touched slot alone (size_bytes() would scan every field, which
+  // is quadratic for large reference arrays).
+  const Value& old = o.fields[field.value()];
+  const std::int64_t delta =
+      (v.is_str() ? static_cast<std::int64_t>(v.as_str().size()) : 0) -
+      (old.is_str() ? static_cast<std::int64_t>(old.as_str().size()) : 0);
+  o.fields[field.value()] = v;
+  if (delta != 0) {
+    heap_.adjust_used(delta);
+    fire([&](VmHooks& h) { h.on_resize(cfg_.node, target, o.cls, delta); });
+  }
+}
+
+// --- statics ---------------------------------------------------------------------
+
+Value Vm::get_static(ClassId cls, std::uint32_t slot) {
+  Value v;
+  bool remote = false;
+  if (cfg_.is_client) {
+    v = raw_get_static(cls, slot);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote static, no peer");
+    }
+    v = peer_->get_static(cls, slot);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : cls;
+  ev.from_obj = current_obj();
+  ev.to_cls = cls;
+  ev.is_static = true;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+
+  root_in_frame(v);
+  return v;
+}
+
+Value Vm::get_static(std::string_view cls, std::string_view slot) {
+  const ClassId cid = registry_->find(cls);
+  return get_static(cid, registry_->get(cid).find_static(slot));
+}
+
+void Vm::put_static(ClassId cls, std::uint32_t slot, const Value& v) {
+  bool remote = false;
+  if (cfg_.is_client) {
+    raw_put_static(cls, slot, v);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote static, no peer");
+    }
+    peer_->put_static(cls, slot, v);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : cls;
+  ev.from_obj = current_obj();
+  ev.to_cls = cls;
+  ev.is_static = true;
+  ev.is_write = true;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+}
+
+void Vm::put_static(std::string_view cls, std::string_view slot,
+                    const Value& v) {
+  const ClassId cid = registry_->find(cls);
+  put_static(cid, registry_->get(cid).find_static(slot), v);
+}
+
+Value Vm::raw_get_static(ClassId cls, std::uint32_t slot) {
+  const auto it = statics_.find(static_key(cls, slot));
+  return it == statics_.end() ? Value{} : it->second;
+}
+
+void Vm::raw_put_static(ClassId cls, std::uint32_t slot, const Value& v) {
+  statics_[static_key(cls, slot)] = v;
+}
+
+// --- arrays ---------------------------------------------------------------------
+
+namespace {
+void check_index(const Object& o, std::int64_t index) {
+  if (index < 0 || index >= o.array_length()) {
+    throw VmError(VmErrorCode::bad_array_index,
+                  std::to_string(index) + " of " +
+                      std::to_string(o.array_length()));
+  }
+}
+}  // namespace
+
+Value Vm::array_get(ObjectRef arr, std::int64_t index) {
+  if (arr.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "array_get on null");
+  }
+  Value v;
+  bool remote = false;
+  const ClassId tcls = class_of(arr.id);
+  if (heap_.contains(arr.id)) {
+    v = raw_array_get(arr.id, index);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote array, no peer");
+    }
+    v = peer_->array_get(arr.id, index);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = arr.id;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+  return v;
+}
+
+void Vm::array_put(ObjectRef arr, std::int64_t index, const Value& v) {
+  if (arr.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "array_put on null");
+  }
+  bool remote = false;
+  const ClassId tcls = class_of(arr.id);
+  if (heap_.contains(arr.id)) {
+    raw_array_put(arr.id, index, v);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote array, no peer");
+    }
+    peer_->array_put(arr.id, index, v);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = arr.id;
+  ev.is_write = true;
+  ev.remote = remote;
+  ev.bytes = v.wire_size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+}
+
+std::int64_t Vm::array_length(ObjectRef arr) {
+  if (arr.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "array_length on null");
+  }
+  if (heap_.contains(arr.id)) return raw_array_length(arr.id);
+  if (stubs_.contains(arr.id)) {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote array, no peer");
+    }
+    stats_.remote_field_accesses += 1;
+    return peer_->array_length(arr.id);
+  }
+  throw VmError(VmErrorCode::null_reference, "unknown array");
+}
+
+std::string Vm::chars_read(ObjectRef arr, std::int64_t offset,
+                           std::int64_t length) {
+  if (arr.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "chars_read on null");
+  }
+  std::string out;
+  bool remote = false;
+  const ClassId tcls = class_of(arr.id);
+  if (heap_.contains(arr.id)) {
+    out = raw_chars_read(arr.id, offset, length);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote array, no peer");
+    }
+    out = peer_->chars_read(arr.id, offset, length);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = arr.id;
+  ev.remote = remote;
+  ev.bytes = out.size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+  return out;
+}
+
+void Vm::chars_write(ObjectRef arr, std::int64_t offset,
+                     std::string_view data) {
+  if (arr.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "chars_write on null");
+  }
+  bool remote = false;
+  const ClassId tcls = class_of(arr.id);
+  if (heap_.contains(arr.id)) {
+    raw_chars_write(arr.id, offset, data);
+  } else {
+    if (peer_ == nullptr) {
+      throw VmError(VmErrorCode::null_reference, "remote array, no peer");
+    }
+    peer_->chars_write(arr.id, offset, data);
+    remote = true;
+    stats_.remote_field_accesses += 1;
+  }
+
+  stats_.field_accesses += 1;
+  AccessEvent ev;
+  ev.vm = cfg_.node;
+  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+  ev.from_obj = current_obj();
+  ev.to_cls = tcls;
+  ev.to_obj = arr.id;
+  ev.is_write = true;
+  ev.remote = remote;
+  ev.bytes = data.size();
+  ev.t = clock_.now();
+  fire([&](VmHooks& h) { h.on_access(ev); });
+}
+
+Value Vm::raw_array_get(ObjectId target, std::int64_t index) {
+  Object& o = require_local(target);
+  check_index(o, index);
+  switch (o.kind) {
+    case ObjectKind::int_array: return Value{o.ints[index]};
+    case ObjectKind::char_array:
+      return Value{static_cast<std::int64_t>(
+          static_cast<unsigned char>(o.chars[index]))};
+    case ObjectKind::plain:
+      throw VmError(VmErrorCode::type_mismatch, "array_get on plain object");
+  }
+  return Value{};
+}
+
+void Vm::raw_array_put(ObjectId target, std::int64_t index, const Value& v) {
+  Object& o = require_local(target);
+  check_index(o, index);
+  switch (o.kind) {
+    case ObjectKind::int_array: o.ints[index] = v.as_int(); return;
+    case ObjectKind::char_array:
+      o.chars[index] = static_cast<char>(v.as_int());
+      return;
+    case ObjectKind::plain:
+      throw VmError(VmErrorCode::type_mismatch, "array_put on plain object");
+  }
+}
+
+std::int64_t Vm::raw_array_length(ObjectId target) {
+  return require_local(target).array_length();
+}
+
+std::string Vm::raw_chars_read(ObjectId target, std::int64_t offset,
+                               std::int64_t length) {
+  Object& o = require_local(target);
+  if (o.kind != ObjectKind::char_array) {
+    throw VmError(VmErrorCode::type_mismatch, "chars_read on non-char array");
+  }
+  if (offset < 0 || length < 0 ||
+      offset + length > static_cast<std::int64_t>(o.chars.size())) {
+    throw VmError(VmErrorCode::bad_array_index, "chars_read out of range");
+  }
+  return o.chars.substr(static_cast<std::size_t>(offset),
+                        static_cast<std::size_t>(length));
+}
+
+void Vm::raw_chars_write(ObjectId target, std::int64_t offset,
+                         std::string_view data) {
+  Object& o = require_local(target);
+  if (o.kind != ObjectKind::char_array) {
+    throw VmError(VmErrorCode::type_mismatch, "chars_write on non-char array");
+  }
+  if (offset < 0 ||
+      offset + static_cast<std::int64_t>(data.size()) >
+          static_cast<std::int64_t>(o.chars.size())) {
+    throw VmError(VmErrorCode::bad_array_index, "chars_write out of range");
+  }
+  o.chars.replace(static_cast<std::size_t>(offset), data.size(), data);
+}
+
+// --- migration -------------------------------------------------------------------
+
+std::unique_ptr<Object> Vm::migrate_out(ObjectId id) {
+  auto obj = heap_.extract(id);
+  if (obj == nullptr) {
+    throw VmError(VmErrorCode::null_reference,
+                  cfg_.name + ": migrate_out of non-local object");
+  }
+  stubs_[id] = StubInfo{obj->cls, obj->kind, false};
+  return obj;
+}
+
+void Vm::migrate_in(std::unique_ptr<Object> obj) {
+  assert(obj != nullptr);
+  ensure_capacity(obj->size_bytes());
+  stubs_.erase(obj->id);
+  obj->gc_mark = false;
+  heap_.insert(std::move(obj));
+}
+
+void Vm::install_stub(ObjectId id, ClassId cls, ObjectKind kind) {
+  if (heap_.contains(id)) return;  // already local; no stub needed
+  stubs_.emplace(id, StubInfo{cls, kind, false});
+}
+
+std::vector<ObjectId> Vm::local_objects_of_class(ClassId cls) const {
+  std::vector<ObjectId> out;
+  heap_.for_each([&](const Object& o) {
+    if (o.cls == cls) out.push_back(o.id);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace aide::vm

@@ -1,0 +1,325 @@
+// The MiniVM: a managed object runtime with instrumented execution paths.
+//
+// This is the reproduction's stand-in for the paper's modified HP Chai JVM.
+// It provides:
+//   * an object heap with capacity limits and mark-and-sweep GC whose cycle
+//     reports drive the resource monitor (paper 3.4),
+//   * managed and native methods whose invocations, field accesses and
+//     allocations all flow through hook points (paper 3.4),
+//   * transparent remote execution: operations on objects that live on the
+//     peer VM are forwarded through a RemotePeer without the application
+//     noticing (paper 3.2),
+//   * the paper's placement rules — natives and static data on the client,
+//     static managed methods on either VM, new objects on the creating VM,
+//   * migration primitives (extract an object, leave a stub; adopt an object,
+//     drop the stub) used by the offloading engine,
+//   * Figure 9 self-time attribution via frame bookkeeping.
+//
+// All time is virtual: method bodies charge work through VmContext::work,
+// scaled by the VM's CPU speed (client 1.0, surrogate 3.5 per the paper).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/simclock.hpp"
+#include "vm/heap.hpp"
+#include "vm/hooks.hpp"
+#include "vm/klass.hpp"
+#include "vm/object.hpp"
+#include "vm/remote.hpp"
+#include "vm/value.hpp"
+
+namespace aide::vm {
+
+struct VmConfig {
+  NodeId node{0};
+  std::string name = "vm";
+  // The client hosts static data and stateful native methods (paper 3.2).
+  bool is_client = true;
+  // Relative CPU speed; the paper measured the surrogate at 3.5x the client.
+  double cpu_speed = 1.0;
+  std::int64_t heap_capacity = std::int64_t{32} << 20;
+  // GC triggers, mirroring Chai's: space limits, object count since last
+  // collection, and bytes allocated since last collection (paper 5.1).
+  std::int64_t gc_alloc_count_threshold = 4096;
+  std::int64_t gc_alloc_bytes_divisor = 8;
+  // Simulated cost of scanning one live object during GC.
+  SimDuration gc_cost_per_live_object = sim_ns(40);
+  // Enhancement (paper 5.2): stateless natives execute where invoked.
+  bool stateless_natives_local = false;
+  std::size_t max_stack_depth = 512;
+  std::uint64_t rng_seed = 0xA1DEA1DEULL;
+};
+
+struct VmStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t gc_cycles = 0;
+  std::uint64_t invocations = 0;          // instrumented invocation events
+  std::uint64_t remote_invocations = 0;   // forwarded to the peer
+  std::uint64_t field_accesses = 0;
+  std::uint64_t remote_field_accesses = 0;
+  std::uint64_t low_memory_rescues = 0;   // allocations saved by the handler
+};
+
+class Vm {
+ public:
+  Vm(VmConfig cfg, std::shared_ptr<const ClassRegistry> registry,
+     SimClock& clock);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // --- wiring -------------------------------------------------------------
+
+  void add_hooks(VmHooks* hooks);
+  void remove_hooks(VmHooks* hooks);
+  void set_peer(RemotePeer* peer) noexcept { peer_ = peer; }
+  // Called when an allocation cannot be satisfied even after GC; returns
+  // true if memory was freed (e.g. the platform offloaded components).
+  void set_low_memory_handler(std::function<bool(Vm&)> handler) {
+    low_memory_handler_ = std::move(handler);
+  }
+  // Additional GC roots owned by the rpc layer (exported objects).
+  void set_extra_roots_provider(
+      std::function<void(const std::function<void(ObjectId)>&)> provider) {
+    extra_roots_provider_ = std::move(provider);
+  }
+  // Invoked with the ids of unreachable remote stubs after each GC; the rpc
+  // layer forwards them as distributed-GC release messages.
+  void set_stub_release_handler(
+      std::function<void(std::span<const ObjectId>)> handler) {
+    stub_release_handler_ = std::move(handler);
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] NodeId node() const noexcept { return cfg_.node; }
+  [[nodiscard]] const std::string& name() const noexcept { return cfg_.name; }
+  [[nodiscard]] bool is_client() const noexcept { return cfg_.is_client; }
+  [[nodiscard]] double cpu_speed() const noexcept { return cfg_.cpu_speed; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+  [[nodiscard]] const Heap& heap() const noexcept { return heap_; }
+  [[nodiscard]] const ClassRegistry& registry() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const VmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const VmConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::size_t stack_depth() const noexcept {
+    return frames_.size();
+  }
+  [[nodiscard]] std::size_t stub_count() const noexcept {
+    return stubs_.size();
+  }
+
+  [[nodiscard]] ClassId find_class(std::string_view name) const {
+    return registry_->find(name);
+  }
+  [[nodiscard]] const ClassDef& class_def(ClassId cls) const {
+    return registry_->get(cls);
+  }
+
+  // --- object model (the VmContext API used by managed method bodies) -----
+
+  ObjectRef new_object(ClassId cls);
+  ObjectRef new_object(std::string_view class_name) {
+    return new_object(registry_->find(class_name));
+  }
+  ObjectRef new_int_array(std::int64_t length);
+  // A reference array: a plain object of class "Object[]" with `length`
+  // value slots, accessed via get_field/put_field by index.
+  ObjectRef new_ref_array(std::int64_t length);
+  ObjectRef new_char_array(std::int64_t length);
+  ObjectRef new_char_array(std::string_view initial);
+
+  Value get_field(ObjectRef obj, FieldId field);
+  Value get_field(ObjectRef obj, std::string_view field);
+  void put_field(ObjectRef obj, FieldId field, const Value& v);
+  void put_field(ObjectRef obj, std::string_view field, const Value& v);
+
+  Value invoke(ObjectRef obj, MethodId method, std::span<const Value> args);
+  Value call(ObjectRef obj, std::string_view method,
+             std::initializer_list<Value> args = {});
+  Value invoke_static(ClassId cls, MethodId method,
+                      std::span<const Value> args);
+  Value call_static(std::string_view cls, std::string_view method,
+                    std::initializer_list<Value> args = {});
+
+  Value get_static(ClassId cls, std::uint32_t slot);
+  Value get_static(std::string_view cls, std::string_view slot);
+  void put_static(ClassId cls, std::uint32_t slot, const Value& v);
+  void put_static(std::string_view cls, std::string_view slot, const Value& v);
+
+  Value array_get(ObjectRef arr, std::int64_t index);
+  void array_put(ObjectRef arr, std::int64_t index, const Value& v);
+  std::int64_t array_length(ObjectRef arr);
+  // Bulk character transfer: one interaction of `length` bytes.
+  std::string chars_read(ObjectRef arr, std::int64_t offset,
+                         std::int64_t length);
+  void chars_write(ObjectRef arr, std::int64_t offset, std::string_view data);
+
+  // Charges CPU work (virtual nanoseconds at speed 1.0) to the current frame.
+  void work(SimDuration d) {
+    clock_.advance(
+        static_cast<SimDuration>(static_cast<double>(d) / cfg_.cpu_speed));
+  }
+
+  // External roots held by the embedding application driver.
+  void add_root(ObjectRef obj);
+  void remove_root(ObjectRef obj);
+  // References returned to driver-level code (no active frame) are rooted
+  // automatically so C++ locals can never dangle across a GC; the driver
+  // releases them in bulk when its scenario finishes.
+  void clear_driver_roots() { driver_roots_.clear(); }
+  [[nodiscard]] std::size_t driver_root_count() const noexcept {
+    return driver_roots_.size();
+  }
+
+  // Forces a GC cycle now (also runs automatically per the thresholds).
+  GcReport collect_garbage();
+
+  // --- location / migration (used by the rpc layer and offload engine) ----
+
+  [[nodiscard]] bool is_local(ObjectId id) const noexcept {
+    return heap_.contains(id);
+  }
+  [[nodiscard]] bool knows(ObjectId id) const noexcept {
+    return heap_.contains(id) || stubs_.contains(id);
+  }
+  [[nodiscard]] ClassId class_of(ObjectId id) const;
+  [[nodiscard]] Object* find_object(ObjectId id) noexcept {
+    return heap_.find(id);
+  }
+
+  // Extracts a local object for migration, leaving a remote stub behind.
+  std::unique_ptr<Object> migrate_out(ObjectId id);
+  // Adopts a migrated object; replaces any stub for it.
+  void migrate_in(std::unique_ptr<Object> obj);
+  // Registers a stub for a remote object this VM just learned about.
+  void install_stub(ObjectId id, ClassId cls, ObjectKind kind);
+  // Drops a stub (peer released the object or it migrated here).
+  void drop_stub(ObjectId id) { stubs_.erase(id); }
+
+  // All local object ids whose class matches `cls`.
+  [[nodiscard]] std::vector<ObjectId> local_objects_of_class(
+      ClassId cls) const;
+
+  // --- incoming remote operations (called by the rpc endpoint) ------------
+
+  Value run_incoming_invoke(ObjectId target, MethodId method,
+                            std::span<const Value> args);
+  Value run_incoming_invoke_static(ClassId cls, MethodId method,
+                                   std::span<const Value> args);
+  Value raw_get_field(ObjectId target, FieldId field);
+  void raw_put_field(ObjectId target, FieldId field, const Value& v);
+  Value raw_get_static(ClassId cls, std::uint32_t slot);
+  void raw_put_static(ClassId cls, std::uint32_t slot, const Value& v);
+  Value raw_array_get(ObjectId target, std::int64_t index);
+  void raw_array_put(ObjectId target, std::int64_t index, const Value& v);
+  std::int64_t raw_array_length(ObjectId target);
+  std::string raw_chars_read(ObjectId target, std::int64_t offset,
+                             std::int64_t length);
+  void raw_chars_write(ObjectId target, std::int64_t offset,
+                       std::string_view data);
+
+ private:
+  struct Frame {
+    ClassId cls;
+    ObjectId self;
+    MethodId method;
+    SimTime start = 0;
+    SimDuration child_time = 0;
+    // JNI-style local references: every ref obtained through the context API
+    // is rooted here so GC cannot reclaim objects held only in C++ locals.
+    std::vector<ObjectId> local_roots;
+  };
+
+  struct StubInfo {
+    ClassId cls;
+    ObjectKind kind = ObjectKind::plain;
+    bool gc_mark = false;
+  };
+
+  ObjectId next_object_id() noexcept {
+    return ObjectId{(static_cast<std::uint64_t>(cfg_.node.value()) << 48) |
+                    next_object_counter_++};
+  }
+
+  ObjectRef allocate(ClassId cls, ObjectKind kind, std::int64_t ints_len,
+                     std::int64_t chars_len, std::string_view chars_init);
+  void ensure_capacity(std::int64_t bytes);
+  void maybe_gc_after_alloc(std::int64_t bytes);
+
+  Value execute_local(ObjectRef self, ClassId cls, MethodId mid,
+                      std::span<const Value> args);
+  Value dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
+                        std::span<const Value> args, bool is_static);
+
+  void root_in_frame(const Value& v);
+  void root_in_frame(ObjectRef r);
+
+  [[nodiscard]] Object& require_local(ObjectId id);
+  [[nodiscard]] const MethodDef& method_def(ClassId cls, MethodId m) const;
+
+  // Current caller identity for interaction events.
+  [[nodiscard]] ClassId current_cls() const noexcept {
+    return frames_.empty() ? ClassId::invalid() : frames_.back().cls;
+  }
+  [[nodiscard]] ObjectId current_obj() const noexcept {
+    return frames_.empty() ? ObjectId::invalid() : frames_.back().self;
+  }
+
+  template <typename Fn>
+  void fire(Fn&& fn) {
+    for (VmHooks* h : hooks_) fn(*h);
+  }
+
+  void mark_value(const Value& v, std::vector<ObjectId>& worklist) const;
+
+  VmConfig cfg_;
+  std::shared_ptr<const ClassRegistry> registry_;
+  SimClock& clock_;
+  Heap heap_;
+  Rng rng_;
+
+  std::vector<VmHooks*> hooks_;
+  RemotePeer* peer_ = nullptr;
+  std::function<bool(Vm&)> low_memory_handler_;
+  std::function<void(const std::function<void(ObjectId)>&)>
+      extra_roots_provider_;
+  std::function<void(std::span<const ObjectId>)> stub_release_handler_;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<ObjectId, StubInfo> stubs_;
+  std::unordered_map<ObjectId, int> external_roots_;
+  std::vector<ObjectId> driver_roots_;
+  // Static slot storage; populated only on the client VM.
+  std::unordered_map<std::uint64_t, Value> statics_;
+
+  std::uint64_t next_object_counter_ = 1;
+  std::int64_t allocs_since_gc_ = 0;
+  std::int64_t alloc_bytes_since_gc_ = 0;
+  std::uint32_t gc_cycle_ = 0;
+  bool in_gc_ = false;
+
+  VmStats stats_;
+
+  static std::uint64_t static_key(ClassId cls, std::uint32_t slot) noexcept {
+    return (static_cast<std::uint64_t>(cls.value()) << 32) | slot;
+  }
+};
+
+}  // namespace aide::vm

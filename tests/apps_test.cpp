@@ -1,0 +1,220 @@
+// Tests for the five workload applications: determinism, scale-parameter
+// behaviour, Table 1 metadata, and the core transparency property — running
+// under the AIDE platform with offloading produces exactly the same
+// observable final state as running standalone.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "apps/stdlib.hpp"
+#include "common/error.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::apps {
+namespace {
+
+// Small scales keep each scenario in the milliseconds while still exercising
+// every code path.
+AppParams small_params() {
+  AppParams p;
+  p.scale = 0.05;
+  p.doc_bytes = 64 * 1024;
+  p.edits = 12;
+  p.scrolls = 16;
+  p.image_size = 64;
+  p.layers = 3;
+  p.filter_passes = 3;
+  p.atoms = 60;
+  p.iterations = 4;
+  p.field_size = 33;
+  p.frames = 3;
+  p.columns = 24;
+  p.trace_w = 16;
+  p.trace_h = 12;
+  p.spheres = 5;
+  p.scale = 1.0;  // sizes above are already small
+  return p;
+}
+
+std::uint64_t run_standalone(const AppInfo& app, const AppParams& params,
+                             std::int64_t heap = 64 << 20) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = heap;
+  vm::Vm vm(cfg, reg, clock);
+  return app.run(vm, params);
+}
+
+TEST(AppsCatalogTest, Table1Inventory) {
+  const auto& apps = all_apps();
+  ASSERT_EQ(apps.size(), 5u);
+  EXPECT_EQ(apps[0].name, "JavaNote");
+  EXPECT_EQ(apps[1].name, "Dia");
+  EXPECT_EQ(apps[2].name, "Biomer");
+  EXPECT_EQ(apps[3].name, "Voxel");
+  EXPECT_EQ(apps[4].name, "Tracer");
+  for (const auto& app : apps) {
+    EXPECT_FALSE(app.description.empty());
+    EXPECT_FALSE(app.resource_demands.empty());
+  }
+}
+
+TEST(AppsCatalogTest, LookupByName) {
+  EXPECT_EQ(app_by_name("Voxel").name, "Voxel");
+  EXPECT_THROW(app_by_name("NotAnApp"), std::invalid_argument);
+}
+
+class AppDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppDeterminismTest, SameParamsSameChecksum) {
+  const auto& app = app_by_name(GetParam());
+  const auto params = small_params();
+  const auto a = run_standalone(app, params);
+  const auto b = run_standalone(app, params);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AppDeterminismTest, RegistrationIsIdempotent) {
+  const auto& app = app_by_name(GetParam());
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  const auto count = reg->size();
+  app.register_classes(*reg);
+  EXPECT_EQ(reg->size(), count);
+}
+
+TEST_P(AppDeterminismTest, ChecksumIndependentOfHeapSize) {
+  // GC cadence differs wildly between these heaps; the observable state must
+  // not (the checksum deliberately excludes timing).
+  const auto& app = app_by_name(GetParam());
+  const auto params = small_params();
+  EXPECT_EQ(run_standalone(app, params, 16 << 20),
+            run_standalone(app, params, 256 << 20));
+}
+
+// The headline property (paper section 2, "Transparent, distributed
+// execution"): forcing part of the application onto the surrogate must not
+// change what it computes.
+TEST_P(AppDeterminismTest, TransparencyUnderForcedOffload) {
+  const auto& app = app_by_name(GetParam());
+  const auto params = small_params();
+  const auto expected = run_standalone(app, params);
+
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 64 << 20;
+  cfg.auto_offload = false;  // we force one mid-run via low heap instead
+  platform::Platform p(reg, cfg);
+
+  // Run, then force an offload at the end of the first run and run again on
+  // the same platform: state of run 2 executes with a populated surrogate.
+  const auto first = app.run(p.client(), params);
+  EXPECT_EQ(first, expected);
+  p.offload_now(std::int64_t{1});
+  const auto second = app.run(p.client(), params);
+  EXPECT_EQ(second, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppDeterminismTest,
+                         ::testing::Values("JavaNote", "Dia", "Biomer",
+                                           "Voxel", "Tracer"));
+
+TEST(AppsTransparencyTest, JavaNoteSurvivesTightHeapWithPlatform) {
+  // The paper's key scenario at reduced scale: pick a heap that OOMs
+  // standalone but completes with the platform.
+  const auto& app = app_by_name("JavaNote");
+  auto params = small_params();
+  params.doc_bytes = 96 * 1024;
+
+  // Find the standalone result with a large heap first (ground truth).
+  const auto expected = run_standalone(app, params);
+
+  // Standalone at a tight heap must fail...
+  const std::int64_t tight = 800 * 1024;
+  EXPECT_THROW(run_standalone(app, params, tight), VmError);
+
+  // ...and the platform must complete with the same checksum.
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = tight;
+  cfg.trigger.consecutive_reports = 2;
+  platform::Platform p(reg, cfg);
+  EXPECT_EQ(app.run(p.client(), params), expected);
+  EXPECT_TRUE(p.offloaded());
+}
+
+TEST(AppsScaleTest, JavaNoteScalesWithDocumentSize) {
+  const auto& app = app_by_name("JavaNote");
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+
+  auto run_with = [&](std::int64_t doc_bytes) {
+    SimClock clock;
+    vm::VmConfig cfg;
+    cfg.heap_capacity = 64 << 20;
+    vm::Vm vm(cfg, reg, clock);
+    auto params = small_params();
+    params.doc_bytes = doc_bytes;
+    app.run(vm, params);
+    return vm.heap().used();
+  };
+  EXPECT_GT(run_with(128 * 1024), run_with(32 * 1024));
+}
+
+TEST(AppsScaleTest, TracerWorkScalesWithImage) {
+  const auto& app = app_by_name("Tracer");
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+
+  auto sim_time = [&](int w, int h) {
+    SimClock clock;
+    vm::VmConfig cfg;
+    cfg.heap_capacity = 64 << 20;
+    vm::Vm vm(cfg, reg, clock);
+    auto params = small_params();
+    params.trace_w = w;
+    params.trace_h = h;
+    app.run(vm, params);
+    return clock.now();
+  };
+  EXPECT_GT(sim_time(32, 24), sim_time(16, 12));
+}
+
+TEST(AppsStructureTest, PinnedClassesExistForEveryApp) {
+  // Every app must touch at least one pinned (stateful-native) class — the
+  // anchor of the client partition.
+  for (const auto& app : all_apps()) {
+    auto reg = std::make_shared<vm::ClassRegistry>();
+    app.register_classes(*reg);
+    bool has_pinned = false;
+    for (std::size_t i = 0; i < reg->size(); ++i) {
+      if (reg->get(ClassId{static_cast<std::uint32_t>(i)})
+              .has_stateful_native()) {
+        has_pinned = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_pinned) << app.name;
+  }
+}
+
+TEST(AppsStructureTest, StdlibHasStatelessNatives) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  register_stdlib(*reg);
+  const auto& math = reg->get(reg->find("Math"));
+  EXPECT_FALSE(math.has_stateful_native());
+  bool any_stateless = false;
+  for (const auto& m : math.methods) {
+    if (m.kind == vm::MethodKind::native && m.stateless) any_stateless = true;
+  }
+  EXPECT_TRUE(any_stateless);
+}
+
+}  // namespace
+}  // namespace aide::apps

@@ -1,0 +1,186 @@
+// Tests for the common kernel: strong ids, deterministic RNG, the virtual
+// clock, and the byte reader/writer used by the wire codec.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/simclock.hpp"
+
+namespace aide {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  ClassId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ClassId::invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  ObjectId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(ClassId{1}, ClassId{2});
+  EXPECT_EQ(ClassId{7}, ClassId{7});
+  EXPECT_NE(ClassId{7}, ClassId{8});
+}
+
+TEST(StrongIdTest, DistinctTypesHashIndependently) {
+  std::unordered_set<ClassId> classes{ClassId{1}, ClassId{2}, ClassId{1}};
+  EXPECT_EQ(classes.size(), 2u);
+  std::unordered_set<ObjectId> objects{ObjectId{1}};
+  EXPECT_EQ(objects.size(), 1u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(sim_ms(5));
+  EXPECT_EQ(clock.now(), sim_ms(5));
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock;
+  clock.advance(sim_us(10));
+  clock.advance(-sim_us(100));
+  EXPECT_EQ(clock.now(), sim_us(10));
+}
+
+TEST(SimClockTest, UnitConversions) {
+  EXPECT_EQ(sim_us(1), 1000);
+  EXPECT_EQ(sim_ms(1), 1'000'000);
+  EXPECT_EQ(sim_sec(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(sim_to_seconds(sim_sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(sim_to_ms(sim_ms(7)), 7.0);
+}
+
+TEST(BytesTest, PodRoundTrip) {
+  ByteWriter w;
+  w.write_u8(7);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-42);
+  w.write_f64(3.25);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string(10000, 'x'));
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string().size(), 10000u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, TruncatedReadThrows) {
+  ByteWriter w;
+  w.write_u32(5);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_u32(), 5u);
+  EXPECT_THROW(r.read_u64(), std::out_of_range);
+}
+
+TEST(BytesTest, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_u32(100);  // claims 100 bytes that are not there
+  ByteReader r(w.data());
+  EXPECT_THROW(r.read_string(), std::out_of_range);
+}
+
+TEST(BytesTest, TakeMovesBuffer) {
+  ByteWriter w;
+  w.write_u32(1);
+  const auto buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(ErrorTest, VmErrorCarriesCode) {
+  const VmError e(VmErrorCode::out_of_memory, "heap full");
+  EXPECT_EQ(e.code(), VmErrorCode::out_of_memory);
+  EXPECT_NE(std::string(e.what()).find("out_of_memory"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("heap full"), std::string::npos);
+}
+
+TEST(ErrorTest, AllCodesHaveNames) {
+  for (const auto code :
+       {VmErrorCode::out_of_memory, VmErrorCode::unknown_class,
+        VmErrorCode::unknown_method, VmErrorCode::unknown_field,
+        VmErrorCode::bad_array_index, VmErrorCode::null_reference,
+        VmErrorCode::type_mismatch, VmErrorCode::native_not_registered,
+        VmErrorCode::stack_overflow}) {
+    EXPECT_NE(to_string(code), "unknown");
+  }
+}
+
+TEST(SplitMixTest, Deterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace aide

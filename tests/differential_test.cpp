@@ -1,0 +1,210 @@
+// Differential fuzzing of the transparency property.
+//
+// A deterministic random program (object creation, field reads/writes,
+// method calls, array ops, reference drops, forced GCs) is executed twice:
+// on a standalone VM, and on the AIDE platform where every K operations the
+// entire migratable heap is forcibly offloaded (and keeps executing
+// remotely). Every value the program observes is folded into a checksum;
+// the two executions must observe byte-identical state. This is the paper's
+// "transparent, distributed execution" requirement under adversarial
+// schedules that no hand-written scenario covers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "tests/test_util.hpp"
+
+namespace aide {
+namespace {
+
+using vm::ObjectRef;
+using vm::Value;
+using vm::Vm;
+
+constexpr int kSlots = 24;
+constexpr int kOps = 600;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Runs the random program; `offload` (if non-null) is invoked periodically.
+std::uint64_t run_program(Vm& vm, std::uint64_t seed,
+                          const std::function<void()>& offload) {
+  Rng rng(seed);
+  std::uint64_t checksum = seed;
+
+  // The root table anchors everything the program considers live.
+  const ObjectRef roots = vm.new_ref_array(kSlots);
+  vm.add_root(roots);
+
+  auto slot = [&](int i) {
+    return vm.get_field(roots, FieldId{static_cast<std::uint32_t>(i)});
+  };
+  auto set_slot = [&](int i, const Value& v) {
+    vm.put_field(roots, FieldId{static_cast<std::uint32_t>(i)}, v);
+  };
+
+  auto observe = [&](const Value& v) {
+    if (v.is_int()) {
+      checksum = mix(checksum, static_cast<std::uint64_t>(v.as_int()));
+    } else if (v.is_str()) {
+      for (const char c : v.as_str()) {
+        checksum = mix(checksum, static_cast<unsigned char>(c));
+      }
+    } else if (v.is_bool()) {
+      checksum = mix(checksum, v.as_bool() ? 1 : 2);
+    } else if (v.is_ref()) {
+      checksum = mix(checksum, v.as_ref().is_null() ? 3 : 4);
+    } else {
+      checksum = mix(checksum, 5);
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int target = static_cast<int>(rng.next_below(kSlots));
+    const Value current = slot(target);
+    const bool have_obj = current.is_ref() && !current.as_ref().is_null();
+
+    switch (rng.next_below(10)) {
+      case 0:  // create a Counter
+        set_slot(target, Value{vm.new_object("Counter")});
+        break;
+      case 1:  // create a Pair with payload
+        {
+          const ObjectRef pair = vm.new_object("Pair");
+          vm.put_field(pair, FieldId{0},
+                       Value{static_cast<std::int64_t>(rng.next_u64() % 997)});
+          vm.put_field(pair, FieldId{1},
+                       Value{std::string(rng.next_below(48), 'q')});
+          set_slot(target, Value{pair});
+        }
+        break;
+      case 2:  // create an int array
+        set_slot(target, Value{vm.new_int_array(
+                             8 + static_cast<std::int64_t>(
+                                     rng.next_below(2048)))});
+        break;
+      case 3:  // link: holder pointing at another slot's object
+        {
+          const ObjectRef holder = vm.new_object("Holder");
+          vm.put_field(holder, FieldId{0},
+                       slot(static_cast<int>(rng.next_below(kSlots))));
+          set_slot(target, Value{holder});
+        }
+        break;
+      case 4:  // drop a reference
+        set_slot(target, Value{vm::kNullRef});
+        break;
+      case 5:  // mutate / read fields
+        if (have_obj && vm.class_of(current.as_ref().id) ==
+                            vm.find_class("Pair")) {
+          vm.put_field(current.as_ref(), FieldId{0},
+                       Value{static_cast<std::int64_t>(op)});
+          observe(vm.get_field(current.as_ref(), FieldId{0}));
+          observe(vm.get_field(current.as_ref(), FieldId{1}));
+        }
+        break;
+      case 6:  // invoke
+        if (have_obj && vm.class_of(current.as_ref().id) ==
+                            vm.find_class("Counter")) {
+          observe(vm.call(current.as_ref(), "inc"));
+          observe(vm.call(current.as_ref(), "get"));
+        }
+        break;
+      case 7:  // array traffic
+        if (have_obj) {
+          const ObjectRef ref = current.as_ref();
+          if (vm.class_of(ref.id) == vm.registry().int_array_class()) {
+            const std::int64_t n = vm.array_length(ref);
+            const std::int64_t ix =
+                static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(n)));
+            vm.array_put(ref, ix, Value{static_cast<std::int64_t>(op * 7)});
+            observe(vm.array_get(ref, ix));
+            observe(Value{n});
+          }
+        }
+        break;
+      case 8:  // statics round-trip
+        vm.put_static("Calc", "memory",
+                      Value{static_cast<std::int64_t>(op)});
+        observe(vm.get_static("Calc", "memory"));
+        break;
+      case 9:  // walk a holder chain
+        {
+          Value cursor = current;
+          for (int depth = 0; depth < 4; ++depth) {
+            if (!cursor.is_ref() || cursor.as_ref().is_null()) break;
+            const ObjectRef obj = cursor.as_ref();
+            if (vm.class_of(obj.id) != vm.find_class("Holder")) break;
+            cursor = vm.get_field(obj, FieldId{0});
+          }
+          observe(cursor);
+        }
+        break;
+    }
+
+    if (op % 97 == 41) vm.collect_garbage();
+    if (offload && op % 50 == 49) offload();
+    // Drop the per-op driver pins; `roots` stays alive via its external root.
+    vm.clear_driver_roots();
+  }
+
+  vm.remove_root(roots);
+  vm.clear_driver_roots();
+  return checksum;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, OffloadedExecutionObservesIdenticalState) {
+  const std::uint64_t seed = GetParam();
+
+  // Ground truth: standalone VM.
+  auto reg1 = aide::test::make_test_registry();
+  SimClock clock1;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 32 << 20;
+  Vm standalone(cfg, reg1, clock1);
+  const auto expected = run_program(standalone, seed, nullptr);
+
+  // Same program on the platform, with periodic forced total offloads.
+  auto reg2 = aide::test::make_test_registry();
+  platform::PlatformConfig pcfg;
+  pcfg.client_heap = 32 << 20;
+  pcfg.auto_offload = false;
+  platform::Platform p(reg2, pcfg);
+  const auto offloaded = run_program(
+      p.client(), seed, [&p] { p.offload_now(std::int64_t{1}); });
+
+  EXPECT_EQ(offloaded, expected) << "seed " << seed;
+  EXPECT_TRUE(p.offloaded());
+}
+
+TEST_P(DifferentialTest, RepeatedRunsOnOnePlatformStayConsistent) {
+  const std::uint64_t seed = GetParam();
+  auto reg = aide::test::make_test_registry();
+  platform::PlatformConfig pcfg;
+  pcfg.client_heap = 32 << 20;
+  pcfg.auto_offload = false;
+  platform::Platform p(reg, pcfg);
+
+  const auto first = run_program(p.client(), seed, [&p] {
+    p.offload_now(std::int64_t{1});
+  });
+  // Second run over a heap already scattered across both VMs.
+  const auto second = run_program(p.client(), seed, [&p] {
+    p.offload_now(std::int64_t{1});
+  });
+  EXPECT_EQ(first, second) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace aide

@@ -1,0 +1,330 @@
+// Tests for the RPC endpoints: transparent remote invocation/access across
+// two VMs, the placement rules (natives and statics on the client, managed
+// statics local), object migration (including cyclic batches), reference
+// mapping, distributed GC releases, reentrant callbacks, error propagation,
+// and simulated-time charging.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netsim/link.hpp"
+#include "rpc/endpoint.hpp"
+#include "tests/test_util.hpp"
+
+namespace aide::rpc {
+namespace {
+
+using aide::test::make_test_registry;
+using vm::ObjectRef;
+using vm::Value;
+using vm::Vm;
+using vm::VmConfig;
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  EndpointTest()
+      : registry_(make_test_registry()),
+        link_(netsim::LinkParams::wavelan()),
+        client_(client_cfg(), registry_, clock_),
+        surrogate_(surrogate_cfg(), registry_, clock_),
+        client_ep_(client_, link_),
+        surrogate_ep_(surrogate_, link_) {
+    Endpoint::connect(client_ep_, surrogate_ep_);
+  }
+
+  static VmConfig client_cfg() {
+    VmConfig c;
+    c.node = NodeId{1};
+    c.name = "client";
+    c.is_client = true;
+    c.heap_capacity = 4 << 20;
+    return c;
+  }
+  static VmConfig surrogate_cfg() {
+    VmConfig c;
+    c.node = NodeId{2};
+    c.name = "surrogate";
+    c.is_client = false;
+    c.cpu_speed = 3.5;
+    c.heap_capacity = 32 << 20;
+    return c;
+  }
+
+  // Moves one client object to the surrogate.
+  void offload(ObjectRef obj) {
+    const ObjectId ids[] = {obj.id};
+    client_ep_.migrate_objects(ids);
+  }
+
+  std::shared_ptr<vm::ClassRegistry> registry_;
+  SimClock clock_;
+  netsim::Link link_;
+  Vm client_;
+  Vm surrogate_;
+  Endpoint client_ep_;
+  Endpoint surrogate_ep_;
+};
+
+TEST_F(EndpointTest, MigrationMovesObjectAndLeavesStub) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+  EXPECT_FALSE(client_.is_local(counter.id));
+  EXPECT_TRUE(client_.knows(counter.id));
+  EXPECT_TRUE(surrogate_.is_local(counter.id));
+  EXPECT_EQ(client_.stub_count(), 1u);
+}
+
+TEST_F(EndpointTest, RemoteInvocationFollowsObject) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  client_.call(counter, "inc");
+  offload(counter);
+  // State travelled with the object; execution follows it transparently.
+  EXPECT_EQ(client_.call(counter, "inc").as_int(), 2);
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 2);
+  EXPECT_GE(client_.stats().remote_invocations, 2u);
+}
+
+TEST_F(EndpointTest, RemoteFieldAccess) {
+  const ObjectRef pair = client_.new_object("Pair");
+  client_.add_root(pair);
+  client_.put_field(pair, FieldId{0}, Value{7});
+  offload(pair);
+  EXPECT_EQ(client_.get_field(pair, FieldId{0}).as_int(), 7);
+  client_.put_field(pair, FieldId{1}, Value{"remote"});
+  EXPECT_EQ(client_.get_field(pair, FieldId{1}).as_str(), "remote");
+  EXPECT_GE(client_.stats().remote_field_accesses, 3u);
+}
+
+TEST_F(EndpointTest, RemoteArrayOps) {
+  const ObjectRef arr = client_.new_int_array(8);
+  client_.add_root(arr);
+  client_.array_put(arr, 2, Value{11});
+  offload(arr);
+  EXPECT_EQ(client_.array_length(arr), 8);
+  EXPECT_EQ(client_.array_get(arr, 2).as_int(), 11);
+  client_.array_put(arr, 3, Value{22});
+  EXPECT_EQ(client_.array_get(arr, 3).as_int(), 22);
+}
+
+TEST_F(EndpointTest, RemoteCharArrayBulkOps) {
+  const ObjectRef arr = client_.new_char_array(32);
+  client_.add_root(arr);
+  offload(arr);
+  client_.chars_write(arr, 4, "abcdef");
+  EXPECT_EQ(client_.chars_read(arr, 4, 6), "abcdef");
+}
+
+TEST_F(EndpointTest, MigratedBatchPreservesCycles) {
+  const ObjectRef a = client_.new_object("Holder");
+  const ObjectRef b = client_.new_object("Holder");
+  client_.put_field(a, FieldId{0}, Value{b});
+  client_.put_field(b, FieldId{0}, Value{a});
+  client_.add_root(a);
+
+  const ObjectId ids[] = {a.id, b.id};
+  client_ep_.migrate_objects(ids);
+
+  EXPECT_TRUE(surrogate_.is_local(a.id));
+  EXPECT_TRUE(surrogate_.is_local(b.id));
+  // The cycle is intact on the surrogate.
+  EXPECT_EQ(surrogate_.raw_get_field(a.id, FieldId{0}).as_ref().id, b.id);
+  EXPECT_EQ(surrogate_.raw_get_field(b.id, FieldId{0}).as_ref().id, a.id);
+  // And transparently reachable from the client.
+  EXPECT_EQ(client_.get_field(a, FieldId{0}).as_ref(), b);
+}
+
+TEST_F(EndpointTest, MigratedObjectKeepsReferenceToClientObject) {
+  const ObjectRef holder = client_.new_object("Holder");
+  const ObjectRef kept = client_.new_object("Counter");
+  client_.put_field(holder, FieldId{0}, Value{kept});
+  client_.add_root(holder);
+
+  offload(holder);
+  // The surrogate's copy references the client-resident counter through a
+  // stub; invoking through it must route back to the client.
+  const Value got = client_.get_field(holder, FieldId{0});
+  EXPECT_EQ(got.as_ref(), kept);
+  EXPECT_TRUE(client_.is_local(kept.id));
+  EXPECT_TRUE(surrogate_.knows(kept.id));
+  EXPECT_FALSE(surrogate_.is_local(kept.id));
+}
+
+TEST_F(EndpointTest, NativeMethodsExecuteOnClient) {
+  // Device is pinned in practice, but even if its object is reachable from
+  // the surrogate, native calls route to the client.
+  const ObjectRef device = client_.new_object("Device");
+  client_.add_root(device);
+
+  // Invoke from the surrogate side: target is on the client.
+  surrogate_.install_stub(device.id, client_.find_class("Device"),
+                          vm::ObjectKind::plain);
+  const Value beeps = surrogate_.call(ObjectRef{device.id}, "beep");
+  EXPECT_EQ(beeps.as_int(), 1);
+  EXPECT_TRUE(client_.is_local(device.id));
+  EXPECT_EQ(client_.get_field(device, FieldId{0}).as_int(), 1);
+}
+
+TEST_F(EndpointTest, StatelessNativeRunsLocallyWithEnhancement) {
+  VmConfig cfg = surrogate_cfg();
+  cfg.stateless_natives_local = true;
+  cfg.node = NodeId{3};
+  Vm local_surrogate(cfg, registry_, clock_);
+  Endpoint ep(local_surrogate, link_);
+  // No peer needed: the stateless native runs where invoked.
+  EXPECT_EQ(local_surrogate.call_static("Util", "twice", {Value{4}}).as_int(),
+            8);
+}
+
+TEST_F(EndpointTest, StatelessNativeRoutesToClientWithoutEnhancement) {
+  // Default configuration: even stateless natives execute on the client.
+  EXPECT_EQ(surrogate_.call_static("Util", "twice", {Value{4}}).as_int(), 8);
+  EXPECT_EQ(surrogate_.stats().remote_invocations, 1u);
+}
+
+TEST_F(EndpointTest, StaticDataLivesOnClient) {
+  surrogate_.put_static("Calc", "memory", Value{123});
+  // The write landed on the client VM's static storage.
+  EXPECT_EQ(client_.raw_get_static(client_.find_class("Calc"), 0).as_int(),
+            123);
+  EXPECT_EQ(surrogate_.get_static("Calc", "memory").as_int(), 123);
+  EXPECT_GE(surrogate_.stats().remote_field_accesses, 2u);
+}
+
+TEST_F(EndpointTest, ManagedStaticRunsOnInvokingVm) {
+  const auto before = surrogate_.stats().remote_invocations;
+  EXPECT_EQ(surrogate_.call_static("Calc", "add", {Value{1}, Value{2}})
+                .as_int(),
+            3);
+  EXPECT_EQ(surrogate_.stats().remote_invocations, before);
+}
+
+TEST_F(EndpointTest, ReentrantCallback) {
+  // Client invokes a method on an offloaded Holder whose body calls back
+  // into a client-resident Counter — client -> surrogate -> client.
+  auto reg = make_test_registry();
+  vm::ClassBuilder cb("Chain");
+  cb.field("next");
+  cb.method("poke", [](Vm& ctx, ObjectRef self, auto) -> Value {
+    const ObjectRef next = ctx.get_field(self, FieldId{0}).as_ref();
+    return ctx.call(next, "inc");
+  });
+  const ClassId chain_cls = reg->register_class(cb.build());
+
+  SimClock clock;
+  netsim::Link link;
+  Vm c(client_cfg(), reg, clock);
+  Vm s(surrogate_cfg(), reg, clock);
+  Endpoint ce(c, link), se(s, link);
+  Endpoint::connect(ce, se);
+
+  const ObjectRef chain = c.new_object(chain_cls);
+  const ObjectRef counter = c.new_object("Counter");
+  c.put_field(chain, FieldId{0}, Value{counter});
+  c.add_root(chain);
+  c.add_root(counter);
+
+  const ObjectId ids[] = {chain.id};
+  ce.migrate_objects(ids);
+
+  EXPECT_EQ(c.call(chain, "poke").as_int(), 1);
+  EXPECT_EQ(c.call(chain, "poke").as_int(), 2);
+  EXPECT_TRUE(c.is_local(counter.id));
+  EXPECT_EQ(c.call(counter, "get").as_int(), 2);
+}
+
+TEST_F(EndpointTest, RemoteErrorsPropagateWithCode) {
+  const ObjectRef arr = client_.new_int_array(4);
+  client_.add_root(arr);
+  offload(arr);
+  try {
+    client_.array_get(arr, 99);
+    FAIL() << "expected bad_array_index";
+  } catch (const VmError& e) {
+    EXPECT_EQ(e.code(), VmErrorCode::bad_array_index);
+    EXPECT_NE(std::string(e.what()).find("remote"), std::string::npos);
+  }
+}
+
+TEST_F(EndpointTest, RpcAdvancesSimulatedClock) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+  const SimTime before = clock_.now();
+  client_.call(counter, "get");
+  // At least one full round trip of the WaveLAN link.
+  EXPECT_GE(clock_.now() - before, sim_us(2400));
+}
+
+TEST_F(EndpointTest, StatsCountTraffic) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+  client_.call(counter, "inc");
+  const auto& stats = client_ep_.stats();
+  EXPECT_GE(stats.rpcs_sent, 2u);  // migrate + invoke
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.bytes_received, 0u);
+  EXPECT_EQ(stats.migrations_sent, 1u);
+  EXPECT_EQ(stats.objects_migrated_out, 1u);
+}
+
+TEST_F(EndpointTest, DistributedGcReleasesDroppedStubs) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+  EXPECT_EQ(surrogate_ep_.refs().export_count(), 1u);
+
+  // Drop the only client reference; client GC should release the stub and
+  // the surrogate should un-export (making the object collectable there).
+  client_.remove_root(counter);
+  client_.clear_driver_roots();
+  client_.collect_garbage();
+  EXPECT_EQ(client_.stub_count(), 0u);
+  EXPECT_EQ(surrogate_ep_.refs().export_count(), 0u);
+
+  surrogate_.collect_garbage();
+  EXPECT_FALSE(surrogate_.is_local(counter.id));
+}
+
+TEST_F(EndpointTest, ExportsActAsGcRootsOnOwner) {
+  // A client object referenced only by the surrogate must survive client GC.
+  const ObjectRef holder = client_.new_object("Holder");
+  const ObjectRef kept = client_.new_object("Counter");
+  client_.put_field(holder, FieldId{0}, Value{kept});
+  client_.add_root(holder);
+  offload(holder);
+
+  // Now drop all client-side references to `kept`: it is only reachable via
+  // the migrated holder's field on the surrogate (through the export table).
+  client_.clear_driver_roots();
+  client_.collect_garbage();
+  EXPECT_TRUE(client_.is_local(kept.id));
+  EXPECT_EQ(client_.get_field(holder, FieldId{0}).as_ref().id, kept.id);
+}
+
+TEST_F(EndpointTest, MigrationChargesLinkForPayload) {
+  const ObjectRef big = client_.new_char_array(200 * 1024);
+  client_.add_root(big);
+  const SimTime before = clock_.now();
+  offload(big);
+  // 200 KB at 11 Mbps is ~150 ms one way.
+  EXPECT_GT(clock_.now() - before, sim_ms(100));
+}
+
+TEST_F(EndpointTest, ReverseMigrationBringsObjectBack) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  client_.call(counter, "inc");
+  offload(counter);
+  EXPECT_FALSE(client_.is_local(counter.id));
+
+  const ObjectId ids[] = {counter.id};
+  surrogate_ep_.migrate_objects(ids);
+  EXPECT_TRUE(client_.is_local(counter.id));
+  EXPECT_FALSE(surrogate_.is_local(counter.id));
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace aide::rpc

@@ -1,0 +1,278 @@
+// Tests for the mark-and-sweep collector: reachability through fields,
+// frames, external/driver roots and statics; sweep of garbage; GC reports;
+// automatic triggering thresholds; the out-of-memory path and the low-memory
+// rescue handler.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tests/test_util.hpp"
+#include "vm/hooks.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::vm {
+namespace {
+
+using aide::test::make_test_registry;
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() : registry_(make_test_registry()), vm_(cfg(), registry_, clock_) {}
+
+  static VmConfig cfg() {
+    VmConfig c;
+    c.node = NodeId{1};
+    c.heap_capacity = 256 * 1024;
+    c.gc_alloc_count_threshold = 1 << 30;  // no automatic GC unless asked
+    c.gc_alloc_bytes_divisor = 0;
+    return c;
+  }
+
+  std::shared_ptr<ClassRegistry> registry_;
+  SimClock clock_;
+  Vm vm_;
+};
+
+TEST_F(GcTest, UnreachableObjectCollected) {
+  const ObjectRef garbage = vm_.new_object("Pair");
+  (void)garbage;  // driver-rooted until we clear
+  vm_.clear_driver_roots();
+  const auto report = vm_.collect_garbage();
+  EXPECT_GT(report.freed, 0);
+  EXPECT_EQ(vm_.heap().object_count(), 0u);
+}
+
+TEST_F(GcTest, ExternallyRootedObjectSurvives) {
+  const ObjectRef pair = vm_.new_object("Pair");
+  vm_.add_root(pair);
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(pair.id));
+
+  vm_.remove_root(pair);
+  vm_.collect_garbage();
+  EXPECT_FALSE(vm_.is_local(pair.id));
+}
+
+TEST_F(GcTest, DriverLocalsAreRootsUntilCleared) {
+  const ObjectRef pair = vm_.new_object("Pair");
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(pair.id));  // driver root keeps it
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_FALSE(vm_.is_local(pair.id));
+}
+
+TEST_F(GcTest, ReachabilityThroughFieldChain) {
+  const ObjectRef a = vm_.new_object("Holder");
+  const ObjectRef b = vm_.new_object("Holder");
+  const ObjectRef c = vm_.new_object("Pair");
+  vm_.put_field(a, FieldId{0}, Value{b});
+  vm_.put_field(b, FieldId{0}, Value{c});
+  vm_.add_root(a);
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(a.id));
+  EXPECT_TRUE(vm_.is_local(b.id));
+  EXPECT_TRUE(vm_.is_local(c.id));
+
+  vm_.put_field(a, FieldId{0}, Value{});
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(a.id));
+  EXPECT_FALSE(vm_.is_local(b.id));
+  EXPECT_FALSE(vm_.is_local(c.id));
+}
+
+TEST_F(GcTest, CyclesAreCollected) {
+  const ObjectRef a = vm_.new_object("Holder");
+  const ObjectRef b = vm_.new_object("Holder");
+  vm_.put_field(a, FieldId{0}, Value{b});
+  vm_.put_field(b, FieldId{0}, Value{a});
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_EQ(vm_.heap().object_count(), 0u);
+}
+
+TEST_F(GcTest, StaticsAreRoots) {
+  const ObjectRef pair = vm_.new_object("Pair");
+  vm_.put_static("Calc", "memory", Value{pair});
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(pair.id));
+  vm_.put_static("Calc", "memory", Value{});
+  vm_.collect_garbage();
+  EXPECT_FALSE(vm_.is_local(pair.id));
+}
+
+TEST_F(GcTest, ExtraRootsProviderConsulted) {
+  const ObjectRef pair = vm_.new_object("Pair");
+  const ObjectId pinned = pair.id;
+  bool enabled = true;
+  vm_.set_extra_roots_provider(
+      [&](const std::function<void(ObjectId)>& visit) {
+        if (enabled) visit(pinned);
+      });
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_TRUE(vm_.is_local(pinned));
+  enabled = false;
+  vm_.collect_garbage();
+  EXPECT_FALSE(vm_.is_local(pinned));
+}
+
+TEST_F(GcTest, RefsHeldDuringMethodExecutionSurvive) {
+  // A method allocates an object, forces a GC, and uses the object after —
+  // the frame-local (JNI-style) root set must keep it alive.
+  auto reg = make_test_registry();
+  ClassBuilder cb("Alloc8");
+  cb.method("make_and_use", [](Vm& ctx, ObjectRef, auto) -> Value {
+    const ObjectRef tmp = ctx.new_object("Pair");
+    ctx.put_field(tmp, FieldId{0}, Value{41});
+    ctx.collect_garbage();
+    return Value{ctx.get_field(tmp, FieldId{0}).as_int() + 1};
+  });
+  const ClassId alloc_cls = reg->register_class(cb.build());
+
+  SimClock clock;
+  Vm vm(cfg(), reg, clock);
+  const ObjectRef a = vm.new_object(alloc_cls);
+  EXPECT_EQ(vm.call(a, "make_and_use").as_int(), 42);
+}
+
+TEST_F(GcTest, ReportFieldsConsistent) {
+  const ObjectRef keep = vm_.new_object("Pair");
+  vm_.add_root(keep);
+  vm_.new_object("Pair");
+  vm_.clear_driver_roots();
+  const auto report = vm_.collect_garbage();
+  EXPECT_EQ(report.used_before - report.freed, report.used_after);
+  EXPECT_EQ(report.capacity, 256 * 1024);
+  EXPECT_EQ(report.live_objects, 1);
+  EXPECT_GT(report.cycle, 0u);
+  EXPECT_GT(report.free_fraction(), 0.9);
+}
+
+TEST_F(GcTest, OnFreeHookFires) {
+  struct FreeHooks : VmHooks {
+    int frees = 0;
+    void on_free(NodeId, ObjectId, ClassId, std::int64_t, SimTime) override {
+      ++frees;
+    }
+  } hooks;
+  vm_.add_hooks(&hooks);
+  vm_.new_object("Pair");
+  vm_.new_object("Pair");
+  vm_.clear_driver_roots();
+  vm_.collect_garbage();
+  EXPECT_EQ(hooks.frees, 2);
+}
+
+TEST_F(GcTest, OnGcHookFires) {
+  struct GcHooks : VmHooks {
+    int cycles = 0;
+    void on_gc(NodeId, const GcReport&) override { ++cycles; }
+  } hooks;
+  vm_.add_hooks(&hooks);
+  vm_.collect_garbage();
+  vm_.collect_garbage();
+  EXPECT_EQ(hooks.cycles, 2);
+}
+
+TEST(GcAutoTest, AllocCountThresholdTriggersGc) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 8 << 20;
+  c.gc_alloc_count_threshold = 100;
+  c.gc_alloc_bytes_divisor = 0;
+  Vm vm(c, reg, clock);
+  for (int i = 0; i < 250; ++i) {
+    vm.new_object("Pair");
+    vm.clear_driver_roots();
+  }
+  EXPECT_GE(vm.stats().gc_cycles, 2u);
+}
+
+TEST(GcAutoTest, AllocBytesThresholdTriggersGc) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 1 << 20;
+  c.gc_alloc_count_threshold = 1 << 30;
+  c.gc_alloc_bytes_divisor = 8;  // gc every 128 KB allocated
+  Vm vm(c, reg, clock);
+  for (int i = 0; i < 10; ++i) {
+    vm.new_char_array(64 * 1024);
+    vm.clear_driver_roots();
+  }
+  EXPECT_GE(vm.stats().gc_cycles, 3u);
+}
+
+TEST(GcAutoTest, OutOfMemoryThrowsWhenNothingCollectable) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 64 * 1024;
+  Vm vm(c, reg, clock);
+  const ObjectRef big = vm.new_char_array(48 * 1024);
+  vm.add_root(big);
+  EXPECT_THROW(vm.new_char_array(48 * 1024), VmError);
+  try {
+    vm.new_char_array(48 * 1024);
+    FAIL() << "expected out_of_memory";
+  } catch (const VmError& e) {
+    EXPECT_EQ(e.code(), VmErrorCode::out_of_memory);
+  }
+}
+
+TEST(GcAutoTest, GarbageIsCollectedInsteadOfThrowing) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 64 * 1024;
+  Vm vm(c, reg, clock);
+  // Repeatedly allocate garbage larger than half the heap; GC must reclaim.
+  for (int i = 0; i < 20; ++i) {
+    vm.new_char_array(40 * 1024);
+    vm.clear_driver_roots();
+  }
+  SUCCEED();
+}
+
+TEST(GcAutoTest, LowMemoryHandlerRescuesAllocation) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 64 * 1024;
+  Vm vm(c, reg, clock);
+
+  ObjectRef hog = vm.new_char_array(48 * 1024);
+  vm.add_root(hog);
+  int calls = 0;
+  vm.set_low_memory_handler([&](Vm& v) {
+    ++calls;
+    v.remove_root(hog);  // "offload": release the hog so GC can reclaim it
+    return true;
+  });
+  vm.clear_driver_roots();
+  const ObjectRef fresh = vm.new_char_array(48 * 1024);
+  EXPECT_TRUE(vm.is_local(fresh.id));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(vm.stats().low_memory_rescues, 1u);
+}
+
+TEST(GcAutoTest, GcChargesSimulatedTime) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig c;
+  c.heap_capacity = 8 << 20;
+  c.gc_cost_per_live_object = sim_us(1);
+  Vm vm(c, reg, clock);
+  const ObjectRef keep = vm.new_object("Pair");
+  vm.add_root(keep);
+  const SimTime before = clock.now();
+  vm.collect_garbage();
+  EXPECT_GE(clock.now(), before + sim_us(1));
+}
+
+}  // namespace
+}  // namespace aide::vm

@@ -1,0 +1,168 @@
+// Tests for the execution graph: node/edge accounting, the same-class
+// filtering rule, memory and self-time aggregation, and DOT rendering.
+#include <gtest/gtest.h>
+
+#include "graph/exec_graph.hpp"
+
+namespace aide::graph {
+namespace {
+
+ComponentKey cls(std::uint32_t id) { return ComponentKey{ClassId{id}}; }
+ComponentKey obj(std::uint32_t c, std::uint64_t o) {
+  return ComponentKey{ClassId{c}, ObjectId{o}};
+}
+
+TEST(ComponentKeyTest, ClassGranularityByDefault) {
+  EXPECT_FALSE(cls(1).is_object_granularity());
+  EXPECT_TRUE(obj(1, 5).is_object_granularity());
+}
+
+TEST(ComponentKeyTest, EqualityAndOrdering) {
+  EXPECT_EQ(cls(1), cls(1));
+  EXPECT_NE(cls(1), cls(2));
+  EXPECT_NE(cls(1), obj(1, 1));
+  EXPECT_LT(cls(1), cls(2));
+}
+
+TEST(ExecGraphTest, InteractionCreatesNodesAndEdge) {
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(2), true, 100);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  const EdgeInfo* e = g.find_edge(cls(1), cls(2));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->invocations, 1u);
+  EXPECT_EQ(e->accesses, 0u);
+  EXPECT_EQ(e->bytes, 100u);
+}
+
+TEST(ExecGraphTest, SameComponentInteractionIgnored) {
+  // Paper 3.4: "Information is recorded only for interactions between two
+  // different classes."
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(1), true, 100);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(ExecGraphTest, EdgeIsUndirected) {
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(2), true, 10);
+  g.record_interaction(cls(2), cls(1), false, 20);
+  EXPECT_EQ(g.edge_count(), 1u);
+  const EdgeInfo* e = g.find_edge(cls(2), cls(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->invocations, 1u);
+  EXPECT_EQ(e->accesses, 1u);
+  EXPECT_EQ(e->bytes, 30u);
+  EXPECT_EQ(e->interactions(), 2u);
+}
+
+TEST(ExecGraphTest, MemoryAccounting) {
+  ExecGraph g;
+  g.add_memory(cls(1), 1000, 1);
+  g.add_memory(cls(1), 500, 1);
+  g.add_memory(cls(1), -300, -1);
+  const NodeInfo* n = g.find_node(cls(1));
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->mem_bytes, 1200);
+  EXPECT_EQ(n->peak_mem_bytes, 1500);
+  EXPECT_EQ(n->live_objects, 1);
+}
+
+TEST(ExecGraphTest, SelfTimeAccumulates) {
+  ExecGraph g;
+  g.add_self_time(cls(3), sim_ms(2));
+  g.add_self_time(cls(3), sim_ms(3));
+  EXPECT_EQ(g.find_node(cls(3))->exec_self_time, sim_ms(5));
+}
+
+TEST(ExecGraphTest, TotalsSumOverNodes) {
+  ExecGraph g;
+  g.add_memory(cls(1), 100, 1);
+  g.add_memory(cls(2), 200, 1);
+  g.add_self_time(cls(1), sim_us(10));
+  g.add_self_time(cls(2), sim_us(20));
+  EXPECT_EQ(g.total_mem_bytes(), 300);
+  EXPECT_EQ(g.total_self_time(), sim_us(30));
+}
+
+TEST(ExecGraphTest, PinnedComponents) {
+  ExecGraph g;
+  g.set_pinned(cls(1), true);
+  g.set_pinned(cls(2), false);
+  const auto pinned = g.pinned_components();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0], cls(1));
+}
+
+TEST(ExecGraphTest, ObjectGranularityNodesAreDistinct) {
+  ExecGraph g;
+  g.add_memory(obj(1, 10), 100, 1);
+  g.add_memory(obj(1, 11), 200, 1);
+  g.add_memory(cls(1), 50, 1);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.total_mem_bytes(), 350);
+}
+
+TEST(ExecGraphTest, SetEdgeInstallsRecord) {
+  ExecGraph g;
+  EdgeInfo info{.invocations = 5, .accesses = 7, .bytes = 99};
+  g.set_edge(cls(1), cls(2), info);
+  const EdgeInfo* e = g.find_edge(cls(1), cls(2));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->invocations, 5u);
+  EXPECT_EQ(e->bytes, 99u);
+}
+
+TEST(ExecGraphTest, ClearEmptiesEverything) {
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(2), true, 1);
+  g.clear();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(ExecGraphTest, StorageBytesGrowsWithGraph) {
+  ExecGraph g;
+  const auto empty = g.storage_bytes();
+  g.record_interaction(cls(1), cls(2), true, 1);
+  EXPECT_GT(g.storage_bytes(), empty);
+}
+
+TEST(ExecGraphDotTest, ContainsNodesAndEdges) {
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(2), true, 64);
+  g.add_memory(cls(1), 2048, 1);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("graph exec {"), std::string::npos);
+  EXPECT_NE(dot.find("n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.find("2KB"), std::string::npos);
+}
+
+TEST(ExecGraphDotTest, PlacementRendersCutEdgesDashed) {
+  ExecGraph g;
+  g.record_interaction(cls(1), cls(2), true, 64);
+  std::unordered_map<ComponentKey, int> placement{{cls(1), 0}, {cls(2), 1}};
+  const std::string dot = g.to_dot(&placement);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ExecGraphDotTest, NamesUsedWhenProvided) {
+  ExecGraph g;
+  g.add_memory(cls(1), 0, 0);
+  std::unordered_map<ComponentKey, std::string> names{{cls(1), "String"}};
+  const std::string dot = g.to_dot(nullptr, &names);
+  EXPECT_NE(dot.find("String"), std::string::npos);
+}
+
+TEST(ExecGraphDotTest, DeterministicOutput) {
+  ExecGraph g;
+  g.record_interaction(cls(3), cls(1), true, 5);
+  g.record_interaction(cls(2), cls(1), false, 7);
+  EXPECT_EQ(g.to_dot(), g.to_dot());
+}
+
+}  // namespace
+}  // namespace aide::graph

@@ -1,0 +1,223 @@
+// End-to-end integration tests reproducing the paper's headline behaviours
+// at reduced scale:
+//   * the section 5.1 memory-avoidance scenario (fail standalone, survive
+//     with AIDE, offloading most of the heap at low predicted bandwidth),
+//   * trigger-driven (not just rescue-driven) offloading,
+//   * the prototype -> trace -> emulator pipeline consistency,
+//   * distributed GC across an application-scale object graph.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "apps/stdlib.hpp"
+#include "common/error.hpp"
+#include "emul/emulator.hpp"
+#include "emul/recorder.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+namespace aide {
+namespace {
+
+apps::AppParams reduced_params() {
+  apps::AppParams p;
+  p.doc_bytes = 128 * 1024;
+  p.edits = 30;
+  p.scrolls = 40;
+  p.image_size = 96;
+  p.layers = 4;
+  p.filter_passes = 4;
+  p.atoms = 120;
+  p.iterations = 6;
+  p.field_size = 65;
+  p.frames = 6;
+  p.columns = 48;
+  p.trace_w = 24;
+  p.trace_h = 18;
+  p.spheres = 8;
+  return p;
+}
+
+// Record a standalone single-VM trace for an app (the paper's trace
+// acquisition: "running the application to completion on a single PC").
+emul::Trace record_trace(const apps::AppInfo& app,
+                         const apps::AppParams& params,
+                         std::shared_ptr<vm::ClassRegistry> reg) {
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 64 << 20;
+  cfg.gc_alloc_count_threshold = 512;
+  cfg.gc_alloc_bytes_divisor = 64;
+  vm::Vm vm(cfg, reg, clock);
+  emul::TraceRecorder recorder;
+  vm.add_hooks(&recorder);
+  app.run(vm, params);
+  return recorder.take();
+}
+
+TEST(MemoryAvoidanceIntegrationTest, JavaNoteScenario) {
+  const auto& app = apps::app_by_name("JavaNote");
+  const auto params = reduced_params();
+  const std::int64_t tight_heap = 1100 * 1024;
+
+  // 1. Standalone: out of memory.
+  {
+    auto reg = std::make_shared<vm::ClassRegistry>();
+    app.register_classes(*reg);
+    SimClock clock;
+    vm::VmConfig cfg;
+    cfg.heap_capacity = tight_heap;
+    vm::Vm vm(cfg, reg, clock);
+    EXPECT_THROW(app.run(vm, params), VmError);
+  }
+
+  // 2. With the platform: completes, having offloaded.
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = tight_heap;
+  platform::Platform p(reg, cfg);
+  app.run(p.client(), params);
+
+  ASSERT_TRUE(p.offloaded());
+  const auto& first = p.offloads().front();
+  EXPECT_GT(first.objects_migrated, 0u);
+  EXPECT_LT(first.client_heap_used_after, first.client_heap_used_before);
+  // The freed amount respects the policy's minimum (20% of the heap).
+  EXPECT_GE(first.decision.selected.offload_mem_bytes,
+            static_cast<std::int64_t>(0.20 * tight_heap));
+  // Predicted bandwidth is well under the link capacity (paper: ~100 KB/s
+  // on an 11 Mbps link).
+  EXPECT_LT(first.decision.predicted_bandwidth_bps, 11e6);
+  // The partitioning heuristic runs in interactive time (paper: ~0.1 s).
+  EXPECT_LT(first.decision.compute_seconds, 2.0);
+}
+
+TEST(MemoryAvoidanceIntegrationTest, SurrogateHoldsMigratedState) {
+  const auto& app = apps::app_by_name("JavaNote");
+  const auto params = reduced_params();
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 1100 * 1024;
+  platform::Platform p(reg, cfg);
+  app.run(p.client(), params);
+  ASSERT_TRUE(p.offloaded());
+  EXPECT_GT(p.surrogate().heap().used(), 0);
+  EXPECT_GT(p.client().stub_count(), 0u);
+  EXPECT_GT(p.client_endpoint().stats().rpcs_sent, 0u);
+}
+
+TEST(TriggerIntegrationTest, TriggerFiresBeforeHardExhaustion) {
+  // With a generous threshold the trigger path (not the allocation-failure
+  // rescue) performs the offload.
+  const auto& app = apps::app_by_name("JavaNote");
+  const auto params = reduced_params();
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 1400 * 1024;
+  cfg.trigger.low_free_threshold = 0.30;
+  cfg.trigger.consecutive_reports = 2;
+  platform::Platform p(reg, cfg);
+  app.run(p.client(), params);
+  ASSERT_TRUE(p.offloaded());
+  EXPECT_EQ(p.client().stats().low_memory_rescues, 0u);
+}
+
+TEST(EmulatorIntegrationTest, RecordedTraceReplaysConsistently) {
+  const auto& app = apps::app_by_name("Tracer");
+  const auto params = reduced_params();
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  const auto trace = record_trace(app, params, reg);
+  ASSERT_GT(trace.size(), 1000u);
+
+  // Replay without offloading: emulated time equals recorded time.
+  emul::EmulatorConfig cfg;
+  cfg.max_offloads = 0;
+  cfg.heap_capacity = 64 << 20;
+  emul::Emulator emu(reg, cfg);
+  const auto result = emu.run(trace);
+  EXPECT_EQ(result.emulated_time, result.base_time);
+  EXPECT_EQ(result.base_time, trace.duration());
+  EXPECT_GT(result.total_invocations, 0u);
+}
+
+TEST(EmulatorIntegrationTest, CpuOffloadingSpeedsUpTracer) {
+  const auto& app = apps::app_by_name("Tracer");
+  const auto params = reduced_params();
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  const auto trace = record_trace(app, params, reg);
+
+  emul::EmulatorConfig cfg;
+  cfg.heap_capacity = 64 << 20;
+  cfg.trigger_mode = emul::TriggerMode::trace_fraction;
+  cfg.eval_at_fraction = 0.10;
+  cfg.objective = partition::Objective::speed_up;
+  cfg.surrogate_speedup = 3.5;
+  cfg.stateless_natives_local = true;
+  cfg.arrays_as_objects = true;
+  emul::Emulator emu(reg, cfg);
+  const auto result = emu.run(trace);
+
+  ASSERT_TRUE(result.offloaded() || !result.declined.empty());
+  if (result.offloaded()) {
+    EXPECT_LT(result.emulated_time, result.base_time);
+  }
+}
+
+TEST(DistributedGcIntegrationTest, StubsReleasedAtApplicationScale) {
+  // Run JavaNote with offloading, then drop everything and GC both sides:
+  // all stubs and exports must drain.
+  const auto& app = apps::app_by_name("JavaNote");
+  const auto params = reduced_params();
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 1100 * 1024;
+  platform::Platform p(reg, cfg);
+  app.run(p.client(), params);
+  ASSERT_TRUE(p.offloaded());
+
+  // The app cleared its roots at the end; collect both heaps repeatedly to
+  // let cross-VM release cascades settle.
+  for (int i = 0; i < 4; ++i) {
+    p.client().collect_garbage();
+    p.surrogate().collect_garbage();
+  }
+  EXPECT_EQ(p.client().stub_count(), 0u);
+  EXPECT_EQ(p.surrogate_endpoint().refs().export_count(), 0u);
+  EXPECT_EQ(p.surrogate().heap().object_count(), 0u);
+}
+
+TEST(StressIntegrationTest, ManyOffloadCyclesStayConsistent) {
+  // Alternate forced offloads in both directions under live mutation.
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  apps::register_stdlib(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 8 << 20;
+  cfg.auto_offload = false;
+  platform::Platform p(reg, cfg);
+  vm::Vm& client = p.client();
+
+  const auto list = client.new_object("ArrayList");
+  client.add_root(list);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      client.call(list, "add", {vm::Value{round * 100 + i}});
+    }
+    p.offload_now(std::int64_t{1});
+  }
+  const std::int64_t n = client.call(list, "size").as_int();
+  ASSERT_EQ(n, 200);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(client.call(list, "get", {vm::Value{i}}).as_int(),
+              (i / 20) * 100 + (i % 20));
+  }
+}
+
+}  // namespace
+}  // namespace aide

@@ -1,0 +1,205 @@
+// Tests for the execution monitor: graph construction from VM hook events,
+// pinning of native classes, object-granularity promotion (the "Array"
+// enhancement), memory tracking across alloc/resize/free, the Figure 8
+// remote counters, Table 2 metrics sampling, and dead-component pruning.
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.hpp"
+#include "tests/test_util.hpp"
+
+namespace aide::monitor {
+namespace {
+
+using aide::test::make_test_registry;
+using graph::ComponentKey;
+using vm::AccessEvent;
+using vm::GcReport;
+using vm::InvokeEvent;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : registry_(make_test_registry()),
+        counter_cls_(registry_->find("Counter")),
+        pair_cls_(registry_->find("Pair")),
+        device_cls_(registry_->find("Device")),
+        int_array_cls_(registry_->int_array_class()) {}
+
+  ExecutionMonitor make_monitor(bool arrays_as_objects = false,
+                                std::int64_t min_bytes = 100) {
+    MonitorConfig cfg;
+    cfg.granularity.arrays_as_objects = arrays_as_objects;
+    cfg.granularity.min_array_bytes = min_bytes;
+    cfg.granularity.object_granularity_classes = {int_array_cls_};
+    return ExecutionMonitor(registry_, cfg);
+  }
+
+  InvokeEvent invoke(ClassId from, ClassId to, std::uint64_t bytes,
+                     bool remote = false, bool native = false) {
+    InvokeEvent ev;
+    ev.vm = NodeId{1};
+    ev.caller_cls = from;
+    ev.callee_cls = to;
+    ev.method = MethodId{0};
+    ev.remote = remote;
+    ev.is_native = native;
+    ev.bytes = bytes;
+    return ev;
+  }
+
+  std::shared_ptr<vm::ClassRegistry> registry_;
+  ClassId counter_cls_, pair_cls_, device_cls_, int_array_cls_;
+};
+
+TEST_F(MonitorTest, InvokeBuildsEdge) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 24));
+  const auto* e = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                        ComponentKey{pair_cls_});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->invocations, 1u);
+  EXPECT_EQ(e->bytes, 24u);
+}
+
+TEST_F(MonitorTest, SameClassInteractionNotRecorded) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, counter_cls_, 24));
+  EXPECT_EQ(mon.graph().edge_count(), 0u);
+  EXPECT_EQ(mon.counters().invoke_events, 1u);  // counted, not graphed
+}
+
+TEST_F(MonitorTest, AccessBuildsEdge) {
+  auto mon = make_monitor();
+  AccessEvent ev;
+  ev.vm = NodeId{1};
+  ev.from_cls = counter_cls_;
+  ev.to_cls = pair_cls_;
+  ev.bytes = 8;
+  ev.is_write = true;
+  mon.on_access(ev);
+  const auto* e = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                        ComponentKey{pair_cls_});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->accesses, 1u);
+}
+
+TEST_F(MonitorTest, NativeClassesPinned) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, device_cls_, 8, false, true));
+  EXPECT_TRUE(mon.graph().find_node(ComponentKey{device_cls_})->pinned);
+  EXPECT_FALSE(mon.graph().find_node(ComponentKey{counter_cls_})->pinned);
+}
+
+TEST_F(MonitorTest, StatelessNativeClassNotPinned) {
+  auto mon = make_monitor();
+  const ClassId util = registry_->find("Util");
+  mon.on_invoke(invoke(counter_cls_, util, 8, false, true));
+  EXPECT_FALSE(mon.graph().find_node(ComponentKey{util})->pinned);
+}
+
+TEST_F(MonitorTest, MemoryTracksAllocResizeFree) {
+  auto mon = make_monitor();
+  mon.on_alloc(NodeId{1}, ObjectId{1}, pair_cls_, 100, 0);
+  mon.on_resize(NodeId{1}, ObjectId{1}, pair_cls_, 50);
+  const auto* n = mon.graph().find_node(ComponentKey{pair_cls_});
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->mem_bytes, 150);
+  EXPECT_EQ(n->live_objects, 1);
+  mon.on_free(NodeId{1}, ObjectId{1}, pair_cls_, 150, 0);
+  EXPECT_EQ(mon.graph().find_node(ComponentKey{pair_cls_})->mem_bytes, 0);
+}
+
+TEST_F(MonitorTest, SelfTimeAttributedToComponent) {
+  auto mon = make_monitor();
+  mon.on_method_exit(NodeId{1}, counter_cls_, ObjectId{1}, MethodId{0},
+                     sim_ms(3), 0);
+  EXPECT_EQ(mon.graph().find_node(ComponentKey{counter_cls_})->exec_self_time,
+            sim_ms(3));
+}
+
+TEST_F(MonitorTest, LargeArraysPromotedToObjectGranularity) {
+  auto mon = make_monitor(/*arrays_as_objects=*/true, /*min_bytes=*/100);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  const ComponentKey key = mon.component_of(int_array_cls_, ObjectId{7});
+  EXPECT_TRUE(key.is_object_granularity());
+  EXPECT_EQ(key.object, ObjectId{7});
+  EXPECT_EQ(mon.graph().find_node(key)->mem_bytes, 5000);
+}
+
+TEST_F(MonitorTest, SmallArraysStayClassGranularity) {
+  auto mon = make_monitor(true, 1000);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 64, 0);
+  EXPECT_FALSE(
+      mon.component_of(int_array_cls_, ObjectId{7}).is_object_granularity());
+}
+
+TEST_F(MonitorTest, PromotionDisabledByDefault) {
+  auto mon = make_monitor(false);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 50000, 0);
+  EXPECT_FALSE(
+      mon.component_of(int_array_cls_, ObjectId{7}).is_object_granularity());
+}
+
+TEST_F(MonitorTest, NonArrayClassesNeverPromoted) {
+  auto mon = make_monitor(true, 10);
+  mon.on_alloc(NodeId{1}, ObjectId{9}, pair_cls_, 50000, 0);
+  EXPECT_FALSE(mon.component_of(pair_cls_, ObjectId{9}).is_object_granularity());
+}
+
+TEST_F(MonitorTest, RemoteCountersForFigure8) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 8, true, false));
+  mon.on_invoke(invoke(counter_cls_, device_cls_, 8, true, true));
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 8, false, false));
+  EXPECT_EQ(mon.counters().remote_invocations, 2u);
+  EXPECT_EQ(mon.counters().remote_native_invocations, 1u);
+  EXPECT_EQ(mon.counters().invoke_events, 3u);
+}
+
+TEST_F(MonitorTest, MetricsSummarySamplesAtGc) {
+  auto mon = make_monitor();
+  mon.on_alloc(NodeId{1}, ObjectId{1}, pair_cls_, 100, 0);
+  mon.on_alloc(NodeId{1}, ObjectId{2}, counter_cls_, 100, 0);
+  mon.on_gc(NodeId{1}, GcReport{});
+  mon.on_alloc(NodeId{1}, ObjectId{3}, counter_cls_, 100, 0);
+  mon.on_free(NodeId{1}, ObjectId{1}, pair_cls_, 100, 0);
+  mon.on_gc(NodeId{1}, GcReport{});
+
+  const auto summary = mon.metrics_summary();
+  EXPECT_EQ(summary.total_objects, 3u);
+  EXPECT_EQ(summary.max_objects, 2u);
+  EXPECT_DOUBLE_EQ(summary.avg_objects, 2.0);
+  EXPECT_EQ(summary.total_classes, 2u);
+}
+
+TEST_F(MonitorTest, PruneDropsDeadObjectComponents) {
+  auto mon = make_monitor(true, 100);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  mon.on_invoke(invoke(counter_cls_, int_array_cls_, 8));
+  const ComponentKey dead = mon.component_of(int_array_cls_, ObjectId{7});
+  mon.on_free(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  mon.prune_dead_components();
+  EXPECT_EQ(mon.graph().find_node(dead), nullptr);
+  // Class-level nodes survive pruning.
+  EXPECT_NE(mon.graph().find_node(ComponentKey{counter_cls_}), nullptr);
+}
+
+TEST_F(MonitorTest, ComponentNamesUseClassNames) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 8));
+  const auto names = mon.component_names();
+  EXPECT_EQ(names.at(ComponentKey{counter_cls_}), "Counter");
+  EXPECT_EQ(names.at(ComponentKey{pair_cls_}), "Pair");
+}
+
+TEST_F(MonitorTest, ResetClearsEverything) {
+  auto mon = make_monitor();
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 8));
+  mon.on_alloc(NodeId{1}, ObjectId{1}, pair_cls_, 100, 0);
+  mon.reset();
+  EXPECT_EQ(mon.graph().node_count(), 0u);
+  EXPECT_EQ(mon.counters().invoke_events, 0u);
+}
+
+}  // namespace
+}  // namespace aide::monitor

@@ -1,0 +1,95 @@
+// Tests for the analytic link model: the paper's WaveLAN parameters (11 Mbps,
+// 2.4 ms null-message RTT) and the cost/accounting behaviour.
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+
+namespace aide::netsim {
+namespace {
+
+TEST(LinkParamsTest, WavelanMatchesPaper) {
+  const auto p = LinkParams::wavelan();
+  EXPECT_DOUBLE_EQ(p.bandwidth_bps, 11e6);
+  EXPECT_EQ(p.null_rtt, sim_us(2400));
+}
+
+TEST(LinkTest, NullMessageCostsHalfRtt) {
+  Link link;
+  EXPECT_EQ(link.one_way_cost(0), sim_us(1200));
+}
+
+TEST(LinkTest, NullRoundTripMatchesRtt) {
+  Link link;
+  EXPECT_EQ(link.round_trip_cost(0, 0), sim_us(2400));
+}
+
+TEST(LinkTest, PayloadAddsSerializationTime) {
+  Link link;
+  // 11'000'000 bits/s => 1375 bytes take exactly 1 ms.
+  const SimDuration cost = link.one_way_cost(1375);
+  EXPECT_EQ(cost, sim_us(1200) + sim_ms(1));
+}
+
+TEST(LinkTest, CostMonotonicInPayload) {
+  Link link;
+  SimDuration prev = 0;
+  for (std::uint64_t bytes = 0; bytes <= 1 << 20; bytes += 64 * 1024) {
+    const SimDuration c = link.one_way_cost(bytes);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(LinkTest, StatsAccumulate) {
+  Link link;
+  (void)link.one_way_cost(100);
+  (void)link.one_way_cost(200);
+  EXPECT_EQ(link.stats().messages, 2u);
+  EXPECT_EQ(link.stats().bytes, 300u);
+  EXPECT_GT(link.stats().busy_time, 0);
+  link.reset_stats();
+  EXPECT_EQ(link.stats().messages, 0u);
+}
+
+TEST(LinkTest, RoundTripCountsTwoMessages) {
+  Link link;
+  (void)link.round_trip_cost(10, 20);
+  EXPECT_EQ(link.stats().messages, 2u);
+  EXPECT_EQ(link.stats().bytes, 30u);
+}
+
+TEST(LinkTest, DeterministicWithoutJitter) {
+  Link a, b;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.one_way_cost(i * 100), b.one_way_cost(i * 100));
+  }
+}
+
+TEST(LinkTest, JitterIsBoundedAndSeeded) {
+  LinkParams p = LinkParams::wavelan();
+  p.jitter_fraction = 0.5;
+  p.jitter_seed = 11;
+  Link a(p), b(p);
+  const SimDuration base = Link(LinkParams::wavelan()).one_way_cost(1000);
+  for (int i = 0; i < 100; ++i) {
+    const SimDuration ca = a.one_way_cost(1000);
+    EXPECT_EQ(ca, b.one_way_cost(1000));  // same seed, same stream
+    EXPECT_GE(ca, base);
+    EXPECT_LE(ca, base + base / 2 + 1);
+  }
+}
+
+TEST(LinkTest, FasterLinkCostsLess) {
+  Link wavelan(LinkParams::wavelan());
+  Link ethernet(LinkParams::fast_ethernet());
+  EXPECT_LT(ethernet.one_way_cost(10000), wavelan.one_way_cost(10000));
+}
+
+TEST(LinkTest, CellularCostsMore) {
+  Link wavelan(LinkParams::wavelan());
+  Link cellular(LinkParams::cellular());
+  EXPECT_GT(cellular.one_way_cost(1000), wavelan.one_way_cost(1000));
+}
+
+}  // namespace
+}  // namespace aide::netsim

@@ -1,0 +1,239 @@
+// Tests for the AIDE platform: automatic trigger-driven offloading, the
+// forced (allocation-failure) rescue path, the beneficial-offloading
+// decision, the single-offload prototype behaviour, enhancement plumbing,
+// and the surrogate registry's ad-hoc selection.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "platform/platform.hpp"
+#include "platform/surrogate_registry.hpp"
+#include "tests/test_util.hpp"
+
+namespace aide::platform {
+namespace {
+
+using aide::test::make_test_registry;
+using vm::ObjectRef;
+using vm::Value;
+
+PlatformConfig small_config() {
+  PlatformConfig cfg;
+  cfg.client_heap = 256 * 1024;
+  cfg.surrogate_heap = 8 << 20;
+  cfg.min_free_fraction = 0.20;
+  cfg.trigger.low_free_threshold = 0.10;
+  cfg.trigger.consecutive_reports = 2;
+  cfg.client_gc_alloc_count_threshold = 16;
+  cfg.client_gc_alloc_bytes_divisor = 16;
+  return cfg;
+}
+
+TEST(PlatformTest, ConstructionWiresTwoVms) {
+  Platform p(make_test_registry(), small_config());
+  EXPECT_TRUE(p.client().is_client());
+  EXPECT_FALSE(p.surrogate().is_client());
+  EXPECT_DOUBLE_EQ(p.surrogate().cpu_speed(), 3.5);
+  EXPECT_EQ(p.client().heap().capacity(), 256 * 1024);
+  EXPECT_FALSE(p.offloaded());
+}
+
+// Gives the execution graph a pinned anchor (Device) plus some interaction
+// history, the way any real application would.
+void seed_pinned_anchor(Platform& p) {
+  vm::Vm& client = p.client();
+  const ObjectRef device = client.new_object("Device");
+  client.add_root(device);
+  const ObjectRef counter = client.new_object("Counter");
+  client.add_root(counter);
+  for (int i = 0; i < 4; ++i) {
+    client.call(device, "beep");
+    client.call(counter, "inc");
+  }
+}
+
+TEST(PlatformTest, AllocationFailureRescuedByForcedOffload) {
+  // Fill the client heap with reachable arrays; the next allocation cannot
+  // succeed without offloading, and the platform must rescue it.
+  Platform p(make_test_registry(), small_config());
+  vm::Vm& client = p.client();
+  seed_pinned_anchor(p);
+
+  const ObjectRef holder = client.new_ref_array(64);
+  client.add_root(holder);
+  for (int i = 0; i < 5; ++i) {
+    const ObjectRef chunk = client.new_char_array(40 * 1024);
+    client.put_field(holder, FieldId{static_cast<std::uint32_t>(i)},
+                     Value{chunk});
+  }
+  // ~200 KB live of 256 KB. One more chunk would not fit without help.
+  const ObjectRef extra = client.new_char_array(80 * 1024);
+  EXPECT_TRUE(client.is_local(extra.id) || client.knows(extra.id));
+  EXPECT_TRUE(p.offloaded());
+  EXPECT_GT(p.offloads()[0].objects_migrated, 0u);
+  EXPECT_LT(p.client().heap().used(), 256 * 1024);
+}
+
+TEST(PlatformTest, OffloadNowReportsDecision) {
+  Platform p(make_test_registry(), small_config());
+  vm::Vm& client = p.client();
+  seed_pinned_anchor(p);
+  const ObjectRef holder = client.new_ref_array(8);
+  client.add_root(holder);
+  for (int i = 0; i < 4; ++i) {
+    const ObjectRef chunk = client.new_char_array(30 * 1024);
+    client.put_field(holder, FieldId{static_cast<std::uint32_t>(i)},
+                     Value{chunk});
+  }
+  const auto report = p.offload_now(std::int64_t{60 * 1024});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GE(report->decision.selected.offload_mem_bytes, 60 * 1024);
+  EXPECT_GT(report->bytes_migrated, 0u);
+  EXPECT_LT(report->client_heap_used_after,
+            report->client_heap_used_before);
+}
+
+TEST(PlatformTest, NoBeneficialPartitioningReturnsNullopt) {
+  // An empty execution history has nothing to offload.
+  Platform p(make_test_registry(), small_config());
+  EXPECT_FALSE(p.offload_now().has_value());
+  EXPECT_FALSE(p.offloaded());
+}
+
+TEST(PlatformTest, TransparencyAcrossForcedOffload) {
+  // The same program state is observable before and after migration.
+  Platform p(make_test_registry(), small_config());
+  vm::Vm& client = p.client();
+  seed_pinned_anchor(p);
+  const ObjectRef counter = client.new_object("Counter");
+  client.add_root(counter);
+  for (int i = 0; i < 5; ++i) client.call(counter, "inc");
+
+  const auto report = p.offload_now(std::int64_t{1});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(client.call(counter, "get").as_int(), 5);
+  EXPECT_EQ(client.call(counter, "inc").as_int(), 6);
+}
+
+TEST(PlatformTest, MaxOffloadsLimitsAutomaticTriggers) {
+  auto cfg = small_config();
+  cfg.max_offloads = 0;  // prototype disabled: only explicit offload_now
+  Platform p(make_test_registry(), cfg);
+  vm::Vm& client = p.client();
+  const ObjectRef holder = client.new_ref_array(64);
+  client.add_root(holder);
+  // Allocate until the heap is under pressure; automatic offloads must not
+  // happen, so eventually this throws.
+  bool threw = false;
+  try {
+    for (int i = 0; i < 64; ++i) {
+      const ObjectRef chunk = client.new_char_array(30 * 1024);
+      client.put_field(holder, FieldId{static_cast<std::uint32_t>(i)},
+                       Value{chunk});
+    }
+  } catch (const VmError& e) {
+    threw = true;
+    EXPECT_EQ(e.code(), VmErrorCode::out_of_memory);
+  }
+  // The rescue path still fires (it is the last resort), so instead verify
+  // that no trigger-driven offload happened before exhaustion.
+  EXPECT_TRUE(threw || p.offloads().size() <= 1);
+}
+
+TEST(PlatformTest, EnhancementFlagsReachVms) {
+  auto cfg = small_config();
+  cfg.enhancements.stateless_natives_local = true;
+  Platform p(make_test_registry(), cfg);
+  EXPECT_TRUE(p.client().config().stateless_natives_local);
+  EXPECT_TRUE(p.surrogate().config().stateless_natives_local);
+}
+
+TEST(PlatformTest, ElapsedTracksSimClock) {
+  Platform p(make_test_registry(), small_config());
+  p.client().work(sim_ms(5));
+  EXPECT_EQ(p.elapsed(), sim_ms(5));
+}
+
+TEST(SurrogateRegistryTest, SelectsLowestLatency) {
+  SurrogateRegistry reg;
+  SurrogateInfo far;
+  far.id = NodeId{10};
+  far.name = "far";
+  far.heap_capacity = 64 << 20;
+  far.link = netsim::LinkParams::cellular();
+  SurrogateInfo near_srv;
+  near_srv.id = NodeId{11};
+  near_srv.name = "near";
+  near_srv.heap_capacity = 64 << 20;
+  near_srv.link = netsim::LinkParams::wavelan();
+  reg.advertise(far);
+  reg.advertise(near_srv);
+
+  const auto best = reg.select();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->name, "near");
+}
+
+TEST(SurrogateRegistryTest, RequirementsFilter) {
+  SurrogateRegistry reg;
+  SurrogateInfo small;
+  small.id = NodeId{1};
+  small.name = "small";
+  small.heap_capacity = 1 << 20;
+  small.cpu_speed = 8.0;
+  SurrogateInfo big;
+  big.id = NodeId{2};
+  big.name = "big";
+  big.heap_capacity = 128 << 20;
+  big.cpu_speed = 2.0;
+  reg.advertise(small);
+  reg.advertise(big);
+
+  SurrogateRequirements req;
+  req.min_heap_bytes = 32 << 20;
+  const auto best = reg.select(req);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->name, "big");
+
+  req.min_cpu_speed = 4.0;
+  EXPECT_FALSE(reg.select(req).has_value());
+}
+
+TEST(SurrogateRegistryTest, WithdrawRemoves) {
+  SurrogateRegistry reg;
+  SurrogateInfo s;
+  s.id = NodeId{1};
+  s.heap_capacity = 1 << 20;
+  reg.advertise(s);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.withdraw(NodeId{1});
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.select().has_value());
+}
+
+TEST(SurrogateRegistryTest, AdvertiseReplacesSameNode) {
+  SurrogateRegistry reg;
+  SurrogateInfo s;
+  s.id = NodeId{1};
+  s.cpu_speed = 1.0;
+  s.heap_capacity = 1;
+  reg.advertise(s);
+  s.cpu_speed = 9.0;
+  reg.advertise(s);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.select()->cpu_speed, 9.0);
+}
+
+TEST(SurrogateRegistryTest, ConfigForAdoptsSurrogateParameters) {
+  SurrogateInfo s;
+  s.id = NodeId{5};
+  s.cpu_speed = 2.5;
+  s.heap_capacity = 48 << 20;
+  s.link = netsim::LinkParams::fast_ethernet();
+  const auto cfg = Platform::config_for(s);
+  EXPECT_DOUBLE_EQ(cfg.surrogate_speedup, 2.5);
+  EXPECT_EQ(cfg.surrogate_heap, 48 << 20);
+  EXPECT_DOUBLE_EQ(cfg.link.bandwidth_bps, 100e6);
+}
+
+}  // namespace
+}  // namespace aide::platform

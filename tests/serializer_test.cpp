@@ -1,0 +1,212 @@
+// Tests for the wire codec: value round-trips through a fake reference
+// translator, object header/payload round-trips for all three object shapes,
+// and cycle tolerance via the two-section migration encoding.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "rpc/serializer.hpp"
+
+namespace aide::rpc {
+namespace {
+
+using vm::ObjectKind;
+using vm::ObjectRef;
+using vm::Value;
+
+// Identity-style translator that records traffic.
+class FakeTranslator : public RefTranslator {
+ public:
+  WireRef translate_out(ObjectRef ref) override {
+    ++outs;
+    WireRef wire;
+    wire.owner = NodeId{1};
+    wire.handle = ExportHandle{ref.id.value() + 1000};
+    wire.id = ref.id;
+    wire.cls = ClassId{7};
+    wire.kind = ObjectKind::plain;
+    return wire;
+  }
+  ObjectRef translate_in(const WireRef& wire) override {
+    ++ins;
+    EXPECT_EQ(wire.handle.value(), wire.id.value() + 1000);
+    return ObjectRef{wire.id};
+  }
+  int outs = 0, ins = 0;
+};
+
+Value roundtrip(const Value& v, FakeTranslator& tr) {
+  ByteWriter w;
+  write_value(w, v, tr);
+  ByteReader r(w.data());
+  return read_value(r, tr);
+}
+
+TEST(WireValueTest, ScalarRoundTrips) {
+  FakeTranslator tr;
+  EXPECT_TRUE(roundtrip(Value{}, tr).is_nil());
+  EXPECT_EQ(roundtrip(Value{true}, tr).as_bool(), true);
+  EXPECT_EQ(roundtrip(Value{false}, tr).as_bool(), false);
+  EXPECT_EQ(roundtrip(Value{std::int64_t{-123456789}}, tr).as_int(),
+            -123456789);
+  EXPECT_DOUBLE_EQ(roundtrip(Value{2.718}, tr).as_real(), 2.718);
+  EXPECT_EQ(roundtrip(Value{"wire"}, tr).as_str(), "wire");
+}
+
+TEST(WireValueTest, NullRefRoundTripsWithoutTranslation) {
+  FakeTranslator tr;
+  const Value v = roundtrip(Value{vm::kNullRef}, tr);
+  EXPECT_TRUE(v.is_ref());
+  EXPECT_TRUE(v.as_ref().is_null());
+  EXPECT_EQ(tr.outs, 0);
+  EXPECT_EQ(tr.ins, 0);
+}
+
+TEST(WireValueTest, RefGoesThroughTranslator) {
+  FakeTranslator tr;
+  const Value v = roundtrip(Value{ObjectRef{ObjectId{55}}}, tr);
+  EXPECT_EQ(v.as_ref().id, ObjectId{55});
+  EXPECT_EQ(tr.outs, 1);
+  EXPECT_EQ(tr.ins, 1);
+}
+
+TEST(WireValueTest, RandomValueFuzzRoundTrip) {
+  FakeTranslator tr;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    Value v;
+    switch (rng.next_below(6)) {
+      case 0: v = Value{}; break;
+      case 1: v = Value{rng.next_bool(0.5)}; break;
+      case 2: v = Value{static_cast<std::int64_t>(rng.next_u64())}; break;
+      case 3: v = Value{rng.next_double() * 1e9}; break;
+      case 4: v = Value{ObjectRef{ObjectId{rng.next_u64() >> 16}}}; break;
+      case 5: {
+        std::string s(rng.next_below(64), 'a');
+        for (auto& c : s) c = static_cast<char>('a' + rng.next_below(26));
+        v = Value{std::move(s)};
+        break;
+      }
+    }
+    EXPECT_EQ(roundtrip(v, tr), v);
+  }
+}
+
+TEST(WireRefTest, FieldsRoundTrip) {
+  WireRef ref;
+  ref.owner = NodeId{2};
+  ref.handle = ExportHandle{88};
+  ref.id = ObjectId{0x0001000000000007ULL};
+  ref.cls = ClassId{14};
+  ref.kind = ObjectKind::char_array;
+
+  ByteWriter w;
+  write_wire_ref(w, ref);
+  ByteReader r(w.data());
+  const WireRef got = read_wire_ref(r);
+  EXPECT_EQ(got.owner, ref.owner);
+  EXPECT_EQ(got.handle, ref.handle);
+  EXPECT_EQ(got.id, ref.id);
+  EXPECT_EQ(got.cls, ref.cls);
+  EXPECT_EQ(got.kind, ref.kind);
+}
+
+vm::Object make_object(ObjectKind kind) {
+  vm::Object obj;
+  obj.id = ObjectId{42};
+  obj.cls = ClassId{3};
+  obj.kind = kind;
+  switch (kind) {
+    case ObjectKind::plain:
+      obj.fields = {Value{1}, Value{"text"}, Value{ObjectRef{ObjectId{9}}},
+                    Value{}};
+      break;
+    case ObjectKind::int_array:
+      obj.ints = {1, -2, 3000000000LL};
+      break;
+    case ObjectKind::char_array:
+      obj.chars = "payload bytes";
+      break;
+  }
+  return obj;
+}
+
+class ObjectCodecTest : public ::testing::TestWithParam<ObjectKind> {};
+
+TEST_P(ObjectCodecTest, HeaderAndPayloadRoundTrip) {
+  FakeTranslator tr;
+  const vm::Object src = make_object(GetParam());
+
+  ByteWriter w;
+  write_object_header(w, src);
+  write_object_payload(w, src, tr);
+
+  ByteReader r(w.data());
+  const ObjectHeader h = read_object_header(r);
+  EXPECT_EQ(h.id, src.id);
+  EXPECT_EQ(h.cls, src.cls);
+  EXPECT_EQ(h.kind, src.kind);
+
+  vm::Object dst;
+  dst.id = h.id;
+  dst.cls = h.cls;
+  dst.kind = h.kind;
+  dst.fields.assign(h.field_count, Value{});
+  dst.ints.assign(static_cast<std::size_t>(h.ints_len), 0);
+  dst.chars.assign(static_cast<std::size_t>(h.chars_len), '\0');
+  read_object_payload(r, dst, tr);
+
+  EXPECT_EQ(dst.fields, src.fields);
+  EXPECT_EQ(dst.ints, src.ints);
+  EXPECT_EQ(dst.chars, src.chars);
+  EXPECT_EQ(dst.size_bytes(), src.size_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ObjectCodecTest,
+                         ::testing::Values(ObjectKind::plain,
+                                           ObjectKind::int_array,
+                                           ObjectKind::char_array));
+
+TEST(ObjectCodecTest, TwoSectionEncodingToleratesCycles) {
+  // Objects A and B reference each other; headers first, then payloads.
+  FakeTranslator tr;
+  vm::Object a = make_object(ObjectKind::plain);
+  a.id = ObjectId{1};
+  a.fields = {Value{ObjectRef{ObjectId{2}}}};
+  vm::Object b = make_object(ObjectKind::plain);
+  b.id = ObjectId{2};
+  b.fields = {Value{ObjectRef{ObjectId{1}}}};
+
+  ByteWriter w;
+  write_object_header(w, a);
+  write_object_header(w, b);
+  write_object_payload(w, a, tr);
+  write_object_payload(w, b, tr);
+
+  ByteReader r(w.data());
+  const ObjectHeader ha = read_object_header(r);
+  const ObjectHeader hb = read_object_header(r);
+  vm::Object da, db;
+  da.kind = ha.kind;
+  da.fields.assign(ha.field_count, Value{});
+  db.kind = hb.kind;
+  db.fields.assign(hb.field_count, Value{});
+  read_object_payload(r, da, tr);
+  read_object_payload(r, db, tr);
+  EXPECT_EQ(da.fields[0].as_ref().id, ObjectId{2});
+  EXPECT_EQ(db.fields[0].as_ref().id, ObjectId{1});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ValueTest, WireSizesMatchSpec) {
+  EXPECT_EQ(Value{}.wire_size(), 1u);
+  EXPECT_EQ(Value{true}.wire_size(), 1u);
+  EXPECT_EQ(Value{1}.wire_size(), 8u);
+  EXPECT_EQ(Value{1.0}.wire_size(), 8u);
+  EXPECT_EQ(Value{ObjectRef{}}.wire_size(), 8u);
+  EXPECT_EQ(Value{"abcd"}.wire_size(), 8u);  // 4 length + 4 content
+}
+
+}  // namespace
+}  // namespace aide::rpc

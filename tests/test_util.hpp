@@ -1,0 +1,109 @@
+// Shared helpers for the MiniVM test suites: a small class library with
+// plain data classes, managed methods, statics, and native (pinned /
+// stateless) methods.
+#pragma once
+
+#include <memory>
+
+#include "vm/klass.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::test {
+
+inline const vm::Value& arg(std::span<const vm::Value> args, std::size_t i) {
+  static const vm::Value nil;
+  return i < args.size() ? args[i] : nil;
+}
+
+// Registers:
+//   Pair    — fields a, b
+//   Counter — field n; inc(), get(), addMany(k) (k nested self-calls)
+//   Calc    — static managed add(a,b); static slot "memory"
+//   Device  — stateful native beep() (pinned class); field beeps
+//   Util    — stateless static native twice(x)
+//   Holder  — field item
+inline std::shared_ptr<vm::ClassRegistry> make_test_registry() {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  using vm::ClassBuilder;
+  using vm::ObjectRef;
+  using vm::Value;
+  using vm::Vm;
+
+  reg->register_class(ClassBuilder("Pair").field("a").field("b").build());
+
+  reg->register_class(
+      ClassBuilder("Counter")
+          .field("n")
+          .method("inc",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    const Value n = ctx.get_field(self, FieldId{0});
+                    const std::int64_t v = n.is_int() ? n.as_int() : 0;
+                    ctx.put_field(self, FieldId{0}, Value{v + 1});
+                    return Value{v + 1};
+                  })
+          .method("get",
+                  [](Vm& ctx, ObjectRef self, auto) -> Value {
+                    const Value n = ctx.get_field(self, FieldId{0});
+                    return n.is_int() ? n : Value{0};
+                  })
+          .method("addMany",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    const std::int64_t k = arg(args, 0).as_int();
+                    if (k <= 0) return ctx.call(self, "get");
+                    ctx.call(self, "inc");
+                    return ctx.call(self, "addMany", {Value{k - 1}});
+                  })
+          .method("busy",
+                  [](Vm& ctx, ObjectRef self, auto args) -> Value {
+                    ctx.work(sim_us(arg(args, 0).as_int()));
+                    (void)self;
+                    return Value{};
+                  })
+          .build());
+
+  reg->register_class(
+      ClassBuilder("Calc")
+          .static_slot("memory")
+          .static_method("add",
+                         [](Vm&, ObjectRef, auto args) -> Value {
+                           return Value{arg(args, 0).as_int() +
+                                        arg(args, 1).as_int()};
+                         })
+          .static_method("recall",
+                         [](Vm& ctx, ObjectRef, auto) -> Value {
+                           return ctx.get_static("Calc", "memory");
+                         })
+          .static_method("store",
+                         [](Vm& ctx, ObjectRef, auto args) -> Value {
+                           const ClassId cls = ctx.find_class("Calc");
+                           ctx.put_static(cls, 0, arg(args, 0));
+                           return Value{};
+                         })
+          .build());
+
+  reg->register_class(
+      ClassBuilder("Device")
+          .field("beeps")
+          .native_method("beep",
+                         [](Vm& ctx, ObjectRef self, auto) -> Value {
+                           const Value n = ctx.get_field(self, FieldId{0});
+                           const std::int64_t v = n.is_int() ? n.as_int() : 0;
+                           ctx.put_field(self, FieldId{0}, Value{v + 1});
+                           return Value{v + 1};
+                         })
+          .build());
+
+  reg->register_class(
+      ClassBuilder("Util")
+          .native_method("twice",
+                         [](Vm&, ObjectRef, auto args) -> Value {
+                           return Value{arg(args, 0).as_int() * 2};
+                         },
+                         /*stateless=*/true, /*is_static=*/true)
+          .build());
+
+  reg->register_class(ClassBuilder("Holder").field("item").build());
+  return reg;
+}
+
+}  // namespace aide::test

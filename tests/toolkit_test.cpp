@@ -1,0 +1,155 @@
+// Tests for the managed widget toolkit: registration, window construction,
+// painting through the pinned Display, layout, event dispatch, and its
+// behaviour under offloading (widgets cluster with the client's Display).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/toolkit.hpp"
+#include "monitor/monitor.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::apps {
+namespace {
+
+using vm::ObjectRef;
+using vm::Value;
+
+class ToolkitTest : public ::testing::Test {
+ protected:
+  ToolkitTest() {
+    registry_ = std::make_shared<vm::ClassRegistry>();
+    register_toolkit(*registry_);
+    vm::VmConfig cfg;
+    cfg.heap_capacity = 16 << 20;
+    vm_ = std::make_unique<vm::Vm>(cfg, registry_, clock_);
+    display_ = vm_->new_object("Display");
+    vm_->add_root(display_);
+  }
+
+  std::shared_ptr<vm::ClassRegistry> registry_;
+  SimClock clock_;
+  std::unique_ptr<vm::Vm> vm_;
+  ObjectRef display_;
+};
+
+TEST_F(ToolkitTest, RegistrationIsIdempotentAndRich) {
+  const auto count = registry_->size();
+  register_toolkit(*registry_);
+  EXPECT_EQ(registry_->size(), count);
+  // At least 14 widgets + window/panel/layout/dispatcher machinery.
+  EXPECT_GE(count, 45u);
+  EXPECT_TRUE(registry_->contains("ui.Window"));
+  EXPECT_TRUE(registry_->contains("ui.ScrollBar"));
+}
+
+TEST_F(ToolkitTest, WidgetClassesAreOffloadable) {
+  // No widget carries stateful natives — only the Display they paint into is
+  // pinned, which is what glues them to the client in practice.
+  for (const char* name : {"ui.Button", "ui.Panel", "ui.Window",
+                           "ui.EventDispatcher", "ui.FlowLayout"}) {
+    EXPECT_FALSE(registry_->get(registry_->find(name)).has_stateful_native())
+        << name;
+  }
+  EXPECT_TRUE(
+      registry_->get(registry_->find("Display")).has_stateful_native());
+}
+
+TEST_F(ToolkitTest, BuildStandardWindowPopulatesTree) {
+  const ObjectRef window =
+      build_standard_window(*vm_, display_, "Test", 5, 3);
+  const ObjectRef toolbar = vm_->get_field(window, FieldId{1}).as_ref();
+  const ObjectRef content = vm_->get_field(window, FieldId{2}).as_ref();
+  const ObjectRef toolbar_children =
+      vm_->get_field(toolbar, FieldId{0}).as_ref();
+  EXPECT_EQ(vm_->call(toolbar_children, "size").as_int(), 5);
+  const ObjectRef content_children =
+      vm_->get_field(content, FieldId{0}).as_ref();
+  EXPECT_EQ(vm_->call(content_children, "size").as_int(), 3 + 11);
+}
+
+TEST_F(ToolkitTest, PaintReachesDisplay) {
+  const ObjectRef window = build_standard_window(*vm_, display_, "Paint");
+  const Value before = vm_->get_field(display_, FieldId{1});
+  paint_window(*vm_, window);
+  const Value after = vm_->get_field(display_, FieldId{1});
+  EXPECT_NE(before, after);  // drawing changed the display checksum
+  EXPECT_EQ(vm_->get_field(window, FieldId{5}).as_int(), 1);  // paint count
+  paint_window(*vm_, window);
+  EXPECT_EQ(vm_->get_field(window, FieldId{5}).as_int(), 2);
+}
+
+TEST_F(ToolkitTest, LayoutAssignsDistinctPositions) {
+  const ObjectRef window = build_standard_window(*vm_, display_, "Layout", 4);
+  const ObjectRef toolbar = vm_->get_field(window, FieldId{1}).as_ref();
+  const ObjectRef children = vm_->get_field(toolbar, FieldId{0}).as_ref();
+  std::int64_t prev_x = -1;
+  for (int i = 0; i < 4; ++i) {
+    const ObjectRef w = vm_->call(children, "get", {Value{i}}).as_ref();
+    const ObjectRef bounds = vm_->get_field(w, FieldId{0}).as_ref();
+    const std::int64_t x = vm_->get_field(bounds, FieldId{0}).as_int();
+    EXPECT_GT(x, prev_x);
+    prev_x = x;
+  }
+}
+
+TEST_F(ToolkitTest, DispatchRoutesThroughKeymapDeterministically) {
+  const ObjectRef window = build_standard_window(*vm_, display_, "Keys");
+  const auto a1 = dispatch_ui_event(*vm_, window, 3);
+  const ObjectRef window2 = build_standard_window(*vm_, display_, "Keys");
+  const auto a2 = dispatch_ui_event(*vm_, window2, 3);
+  EXPECT_EQ(a1, a2);
+
+  // Repeated events accumulate widget state.
+  const auto b = dispatch_ui_event(*vm_, window, 3);
+  EXPECT_NE(a1, b);
+}
+
+TEST_F(ToolkitTest, ThemeStaticsLiveOnClient) {
+  (void)build_standard_window(*vm_, display_, "Theme");
+  EXPECT_EQ(vm_->get_static("ui.Theme", "fg").as_int(), 0x202020);
+}
+
+TEST_F(ToolkitTest, WindowSurvivesForcedOffload) {
+  // Transparency for the widget tree: paint before and after migrating
+  // everything migratable must produce identical display effects.
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  register_toolkit(*reg);
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 16 << 20;
+  cfg.auto_offload = false;
+  platform::Platform p(reg, cfg);
+
+  const ObjectRef display = p.client().new_object("Display");
+  p.client().add_root(display);
+  const ObjectRef window =
+      build_standard_window(p.client(), display, "Migrate");
+  p.client().add_root(window);
+
+  paint_window(p.client(), window);
+  const Value checksum_before = p.client().get_field(display, FieldId{1});
+
+  // Reset the display state, offload, repaint remotely.
+  p.client().put_field(display, FieldId{1}, Value{0});
+  p.offload_now(std::int64_t{1});
+  paint_window(p.client(), window);
+  EXPECT_EQ(p.client().get_field(display, FieldId{1}), checksum_before);
+}
+
+TEST_F(ToolkitTest, MonitorSeesWidgetInteractions) {
+  monitor::ExecutionMonitor monitor(registry_);
+  vm_->add_hooks(&monitor);
+  const ObjectRef window = build_standard_window(*vm_, display_, "Mon");
+  paint_window(*vm_, window);
+  vm_->remove_hooks(&monitor);
+  // The widget classes appear as components with edges to Display.
+  const graph::ComponentKey display_comp{registry_->find("Display")};
+  const graph::ComponentKey button_comp{registry_->find("ui.Button")};
+  EXPECT_NE(monitor.graph().find_edge(button_comp, display_comp), nullptr);
+  EXPECT_TRUE(monitor.graph().find_node(display_comp)->pinned);
+  EXPECT_FALSE(monitor.graph().find_node(button_comp)->pinned);
+}
+
+}  // namespace
+}  // namespace aide::apps

@@ -1,0 +1,216 @@
+// Tests for the trace model: recorder fidelity against live VM execution and
+// the CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "emul/recorder.hpp"
+#include "emul/trace.hpp"
+#include "tests/test_util.hpp"
+
+namespace aide::emul {
+namespace {
+
+using aide::test::make_test_registry;
+using vm::ObjectRef;
+using vm::Value;
+using vm::Vm;
+using vm::VmConfig;
+
+TEST(RecorderTest, CapturesAllocInvokeAccessExit) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig cfg;
+  cfg.heap_capacity = 1 << 20;
+  Vm vm(cfg, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+
+  const ObjectRef counter = vm.new_object("Counter");
+  vm.call(counter, "inc");
+
+  const Trace& t = rec.trace();
+  ASSERT_FALSE(t.empty());
+
+  int allocs = 0, invokes = 0, accesses = 0, enters = 0, exits = 0;
+  for (const auto& e : t.events) {
+    switch (e.type) {
+      case TraceEventType::alloc: ++allocs; break;
+      case TraceEventType::invoke: ++invokes; break;
+      case TraceEventType::access: ++accesses; break;
+      case TraceEventType::method_enter: ++enters; break;
+      case TraceEventType::method_exit: ++exits; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(allocs, 1);
+  EXPECT_EQ(invokes, 1);
+  EXPECT_EQ(accesses, 2);  // get + put of the counter field
+  EXPECT_EQ(enters, exits);
+  EXPECT_EQ(enters, 1);
+}
+
+TEST(RecorderTest, FlagsEncodeMethodKind) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig cfg;
+  Vm vm(cfg, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+
+  const ObjectRef device = vm.new_object("Device");
+  vm.call(device, "beep");                         // native
+  vm.call_static("Util", "twice", {Value{1}});     // native static stateless
+  vm.call_static("Calc", "add", {Value{1}, Value{2}});  // managed static
+
+  std::vector<TraceEvent> invokes;
+  for (const auto& e : rec.trace().events) {
+    if (e.type == TraceEventType::invoke) invokes.push_back(e);
+  }
+  ASSERT_EQ(invokes.size(), 3u);
+  EXPECT_TRUE(invokes[0].flags & kFlagNative);
+  EXPECT_FALSE(invokes[0].flags & kFlagStatic);
+  EXPECT_TRUE(invokes[1].flags & kFlagNative);
+  EXPECT_TRUE(invokes[1].flags & kFlagStatic);
+  EXPECT_TRUE(invokes[1].flags & kFlagStateless);
+  EXPECT_FALSE(invokes[2].flags & kFlagNative);
+  EXPECT_TRUE(invokes[2].flags & kFlagStatic);
+}
+
+TEST(RecorderTest, GcEventsCarryHeapFigures) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig cfg;
+  cfg.heap_capacity = 1 << 20;
+  Vm vm(cfg, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+
+  vm.new_object("Pair");
+  vm.clear_driver_roots();
+  vm.collect_garbage();
+
+  const auto& events = rec.trace().events;
+  auto it = std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+    return e.type == TraceEventType::gc;
+  });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->aux1, 1 << 20);  // capacity
+  EXPECT_GT(it->aux2, 0);        // freed the pair
+}
+
+TEST(RecorderTest, SelfTimeRecordedInExit) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  VmConfig cfg;
+  Vm vm(cfg, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+  const ObjectRef counter = vm.new_object("Counter");
+  vm.call(counter, "busy", {Value{500}});
+
+  for (const auto& e : rec.trace().events) {
+    if (e.type == TraceEventType::method_exit) {
+      EXPECT_GE(e.bytes, sim_us(500));
+      return;
+    }
+  }
+  FAIL() << "no method_exit recorded";
+}
+
+TEST(RecorderTest, TakeAndClear) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  Vm vm(VmConfig{}, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+  vm.new_object("Pair");
+  const Trace t = rec.take();
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(rec.trace().empty());
+}
+
+TEST(TraceCsvTest, RoundTripPreservesEvents) {
+  Trace t;
+  TraceEvent a;
+  a.type = TraceEventType::invoke;
+  a.flags = kFlagNative | kFlagStatic;
+  a.t = 123456789;
+  a.cls_a = ClassId{3};
+  a.cls_b = ClassId{9};
+  a.obj_a = ObjectId{0xFFFF000011ULL};
+  a.obj_b = ObjectId{7};
+  a.method = MethodId{2};
+  a.bytes = -5;
+  a.aux1 = 42;
+  a.aux2 = -42;
+  t.events.push_back(a);
+  TraceEvent b;
+  b.type = TraceEventType::gc;
+  b.t = 999;
+  b.bytes = 1000;
+  b.aux1 = 2000;
+  b.aux2 = 300;
+  t.events.push_back(b);
+
+  std::stringstream ss;
+  t.save_csv(ss);
+  const Trace got = Trace::load_csv(ss);
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.events[0].type, a.type);
+  EXPECT_EQ(got.events[0].flags, a.flags);
+  EXPECT_EQ(got.events[0].t, a.t);
+  EXPECT_EQ(got.events[0].cls_a, a.cls_a);
+  EXPECT_EQ(got.events[0].cls_b, a.cls_b);
+  EXPECT_EQ(got.events[0].obj_a, a.obj_a);
+  EXPECT_EQ(got.events[0].obj_b, a.obj_b);
+  EXPECT_EQ(got.events[0].method, a.method);
+  EXPECT_EQ(got.events[0].bytes, a.bytes);
+  EXPECT_EQ(got.events[0].aux1, a.aux1);
+  EXPECT_EQ(got.events[0].aux2, a.aux2);
+  EXPECT_EQ(got.events[1].type, b.type);
+  EXPECT_EQ(got.events[1].bytes, 1000);
+}
+
+TEST(TraceCsvTest, EmptyTrace) {
+  Trace t;
+  std::stringstream ss;
+  t.save_csv(ss);
+  const Trace got = Trace::load_csv(ss);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(got.duration(), 0);
+}
+
+TEST(TraceCsvTest, RecordedTraceRoundTrips) {
+  auto reg = make_test_registry();
+  SimClock clock;
+  Vm vm(VmConfig{}, reg, clock);
+  TraceRecorder rec;
+  vm.add_hooks(&rec);
+  const ObjectRef counter = vm.new_object("Counter");
+  vm.call(counter, "addMany", {Value{5}});
+
+  std::stringstream ss;
+  rec.trace().save_csv(ss);
+  const Trace got = Trace::load_csv(ss);
+  ASSERT_EQ(got.size(), rec.trace().size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.events[i].type, rec.trace().events[i].type);
+    EXPECT_EQ(got.events[i].bytes, rec.trace().events[i].bytes);
+    EXPECT_EQ(got.events[i].obj_a, rec.trace().events[i].obj_a);
+  }
+}
+
+TEST(TraceTest, DurationIsLastEventTime) {
+  Trace t;
+  TraceEvent e;
+  e.t = 5;
+  t.events.push_back(e);
+  e.t = 77;
+  t.events.push_back(e);
+  EXPECT_EQ(t.duration(), 77);
+}
+
+}  // namespace
+}  // namespace aide::emul
