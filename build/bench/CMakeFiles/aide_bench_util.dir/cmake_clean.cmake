@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/aide_bench_util.dir/bench_util.cpp.o.d"
+  "libaide_bench_util.a"
+  "libaide_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_link.dir/bench_ablation_link.cpp.o"
+  "CMakeFiles/bench_ablation_link.dir/bench_ablation_link.cpp.o.d"
+  "bench_ablation_link"
+  "bench_ablation_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mincut.dir/bench_ablation_mincut.cpp.o"
+  "CMakeFiles/bench_ablation_mincut.dir/bench_ablation_mincut.cpp.o.d"
+  "bench_ablation_mincut"
+  "bench_ablation_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_native.dir/bench_fig8_native.cpp.o"
+  "CMakeFiles/bench_fig8_native.dir/bench_fig8_native.cpp.o.d"
+  "bench_fig8_native"
+  "bench_fig8_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

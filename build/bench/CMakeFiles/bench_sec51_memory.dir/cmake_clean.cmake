@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_memory.dir/bench_sec51_memory.cpp.o"
+  "CMakeFiles/bench_sec51_memory.dir/bench_sec51_memory.cpp.o.d"
+  "bench_sec51_memory"
+  "bench_sec51_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

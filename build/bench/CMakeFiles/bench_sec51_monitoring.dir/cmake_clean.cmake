@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_monitoring.dir/bench_sec51_monitoring.cpp.o"
+  "CMakeFiles/bench_sec51_monitoring.dir/bench_sec51_monitoring.cpp.o.d"
+  "bench_sec51_monitoring"
+  "bench_sec51_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

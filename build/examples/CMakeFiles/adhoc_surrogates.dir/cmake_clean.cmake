@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_surrogates.dir/adhoc_surrogates.cpp.o"
+  "CMakeFiles/adhoc_surrogates.dir/adhoc_surrogates.cpp.o.d"
+  "adhoc_surrogates"
+  "adhoc_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adhoc_surrogates.
+# This may be replaced when dependencies are built.

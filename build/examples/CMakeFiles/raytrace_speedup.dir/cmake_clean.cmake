@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_speedup.dir/raytrace_speedup.cpp.o"
+  "CMakeFiles/raytrace_speedup.dir/raytrace_speedup.cpp.o.d"
+  "raytrace_speedup"
+  "raytrace_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cpp" "src/apps/CMakeFiles/aide_apps.dir/apps.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/apps.cpp.o.d"
+  "/root/repo/src/apps/biomer.cpp" "src/apps/CMakeFiles/aide_apps.dir/biomer.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/biomer.cpp.o.d"
+  "/root/repo/src/apps/dia.cpp" "src/apps/CMakeFiles/aide_apps.dir/dia.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/dia.cpp.o.d"
+  "/root/repo/src/apps/javanote.cpp" "src/apps/CMakeFiles/aide_apps.dir/javanote.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/javanote.cpp.o.d"
+  "/root/repo/src/apps/stdlib.cpp" "src/apps/CMakeFiles/aide_apps.dir/stdlib.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/stdlib.cpp.o.d"
+  "/root/repo/src/apps/toolkit.cpp" "src/apps/CMakeFiles/aide_apps.dir/toolkit.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/toolkit.cpp.o.d"
+  "/root/repo/src/apps/tracer.cpp" "src/apps/CMakeFiles/aide_apps.dir/tracer.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/tracer.cpp.o.d"
+  "/root/repo/src/apps/voxel.cpp" "src/apps/CMakeFiles/aide_apps.dir/voxel.cpp.o" "gcc" "src/apps/CMakeFiles/aide_apps.dir/voxel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/aide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_apps.dir/apps.cpp.o"
+  "CMakeFiles/aide_apps.dir/apps.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/biomer.cpp.o"
+  "CMakeFiles/aide_apps.dir/biomer.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/dia.cpp.o"
+  "CMakeFiles/aide_apps.dir/dia.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/javanote.cpp.o"
+  "CMakeFiles/aide_apps.dir/javanote.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/stdlib.cpp.o"
+  "CMakeFiles/aide_apps.dir/stdlib.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/toolkit.cpp.o"
+  "CMakeFiles/aide_apps.dir/toolkit.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/tracer.cpp.o"
+  "CMakeFiles/aide_apps.dir/tracer.cpp.o.d"
+  "CMakeFiles/aide_apps.dir/voxel.cpp.o"
+  "CMakeFiles/aide_apps.dir/voxel.cpp.o.d"
+  "libaide_apps.a"
+  "libaide_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

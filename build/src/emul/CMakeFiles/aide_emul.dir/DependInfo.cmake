@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emul/emulator.cpp" "src/emul/CMakeFiles/aide_emul.dir/emulator.cpp.o" "gcc" "src/emul/CMakeFiles/aide_emul.dir/emulator.cpp.o.d"
+  "/root/repo/src/emul/trace.cpp" "src/emul/CMakeFiles/aide_emul.dir/trace.cpp.o" "gcc" "src/emul/CMakeFiles/aide_emul.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/aide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/aide_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/aide_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aide_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

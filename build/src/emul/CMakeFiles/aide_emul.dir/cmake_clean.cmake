@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_emul.dir/emulator.cpp.o"
+  "CMakeFiles/aide_emul.dir/emulator.cpp.o.d"
+  "CMakeFiles/aide_emul.dir/trace.cpp.o"
+  "CMakeFiles/aide_emul.dir/trace.cpp.o.d"
+  "libaide_emul.a"
+  "libaide_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aide_emul.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_graph.dir/exec_graph.cpp.o"
+  "CMakeFiles/aide_graph.dir/exec_graph.cpp.o.d"
+  "CMakeFiles/aide_graph.dir/mincut.cpp.o"
+  "CMakeFiles/aide_graph.dir/mincut.cpp.o.d"
+  "libaide_graph.a"
+  "libaide_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/aide_monitor.dir/monitor.cpp.o.d"
+  "libaide_monitor.a"
+  "libaide_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/aide_partition.dir/partitioner.cpp.o.d"
+  "libaide_partition.a"
+  "libaide_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaide_partition.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_platform.dir/platform.cpp.o"
+  "CMakeFiles/aide_platform.dir/platform.cpp.o.d"
+  "libaide_platform.a"
+  "libaide_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/endpoint.cpp" "src/rpc/CMakeFiles/aide_rpc.dir/endpoint.cpp.o" "gcc" "src/rpc/CMakeFiles/aide_rpc.dir/endpoint.cpp.o.d"
+  "/root/repo/src/rpc/serializer.cpp" "src/rpc/CMakeFiles/aide_rpc.dir/serializer.cpp.o" "gcc" "src/rpc/CMakeFiles/aide_rpc.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/aide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

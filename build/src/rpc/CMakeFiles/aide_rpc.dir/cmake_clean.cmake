@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_rpc.dir/endpoint.cpp.o"
+  "CMakeFiles/aide_rpc.dir/endpoint.cpp.o.d"
+  "CMakeFiles/aide_rpc.dir/serializer.cpp.o"
+  "CMakeFiles/aide_rpc.dir/serializer.cpp.o.d"
+  "libaide_rpc.a"
+  "libaide_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_vm.dir/vm.cpp.o"
+  "CMakeFiles/aide_vm.dir/vm.cpp.o.d"
+  "libaide_vm.a"
+  "libaide_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

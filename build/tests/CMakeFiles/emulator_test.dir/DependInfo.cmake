@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emulator_test.cpp" "tests/CMakeFiles/emulator_test.dir/emulator_test.cpp.o" "gcc" "tests/CMakeFiles/emulator_test.dir/emulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/aide_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/emul/CMakeFiles/aide_emul.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aide_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/aide_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/aide_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/aide_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aide_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulator_test.dir/emulator_test.cpp.o"
+  "CMakeFiles/emulator_test.dir/emulator_test.cpp.o.d"
+  "emulator_test"
+  "emulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refmap_test.dir/refmap_test.cpp.o"
+  "CMakeFiles/refmap_test.dir/refmap_test.cpp.o.d"
+  "refmap_test"
+  "refmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

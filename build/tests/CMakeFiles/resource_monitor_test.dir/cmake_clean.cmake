@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_monitor_test.dir/resource_monitor_test.cpp.o"
+  "CMakeFiles/resource_monitor_test.dir/resource_monitor_test.cpp.o.d"
+  "resource_monitor_test"
+  "resource_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
