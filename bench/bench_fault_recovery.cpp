@@ -1,0 +1,150 @@
+// Failure-recovery cost sweep.
+//
+// The paper never measures what a vanished surrogate costs; this harness
+// does. For each application we run the live two-VM platform under four
+// regimes — fault-free, surrogate dead mid-invoke, a 60 ms transient outage,
+// and an 8% lossy link — and report completion time, the retry/timeout
+// traffic the faults induced, and the state reclaimed by recovery. The
+// invariant (enforced by tests/fault_test.cpp, merely echoed here) is that
+// output is byte-identical across all regimes.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "bench_util.hpp"
+#include "netsim/link.hpp"
+#include "platform/platform.hpp"
+
+using namespace aide;
+using namespace aide::bench;
+
+namespace {
+
+constexpr NodeId kClientNode{1};
+
+apps::AppParams sweep_params() {
+  apps::AppParams p;
+  p.doc_bytes = 48 * 1024;
+  p.edits = 16;
+  p.scrolls = 20;
+  p.image_size = 64;
+  p.layers = 3;
+  p.filter_passes = 3;
+  p.atoms = 80;
+  p.iterations = 4;
+  p.field_size = 49;
+  p.frames = 4;
+  p.columns = 32;
+  p.trace_w = 16;
+  p.trace_h = 12;
+  p.spheres = 6;
+  return p;
+}
+
+class ForcedOffload : public vm::VmHooks {
+ public:
+  explicit ForcedOffload(platform::Platform& p) : p_(p) {}
+  void on_gc(NodeId node, const vm::GcReport&) override {
+    if (node != kClientNode) return;
+    if (++cycles_ < 2) return;
+    if (p_.offloaded() || p_.surrogate_dead()) return;
+    p_.offload_now(std::int64_t{1});
+  }
+
+ private:
+  platform::Platform& p_;
+  int cycles_ = 0;
+};
+
+struct Sample {
+  std::uint64_t checksum = 0;
+  SimTime end = 0;
+  SimTime offload_at = 0;
+  SimTime offload_done = 0;
+  bool dead = false;
+  std::size_t objects_reclaimed = 0;
+  std::size_t bytes_reclaimed = 0;
+  rpc::EndpointStats client;
+  netsim::LinkStats link;
+};
+
+Sample run(const apps::AppInfo& app, const netsim::FaultPlan& plan) {
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 64 << 20;
+  cfg.surrogate_heap = 64 << 20;
+  cfg.auto_offload = false;
+  cfg.client_gc_alloc_count_threshold = 4;
+  cfg.client_gc_alloc_bytes_divisor = 512;
+  cfg.fault_plan = plan;
+
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::Platform p(reg, cfg);
+  ForcedOffload forced(p);
+  p.client().add_hooks(&forced);
+  Sample s;
+  s.checksum = app.run(p.client(), sweep_params());
+  p.client().remove_hooks(&forced);
+  s.end = p.elapsed();
+  if (p.offloaded()) {
+    s.offload_at = p.offloads().front().at;
+    s.offload_done = p.offloads().front().completed_at;
+  }
+  s.dead = p.surrogate_dead();
+  if (!p.failures().empty()) {
+    s.objects_reclaimed = p.failures().front().objects_reclaimed;
+    s.bytes_reclaimed = p.failures().front().bytes_reclaimed;
+  }
+  s.client = p.client_endpoint().stats();
+  s.link = p.link().stats();
+  return s;
+}
+
+void print_sample(const char* label, const Sample& s, const Sample& base) {
+  std::printf(
+      "    %-22s %8.2f s (%+6.1f%%)  retries %4llu  timeouts %4llu"
+      "  aborted %2llu%s",
+      label, sim_to_seconds(s.end),
+      (sim_to_seconds(s.end) - sim_to_seconds(base.end)) /
+          sim_to_seconds(base.end) * 100.0,
+      static_cast<unsigned long long>(s.client.retries),
+      static_cast<unsigned long long>(s.client.timeouts),
+      static_cast<unsigned long long>(s.client.aborted_rpcs),
+      s.dead ? "  [surrogate lost]" : "");
+  if (s.objects_reclaimed > 0) {
+    std::printf("  reclaimed %zu obj / %.1f KB", s.objects_reclaimed,
+                static_cast<double>(s.bytes_reclaimed) / 1024.0);
+  }
+  std::printf("%s\n", s.checksum == base.checksum ? "" : "  OUTPUT MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Failure recovery: completion-time cost of surrogate loss");
+
+  for (const char* name : {"JavaNote", "Dia", "Biomer", "Voxel", "Tracer"}) {
+    const auto& app = apps::app_by_name(name);
+    const Sample base = run(app, netsim::FaultPlan{});
+    std::printf("  %s  (fault-free: %.2f s, offload at %.2f s)\n", name,
+                sim_to_seconds(base.end), sim_to_seconds(base.offload_at));
+
+    netsim::FaultPlan mid_invoke;
+    mid_invoke.dead_after =
+        base.offload_done +
+        std::max<SimDuration>(1, (base.end - base.offload_done) / 2);
+    print_sample("dead mid-invoke", run(app, mid_invoke), base);
+
+    netsim::FaultPlan outage;
+    outage.outages.push_back(
+        {base.offload_done + sim_ms(1), base.offload_done + sim_ms(61)});
+    print_sample("60 ms outage", run(app, outage), base);
+
+    netsim::FaultPlan lossy;
+    lossy.drop_probability = 0.08;
+    lossy.drop_seed = 0xFEED5EED;
+    print_sample("8% message loss", run(app, lossy), base);
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 // a code so tests can assert on the precise failure class.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -56,6 +57,7 @@ enum class OffloadErrorCode {
   not_beneficial,
   migration_failed,
   protocol_error,
+  peer_unavailable,
 };
 
 class OffloadError : public std::runtime_error {
@@ -67,6 +69,21 @@ class OffloadError : public std::runtime_error {
 
  private:
   OffloadErrorCode code_;
+};
+
+// An RPC could not be completed because the peer (or the link to it) failed
+// and the bounded retry policy was exhausted. Carries the failed call's
+// sequence number so the recovery path can retrieve an
+// executed-but-undelivered response from the peer's reply cache.
+class PeerUnavailable : public OffloadError {
+ public:
+  PeerUnavailable(std::uint64_t seq, const std::string& what)
+      : OffloadError(OffloadErrorCode::peer_unavailable, what), seq_(seq) {}
+
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+
+ private:
+  std::uint64_t seq_;
 };
 
 }  // namespace aide

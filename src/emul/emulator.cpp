@@ -15,10 +15,8 @@ Emulator::Emulator(std::shared_ptr<const vm::ClassRegistry> registry,
     : registry_(std::move(registry)), config_(config) {}
 
 SimDuration Emulator::rpc_cost(std::uint64_t bytes) const {
-  const double serialization_s =
-      static_cast<double>(bytes) * 8.0 / config_.link.bandwidth_bps;
-  return config_.link.null_rtt +
-         static_cast<SimDuration>(serialization_s * 1e9);
+  // Analytic probe: must never touch a live Link's stats or jitter stream.
+  return netsim::estimate_rpc_cost(config_.link, bytes);
 }
 
 void Emulator::try_offload(SimTime at, EmulationResult& result) {

@@ -35,7 +35,7 @@ class ResourceMonitor : public vm::VmHooks {
       : watched_(watched_vm), policy_(policy) {}
 
   void on_gc(NodeId vm, const vm::GcReport& report) override {
-    if (vm != watched_) return;
+    if (vm != watched_ || suppressed_) return;
     last_report_ = report;
     ++reports_seen_;
 
@@ -70,10 +70,22 @@ class ResourceMonitor : public vm::VmHooks {
     return t;
   }
 
+  // The peer this monitor would offload to is gone: stop raising triggers
+  // until reset() (there is nowhere to offload, so a trigger could only
+  // cause a doomed partitioning attempt on every GC).
+  void note_peer_failure() noexcept {
+    suppressed_ = true;
+    triggered_ = false;
+    consecutive_low_ = 0;
+  }
+
+  [[nodiscard]] bool suppressed() const noexcept { return suppressed_; }
+
   void reset() noexcept {
     triggered_ = false;
     consecutive_low_ = 0;
     reports_seen_ = 0;
+    suppressed_ = false;
   }
 
   [[nodiscard]] const TriggerPolicy& policy() const noexcept {
@@ -95,6 +107,7 @@ class ResourceMonitor : public vm::VmHooks {
   vm::GcReport last_report_{};
   int consecutive_low_ = 0;
   bool triggered_ = false;
+  bool suppressed_ = false;
   std::uint64_t reports_seen_ = 0;
 };
 

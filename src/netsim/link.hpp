@@ -6,9 +6,16 @@
 // null-message RTT (per direction) plus its serialized size over the link
 // bandwidth, with an optional deterministic jitter term for sensitivity
 // studies.
+//
+// On top of the cost model sits a deterministic fault model (FaultPlan):
+// scheduled outage windows, degraded-bandwidth intervals and a seeded
+// per-message drop probability, all evaluated against the virtual SimClock
+// so every fault schedule is exactly reproducible.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/simclock.hpp"
@@ -39,28 +46,162 @@ struct LinkParams {
   }
 };
 
+// Side-effect-free cost probes: candidate evaluation (partitioner, emulator)
+// must be able to price a hypothetical message without polluting the link's
+// traffic accounting or consuming its jitter stream.
+[[nodiscard]] inline SimDuration estimate_one_way_cost(
+    const LinkParams& p, std::uint64_t payload_bytes) noexcept {
+  const double serialization_s =
+      static_cast<double>(payload_bytes) * 8.0 / p.bandwidth_bps;
+  return p.null_rtt / 2 + static_cast<SimDuration>(serialization_s * 1e9);
+}
+
+// Synchronous request/response estimate over `total_bytes` of payload.
+// Computed from the full null RTT (not two halved legs) so an odd-nanosecond
+// RTT does not lose precision to per-direction truncation.
+[[nodiscard]] inline SimDuration estimate_rpc_cost(
+    const LinkParams& p, std::uint64_t total_bytes) noexcept {
+  const double serialization_s =
+      static_cast<double>(total_bytes) * 8.0 / p.bandwidth_bps;
+  return p.null_rtt + static_cast<SimDuration>(serialization_s * 1e9);
+}
+
+// A half-open [begin, end) interval during which the link delivers nothing.
+struct OutageWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] bool contains(SimTime t) const noexcept {
+    return t >= begin && t < end;
+  }
+};
+
+// A half-open [begin, end) interval during which the link runs at a fraction
+// of its nominal bandwidth (latency is unchanged; only serialization slows).
+struct DegradedWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+  double bandwidth_factor = 1.0;
+
+  [[nodiscard]] bool contains(SimTime t) const noexcept {
+    return t >= begin && t < end;
+  }
+};
+
+// A deterministic, seedable fault schedule. A default-constructed plan is
+// inert: every message is delivered at the nominal cost and the link behaves
+// bit-for-bit like the fault-free model.
+struct FaultPlan {
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  std::vector<OutageWindow> outages;
+  std::vector<DegradedWindow> degraded;
+  // Probability that an otherwise-deliverable message is lost in transit.
+  double drop_probability = 0.0;
+  // Seed for the drop stream; only consumed when drop_probability > 0.
+  std::uint64_t drop_seed = 0xD0D0;
+  // Permanent link death: nothing is delivered at or after this instant.
+  SimTime dead_after = kNever;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !outages.empty() || !degraded.empty() || drop_probability > 0.0 ||
+           dead_after != kNever;
+  }
+};
+
 // Cumulative traffic accounting for one link.
 struct LinkStats {
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0;  // transmissions that made it onto the air
   std::uint64_t bytes = 0;
   SimDuration busy_time = 0;
+  // Fault accounting (all zero under an inert FaultPlan).
+  std::uint64_t messages_dropped = 0;  // transmitted but lost in transit
+  std::uint64_t bytes_dropped = 0;
+  std::uint64_t link_down_failures = 0;  // sends refused: link down/dead
 
   void reset() noexcept { *this = LinkStats{}; }
+
+  friend bool operator==(const LinkStats&, const LinkStats&) = default;
 };
 
 class Link {
  public:
+  // The outcome of attempting one transmission under the fault model.
+  struct Delivery {
+    bool delivered = false;
+    SimDuration cost = 0;  // airtime consumed (0 when the link was down)
+  };
+
   explicit Link(LinkParams params = LinkParams::wavelan()) noexcept
-      : params_(params), jitter_rng_(params.jitter_seed) {}
+      : params_(params),
+        jitter_rng_(params.jitter_seed),
+        drop_rng_(FaultPlan{}.drop_seed) {}
 
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
-  // Time for one message of `payload_bytes` to cross the link one way.
+  void set_fault_plan(FaultPlan plan) {
+    plan_ = std::move(plan);
+    drop_rng_.reseed(plan_.drop_seed);
+  }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  // Whether the link delivers anything at virtual time `now`.
+  [[nodiscard]] bool is_down(SimTime now) const noexcept {
+    if (now >= plan_.dead_after) return true;
+    for (const OutageWindow& w : plan_.outages) {
+      if (w.contains(now)) return true;
+    }
+    return false;
+  }
+
+  // Time for one message of `payload_bytes` to cross the link one way,
+  // assuming delivery (the fault-free charge path).
   [[nodiscard]] SimDuration one_way_cost(std::uint64_t payload_bytes) noexcept {
-    const double serialization_s =
-        static_cast<double>(payload_bytes) * 8.0 / params_.bandwidth_bps;
+    return charge(payload_bytes, 1.0);
+  }
+
+  // Fault-aware transmission attempt at virtual time `now`. A down link
+  // refuses the send outright (no airtime); a dropped message consumes its
+  // full airtime but is not delivered. With an inert FaultPlan this is
+  // exactly one_way_cost: same cost, same jitter stream, same accounting.
+  [[nodiscard]] Delivery try_one_way(std::uint64_t payload_bytes,
+                                     SimTime now) noexcept {
+    if (is_down(now)) {
+      stats_.link_down_failures += 1;
+      return Delivery{false, 0};
+    }
+    const SimDuration cost = charge(payload_bytes, bandwidth_factor_at(now));
+    if (plan_.drop_probability > 0.0 &&
+        drop_rng_.next_double() < plan_.drop_probability) {
+      stats_.messages_dropped += 1;
+      stats_.bytes_dropped += payload_bytes;
+      return Delivery{false, cost};
+    }
+    return Delivery{true, cost};
+  }
+
+  // Side-effect-free probe of the nominal (fault-free, jitter-free) cost.
+  [[nodiscard]] SimDuration estimate_one_way_cost(
+      std::uint64_t payload_bytes) const noexcept {
+    return netsim::estimate_one_way_cost(params_, payload_bytes);
+  }
+
+  // Time for a synchronous request/response exchange.
+  [[nodiscard]] SimDuration round_trip_cost(std::uint64_t request_bytes,
+                                            std::uint64_t response_bytes) noexcept {
+    return one_way_cost(request_bytes) + one_way_cost(response_bytes);
+  }
+
+ private:
+  // Computes and accounts the cost of one transmission. `bandwidth_factor`
+  // scales the serialization term (degraded windows); 1.0 reproduces the
+  // nominal model exactly.
+  [[nodiscard]] SimDuration charge(std::uint64_t payload_bytes,
+                                   double bandwidth_factor) noexcept {
+    const double serialization_s = static_cast<double>(payload_bytes) * 8.0 /
+                                   (params_.bandwidth_bps * bandwidth_factor);
     SimDuration cost = params_.null_rtt / 2 +
                        static_cast<SimDuration>(serialization_s * 1e9);
     if (params_.jitter_fraction > 0.0) {
@@ -73,16 +214,20 @@ class Link {
     return cost;
   }
 
-  // Time for a synchronous request/response exchange.
-  [[nodiscard]] SimDuration round_trip_cost(std::uint64_t request_bytes,
-                                            std::uint64_t response_bytes) noexcept {
-    return one_way_cost(request_bytes) + one_way_cost(response_bytes);
+  [[nodiscard]] double bandwidth_factor_at(SimTime now) const noexcept {
+    for (const DegradedWindow& w : plan_.degraded) {
+      if (w.contains(now) && w.bandwidth_factor > 0.0) {
+        return w.bandwidth_factor;
+      }
+    }
+    return 1.0;
   }
 
- private:
   LinkParams params_;
   LinkStats stats_;
+  FaultPlan plan_;
   Rng jitter_rng_;
+  Rng drop_rng_;
 };
 
 }  // namespace aide::netsim

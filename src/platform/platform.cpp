@@ -49,6 +49,17 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
   surrogate_ep_ = std::make_unique<rpc::Endpoint>(*surrogate_, link_);
   rpc::Endpoint::connect(*client_ep_, *surrogate_ep_);
 
+  link_.set_fault_plan(config_.fault_plan);
+  client_ep_->set_retry_policy(config_.retry);
+  surrogate_ep_->set_retry_policy(config_.retry);
+  if (config_.fault_plan.enabled()) {
+    // Exactly-once recovery needs the undo journal; fault-free runs keep it
+    // off so they stay bit-identical to the unjournaled platform.
+    client_->set_journal_enabled(true);
+    surrogate_->set_journal_enabled(true);
+  }
+  client_ep_->set_peer_failure_handler([this] { return handle_peer_failure(); });
+
   client_->add_hooks(&exec_monitor_);
   client_->add_hooks(&resource_monitor_);
   client_->add_hooks(this);
@@ -74,7 +85,8 @@ PlatformConfig Platform::config_for(const SurrogateInfo& surrogate,
 }
 
 void Platform::on_gc(NodeId vm, const vm::GcReport&) {
-  if (vm != kClientNode || !config_.auto_offload || offloading_in_progress_) {
+  if (vm != kClientNode || !config_.auto_offload || offloading_in_progress_ ||
+      surrogate_dead_) {
     return;
   }
   if (offloads_.size() >= config_.max_offloads) return;
@@ -85,7 +97,7 @@ void Platform::on_gc(NodeId vm, const vm::GcReport&) {
 }
 
 bool Platform::low_memory_rescue(vm::Vm&) {
-  if (offloading_in_progress_) return false;
+  if (offloading_in_progress_ || surrogate_dead_) return false;
   // Forced offload: free at least the configured fraction, but accept any
   // partitioning that frees something if the policy's constraint cannot be
   // met — failing the allocation is strictly worse.
@@ -115,9 +127,64 @@ partition::PartitionRequest Platform::make_request(
   return req;
 }
 
+bool Platform::handle_peer_failure() {
+  if (surrogate_dead_) return true;
+  surrogate_dead_ = true;
+
+  FailureReport report;
+  report.at = clock_.now();
+
+  // Enumerate the surviving surrogate state before tearing anything down.
+  std::vector<ObjectId> ids;
+  surrogate_->heap().for_each(
+      [&](const vm::Object& o) { ids.push_back(o.id); });
+  std::sort(ids.begin(), ids.end());
+
+  // Sever the pair first: release handlers become no-ops and no regular RPC
+  // can charge the dead link while we reintegrate.
+  client_ep_->disconnect();
+
+  // Reintegration: adopt every surviving object into the client heap. Each
+  // adoptee is pinned until the whole batch lands — a client GC forced by
+  // ensure_capacity mid-loop cannot yet see the surrogate-side references
+  // among them.
+  std::uint64_t bytes = 0;
+  for (const ObjectId id : ids) {
+    auto obj = surrogate_->migrate_out(id);
+    bytes += static_cast<std::uint64_t>(obj->size_bytes());
+    client_->migrate_in(std::move(obj));
+    client_->add_root(vm::ObjectRef{id});
+  }
+  for (const ObjectId id : ids) {
+    client_->remove_root(vm::ObjectRef{id});
+  }
+  report.objects_reclaimed = ids.size();
+  report.bytes_reclaimed = bytes;
+
+  // Charge the recovery channel: failure detection plus shipping the
+  // reclaimed state back over whatever path survived.
+  clock_.advance(config_.recovery_latency +
+                 static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                          config_.recovery_bandwidth_bps *
+                                          1e9));
+
+  // There is nowhere left to offload to: stop raising triggers and tell the
+  // registry not to hand this surrogate out again.
+  resource_monitor_.note_peer_failure();
+  if (surrogate_registry_ != nullptr && registered_surrogate_.valid()) {
+    surrogate_registry_->mark_dead(registered_surrogate_);
+  }
+
+  failures_.push_back(report);
+  AIDE_LOG_INFO("platform", "surrogate failed at ", report.at,
+                "ns; reclaimed ", report.objects_reclaimed, " objects (",
+                report.bytes_reclaimed / 1024, "KB), continuing local");
+  return true;
+}
+
 std::optional<OffloadReport> Platform::offload_now(
     std::optional<std::int64_t> min_free_override) {
-  if (offloading_in_progress_) return std::nullopt;
+  if (offloading_in_progress_ || surrogate_dead_) return std::nullopt;
   offloading_in_progress_ = true;
 
   exec_monitor_.prune_dead_components();
@@ -155,9 +222,19 @@ std::optional<OffloadReport> Platform::offload_now(
   report.at = clock_.now();
   report.client_heap_used_before = client_->heap().used();
   if (!to_move.empty()) {
-    report.bytes_migrated = client_ep_->migrate_objects(to_move);
+    try {
+      report.bytes_migrated = client_ep_->migrate_objects(to_move);
+    } catch (const PeerUnavailable&) {
+      // The surrogate died under the migration. migrate_objects already put
+      // the batch wherever it authoritatively lives; reclaim it and carry on
+      // fully local.
+      offloading_in_progress_ = false;
+      handle_peer_failure();
+      return std::nullopt;
+    }
   }
   report.objects_migrated = to_move.size();
+  report.completed_at = clock_.now();
   report.client_heap_used_after = client_->heap().used();
 
   AIDE_LOG_INFO("platform", "offloaded ", report.objects_migrated,

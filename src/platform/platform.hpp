@@ -51,6 +51,17 @@ struct PlatformConfig {
   double surrogate_speedup = 3.5;                     // paper-measured ratio
   netsim::LinkParams link = netsim::LinkParams::wavelan();
 
+  // Deterministic link-fault schedule; an inert plan (the default) keeps the
+  // platform bit-identical to the fault-free model.
+  netsim::FaultPlan fault_plan;
+  // RPC retry-with-backoff bounds, charged against virtual time.
+  rpc::RetryPolicy retry;
+  // Recovery-channel cost model for pulling state back from a dead
+  // surrogate: a flat re-handshake latency plus the reclaimed bytes over the
+  // recovery bandwidth.
+  SimDuration recovery_latency = sim_ms(200);
+  double recovery_bandwidth_bps = 11e6;
+
   monitor::TriggerPolicy trigger;                     // paper: <5% free, x3
   // Minimum client-heap fraction an acceptable partitioning must free
   // (paper: at least 20%).
@@ -74,8 +85,16 @@ struct OffloadReport {
   std::size_t objects_migrated = 0;
   std::uint64_t bytes_migrated = 0;
   SimTime at = 0;
+  SimTime completed_at = 0;
   std::int64_t client_heap_used_before = 0;
   std::int64_t client_heap_used_after = 0;
+};
+
+// One surrogate failure handled by the graceful-degradation path.
+struct FailureReport {
+  SimTime at = 0;
+  std::size_t objects_reclaimed = 0;
+  std::uint64_t bytes_reclaimed = 0;
 };
 
 class Platform : private vm::VmHooks {
@@ -116,6 +135,28 @@ class Platform : private vm::VmHooks {
   }
   [[nodiscard]] bool offloaded() const noexcept { return !offloads_.empty(); }
 
+  [[nodiscard]] const std::vector<FailureReport>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] bool surrogate_dead() const noexcept {
+    return surrogate_dead_;
+  }
+
+  // Registers the registry entry this platform's surrogate was selected
+  // from, so a failure can be reported back for future selections.
+  void attach_surrogate_registry(SurrogateRegistry* registry,
+                                 NodeId surrogate_id) noexcept {
+    surrogate_registry_ = registry;
+    registered_surrogate_ = surrogate_id;
+  }
+
+  // Graceful degradation: severs the endpoint pair, reclaims every
+  // surviving surrogate-resident object back into the client heap (charging
+  // the recovery channel), suppresses further offload triggers and marks
+  // the surrogate dead in the attached registry. Idempotent; returns true
+  // once the client owns all surviving state.
+  bool handle_peer_failure();
+
   // Evaluates the partitioning policy now; migrates and returns a report if a
   // beneficial offloading exists. `min_free_override` tightens/loosens the
   // memory constraint for forced (allocation-failure) offloads.
@@ -147,7 +188,11 @@ class Platform : private vm::VmHooks {
   monitor::ResourceMonitor resource_monitor_;
 
   std::vector<OffloadReport> offloads_;
+  std::vector<FailureReport> failures_;
   bool offloading_in_progress_ = false;
+  bool surrogate_dead_ = false;
+  SurrogateRegistry* surrogate_registry_ = nullptr;
+  NodeId registered_surrogate_ = NodeId::invalid();
 };
 
 }  // namespace aide::platform

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -41,6 +42,9 @@ class SurrogateRegistry {
  public:
   void advertise(SurrogateInfo info) {
     withdraw(info.id);
+    // A fresh advertisement is proof of life: a previously-dead surrogate
+    // that comes back rejoins the candidate pool.
+    dead_.erase(info.id);
     surrogates_.push_back(std::move(info));
   }
 
@@ -49,6 +53,15 @@ class SurrogateRegistry {
         std::remove_if(surrogates_.begin(), surrogates_.end(),
                        [id](const SurrogateInfo& s) { return s.id == id; }),
         surrogates_.end());
+  }
+
+  // Records that a surrogate failed while in use. Its advertisement stays
+  // (for post-mortem inspection) but select() skips it until it
+  // re-advertises.
+  void mark_dead(NodeId id) { dead_.insert(id); }
+
+  [[nodiscard]] bool is_dead(NodeId id) const {
+    return dead_.contains(id);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return surrogates_.size(); }
@@ -62,6 +75,7 @@ class SurrogateRegistry {
       const SurrogateRequirements& req = {}) const {
     const SurrogateInfo* best = nullptr;
     for (const auto& s : surrogates_) {
+      if (dead_.contains(s.id)) continue;
       if (s.heap_capacity < req.min_heap_bytes) continue;
       if (s.cpu_speed < req.min_cpu_speed) continue;
       if (s.latency() > req.max_latency) continue;
@@ -76,6 +90,7 @@ class SurrogateRegistry {
 
  private:
   std::vector<SurrogateInfo> surrogates_;
+  std::unordered_set<NodeId> dead_;
 };
 
 }  // namespace aide::platform

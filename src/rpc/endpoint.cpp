@@ -1,7 +1,9 @@
 #include "rpc/endpoint.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -29,6 +31,29 @@ void Endpoint::connect(Endpoint& a, Endpoint& b) {
   b.peer_ = &a;
   a.vm_.set_peer(&a);
   b.vm_.set_peer(&b);
+}
+
+void Endpoint::disconnect() {
+  if (peer_ != nullptr) {
+    Endpoint& other = *peer_;
+    other.peer_ = nullptr;
+    other.vm_.set_peer(nullptr);
+    other.refs_.clear();
+    other.has_cached_response_ = false;
+    other.cached_response_.clear();
+  }
+  peer_ = nullptr;
+  vm_.set_peer(nullptr);
+  refs_.clear();
+  has_cached_response_ = false;
+  cached_response_.clear();
+}
+
+std::optional<std::vector<std::uint8_t>> Endpoint::take_cached_response(
+    std::uint64_t seq) {
+  if (!has_cached_response_ || seq != last_served_seq_) return std::nullopt;
+  has_cached_response_ = false;
+  return std::move(cached_response_);
 }
 
 // --- reference translation ----------------------------------------------------
@@ -77,22 +102,75 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
   }
   const auto req = std::move(request).take();
   stats_.rpcs_sent += 1;
-  stats_.bytes_sent += req.size();
-  vm_.clock().advance(link_.one_way_cost(req.size()));
+  const std::uint64_t seq = ++next_seq_;
 
-  auto resp = peer_->serve(req);
+  const int max_attempts = std::max(retry_.max_attempts, 1);
+  SimDuration backoff = retry_.backoff_initial;
+  for (int attempt = 1;; ++attempt) {
+    bool delivered = false;
+    std::vector<std::uint8_t> resp;
 
-  stats_.bytes_received += resp.size();
-  vm_.clock().advance(link_.one_way_cost(resp.size()));
+    const auto req_leg = link_.try_one_way(req.size(), vm_.clock().now());
+    if (req_leg.delivered) {
+      stats_.bytes_sent += req.size();
+      vm_.clock().advance(req_leg.cost);
+      try {
+        resp = peer_->serve_request(req, seq);
+      } catch (const PeerUnavailable&) {
+        // A nested call the peer made while serving us was abandoned; the
+        // peer rolled back its partial frame. Not retryable — re-sending
+        // would re-execute side effects the peer already unwound once.
+        stats_.aborted_rpcs += 1;
+        throw PeerUnavailable(seq, "peer failed while serving rpc");
+      }
+      const auto resp_leg = link_.try_one_way(resp.size(), vm_.clock().now());
+      if (resp_leg.delivered) {
+        stats_.bytes_received += resp.size();
+        vm_.clock().advance(resp_leg.cost);
+        delivered = true;
+      }
+    }
 
-  ByteReader r(resp);
-  const auto status = r.read_u8();
-  if (status == kStatusVmError) {
-    const auto code = static_cast<VmErrorCode>(r.read_u8());
-    throw VmError(code, "remote: " + r.read_string());
+    if (delivered) {
+      ByteReader r(resp);
+      const auto status = r.read_u8();
+      if (status == kStatusVmError) {
+        const auto code = static_cast<VmErrorCode>(r.read_u8());
+        throw VmError(code, "remote: " + r.read_string());
+      }
+      // Strip the status byte; hand the remainder to the caller.
+      return {resp.begin() + 1, resp.end()};
+    }
+
+    // No response: either the send was refused (link down) or a leg was
+    // dropped in transit. The sender can't tell the difference — it just
+    // times out.
+    stats_.timeouts += 1;
+    vm_.clock().advance(retry_.timeout);
+    if (attempt >= max_attempts) {
+      stats_.aborted_rpcs += 1;
+      throw PeerUnavailable(seq, "rpc aborted after " +
+                                     std::to_string(attempt) + " attempts");
+    }
+    stats_.retries += 1;
+    vm_.clock().advance(backoff);
+    backoff = std::min(
+        static_cast<SimDuration>(static_cast<double>(backoff) *
+                                 retry_.backoff_multiplier),
+        retry_.backoff_max);
   }
-  // Strip the status byte; hand the remainder to the caller.
-  return {resp.begin() + 1, resp.end()};
+}
+
+std::optional<std::vector<std::uint8_t>> Endpoint::transact_or_recover(
+    ByteWriter request) {
+  try {
+    return transact(std::move(request));
+  } catch (const PeerUnavailable&) {
+    if (serving_depth_ > 0 || !peer_failure_handler_) throw;
+    if (!peer_failure_handler_()) throw;
+    stats_.recovered_rpcs += 1;
+    return std::nullopt;
+  }
 }
 
 ObjectId Endpoint::resolve_target(ByteReader& r) {
@@ -107,6 +185,50 @@ void Endpoint::write_target(ByteWriter& w, ObjectId id) {
 
 // --- outgoing operations --------------------------------------------------------
 
+vm::Value Endpoint::recover_invoke(
+    const PeerUnavailable& e, std::size_t mark,
+    const std::function<vm::Value()>& rerun_local) {
+  if (serving_depth_ > 0 || !peer_failure_handler_) {
+    // Not the top level (or nobody to recover us): keep the journal entries
+    // for the enclosing scope and let the failure propagate.
+    vm_.journal_commit();
+    throw;
+  }
+
+  // The peer may have executed the call and lost only the response; salvage
+  // the cached reply before recovery tears the pair down so the call is not
+  // run twice.
+  auto cached = peer_ != nullptr ? peer_->take_cached_response(e.seq())
+                                 : std::nullopt;
+  if (cached.has_value()) {
+    ByteReader r(*cached);
+    const auto status = r.read_u8();
+    if (status == kStatusVmError) {
+      const auto code = static_cast<VmErrorCode>(r.read_u8());
+      const std::string msg = r.read_string();
+      vm_.journal_commit();
+      peer_failure_handler_();
+      stats_.recovered_rpcs += 1;
+      throw VmError(code, "remote: " + msg);
+    }
+    // Decode while translations are still wired; refs the dead peer owned
+    // become stubs that reintegration resolves to local objects.
+    const vm::Value ret = read_value(r, *this);
+    vm_.journal_commit();
+    peer_failure_handler_();
+    stats_.recovered_rpcs += 1;
+    return ret;
+  }
+
+  // The call never completed remotely: undo the side effects of any
+  // callbacks the partial attempts made into this VM, pull the surviving
+  // state back, and run the frame locally from the stub.
+  vm_.journal_rollback(mark);
+  if (!peer_failure_handler_()) throw;
+  stats_.recovered_rpcs += 1;
+  return rerun_local();
+}
+
 vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
                            std::span<const vm::Value> args) {
   ByteWriter w;
@@ -117,9 +239,21 @@ vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
   w.write_u32(static_cast<std::uint32_t>(args.size()));
   for (const auto& a : args) write_value(w, a, *this);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
-  return read_value(r, *this);
+  const std::size_t mark = vm_.journal_begin();
+  try {
+    const auto resp = transact(std::move(w));
+    ByteReader r(resp);
+    const vm::Value ret = read_value(r, *this);
+    vm_.journal_commit();
+    return ret;
+  } catch (const PeerUnavailable& e) {
+    return recover_invoke(
+        e, mark, [&] { return vm_.run_incoming_invoke(target, method, args); });
+  } catch (...) {
+    // Semantic errors keep their partial effects (the fault-free contract).
+    vm_.journal_commit();
+    throw;
+  }
 }
 
 vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
@@ -131,9 +265,21 @@ vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
   w.write_u32(static_cast<std::uint32_t>(args.size()));
   for (const auto& a : args) write_value(w, a, *this);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
-  return read_value(r, *this);
+  const std::size_t mark = vm_.journal_begin();
+  try {
+    const auto resp = transact(std::move(w));
+    ByteReader r(resp);
+    const vm::Value ret = read_value(r, *this);
+    vm_.journal_commit();
+    return ret;
+  } catch (const PeerUnavailable& e) {
+    return recover_invoke(e, mark, [&] {
+      return vm_.run_incoming_invoke_static(cls, method, args);
+    });
+  } catch (...) {
+    vm_.journal_commit();
+    throw;
+  }
 }
 
 vm::Value Endpoint::get_field(ObjectId target, FieldId field) {
@@ -142,8 +288,9 @@ vm::Value Endpoint::get_field(ObjectId target, FieldId field) {
   write_target(w, target);
   w.write_u32(field.value());
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
+  const auto resp = transact_or_recover(std::move(w));
+  if (!resp.has_value()) return vm_.raw_get_field(target, field);
+  ByteReader r(*resp);
   return read_value(r, *this);
 }
 
@@ -153,7 +300,9 @@ void Endpoint::put_field(ObjectId target, FieldId field, const vm::Value& v) {
   write_target(w, target);
   w.write_u32(field.value());
   write_value(w, v, *this);
-  transact(std::move(w));
+  if (!transact_or_recover(std::move(w)).has_value()) {
+    vm_.raw_put_field(target, field, v);
+  }
 }
 
 vm::Value Endpoint::get_static(ClassId cls, std::uint32_t slot) {
@@ -162,8 +311,9 @@ vm::Value Endpoint::get_static(ClassId cls, std::uint32_t slot) {
   w.write_u32(cls.value());
   w.write_u32(slot);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
+  const auto resp = transact_or_recover(std::move(w));
+  if (!resp.has_value()) return vm_.raw_get_static(cls, slot);
+  ByteReader r(*resp);
   return read_value(r, *this);
 }
 
@@ -174,7 +324,9 @@ void Endpoint::put_static(ClassId cls, std::uint32_t slot,
   w.write_u32(cls.value());
   w.write_u32(slot);
   write_value(w, v, *this);
-  transact(std::move(w));
+  if (!transact_or_recover(std::move(w)).has_value()) {
+    vm_.raw_put_static(cls, slot, v);
+  }
 }
 
 vm::Value Endpoint::array_get(ObjectId target, std::int64_t index) {
@@ -183,8 +335,9 @@ vm::Value Endpoint::array_get(ObjectId target, std::int64_t index) {
   write_target(w, target);
   w.write_i64(index);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
+  const auto resp = transact_or_recover(std::move(w));
+  if (!resp.has_value()) return vm_.raw_array_get(target, index);
+  ByteReader r(*resp);
   return read_value(r, *this);
 }
 
@@ -195,7 +348,9 @@ void Endpoint::array_put(ObjectId target, std::int64_t index,
   write_target(w, target);
   w.write_i64(index);
   write_value(w, v, *this);
-  transact(std::move(w));
+  if (!transact_or_recover(std::move(w)).has_value()) {
+    vm_.raw_array_put(target, index, v);
+  }
 }
 
 std::int64_t Endpoint::array_length(ObjectId target) {
@@ -203,8 +358,9 @@ std::int64_t Endpoint::array_length(ObjectId target) {
   w.write_u8(static_cast<std::uint8_t>(Op::array_len));
   write_target(w, target);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
+  const auto resp = transact_or_recover(std::move(w));
+  if (!resp.has_value()) return vm_.raw_array_length(target);
+  ByteReader r(*resp);
   return r.read_i64();
 }
 
@@ -216,8 +372,9 @@ std::string Endpoint::chars_read(ObjectId target, std::int64_t offset,
   w.write_i64(offset);
   w.write_i64(length);
 
-  const auto resp = transact(std::move(w));
-  ByteReader r(resp);
+  const auto resp = transact_or_recover(std::move(w));
+  if (!resp.has_value()) return vm_.raw_chars_read(target, offset, length);
+  ByteReader r(*resp);
   return r.read_string();
 }
 
@@ -228,7 +385,9 @@ void Endpoint::chars_write(ObjectId target, std::int64_t offset,
   write_target(w, target);
   w.write_i64(offset);
   w.write_string(data);
-  transact(std::move(w));
+  if (!transact_or_recover(std::move(w)).has_value()) {
+    vm_.raw_chars_write(target, offset, data);
+  }
 }
 
 void Endpoint::release(std::span<const ObjectId> ids) {
@@ -248,7 +407,13 @@ void Endpoint::release(std::span<const ObjectId> ids) {
   w.write_u32(static_cast<std::uint32_t>(handles.size()));
   for (const ExportHandle h : handles) w.write_u64(h.value());
   stats_.releases_sent += 1;
-  transact(std::move(w));
+  try {
+    transact(std::move(w));
+  } catch (const PeerUnavailable&) {
+    // Releases run inside GC, where recovery would be re-entrant; the peer
+    // is gone, so there is nothing left to release anyway. The next real
+    // operation performs the recovery.
+  }
 }
 
 std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
@@ -277,7 +442,22 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
   stats_.objects_migrated_out += objects.size();
   stats_.bytes_migrated_out += bytes;
 
-  const auto resp = transact(std::move(w));
+  std::vector<std::uint8_t> resp;
+  try {
+    resp = transact(std::move(w));
+  } catch (const PeerUnavailable&) {
+    // Adoption is all-or-nothing on the serving side: if the peer holds the
+    // batch, its copies are authoritative (the response was lost) and
+    // reintegration will pull them back; otherwise reinstate our copies so
+    // the heap is exactly as before the attempt.
+    const bool adopted = peer_ != nullptr && !objects.empty() &&
+                         peer_->vm_.is_local(objects[0]->id);
+    if (!adopted) {
+      for (auto& obj : objects) vm_.migrate_in(std::move(obj));
+    }
+    throw;
+  }
+
   ByteReader r(resp);
   const auto count = r.read_u32();
   if (count != objects.size()) {
@@ -294,6 +474,31 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
 }
 
 // --- serving ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> Endpoint::serve_request(
+    std::span<const std::uint8_t> request, std::uint64_t seq) {
+  if (fault_tolerant() && has_cached_response_ && seq == last_served_seq_) {
+    // A retry of the request we just served: at-most-once execution demands
+    // we replay the reply, not the side effects.
+    stats_.duplicates_served += 1;
+    return cached_response_;
+  }
+  serving_depth_ += 1;
+  std::vector<std::uint8_t> resp;
+  try {
+    resp = serve(request);
+  } catch (...) {
+    serving_depth_ -= 1;
+    throw;
+  }
+  serving_depth_ -= 1;
+  if (fault_tolerant()) {
+    last_served_seq_ = seq;
+    cached_response_ = resp;
+    has_cached_response_ = true;
+  }
+  return resp;
+}
 
 std::vector<std::uint8_t> Endpoint::serve(
     std::span<const std::uint8_t> request) {
@@ -314,7 +519,22 @@ std::vector<std::uint8_t> Endpoint::serve(
         for (std::uint32_t i = 0; i < argc; ++i) {
           args.push_back(read_value(r, *this));
         }
-        const vm::Value ret = vm_.run_incoming_invoke(target, method, args);
+        // Journal the frame: if a nested call back to the peer is abandoned
+        // mid-execution, the partial mutations are rolled back so a local
+        // re-execution starts from clean state. Semantic errors (VmError)
+        // commit — partial effects are the fault-free contract.
+        const std::size_t mark = vm_.journal_begin();
+        vm::Value ret;
+        try {
+          ret = vm_.run_incoming_invoke(target, method, args);
+        } catch (const PeerUnavailable&) {
+          vm_.journal_rollback(mark);
+          throw;
+        } catch (...) {
+          vm_.journal_commit();
+          throw;
+        }
+        vm_.journal_commit();
         out.write_u8(kStatusOk);
         write_value(out, ret, *this);
         break;
@@ -328,8 +548,18 @@ std::vector<std::uint8_t> Endpoint::serve(
         for (std::uint32_t i = 0; i < argc; ++i) {
           args.push_back(read_value(r, *this));
         }
-        const vm::Value ret =
-            vm_.run_incoming_invoke_static(cls, method, args);
+        const std::size_t mark = vm_.journal_begin();
+        vm::Value ret;
+        try {
+          ret = vm_.run_incoming_invoke_static(cls, method, args);
+        } catch (const PeerUnavailable&) {
+          vm_.journal_rollback(mark);
+          throw;
+        } catch (...) {
+          vm_.journal_commit();
+          throw;
+        }
+        vm_.journal_commit();
         out.write_u8(kStatusOk);
         write_value(out, ret, *this);
         break;

@@ -11,16 +11,22 @@
 //  * object migration with a two-section encoding that tolerates reference
 //    cycles among co-migrated objects,
 //  * the distributed-GC release protocol ("a simple distributed garbage
-//    collection scheme", paper section 4).
+//    collection scheme", paper section 4),
+//  * fault tolerance: bounded retry-with-backoff against the link's
+//    FaultPlan, at-most-once execution via a sequence-numbered reply cache,
+//    and local-fallback recovery when the peer is unrecoverably gone.
 //
 // Execution is synchronous and serial, matching the paper's emulator model:
 // "the two VMs do not execute application code simultaneously".
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "netsim/link.hpp"
 #include "rpc/refmap.hpp"
 #include "rpc/serializer.hpp"
@@ -38,6 +44,27 @@ struct EndpointStats {
   std::uint64_t migrations_sent = 0;
   std::uint64_t objects_migrated_out = 0;
   std::uint64_t bytes_migrated_out = 0;
+  // Fault-tolerance accounting (all zero under an inert FaultPlan).
+  std::uint64_t retries = 0;          // re-sent attempts after a timeout
+  std::uint64_t timeouts = 0;         // attempts that produced no response
+  std::uint64_t aborted_rpcs = 0;     // RPCs abandoned as PeerUnavailable
+  std::uint64_t duplicates_served = 0;  // dedup hits in the reply cache
+  std::uint64_t recovered_rpcs = 0;   // RPCs completed via local fallback
+
+  friend bool operator==(const EndpointStats&, const EndpointStats&) = default;
+};
+
+// Bounded retry-with-backoff for one RPC attempt sequence. All delays are
+// virtual time charged to the calling VM's clock.
+struct RetryPolicy {
+  int max_attempts = 4;
+  // How long the sender waits for a response before declaring the attempt
+  // lost.
+  SimDuration timeout = sim_ms(50);
+  // Exponential backoff between attempts.
+  SimDuration backoff_initial = sim_ms(25);
+  double backoff_multiplier = 2.0;
+  SimDuration backoff_max = sim_ms(400);
 };
 
 class Endpoint final : public vm::RemotePeer, private RefTranslator {
@@ -50,9 +77,36 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   // Cross-wires two endpoints and attaches them as their VMs' peers.
   static void connect(Endpoint& a, Endpoint& b);
 
+  // Severs the pair in both directions: both VMs lose their peer, both
+  // RefMaps drop their translations and reply caches are flushed. After a
+  // disconnect every surviving object must be made local (the platform's
+  // recovery path does exactly that) — stale stubs simply become
+  // unreachable garbage.
+  void disconnect();
+
+  [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
   [[nodiscard]] vm::Vm& local_vm() noexcept { return vm_; }
   [[nodiscard]] RefMap& refs() noexcept { return refs_; }
   [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
+
+  void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
+
+  // Installed on the client endpoint by the platform: invoked when an RPC is
+  // abandoned at the top level; returns true once every surviving object is
+  // local again so the failed operation can be completed locally.
+  void set_peer_failure_handler(std::function<bool()> handler) {
+    peer_failure_handler_ = std::move(handler);
+  }
+
+  // Retrieves (and consumes) the reply this endpoint served for the peer's
+  // sequence number `seq`, if it is still cached. The recovery path uses it
+  // to salvage an executed-but-undelivered response instead of running the
+  // call twice. In-process stand-in for a recovery-channel cache flush.
+  std::optional<std::vector<std::uint8_t>> take_cached_response(
+      std::uint64_t seq);
 
   // --- vm::RemotePeer (outgoing operations) --------------------------------
 
@@ -77,7 +131,9 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
 
   // Offloads the given local objects to the peer VM. Returns the number of
   // payload bytes shipped. Stubs are left behind; the peer exports the
-  // adopted objects back so future references resolve.
+  // adopted objects back so future references resolve. On PeerUnavailable
+  // the batch is reinstated locally (unless the peer already adopted it) and
+  // the error propagates for the platform to handle.
   std::uint64_t migrate_objects(std::span<const ObjectId> ids);
 
  private:
@@ -101,12 +157,33 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   WireRef translate_out(vm::ObjectRef ref) override;
   vm::ObjectRef translate_in(const WireRef& wire) override;
 
-  // Sends an encoded request across the link and returns the decoded-raw
-  // response bytes. Throws VmError if the peer reported one.
+  // Sends an encoded request across the link with bounded retry and returns
+  // the decoded-raw response bytes. Throws VmError if the peer reported one,
+  // PeerUnavailable when the retry budget is exhausted.
   std::vector<std::uint8_t> transact(ByteWriter request);
+
+  // transact(), but an unrecoverable peer failure at the top level triggers
+  // platform recovery and returns nullopt so the caller completes the
+  // (idempotent) operation against now-local state.
+  std::optional<std::vector<std::uint8_t>> transact_or_recover(
+      ByteWriter request);
+
+  // Recovery tail shared by invoke/invoke_static: salvages a cached reply or
+  // rolls back and re-executes locally. Must be called from a catch block.
+  vm::Value recover_invoke(const PeerUnavailable& e, std::size_t mark,
+                           const std::function<vm::Value()>& rerun_local);
+
+  // Dedup wrapper around serve(): replays the cached reply for a retried
+  // sequence number instead of executing the request twice.
+  std::vector<std::uint8_t> serve_request(std::span<const std::uint8_t> request,
+                                          std::uint64_t seq);
 
   // Serves one request on the receiving side.
   std::vector<std::uint8_t> serve(std::span<const std::uint8_t> request);
+
+  [[nodiscard]] bool fault_tolerant() const noexcept {
+    return link_.fault_plan().enabled();
+  }
 
   // Resolves an incoming wire target (our export handle) to a local object.
   ObjectId resolve_target(ByteReader& r);
@@ -117,6 +194,20 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   Endpoint* peer_ = nullptr;
   RefMap refs_;
   EndpointStats stats_;
+  RetryPolicy retry_;
+  std::function<bool()> peer_failure_handler_;
+
+  // Outgoing sequence numbers; carried out-of-band by the in-process
+  // transport (a real deployment would put them in a message header).
+  std::uint64_t next_seq_ = 0;
+  // Single-entry reply cache: execution is synchronous and serial, so only
+  // the most recent request can ever be retried.
+  std::uint64_t last_served_seq_ = 0;
+  std::vector<std::uint8_t> cached_response_;
+  bool has_cached_response_ = false;
+  // Depth of serve() frames on this endpoint; recovery must only run at the
+  // top level, never while a peer frame is live above us on the stack.
+  int serving_depth_ = 0;
 };
 
 }  // namespace aide::rpc

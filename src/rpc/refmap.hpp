@@ -86,6 +86,14 @@ class RefMap {
 
   void forget_import(ObjectId local_id) { import_by_id_.erase(local_id); }
 
+  // Drops every mapping in both directions (endpoint disconnect). Handles
+  // are not reused: the counter keeps advancing across reconnects.
+  void clear() {
+    export_by_id_.clear();
+    export_by_handle_.clear();
+    import_by_id_.clear();
+  }
+
   [[nodiscard]] std::size_t import_count() const noexcept {
     return import_by_id_.size();
   }

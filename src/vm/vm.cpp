@@ -153,6 +153,9 @@ GcReport Vm::collect_garbage() {
   }
   worklist.insert(worklist.end(), driver_roots_.begin(), driver_roots_.end());
   for (const auto& [key, v] : statics_) mark_value(v, worklist);
+  // Journaled old values must survive until their scope resolves: a rollback
+  // would write them back. Empty unless a fault plan is active.
+  for (const JournalEntry& e : journal_) mark_value(e.old_value, worklist);
   if (extra_roots_provider_) {
     extra_roots_provider_([&](ObjectId id) { worklist.push_back(id); });
   }
@@ -212,6 +215,54 @@ GcReport Vm::collect_garbage() {
 
   fire([&](VmHooks& h) { h.on_gc(cfg_.node, report); });
   return report;
+}
+
+// --- mutation journal --------------------------------------------------------
+
+std::size_t Vm::journal_begin() noexcept {
+  if (!journal_enabled_) return 0;
+  journal_depth_ += 1;
+  return journal_.size();
+}
+
+void Vm::journal_commit() noexcept {
+  if (journal_depth_ == 0) return;
+  journal_depth_ -= 1;
+  if (journal_depth_ == 0) journal_.clear();
+}
+
+void Vm::journal_rollback(std::size_t mark) {
+  journal_replaying_ = true;
+  while (journal_.size() > mark) {
+    const JournalEntry e = std::move(journal_.back());
+    journal_.pop_back();
+    switch (e.kind) {
+      case JournalEntry::Kind::field:
+        if (heap_.contains(e.obj)) {
+          raw_put_field(e.obj, FieldId{static_cast<std::uint32_t>(e.key)},
+                        e.old_value);
+        }
+        break;
+      case JournalEntry::Kind::static_slot:
+        statics_[e.key] = e.old_value;
+        break;
+      case JournalEntry::Kind::array_elem:
+        if (heap_.contains(e.obj)) {
+          raw_array_put(e.obj, static_cast<std::int64_t>(e.key),
+                        Value{e.old_elem});
+        }
+        break;
+      case JournalEntry::Kind::chars:
+        if (heap_.contains(e.obj)) {
+          raw_chars_write(e.obj, static_cast<std::int64_t>(e.key),
+                          e.old_chars);
+        }
+        break;
+    }
+  }
+  journal_replaying_ = false;
+  if (journal_depth_ > 0) journal_depth_ -= 1;
+  if (journal_depth_ == 0) journal_.clear();
 }
 
 // --- roots -------------------------------------------------------------------
@@ -548,6 +599,10 @@ void Vm::raw_put_field(ObjectId target, FieldId field, const Value& v) {
     throw VmError(VmErrorCode::unknown_field,
                   "field #" + std::to_string(field.value()));
   }
+  if (journal_recording()) {
+    journal_.push_back({JournalEntry::Kind::field, target, field.value(),
+                        o.fields[field.value()], 0, {}});
+  }
   // Only string payloads change an object's footprint; compute the delta
   // from the touched slot alone (size_bytes() would scan every field, which
   // is quadratic for large reference arrays).
@@ -638,7 +693,14 @@ Value Vm::raw_get_static(ClassId cls, std::uint32_t slot) {
 }
 
 void Vm::raw_put_static(ClassId cls, std::uint32_t slot, const Value& v) {
-  statics_[static_key(cls, slot)] = v;
+  const std::uint64_t key = static_key(cls, slot);
+  if (journal_recording()) {
+    const auto it = statics_.find(key);
+    journal_.push_back({JournalEntry::Kind::static_slot, ObjectId::invalid(),
+                        key, it == statics_.end() ? Value{} : it->second, 0,
+                        {}});
+  }
+  statics_[key] = v;
 }
 
 // --- arrays ---------------------------------------------------------------------
@@ -813,6 +875,15 @@ Value Vm::raw_array_get(ObjectId target, std::int64_t index) {
 void Vm::raw_array_put(ObjectId target, std::int64_t index, const Value& v) {
   Object& o = require_local(target);
   check_index(o, index);
+  if (journal_recording() && o.kind != ObjectKind::plain) {
+    const std::int64_t old =
+        o.kind == ObjectKind::int_array
+            ? o.ints[index]
+            : static_cast<std::int64_t>(
+                  static_cast<unsigned char>(o.chars[index]));
+    journal_.push_back({JournalEntry::Kind::array_elem, target,
+                        static_cast<std::uint64_t>(index), Value{}, old, {}});
+  }
   switch (o.kind) {
     case ObjectKind::int_array: o.ints[index] = v.as_int(); return;
     case ObjectKind::char_array:
@@ -851,6 +922,12 @@ void Vm::raw_chars_write(ObjectId target, std::int64_t offset,
       offset + static_cast<std::int64_t>(data.size()) >
           static_cast<std::int64_t>(o.chars.size())) {
     throw VmError(VmErrorCode::bad_array_index, "chars_write out of range");
+  }
+  if (journal_recording()) {
+    journal_.push_back({JournalEntry::Kind::chars, target,
+                        static_cast<std::uint64_t>(offset), Value{}, 0,
+                        o.chars.substr(static_cast<std::size_t>(offset),
+                                       data.size())});
   }
   o.chars.replace(static_cast<std::size_t>(offset), data.size(), data);
 }

@@ -191,6 +191,33 @@ class Vm {
   // Forces a GC cycle now (also runs automatically per the thresholds).
   GcReport collect_garbage();
 
+  // --- mutation journal (fault tolerance) ----------------------------------
+  //
+  // While a journal scope is open, raw mutations (fields, statics, array
+  // elements, char regions) record undo entries so a partially-executed
+  // remote frame can be rolled back when the peer becomes unavailable
+  // mid-call. Scopes nest; entries are kept until the outermost scope
+  // commits so an enclosing rollback can still undo inner effects.
+  // Recording is off by default — the platform enables it only when a fault
+  // plan is active, so fault-free runs are bit-identical to the unjournaled
+  // VM.
+
+  void set_journal_enabled(bool on) noexcept { journal_enabled_ = on; }
+  [[nodiscard]] bool journal_enabled() const noexcept {
+    return journal_enabled_;
+  }
+  // Opens a scope; returns the mark to pass to journal_rollback.
+  std::size_t journal_begin() noexcept;
+  // Closes the current scope keeping its effects.
+  void journal_commit() noexcept;
+  // Undoes every mutation recorded since `mark` (newest first) and closes
+  // the current scope. Objects that left the heap in the meantime are
+  // skipped.
+  void journal_rollback(std::size_t mark);
+  [[nodiscard]] std::size_t journal_size() const noexcept {
+    return journal_.size();
+  }
+
   // --- location / migration (used by the rpc layer and offload engine) ----
 
   [[nodiscard]] bool is_local(ObjectId id) const noexcept {
@@ -253,6 +280,20 @@ class Vm {
     bool gc_mark = false;
   };
 
+  struct JournalEntry {
+    enum class Kind : std::uint8_t { field, static_slot, array_elem, chars };
+    Kind kind;
+    ObjectId obj;           // field / array_elem / chars
+    std::uint64_t key = 0;  // field index, static key, array index or offset
+    Value old_value;        // field / static_slot
+    std::int64_t old_elem = 0;  // array_elem
+    std::string old_chars;      // chars
+  };
+
+  [[nodiscard]] bool journal_recording() const noexcept {
+    return journal_depth_ > 0 && !journal_replaying_;
+  }
+
   ObjectId next_object_id() noexcept {
     return ObjectId{(static_cast<std::uint64_t>(cfg_.node.value()) << 48) |
                     next_object_counter_++};
@@ -308,6 +349,11 @@ class Vm {
   std::vector<ObjectId> driver_roots_;
   // Static slot storage; populated only on the client VM.
   std::unordered_map<std::uint64_t, Value> statics_;
+
+  std::vector<JournalEntry> journal_;
+  int journal_depth_ = 0;
+  bool journal_enabled_ = false;
+  bool journal_replaying_ = false;
 
   std::uint64_t next_object_counter_ = 1;
   std::int64_t allocs_since_gc_ = 0;

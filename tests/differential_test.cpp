@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "platform/platform.hpp"
@@ -201,6 +202,72 @@ TEST_P(DifferentialTest, RepeatedRunsOnOnePlatformStayConsistent) {
     p.offload_now(std::int64_t{1});
   });
   EXPECT_EQ(first, second) << "seed " << seed;
+}
+
+TEST_P(DifferentialTest, FaultyExecutionObservesIdenticalState) {
+  const std::uint64_t seed = GetParam();
+
+  // Ground truth: standalone VM.
+  auto reg1 = aide::test::make_test_registry();
+  SimClock clock1;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 32 << 20;
+  Vm standalone(cfg, reg1, clock1);
+  const auto expected = run_program(standalone, seed, nullptr);
+
+  struct Variant {
+    const char* name;
+    netsim::FaultPlan plan;
+  };
+  std::vector<Variant> variants;
+  {
+    // Surrogate dies almost immediately — typically under the very first
+    // migration, whose payload takes longer than 40 ms of airtime.
+    Variant v{"dead-early", {}};
+    v.plan.dead_after = sim_ms(40);
+    variants.push_back(v);
+  }
+  {
+    // Surrogate dies mid-run, after remote execution is well established.
+    Variant v{"dead-midrun", {}};
+    v.plan.dead_after = sim_ms(400);
+    variants.push_back(v);
+  }
+  {
+    // Flaky radio: 40 ms outages every 300 ms for the whole run. Each is
+    // survivable within the retry budget (a failed attempt re-sends 75 ms
+    // later, past the window).
+    Variant v{"flaky", {}};
+    for (SimTime t = 0; t < sim_sec(100); t += sim_ms(300)) {
+      v.plan.outages.push_back({t, t + sim_ms(40)});
+    }
+    variants.push_back(v);
+  }
+  {
+    Variant v{"lossy", {}};
+    v.plan.drop_probability = 0.10;
+    v.plan.drop_seed = 0xBADF00D + seed;
+    variants.push_back(v);
+  }
+
+  for (const Variant& v : variants) {
+    auto reg2 = aide::test::make_test_registry();
+    platform::PlatformConfig pcfg;
+    pcfg.client_heap = 32 << 20;
+    pcfg.auto_offload = false;
+    pcfg.fault_plan = v.plan;
+    platform::Platform p(reg2, pcfg);
+    const auto observed = run_program(
+        p.client(), seed, [&p] { p.offload_now(std::int64_t{1}); });
+    EXPECT_EQ(observed, expected) << "seed " << seed << " variant " << v.name;
+    if (v.plan.dead_after != netsim::FaultPlan::kNever) {
+      // The program keeps offloading and calling into migrated state, so a
+      // permanent death is always eventually discovered and recovered from.
+      EXPECT_TRUE(p.surrogate_dead()) << "seed " << seed << " " << v.name;
+      EXPECT_EQ(p.failures().size(), 1u) << "seed " << seed << " " << v.name;
+      EXPECT_EQ(p.client().stub_count(), 0u);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,

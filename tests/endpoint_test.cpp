@@ -5,6 +5,9 @@
 // and simulated-time charging.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.hpp"
 #include "netsim/link.hpp"
 #include "rpc/endpoint.hpp"
@@ -310,6 +313,115 @@ TEST_F(EndpointTest, MigrationChargesLinkForPayload) {
   offload(big);
   // 200 KB at 11 Mbps is ~150 ms one way.
   EXPECT_GT(clock_.now() - before, sim_ms(100));
+}
+
+TEST_F(EndpointTest, RetriesThroughTransientOutage) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  client_.call(counter, "inc");
+  offload(counter);
+
+  // 10 ms of radio silence starting now: the first attempt is refused, the
+  // re-attempt (timeout 50 ms + backoff 25 ms later) sails through.
+  netsim::FaultPlan plan;
+  plan.outages.push_back({clock_.now(), clock_.now() + sim_ms(10)});
+  link_.set_fault_plan(plan);
+
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 1);
+  EXPECT_EQ(client_ep_.stats().timeouts, 1u);
+  EXPECT_EQ(client_ep_.stats().retries, 1u);
+  EXPECT_EQ(client_ep_.stats().aborted_rpcs, 0u);
+  EXPECT_GE(link_.stats().link_down_failures, 1u);
+}
+
+TEST_F(EndpointTest, AbortChargesFullRetryBudget) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+
+  netsim::FaultPlan plan;
+  plan.dead_after = clock_.now();
+  link_.set_fault_plan(plan);
+
+  const SimTime before = clock_.now();
+  EXPECT_THROW(client_.call(counter, "get"), PeerUnavailable);
+  // 4 attempts x 50 ms timeout + backoffs 25/50/100 ms; a dead link never
+  // grants airtime, so the charge is exactly the retry budget.
+  EXPECT_EQ(clock_.now() - before, sim_ms(4 * 50 + 25 + 50 + 100));
+  EXPECT_EQ(client_ep_.stats().timeouts, 4u);
+  EXPECT_EQ(client_ep_.stats().retries, 3u);
+  EXPECT_EQ(client_ep_.stats().aborted_rpcs, 1u);
+}
+
+TEST_F(EndpointTest, LostResponseIsDedupedNotReExecuted) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+
+  // Window opens just after the request leaves and closes well before the
+  // re-attempt: the surrogate executes inc once, the reply is lost, and the
+  // retry must be served from the reply cache.
+  const SimTime t = clock_.now();
+  netsim::FaultPlan plan;
+  plan.outages.push_back({t + 1, t + sim_ms(40)});
+  link_.set_fault_plan(plan);
+
+  EXPECT_EQ(client_.call(counter, "inc").as_int(), 1);
+  EXPECT_EQ(client_ep_.stats().retries, 1u);
+  EXPECT_EQ(surrogate_ep_.stats().duplicates_served, 1u);
+  // At-most-once: the duplicate did not increment again.
+  link_.set_fault_plan(netsim::FaultPlan{});
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 1);
+}
+
+TEST_F(EndpointTest, LocalFallbackCompletesAbortedRpc) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  client_.call(counter, "inc");
+  offload(counter);
+
+  // Platform-style recovery at endpoint scale: sever the pair, then
+  // repatriate every surviving surrogate object.
+  client_ep_.set_peer_failure_handler([this] {
+    std::vector<ObjectId> ids;
+    surrogate_.heap().for_each(
+        [&](const vm::Object& o) { ids.push_back(o.id); });
+    std::sort(ids.begin(), ids.end());
+    client_ep_.disconnect();
+    for (const ObjectId id : ids) {
+      client_.migrate_in(surrogate_.migrate_out(id));
+    }
+    return true;
+  });
+
+  netsim::FaultPlan plan;
+  plan.dead_after = clock_.now();
+  link_.set_fault_plan(plan);
+
+  // The abandoned invoke is transparently re-run against now-local state.
+  EXPECT_EQ(client_.call(counter, "inc").as_int(), 2);
+  EXPECT_EQ(client_ep_.stats().aborted_rpcs, 1u);
+  EXPECT_EQ(client_ep_.stats().recovered_rpcs, 1u);
+  EXPECT_TRUE(client_.is_local(counter.id));
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 2);
+}
+
+TEST_F(EndpointTest, FailedMigrationReinstatesBatchLocally) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  client_.call(counter, "inc");
+
+  netsim::FaultPlan plan;
+  plan.dead_after = clock_.now();
+  link_.set_fault_plan(plan);
+
+  const ObjectId ids[] = {counter.id};
+  EXPECT_THROW(client_ep_.migrate_objects(ids), PeerUnavailable);
+  // The batch never left: still local, no stubs, state intact.
+  EXPECT_TRUE(client_.is_local(counter.id));
+  EXPECT_EQ(client_.stub_count(), 0u);
+  EXPECT_FALSE(surrogate_.is_local(counter.id));
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 1);
 }
 
 TEST_F(EndpointTest, ReverseMigrationBringsObjectBack) {

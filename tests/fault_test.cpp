@@ -1,0 +1,309 @@
+// Surrogate-failure recovery matrix.
+//
+// Five deterministic fault schedules — surrogate dead at first contact, dead
+// mid-migration, dead mid-invoke after a completed offload, a transient
+// post-offload outage, and a lossy link — crossed with the five paper
+// applications. Every cell must run to completion with output byte-identical
+// to a standalone (never-offloaded) execution: the paper's transparency
+// requirement extended across surrogate failure. The schedules are derived
+// from a fault-free probe run, which is exact because the platform is fully
+// deterministic under virtual time.
+//
+// Also here: the zero-fault parity check (an armed-but-never-firing FaultPlan
+// must reproduce the fault-free run's statistics bit-for-bit) and the
+// determinism regression (same seeds => identical stats, different seeds =>
+// different stats, including the jitter path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "common/error.hpp"
+#include "netsim/link.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+namespace aide {
+namespace {
+
+constexpr NodeId kClientNode{1};
+
+// Scaled-down application parameters: the matrix runs every app seven times.
+apps::AppParams fault_params() {
+  apps::AppParams p;
+  p.doc_bytes = 48 * 1024;
+  p.edits = 16;
+  p.scrolls = 20;
+  p.image_size = 64;
+  p.layers = 3;
+  p.filter_passes = 3;
+  p.atoms = 80;
+  p.iterations = 4;
+  p.field_size = 49;
+  p.frames = 4;
+  p.columns = 32;
+  p.trace_w = 16;
+  p.trace_h = 12;
+  p.spheres = 6;
+  return p;
+}
+
+// Drives a deterministic early offload: from the second client GC onwards,
+// keep asking for any beneficial offload until one lands (or the surrogate
+// dies trying). This pins the offload instant for schedule derivation far
+// more tightly than the memory-pressure trigger would.
+class ForcedOffload : public vm::VmHooks {
+ public:
+  explicit ForcedOffload(platform::Platform& p) : p_(p) {}
+  void on_gc(NodeId node, const vm::GcReport&) override {
+    if (node != kClientNode) return;
+    if (++cycles_ < 2) return;
+    if (p_.offloaded() || p_.surrogate_dead()) return;
+    p_.offload_now(std::int64_t{1});
+  }
+
+ private:
+  platform::Platform& p_;
+  int cycles_ = 0;
+};
+
+platform::PlatformConfig fault_config() {
+  platform::PlatformConfig cfg;
+  // Recovery must be able to complete fully local, so the client heap is as
+  // generous as the standalone baseline's.
+  cfg.client_heap = 64 << 20;
+  cfg.surrogate_heap = 64 << 20;
+  cfg.auto_offload = false;  // ForcedOffload drives the schedule
+  // Very frequent GC reports give the hook plenty of chances to offload
+  // early, whatever the app's allocation profile looks like (Voxel allocates
+  // under a dozen objects at this scale).
+  cfg.client_gc_alloc_count_threshold = 4;
+  cfg.client_gc_alloc_bytes_divisor = 512;
+  return cfg;
+}
+
+std::uint64_t standalone_checksum(const apps::AppInfo& app,
+                                  const apps::AppParams& params) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 64 << 20;
+  vm::Vm vm(cfg, reg, clock);
+  return app.run(vm, params);
+}
+
+struct RunResult {
+  std::uint64_t checksum = 0;
+  bool offloaded = false;
+  bool dead = false;
+  SimTime offload_at = 0;
+  SimTime offload_done = 0;
+  SimTime end = 0;
+  std::size_t failures = 0;
+  std::size_t objects_reclaimed = 0;
+  std::size_t stub_count = 0;
+  rpc::EndpointStats client_stats;
+  rpc::EndpointStats surrogate_stats;
+  netsim::LinkStats link_stats;
+};
+
+RunResult run_app(const apps::AppInfo& app, const apps::AppParams& params,
+                  platform::PlatformConfig cfg) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::Platform p(reg, cfg);
+  ForcedOffload forced(p);
+  p.client().add_hooks(&forced);
+  RunResult r;
+  r.checksum = app.run(p.client(), params);
+  p.client().remove_hooks(&forced);
+  r.offloaded = p.offloaded();
+  r.dead = p.surrogate_dead();
+  if (r.offloaded) {
+    r.offload_at = p.offloads().front().at;
+    r.offload_done = p.offloads().front().completed_at;
+  }
+  r.end = p.elapsed();
+  r.failures = p.failures().size();
+  if (!p.failures().empty()) {
+    r.objects_reclaimed = p.failures().front().objects_reclaimed;
+  }
+  r.stub_count = p.client().stub_count();
+  r.client_stats = p.client_endpoint().stats();
+  r.surrogate_stats = p.surrogate_endpoint().stats();
+  r.link_stats = p.link().stats();
+  return r;
+}
+
+RunResult run_cell(const apps::AppInfo& app, const apps::AppParams& params,
+                   const netsim::FaultPlan& plan) {
+  auto cfg = fault_config();
+  cfg.fault_plan = plan;
+  return run_app(app, params, cfg);
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultMatrixTest, EveryScheduleRecoversWithIdenticalOutput) {
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = fault_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+
+  // Fault-free probe: fixes this app's offload timeline exactly.
+  const RunResult probe = run_cell(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(probe.offloaded) << "probe run never offloaded";
+  ASSERT_EQ(probe.checksum, expected) << "fault-free transparency broken";
+  ASSERT_LT(probe.offload_at, probe.offload_done);
+  ASSERT_EQ(probe.failures, 0u);
+
+  {
+    SCOPED_TRACE("cell: surrogate dead at first contact");
+    netsim::FaultPlan plan;
+    plan.dead_after = 1;
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_TRUE(r.dead);
+    EXPECT_FALSE(r.offloaded);
+    EXPECT_EQ(r.failures, 1u);
+    // Nothing ever reached the surrogate, so nothing comes back.
+    EXPECT_EQ(r.objects_reclaimed, 0u);
+    EXPECT_GE(r.client_stats.aborted_rpcs, 1u);
+    EXPECT_GE(r.client_stats.timeouts,
+              static_cast<std::uint64_t>(rpc::RetryPolicy{}.max_attempts));
+    EXPECT_EQ(r.stub_count, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: surrogate dies mid-migration");
+    // The migration request leaves at offload_at; one tick later the link is
+    // dead, so the batch is adopted but the acknowledgement never returns.
+    netsim::FaultPlan plan;
+    plan.dead_after = probe.offload_at + 1;
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_TRUE(r.dead);
+    EXPECT_EQ(r.failures, 1u);
+    // The adopted batch was pulled back by recovery.
+    EXPECT_GT(r.objects_reclaimed, 0u);
+    EXPECT_GE(r.client_stats.aborted_rpcs, 1u);
+    EXPECT_EQ(r.stub_count, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: surrogate dies mid-invoke after offload");
+    netsim::FaultPlan plan;
+    plan.dead_after =
+        probe.offload_done +
+        std::max<SimDuration>(1, (probe.end - probe.offload_done) / 2);
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_TRUE(r.offloaded);  // the migration itself completed
+    EXPECT_TRUE(r.dead);
+    EXPECT_EQ(r.failures, 1u);
+    EXPECT_GE(r.client_stats.aborted_rpcs + r.client_stats.recovered_rpcs, 1u);
+    EXPECT_EQ(r.stub_count, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: transient outage shortly after offload");
+    // 60 ms of radio silence: short enough that every RPC survives within
+    // the retry budget (first re-attempt comes 75 ms after a failure).
+    netsim::FaultPlan plan;
+    plan.outages.push_back({probe.offload_done + sim_ms(1),
+                            probe.offload_done + sim_ms(61)});
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_TRUE(r.offloaded);
+    EXPECT_FALSE(r.dead);
+    EXPECT_EQ(r.failures, 0u);
+    EXPECT_EQ(r.client_stats.aborted_rpcs, 0u);
+    // Without aborts every timeout is followed by a retry.
+    EXPECT_EQ(r.client_stats.retries, r.client_stats.timeouts);
+    EXPECT_EQ(r.link_stats.messages_dropped, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: lossy link for the whole run");
+    netsim::FaultPlan plan;
+    plan.drop_probability = 0.08;
+    plan.drop_seed = 0xFEED5EED;
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_GT(r.link_stats.messages_dropped, 0u);
+    EXPECT_GT(r.link_stats.bytes_dropped, 0u);
+    // Every dropped message cost somebody a timeout and a retry.
+    EXPECT_GE(r.client_stats.retries + r.surrogate_stats.retries, 1u);
+    // An unlucky burst may kill the surrogate, but never more than once,
+    // and the output above proved either path ends in the same state.
+    EXPECT_LE(r.failures, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, FaultMatrixTest,
+                         ::testing::Values("JavaNote", "Dia", "Biomer",
+                                           "Voxel", "Tracer"));
+
+TEST(FaultParityTest, ArmedButNeverFiringPlanMatchesFaultFreeRunExactly) {
+  const auto& app = apps::app_by_name("Dia");
+  const auto params = fault_params();
+  const RunResult base = run_cell(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(base.offloaded);
+
+  // This plan is enabled() — journalling, reply caching and the fault-aware
+  // send path are all live — yet none of its faults can ever fire, so every
+  // observable statistic must match the fault-free run bit-for-bit.
+  netsim::FaultPlan armed;
+  armed.outages.push_back(
+      {netsim::FaultPlan::kNever - 2, netsim::FaultPlan::kNever - 1});
+  const RunResult r = run_cell(app, params, armed);
+
+  EXPECT_EQ(r.checksum, base.checksum);
+  EXPECT_EQ(r.end, base.end);
+  EXPECT_EQ(r.offload_at, base.offload_at);
+  EXPECT_EQ(r.offload_done, base.offload_done);
+  EXPECT_TRUE(r.link_stats == base.link_stats);
+  EXPECT_TRUE(r.client_stats == base.client_stats);
+  EXPECT_TRUE(r.surrogate_stats == base.surrogate_stats);
+  EXPECT_EQ(r.failures, 0u);
+}
+
+TEST(FaultDeterminismTest, SameSeedsReproduceIdenticalRuns) {
+  const auto& app = apps::app_by_name("Biomer");
+  const auto params = fault_params();
+
+  auto cfg = fault_config();
+  cfg.link.jitter_fraction = 0.25;
+  cfg.link.jitter_seed = 7;
+  cfg.fault_plan.drop_probability = 0.10;
+  cfg.fault_plan.drop_seed = 0xABCD;
+
+  const RunResult a = run_app(app, params, cfg);
+  const RunResult b = run_app(app, params, cfg);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_TRUE(a.link_stats == b.link_stats);
+  EXPECT_TRUE(a.client_stats == b.client_stats);
+  EXPECT_TRUE(a.surrogate_stats == b.surrogate_stats);
+  EXPECT_GT(a.link_stats.messages_dropped, 0u);
+
+  // A different drop seed shifts which messages are lost...
+  auto other_drop = cfg;
+  other_drop.fault_plan.drop_seed = 0xABCE;
+  const RunResult c = run_app(app, params, other_drop);
+  EXPECT_FALSE(c.link_stats == a.link_stats);
+  // ...and a different jitter seed changes airtime even with equal traffic.
+  auto other_jitter = cfg;
+  other_jitter.link.jitter_seed = 8;
+  const RunResult d = run_app(app, params, other_jitter);
+  EXPECT_FALSE(d.link_stats == a.link_stats);
+
+  // Faults or not, the output never changes.
+  EXPECT_EQ(c.checksum, a.checksum);
+  EXPECT_EQ(d.checksum, a.checksum);
+}
+
+}  // namespace
+}  // namespace aide

@@ -91,5 +91,142 @@ TEST(LinkTest, CellularCostsMore) {
   EXPECT_GT(cellular.one_way_cost(1000), wavelan.one_way_cost(1000));
 }
 
+TEST(LinkEstimateTest, ProbeIsSideEffectFree) {
+  // one_way_cost charges the traffic accounting; candidate evaluation must
+  // use the const probe, which never touches stats.
+  Link link;
+  const SimDuration est = link.estimate_one_way_cost(1375);
+  EXPECT_EQ(est, sim_us(1200) + sim_ms(1));
+  EXPECT_EQ(link.stats().messages, 0u);
+  EXPECT_EQ(link.stats().bytes, 0u);
+  EXPECT_EQ(link.stats().busy_time, 0);
+  // Jitter off: the probe agrees exactly with the charging path.
+  EXPECT_EQ(est, link.one_way_cost(1375));
+  EXPECT_EQ(link.stats().messages, 1u);
+}
+
+TEST(LinkEstimateTest, ProbeDoesNotConsumeJitterStream) {
+  LinkParams p = LinkParams::wavelan();
+  p.jitter_fraction = 0.5;
+  p.jitter_seed = 9;
+  Link probed(p), fresh(p);
+  for (int i = 0; i < 8; ++i) (void)probed.estimate_one_way_cost(500);
+  // Had the probes consumed the jitter RNG, the streams would now diverge.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(probed.one_way_cost(1000), fresh.one_way_cost(1000));
+  }
+}
+
+TEST(LinkEstimateTest, RpcEstimateUsesFullRttWithoutHalvingLoss) {
+  LinkParams p;
+  p.bandwidth_bps = 1e12;  // serialization negligible
+  p.null_rtt = 3;          // odd: two halved legs would truncate to 2
+  EXPECT_EQ(estimate_rpc_cost(p, 0), 3);
+  EXPECT_EQ(estimate_one_way_cost(p, 0), 1);
+}
+
+TEST(LinkFaultTest, InertPlanDeliveryMatchesChargePath) {
+  Link charged, attempted;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = attempted.try_one_way(i * 137, SimTime{i} * sim_ms(1));
+    EXPECT_TRUE(d.delivered);
+    EXPECT_EQ(d.cost, charged.one_way_cost(i * 137));
+  }
+  EXPECT_TRUE(attempted.stats() == charged.stats());
+  EXPECT_EQ(attempted.stats().messages_dropped, 0u);
+  EXPECT_EQ(attempted.stats().link_down_failures, 0u);
+}
+
+TEST(LinkFaultTest, OutageWindowRefusesWithoutAirtime) {
+  Link link;
+  FaultPlan plan;
+  plan.outages.push_back({sim_ms(10), sim_ms(20)});
+  link.set_fault_plan(plan);
+  EXPECT_FALSE(link.is_down(sim_ms(9)));
+  EXPECT_TRUE(link.is_down(sim_ms(10)));  // half-open: begin included
+  EXPECT_TRUE(link.is_down(sim_ms(19)));
+  EXPECT_FALSE(link.is_down(sim_ms(20)));  // end excluded
+
+  const auto refused = link.try_one_way(1000, sim_ms(15));
+  EXPECT_FALSE(refused.delivered);
+  EXPECT_EQ(refused.cost, 0);
+  EXPECT_EQ(link.stats().messages, 0u);  // never made it onto the air
+  EXPECT_EQ(link.stats().link_down_failures, 1u);
+
+  const auto ok = link.try_one_way(1000, sim_ms(25));
+  EXPECT_TRUE(ok.delivered);
+  EXPECT_EQ(link.stats().messages, 1u);
+}
+
+TEST(LinkFaultTest, DeadAfterIsPermanent) {
+  Link link;
+  FaultPlan plan;
+  plan.dead_after = sim_ms(5);
+  link.set_fault_plan(plan);
+  EXPECT_TRUE(link.try_one_way(0, sim_ms(4)).delivered);
+  EXPECT_FALSE(link.try_one_way(0, sim_ms(5)).delivered);
+  EXPECT_FALSE(link.try_one_way(0, sim_sec(3600)).delivered);
+  EXPECT_EQ(link.stats().link_down_failures, 2u);
+}
+
+TEST(LinkFaultTest, DropsAreSeededAndChargeAirtime) {
+  FaultPlan plan;
+  plan.drop_probability = 0.3;
+  plan.drop_seed = 77;
+  Link a, b;
+  a.set_fault_plan(plan);
+  b.set_fault_plan(plan);
+  int drops = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto da = a.try_one_way(100, 0);
+    const auto db = b.try_one_way(100, 0);
+    EXPECT_EQ(da.delivered, db.delivered);  // same seed, same pattern
+    if (!da.delivered) {
+      ++drops;
+      EXPECT_GT(da.cost, 0);  // a dropped message still burned its airtime
+    }
+  }
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 200);
+  EXPECT_EQ(a.stats().messages, 200u);  // drops transmit, then vanish
+  EXPECT_EQ(a.stats().messages_dropped, static_cast<std::uint64_t>(drops));
+  EXPECT_EQ(a.stats().bytes_dropped, static_cast<std::uint64_t>(drops) * 100);
+
+  FaultPlan other = plan;
+  other.drop_seed = 78;
+  Link c;
+  c.set_fault_plan(other);
+  bool diverged = false;
+  b.set_fault_plan(plan);  // reseeds: replay from the start
+  for (int i = 0; i < 200; ++i) {
+    if (c.try_one_way(100, 0).delivered != b.try_one_way(100, 0).delivered) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(LinkFaultTest, DegradedWindowSlowsSerializationOnly) {
+  Link link;
+  FaultPlan plan;
+  plan.degraded.push_back({sim_ms(10), sim_ms(20), 0.5});
+  link.set_fault_plan(plan);
+  // 1375 bytes: 1 ms nominal serialization, 2 ms at half bandwidth.
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(5)).cost, sim_us(1200) + sim_ms(1));
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(15)).cost, sim_us(1200) + sim_ms(2));
+  // Latency (the null-message charge) is unaffected by degradation.
+  EXPECT_EQ(link.try_one_way(0, sim_ms(15)).cost, sim_us(1200));
+}
+
+TEST(LinkFaultTest, DefaultPlanIsInert) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  FaultPlan armed;
+  armed.dead_after = sim_sec(1);
+  EXPECT_TRUE(armed.enabled());
+  FaultPlan lossy;
+  lossy.drop_probability = 0.01;
+  EXPECT_TRUE(lossy.enabled());
+}
+
 }  // namespace
 }  // namespace aide::netsim

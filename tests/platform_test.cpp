@@ -153,6 +153,114 @@ TEST(PlatformTest, ElapsedTracksSimClock) {
   EXPECT_EQ(p.elapsed(), sim_ms(5));
 }
 
+// Builds a platform with offloaded state and returns the Counter (inc'd to
+// 5) whose value must survive whatever the test does to the surrogate.
+ObjectRef offloaded_fixture(Platform& p) {
+  vm::Vm& client = p.client();
+  seed_pinned_anchor(p);
+  const ObjectRef counter = client.new_object("Counter");
+  client.add_root(counter);
+  for (int i = 0; i < 5; ++i) client.call(counter, "inc");
+  const ObjectRef holder = client.new_ref_array(8);
+  client.add_root(holder);
+  for (int i = 0; i < 4; ++i) {
+    const ObjectRef chunk = client.new_char_array(30 * 1024);
+    client.put_field(holder, FieldId{static_cast<std::uint32_t>(i)},
+                     Value{chunk});
+  }
+  return counter;
+}
+
+TEST(PlatformFailureTest, HandlePeerFailureReclaimsAllSurrogateState) {
+  Platform p(make_test_registry(), small_config());
+  const ObjectRef counter = offloaded_fixture(p);
+  ASSERT_TRUE(p.offload_now(std::int64_t{1}).has_value());
+  ASSERT_GT(p.surrogate().heap().object_count(), 0u);
+
+  const SimTime before = p.clock().now();
+  EXPECT_TRUE(p.handle_peer_failure());
+  EXPECT_TRUE(p.surrogate_dead());
+  ASSERT_EQ(p.failures().size(), 1u);
+  EXPECT_GT(p.failures()[0].objects_reclaimed, 0u);
+  EXPECT_GT(p.failures()[0].bytes_reclaimed, 0u);
+  // Every surviving object is home again; the pair is severed.
+  EXPECT_EQ(p.surrogate().heap().object_count(), 0u);
+  EXPECT_EQ(p.client().stub_count(), 0u);
+  EXPECT_FALSE(p.client_endpoint().connected());
+  // The recovery channel was charged at least its flat latency.
+  EXPECT_GE(p.clock().now() - before, p.config().recovery_latency);
+  // Execution continues fully local with state intact.
+  EXPECT_EQ(p.client().call(counter, "get").as_int(), 5);
+  EXPECT_EQ(p.client().call(counter, "inc").as_int(), 6);
+  // Triggers are suppressed and further offloads refused.
+  EXPECT_TRUE(p.resource_monitor().suppressed());
+  EXPECT_FALSE(p.offload_now(std::int64_t{1}).has_value());
+  // Idempotent: a second failure report is not recorded.
+  EXPECT_TRUE(p.handle_peer_failure());
+  EXPECT_EQ(p.failures().size(), 1u);
+}
+
+TEST(PlatformFailureTest, DeadLinkDuringAccessFallsBackLocally) {
+  // The link goes silent forever at t = 1 s, after the offload completed.
+  auto cfg = small_config();
+  cfg.fault_plan.outages.push_back(
+      {sim_sec(1), netsim::FaultPlan::kNever});
+  Platform p(make_test_registry(), cfg);
+  vm::Vm& client = p.client();
+  const ObjectRef counter = offloaded_fixture(p);
+  ASSERT_TRUE(p.offload_now(std::int64_t{1}).has_value());
+  // Make sure the counter itself is remote, whatever the partitioner chose.
+  if (client.is_local(counter.id)) {
+    const ObjectId ids[] = {counter.id};
+    p.client_endpoint().migrate_objects(ids);
+  }
+  ASSERT_FALSE(client.is_local(counter.id));
+  ASSERT_LT(p.clock().now(), sim_sec(1));
+
+  client.work(sim_sec(2));  // sail past the outage start
+  // The first remote touch discovers the dead peer and recovers; the
+  // operation completes against repatriated state.
+  EXPECT_EQ(client.call(counter, "get").as_int(), 5);
+  EXPECT_TRUE(p.surrogate_dead());
+  EXPECT_EQ(p.failures().size(), 1u);
+  EXPECT_GE(p.client_endpoint().stats().recovered_rpcs, 1u);
+  EXPECT_EQ(p.client().stub_count(), 0u);
+  // Subsequent operations stay local and consistent.
+  EXPECT_TRUE(client.is_local(counter.id));
+  EXPECT_EQ(client.call(counter, "inc").as_int(), 6);
+}
+
+TEST(PlatformFailureTest, FailureMarksAttachedRegistryEntryDead) {
+  SurrogateRegistry reg;
+  SurrogateInfo near_srv;
+  near_srv.id = NodeId{21};
+  near_srv.name = "near";
+  near_srv.heap_capacity = 64 << 20;
+  near_srv.link = netsim::LinkParams::wavelan();
+  SurrogateInfo far;
+  far.id = NodeId{22};
+  far.name = "far";
+  far.heap_capacity = 64 << 20;
+  far.link = netsim::LinkParams::cellular();
+  reg.advertise(near_srv);
+  reg.advertise(far);
+  ASSERT_EQ(reg.select()->name, "near");
+
+  Platform p(make_test_registry(), small_config());
+  p.attach_surrogate_registry(&reg, near_srv.id);
+  p.handle_peer_failure();
+
+  EXPECT_TRUE(reg.is_dead(near_srv.id));
+  // Selection now avoids the dead surrogate but keeps its advertisement.
+  ASSERT_TRUE(reg.select().has_value());
+  EXPECT_EQ(reg.select()->name, "far");
+  EXPECT_EQ(reg.size(), 2u);
+  // A fresh advertisement is proof of life.
+  reg.advertise(near_srv);
+  EXPECT_FALSE(reg.is_dead(near_srv.id));
+  EXPECT_EQ(reg.select()->name, "near");
+}
+
 TEST(SurrogateRegistryTest, SelectsLowestLatency) {
   SurrogateRegistry reg;
   SurrogateInfo far;

@@ -123,6 +123,30 @@ TEST(ResourceMonitorTest, ResetClearsState) {
   EXPECT_EQ(rm.consecutive_low(), 1);
 }
 
+TEST(ResourceMonitorTest, PeerFailureSuppressesTriggers) {
+  TriggerPolicy p;
+  p.consecutive_reports = 1;
+  p.low_free_threshold = 0.5;
+  ResourceMonitor rm(NodeId{1}, p);
+  rm.feed(report(kCap, 900, 1));
+  ASSERT_TRUE(rm.triggered());
+
+  // The surrogate is gone: the pending trigger is cancelled and no amount
+  // of memory pressure may raise another.
+  rm.note_peer_failure();
+  EXPECT_TRUE(rm.suppressed());
+  EXPECT_FALSE(rm.triggered());
+  for (int i = 0; i < 5; ++i) rm.feed(report(kCap, 990, 0));
+  EXPECT_FALSE(rm.triggered());
+  EXPECT_EQ(rm.consecutive_low(), 0);
+
+  // reset() (a fresh platform pairing) lifts the suppression.
+  rm.reset();
+  EXPECT_FALSE(rm.suppressed());
+  rm.feed(report(kCap, 900, 1));
+  EXPECT_TRUE(rm.triggered());
+}
+
 TEST(ResourceMonitorTest, LastReportExposed) {
   ResourceMonitor rm(NodeId{1}, TriggerPolicy{});
   rm.feed(report(kCap, 321, 7));
