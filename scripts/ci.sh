@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI pipeline: configure, build, unit tests, aidelint over every app,
+# clang-tidy (when installed), and an ASan/UBSan test job.
+#
+# Environment knobs:
+#   AIDE_CI_SKIP_SANITIZE=1   skip the sanitizer job (slowest stage)
+#   AIDE_CI_SKIP_TIDY=1       skip clang-tidy even if installed
+#   AIDE_CI_JOBS=N            parallelism (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${AIDE_CI_JOBS:-$(nproc)}"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "configure + build (build-ci)"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build build-ci -j "$JOBS"
+
+step "unit + integration tests"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+step "aidelint (static partition-safety) over all apps"
+./build-ci/src/analysis/aidelint
+
+if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then
+  step "clang-tidy"
+  # Library and app sources; test files follow gtest idioms tidy dislikes.
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
+else
+  step "clang-tidy: not installed (or skipped) — config is .clang-tidy"
+fi
+
+if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
+  step "ASan/UBSan job (build-asan)"
+  cmake -B build-asan -S . -DAIDE_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+else
+  step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"
+fi
+
+step "CI green"

@@ -1,0 +1,84 @@
+// aidelint — standalone static partition-safety analyzer.
+//
+// Registers each application's classes into a fresh registry (no execution)
+// and prints the analyzer's diagnostics and hint summary. Exit status is
+// nonzero iff any app has ERROR-severity findings, so the tool slots
+// directly into CI.
+//
+// Usage:
+//   aidelint                 # analyze all five Table 1 apps
+//   aidelint Tracer Voxel    # analyze selected apps
+//   aidelint --hints         # also dump the exported static hints
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "apps/apps.hpp"
+#include "vm/klass.hpp"
+
+namespace {
+
+void print_hints(const aide::vm::ClassRegistry& reg,
+                 const aide::analysis::StaticHints& hints) {
+  std::printf("  hints:\n");
+  std::printf("    never-migrate (%zu):", hints.never_migrate.size());
+  for (const auto cls : hints.never_migrate) {
+    std::printf(" %s", reg.get(cls).name.c_str());
+  }
+  std::printf("\n    must-colocate (%zu):", hints.must_colocate.size());
+  for (const auto& [holder, held] : hints.must_colocate) {
+    std::printf(" %s->%s", reg.get(holder).name.c_str(),
+                reg.get(held).name.c_str());
+  }
+  std::printf("\n    merge-candidates (%zu):", hints.merge_candidates.size());
+  for (const auto& [leaf, partner] : hints.merge_candidates) {
+    std::printf(" %s+%s", reg.get(leaf).name.c_str(),
+                reg.get(partner).name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dump_hints = false;
+  std::vector<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hints") {
+      dump_hints = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: aidelint [--hints] [app...]\n");
+      return 0;
+    } else {
+      selected.push_back(arg);
+    }
+  }
+
+  std::size_t total_errors = 0;
+  for (const auto& app : aide::apps::all_apps()) {
+    if (!selected.empty() &&
+        std::find(selected.begin(), selected.end(), app.name) ==
+            selected.end()) {
+      continue;
+    }
+    aide::vm::ClassRegistry reg;
+    app.register_classes(reg);
+    const auto report = aide::analysis::analyze(reg);
+
+    std::printf("== %s: %s\n", app.name.c_str(), report.summary().c_str());
+    for (const auto& d : report.diagnostics) {
+      std::printf("  %s\n", d.format().c_str());
+    }
+    if (dump_hints) print_hints(reg, report.hints);
+    total_errors += report.errors();
+  }
+
+  if (total_errors > 0) {
+    std::printf("aidelint: %zu error(s)\n", total_errors);
+    return 1;
+  }
+  return 0;
+}

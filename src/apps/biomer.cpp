@@ -52,6 +52,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
   reg.register_class(ClassBuilder("Bio.Atom")
+                         .source("src/apps/biomer.cpp")
+                         .migratable()
                          .field("x")
                          .field("y")
                          .field("z")
@@ -59,16 +61,24 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                          .field("traj")
                          .build());
   reg.register_class(ClassBuilder("Bio.Bond")
-                         .field("a")
-                         .field("b")
+                         .source("src/apps/biomer.cpp")
+                         .migratable()
+                         .field("a", "Bio.Atom")
+                         .field("b", "Bio.Atom")
                          .field("order")
                          .build());
 
   reg.register_class(
       ClassBuilder("Bio.Molecule")
+          .source("src/apps/biomer.cpp")
+          .migratable()
+          .entry()
           .field("atoms")
           .field("count")
-          .field("bonds")
+          .field("bonds", "ArrayList")
+          .references("Bio.Atom")
+          .references("Bio.Bond")
+          .calls("ArrayList", "add", 1)
           .method(
               "buildMol",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -137,11 +147,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Bio.ForceField")
+          .source("src/apps/biomer.cpp")
+          .migratable()
+          .entry()
           .field("steps")
+          .references("Bio.Atom")
+          .calls("Bio.Molecule", "atomCount", 0)
+          .calls("Bio.Molecule", "getAtom", 1)
           .method(
               "minimizeStep",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -204,12 +221,19 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                     1});
                 return Value{energy};
               })
+          .arity(2)
           .build());
 
   reg.register_class(
       ClassBuilder("Bio.Analyzer")
+          .source("src/apps/biomer.cpp")
+          .migratable()
+          .entry()
           .field("ring")
           .field("pos")
+          .references("Bio.Atom")
+          .calls("Bio.Molecule", "atomCount", 0)
+          .calls("Bio.Molecule", "getAtom", 1)
           // Per-iteration analysis pass: fills a fresh sample buffer and
           // retains the last few in a ring (the molecule editor's live
           // property charts). This is the application's steady allocation
@@ -244,12 +268,22 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.put_field(self, FieldId{1}, Value{pos + 1});
                 return Value{pos};
               })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("Bio.Viewport3D")
-          .field("display")
+          .source("src/apps/biomer.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
+          .field("display", "Display")
           .field("frames")
+          .references("Bio.Atom")
+          .calls("Bio.Molecule", "atomCount", 0)
+          .calls("Bio.Molecule", "getAtom", 1)
+          .calls("Math", "sin", 1)
+          .calls("Display", "drawPixel", 3)
+          .calls("Display", "flush", 0)
           // Pinned: the viewport rasterizes into the device framebuffer.
           .native_method(
               "drawFrame",
@@ -281,12 +315,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                     1});
                 return Value{};
               })
+          .arity(1)
+          .effect(vm::NativeEffect::device_state)
           .build());
 
   reg.register_class(
       ClassBuilder("Bio.Hud")
-          .field("display")
+          .source("src/apps/biomer.cpp")
+          .entry()
+          .field("display", "Display")
           .field("updates")
+          .calls("Display", "drawText", 3)
           .method("showEnergy",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef display =

@@ -47,8 +47,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("Dia.Layer")
+          .source("src/apps/dia.cpp")
+          .migratable()
+          .entry()
           .field("pixels")
-          .field("name")
+          .field("name", "String")
           .field("w")
           .field("h")
           .method("initLayer",
@@ -115,13 +118,21 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Dia.Image")
-          .field("layers")
+          .source("src/apps/dia.cpp")
+          .migratable()
+          .entry()
+          .field("layers", "ArrayList")
           .field("w")
           .field("h")
+          .references("Dia.Layer")
+          .calls("ArrayList", "add", 1)
+          .calls("ArrayList", "get", 1)
+          .calls("ArrayList", "size", 0)
           .method("initImage",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     ctx.put_field(self, kImageLayers, Value{make_list(ctx)});
@@ -150,10 +161,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   })
           .build());
 
+  // Holds a device Console for progress ticks: the typed field drags the
+  // engine into the pinned closure, so it is deliberately NOT declared
+  // migratable.
   reg.register_class(
       ClassBuilder("Dia.FilterEngine")
+          .source("src/apps/dia.cpp")
+          .entry()
           .field("passes")
-          .field("console")
+          .field("console", "Console")
+          .references("Dia.Layer")
+          .calls("Console", "println", 1)
           .method(
               "boxBlur",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -205,12 +223,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         Value{(passes.is_int() ? passes.as_int() : 0) + 1});
                     return Value{};
                   })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("Dia.History")
-          .field("entries")
+          .source("src/apps/dia.cpp")
+          .migratable()
+          .entry()
+          .field("entries", "ArrayList")
           .field("count")
+          .references("Dia.Layer")
+          .calls("ArrayList", "add", 1)
           .method("pushLayer",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     Value entries_v = ctx.get_field(self, kHistEntries);
@@ -229,12 +253,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const Value n = ctx.get_field(self, kHistCount);
                     return n.is_int() ? n : Value{0};
                   })
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Dia.Canvas")
-          .field("display")
+          .source("src/apps/dia.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
+          .field("display", "Display")
           .field("blits")
+          .references("Dia.Layer")
+          .calls("Display", "drawText", 3)
           // Native preview: the framebuffer blit must happen on the client
           // device; it reads sampled pixels from the layer raster.
           .native_method(
@@ -262,12 +292,20 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                           Value{"preview " + std::to_string(h & 0xFFFF)}});
                 return Value{static_cast<std::int64_t>(h)};
               })
+          .arity(1)
+          .effect(vm::NativeEffect::device_state)
           .build());
 
   reg.register_class(
       ClassBuilder("Dia.ToolBar")
-          .field("display")
-          .field("labels")
+          .source("src/apps/dia.cpp")
+          .entry()
+          .field("display", "Display")
+          .field("labels", "ArrayList")
+          .references("String")
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
+          .calls("Display", "drawText", 3)
           .method("buildTools",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef labels = make_list(ctx);

@@ -72,6 +72,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.TextSegment")
+          .source("src/apps/javanote.cpp")
+          .migratable()
           .field("data")
           .field("used")
           .method("initSeg",
@@ -141,9 +143,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.Document")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
           .field("segments")
           .field("count")
           .field("length")
+          .references("JNote.TextSegment")
           .method("initDoc",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::int64_t max_segs = arg(args, 0).as_int();
@@ -201,9 +207,15 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.LineIndex")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
           .field("starts")
           .field("segOf")
           .field("count")
+          .calls("JNote.Document", "segmentCount", 0)
+          .calls("JNote.Document", "getSegment", 1)
+          .calls("JNote.TextSegment", "readAll", 0)
           .method(
               "rebuild",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -247,9 +259,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.RenderCache")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
           .field("lines")
           .field("highlights")
           .field("count")
+          .references("String")
+          .calls("JNote.Document", "segmentCount", 0)
+          .calls("JNote.Document", "getSegment", 1)
+          .calls("JNote.TextSegment", "readAll", 0)
+          .calls("StrUtil", "copyCase", 1)
           .method(
               "build",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -337,8 +357,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.UndoStack")
-          .field("entries")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
+          .field("entries", "ArrayList")
           .field("count")
+          .calls("ArrayList", "add", 1)
           .method("pushSnap",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     Value entries_v = ctx.get_field(self, kUndoEntries);
@@ -359,16 +383,30 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   })
           .build());
 
-  reg.register_class(
-      ClassBuilder("JNote.Caret").field("line").field("col").build());
+  reg.register_class(ClassBuilder("JNote.Caret")
+                         .source("src/apps/javanote.cpp")
+                         .migratable()
+                         .entry()
+                         .field("line")
+                         .field("col")
+                         .build());
 
   reg.register_class(
       ClassBuilder("JNote.EditorCore")
-          .field("doc")
-          .field("index")
-          .field("cache")
-          .field("undo")
-          .field("caret")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
+          .field("doc", "JNote.Document")
+          .field("index", "JNote.LineIndex")
+          .field("cache", "JNote.RenderCache")
+          .field("undo", "JNote.UndoStack")
+          .field("caret", "JNote.Caret")
+          .references("JNote.TextSegment")
+          .calls("FileSystem", "read", 3)
+          .calls("JNote.Document", "getSegment", 1)
+          .calls("JNote.TextSegment", "write", 2)
+          .calls("JNote.UndoStack", "pushSnap", 1)
+          .calls("JNote.RenderCache", "refreshLine", 2)
           .method(
               "loadFile",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -454,8 +492,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.StatusBar")
-          .field("display")
+          .source("src/apps/javanote.cpp")
+          .entry()
+          .field("display", "Display")
           .field("updates")
+          .calls("System", "currentTimeMillis", 0)
+          .calls("Display", "drawText", 3)
           .method("update",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef display =
@@ -478,10 +520,15 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("JNote.EditorView")
-          .field("core")
-          .field("display")
-          .field("status")
+          .source("src/apps/javanote.cpp")
+          .entry()
+          .field("core", "JNote.EditorCore")
+          .field("display", "Display")
+          .field("status", "JNote.StatusBar")
           .field("topLine")
+          .calls("JNote.RenderCache", "getLine", 1)
+          .calls("Display", "drawText", 3)
+          .calls("Display", "flush", 0)
           .method(
               "render",
               [](Vm& ctx, ObjectRef self, auto) -> Value {
@@ -514,11 +561,21 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   })
           .build());
 
-  reg.register_class(
-      ClassBuilder("JNote.MenuItem").field("label").field("shortcut").build());
+  reg.register_class(ClassBuilder("JNote.MenuItem")
+                         .source("src/apps/javanote.cpp")
+                         .migratable()
+                         .field("label", "String")
+                         .field("shortcut")
+                         .build());
   reg.register_class(
       ClassBuilder("JNote.MenuBar")
-          .field("menus")
+          .source("src/apps/javanote.cpp")
+          .migratable()
+          .entry()
+          .field("menus", "ArrayList")
+          .references("JNote.MenuItem")
+          .references("String")
+          .calls("ArrayList", "add", 1)
           .method("buildMenus",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef menus = make_list(ctx);

@@ -51,6 +51,9 @@ std::uint64_t str_hash(std::string_view s) {
 void register_display(vm::ClassRegistry& reg) {
   reg.register_class(
       ClassBuilder("Display")
+          .source("src/apps/stdlib.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
           .field("ops")
           .field("checksum")
           .native_method("drawText",
@@ -70,6 +73,8 @@ void register_display(vm::ClassRegistry& reg) {
                                          Value{static_cast<std::int64_t>(h)});
                            return Value{};
                          })
+          .arity(3)
+          .effect(vm::NativeEffect::device_state)
           .native_method("drawLine",
                          [](Vm& ctx, ObjectRef self, auto args) -> Value {
                            ctx.work(sim_us(2));
@@ -85,6 +90,8 @@ void register_display(vm::ClassRegistry& reg) {
                                          Value{static_cast<std::int64_t>(h)});
                            return Value{};
                          })
+          .arity(4)
+          .effect(vm::NativeEffect::device_state)
           .native_method("drawPixel",
                          [](Vm& ctx, ObjectRef self, auto args) -> Value {
                            ctx.work(sim_ns(300));
@@ -101,6 +108,8 @@ void register_display(vm::ClassRegistry& reg) {
                                          Value{static_cast<std::int64_t>(h)});
                            return Value{};
                          })
+          .arity(3)
+          .effect(vm::NativeEffect::device_state)
           .native_method("flush",
                          [](Vm& ctx, ObjectRef self, auto) -> Value {
                            ctx.work(sim_us(30));
@@ -110,12 +119,17 @@ void register_display(vm::ClassRegistry& reg) {
                                Value{(ops.is_int() ? ops.as_int() : 0) + 1});
                            return Value{};
                          })
+          .arity(0)
+          .effect(vm::NativeEffect::device_state)
           .build());
 }
 
 void register_system_classes(vm::ClassRegistry& reg) {
   reg.register_class(
       ClassBuilder("Console")
+          .source("src/apps/stdlib.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
           .field("lines")
           .native_method("println",
                          [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -132,10 +146,14 @@ void register_system_classes(vm::ClassRegistry& reg) {
                                Value{(n.is_int() ? n.as_int() : 0) + 1});
                            return Value{};
                          })
+          .arity(1)
+          .effect(vm::NativeEffect::device_state)
           .build());
 
   reg.register_class(
       ClassBuilder("FileSystem")
+          .source("src/apps/stdlib.cpp")
+          .entry()
           .field("reads")
           .native_method(
               "read",
@@ -150,15 +168,21 @@ void register_system_classes(vm::ClassRegistry& reg) {
                               Value{(n.is_int() ? n.as_int() : 0) + 1});
                 return Value{synth_text(str_hash(path), offset, length)};
               })
+          .arity(3)
+          .effect(vm::NativeEffect::device_state)
           .native_method("size",
                          [](Vm& ctx, ObjectRef, auto) -> Value {
                            ctx.work(sim_us(10));
                            return Value{std::int64_t{1} << 20};
                          })
+          .arity(0)
+          .effect(vm::NativeEffect::device_state)
           .build());
 
   reg.register_class(
       ClassBuilder("System")
+          .source("src/apps/stdlib.cpp")
+          .entry()
           .static_slot("os_name")
           .static_slot("vm_version")
           .static_slot("locale")
@@ -168,6 +192,8 @@ void register_system_classes(vm::ClassRegistry& reg) {
                            return Value{ctx.clock().now() / 1'000'000};
                          },
                          /*stateless=*/false, /*is_static=*/true)
+          .arity(0)
+          .effect(vm::NativeEffect::device_state)
           .static_method("getProperty",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            const auto& key = arg(args, 0).as_str();
@@ -175,10 +201,14 @@ void register_system_classes(vm::ClassRegistry& reg) {
                            const auto& def = ctx.class_def(cls);
                            return ctx.get_static(cls, def.find_static(key));
                          })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("EventQueue")
+          .source("src/apps/stdlib.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
           .field("counter")
           .native_method("poll",
                          [](Vm& ctx, ObjectRef self, auto) -> Value {
@@ -191,6 +221,8 @@ void register_system_classes(vm::ClassRegistry& reg) {
                            return Value{static_cast<std::int64_t>(
                                (c * 2654435761ULL) % 7)};
                          })
+          .arity(0)
+          .effect(vm::NativeEffect::device_state)
           .build());
 }
 
@@ -203,17 +235,24 @@ void register_math(vm::ClassRegistry& reg) {
   };
   reg.register_class(
       ClassBuilder("Math")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
           .native_method("sqrt", unary(+[](double x) { return std::sqrt(x); }),
                          true, true)
+          .arity(1)
           .native_method("sin", unary(+[](double x) { return std::sin(x); }),
                          true, true)
+          .arity(1)
           .native_method("cos", unary(+[](double x) { return std::cos(x); }),
                          true, true)
+          .arity(1)
           .native_method("exp", unary(+[](double x) { return std::exp(x); }),
                          true, true)
+          .arity(1)
           .native_method("floor",
                          unary(+[](double x) { return std::floor(x); }), true,
                          true)
+          .arity(1)
           .native_method("atan2",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(400));
@@ -221,6 +260,7 @@ void register_math(vm::ClassRegistry& reg) {
                                                    args[1].to_real())};
                          },
                          true, true)
+          .arity(2)
           .native_method("pow",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(500));
@@ -228,6 +268,7 @@ void register_math(vm::ClassRegistry& reg) {
                                                  args[1].to_real())};
                          },
                          true, true)
+          .arity(2)
           .native_method("absI",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(100));
@@ -235,6 +276,7 @@ void register_math(vm::ClassRegistry& reg) {
                            return Value{v < 0 ? -v : v};
                          },
                          true, true)
+          .arity(1)
           .native_method("noise",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            // Deterministic integer noise for the fractal
@@ -253,6 +295,8 @@ void register_math(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("StrUtil")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
           .native_method("compare",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            const auto& a = args[0].as_str();
@@ -263,6 +307,7 @@ void register_math(vm::ClassRegistry& reg) {
                            return Value{std::int64_t{a.compare(b)}};
                          },
                          true, true)
+          .arity(2)
           .native_method("copyCase",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            std::string s = args[0].as_str();
@@ -275,12 +320,16 @@ void register_math(vm::ClassRegistry& reg) {
                            return Value{std::move(s)};
                          },
                          true, true)
+          .arity(1)
           .build());
 }
 
 void register_value_classes(vm::ClassRegistry& reg) {
   reg.register_class(
       ClassBuilder("String")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
+          .entry()
           .field("value")
           .method("length",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
@@ -288,6 +337,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                         ctx.get_field(self, FieldId{0}).as_str().size())};
                   },
                   sim_ns(120))
+          .arity(0)
           .method("charAt",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string s =
@@ -298,6 +348,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                         i < s.size() ? static_cast<unsigned char>(s[i]) : 0)};
                   },
                   sim_ns(120))
+          .arity(1)
           .method("concat",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string a =
@@ -310,6 +361,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                     return Value{out};
                   },
                   sim_ns(300))
+          .arity(1)
           .method("substring",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string s =
@@ -326,6 +378,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                     return Value{out};
                   },
                   sim_ns(250))
+          .arity(2)
           .method("hashCode",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const std::string s =
@@ -333,10 +386,14 @@ void register_value_classes(vm::ClassRegistry& reg) {
                     return Value{static_cast<std::int64_t>(str_hash(s))};
                   },
                   sim_ns(200))
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("StringBuilder")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
+          .references("String")
           .field("value")
           .method("append",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -369,6 +426,8 @@ void register_value_classes(vm::ClassRegistry& reg) {
                            "Character"}) {
     reg.register_class(
         ClassBuilder(name)
+            .source("src/apps/stdlib.cpp")
+            .migratable()
             .field("value")
             .method("get",
                     [](Vm& ctx, ObjectRef self, auto) -> Value {
@@ -385,18 +444,38 @@ void register_value_classes(vm::ClassRegistry& reg) {
   }
 
   // Small geometry/UI value classes used across the applications.
-  reg.register_class(ClassBuilder("Point").field("x").field("y").build());
+  reg.register_class(ClassBuilder("Point")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .field("x")
+                         .field("y")
+                         .build());
   reg.register_class(ClassBuilder("Rect")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .entry()
                          .field("x")
                          .field("y")
                          .field("w")
                          .field("h")
                          .build());
-  reg.register_class(ClassBuilder("Color").field("rgb").build());
-  reg.register_class(
-      ClassBuilder("Font").field("name").field("size").build());
-  reg.register_class(
-      ClassBuilder("Dimension").field("w").field("h").build());
+  reg.register_class(ClassBuilder("Color")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .field("rgb")
+                         .build());
+  reg.register_class(ClassBuilder("Font")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .field("name")
+                         .field("size")
+                         .build());
+  reg.register_class(ClassBuilder("Dimension")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .field("w")
+                         .field("h")
+                         .build());
 }
 
 void register_collections(vm::ClassRegistry& reg) {
@@ -404,11 +483,12 @@ void register_collections(vm::ClassRegistry& reg) {
 
   {
     ClassBuilder chunk("ListChunk");
+    chunk.source("src/apps/stdlib.cpp").migratable();
     for (int i = 0; i < kChunkSlots; ++i) {
       chunk.field("s" + std::to_string(i));
     }
     chunk.field("count");
-    chunk.field("next");
+    chunk.field("next", "ListChunk");
     reg.register_class(std::move(chunk).build());
   }
 
@@ -417,9 +497,12 @@ void register_collections(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("ArrayList")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
+          .entry()
           .field("size")
-          .field("head")
-          .field("tail")
+          .field("head", "ListChunk")
+          .field("tail", "ListChunk")
           .method(
               "add",
               [=](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -454,6 +537,7 @@ void register_collections(vm::ClassRegistry& reg) {
                 return Value{size};
               },
               sim_ns(300))
+          .arity(1)
           .method(
               "get",
               [=](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -472,6 +556,7 @@ void register_collections(vm::ClassRegistry& reg) {
                               "ArrayList.get out of range");
               },
               sim_ns(200))
+          .arity(1)
           .method(
               "set",
               [=](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -492,21 +577,33 @@ void register_collections(vm::ClassRegistry& reg) {
                               "ArrayList.set out of range");
               },
               sim_ns(200))
+          .arity(2)
           .method("size",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value size = ctx.get_field(self, FieldId{0});
                     return size.is_int() ? size : Value{0};
                   },
                   sim_ns(100))
+          .arity(0)
           .build());
 
-  reg.register_class(
-      ClassBuilder("Pair").field("key").field("val").build());
+  reg.register_class(ClassBuilder("Pair")
+                         .source("src/apps/stdlib.cpp")
+                         .migratable()
+                         .field("key")
+                         .field("val")
+                         .build());
 
   reg.register_class(
       ClassBuilder("HashMap")
-          .field("entries")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
+          .field("entries", "ArrayList")
           .field("size")
+          .references("Pair")
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
+          .calls("ArrayList", "add", 1)
           .method(
               "put",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -536,6 +633,7 @@ void register_collections(vm::ClassRegistry& reg) {
                 return Value{true};
               },
               sim_ns(400))
+          .arity(2)
           .method(
               "get",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -556,18 +654,24 @@ void register_collections(vm::ClassRegistry& reg) {
                 return Value{};
               },
               sim_ns(350))
+          .arity(1)
           .method("size",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value size = ctx.get_field(self, FieldId{1});
                     return size.is_int() ? size : Value{0};
                   },
                   sim_ns(100))
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Iterator")
-          .field("list")
+          .source("src/apps/stdlib.cpp")
+          .migratable()
+          .field("list", "ArrayList")
           .field("index")
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
           .method("hasNext",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef list =
@@ -577,6 +681,7 @@ void register_collections(vm::ClassRegistry& reg) {
                     return Value{index < ctx.call(list, "size").as_int()};
                   },
                   sim_ns(150))
+          .arity(0)
           .method("next",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef list =
@@ -587,6 +692,7 @@ void register_collections(vm::ClassRegistry& reg) {
                     return ctx.call(list, "get", {Value{index}});
                   },
                   sim_ns(200))
+          .arity(0)
           .build());
 }
 

@@ -54,29 +54,37 @@ Value paint_widget(Vm& ctx, ObjectRef self) {
 }
 
 // Registers a widget class with the standard 4 fields, a paint method, and
-// a handle method computing the new state from an event code.
+// a handle method computing the new state from an event code. The declared
+// Display field glues every widget to the client — aidelint places the whole
+// widget family in the pinned closure.
 void register_widget(vm::ClassRegistry& reg, const std::string& name,
-                     std::int64_t state_stride) {
-  reg.register_class(
-      ClassBuilder(name)
-          .field("bounds")
-          .field("label")
-          .field("state")
-          .field("display")
-          .method("paint",
-                  [](Vm& ctx, ObjectRef self, auto) -> Value {
-                    return paint_widget(ctx, self);
-                  })
-          .method("handle",
-                  [state_stride](Vm& ctx, ObjectRef self, auto args) -> Value {
-                    const Value st = ctx.get_field(self, kWState);
-                    const std::int64_t next =
-                        (st.is_int() ? st.as_int() : 0) +
-                        state_stride * (1 + arg(args, 0).as_int() % 3);
-                    ctx.put_field(self, kWState, Value{next});
-                    return Value{next};
-                  })
-          .build());
+                     std::int64_t state_stride,
+                     bool driver_instantiated = true) {
+  ClassBuilder b(name);
+  b.source("src/apps/toolkit.cpp")
+      .field("bounds", "Rect")
+      .field("label")
+      .field("state")
+      .field("display", "Display")
+      .calls("Display", "drawLine", 4)
+      .calls("Display", "drawText", 3)
+      .method("paint",
+              [](Vm& ctx, ObjectRef self, auto) -> Value {
+                return paint_widget(ctx, self);
+              })
+      .arity(0)
+      .method("handle",
+              [state_stride](Vm& ctx, ObjectRef self, auto args) -> Value {
+                const Value st = ctx.get_field(self, kWState);
+                const std::int64_t next =
+                    (st.is_int() ? st.as_int() : 0) +
+                    state_stride * (1 + arg(args, 0).as_int() % 3);
+                ctx.put_field(self, kWState, Value{next});
+                return Value{next};
+              })
+      .arity(1);
+  if (driver_instantiated) b.entry();
+  reg.register_class(b.build());
 }
 
 ObjectRef make_rect(Vm& ctx, std::int64_t x, std::int64_t y, std::int64_t w,
@@ -121,7 +129,8 @@ void register_toolkit(vm::ClassRegistry& reg) {
   register_widget(reg, "ui.ComboBox", 13);
   register_widget(reg, "ui.ProgressBar", 2);
   register_widget(reg, "ui.Separator", 0);
-  register_widget(reg, "ui.ToolTip", 0);
+  // No scenario instantiates tooltips — aidelint reports it as dead code.
+  register_widget(reg, "ui.ToolTip", 0, /*driver_instantiated=*/false);
   register_widget(reg, "ui.StatusField", 1);
   register_widget(reg, "ui.TabStrip", 17);
   register_widget(reg, "ui.Spinner", 4);
@@ -129,6 +138,9 @@ void register_toolkit(vm::ClassRegistry& reg) {
   // Icons: small primitive-array-backed resources.
   reg.register_class(
       ClassBuilder("ui.Icon")
+          .source("src/apps/toolkit.cpp")
+          .migratable()
+          .entry()
           .field("pixels")
           .field("size")
           .method("initIcon",
@@ -146,12 +158,18 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     ctx.put_field(self, FieldId{1}, Value{size});
                     return Value{};
                   })
+          .arity(2)
           .build());
 
   // Layout managers: assign widget bounds in rows/columns.
   reg.register_class(
       ClassBuilder("ui.FlowLayout")
+          .source("src/apps/toolkit.cpp")
+          .entry()
           .field("gap")
+          .references("Rect")
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
           .method(
               "layout",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -171,11 +189,17 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 }
                 return Value{x};
               })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("ui.ColumnLayout")
+          .source("src/apps/toolkit.cpp")
+          .entry()
           .field("gap")
+          .references("Rect")
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
           .method(
               "layout",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -195,10 +219,13 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 }
                 return Value{y};
               })
+          .arity(1)
           .build());
 
   // Theme: static data (lives on the client, like all statics).
   reg.register_class(ClassBuilder("ui.Theme")
+                         .source("src/apps/toolkit.cpp")
+                         .entry()
                          .static_slot("fg")
                          .static_slot("bg")
                          .static_slot("accent")
@@ -212,14 +239,23 @@ void register_toolkit(vm::ClassRegistry& reg) {
                                                  : 0x3366CC) ^
                                             arg(args, 0).as_int()};
                              })
+                         .arity(1)
                          .build());
 
   // Panels hold children and delegate painting.
   reg.register_class(
       ClassBuilder("ui.Panel")
-          .field("children")
+          .source("src/apps/toolkit.cpp")
+          .entry()
+          .field("children", "ArrayList")
           .field("layout")
           .field("title")
+          .references("ui.FlowLayout")
+          .references("ui.ColumnLayout")
+          .calls("ArrayList", "add", 1)
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
+          .calls("ui.Button", "paint", 0)
           .method("addChild",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     Value children_v = ctx.get_field(self, FieldId{0});
@@ -231,6 +267,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     ctx.call(children_v.as_ref(), "add", {arg(args, 0)});
                     return Value{};
                   })
+          .arity(1)
           .method("doLayout",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value layout_v = ctx.get_field(self, FieldId{1});
@@ -243,6 +280,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     }
                     return Value{};
                   })
+          .arity(0)
           .method("paintAll",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value children_v = ctx.get_field(self, FieldId{0});
@@ -260,12 +298,17 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     }
                     return Value{n};
                   })
+          .arity(0)
           .build());
 
   // Keyboard map: event code -> focus index, stored in a HashMap.
   reg.register_class(
       ClassBuilder("ui.KeyMap")
-          .field("bindings")
+          .source("src/apps/toolkit.cpp")
+          .entry()
+          .field("bindings", "HashMap")
+          .calls("HashMap", "put", 2)
+          .calls("HashMap", "get", 1)
           .method("bind",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     Value map_v = ctx.get_field(self, FieldId{0});
@@ -276,6 +319,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return ctx.call(map_v.as_ref(), "put",
                                     {arg(args, 0), arg(args, 1)});
                   })
+          .arity(2)
           .method("lookup",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const Value map_v = ctx.get_field(self, FieldId{0});
@@ -284,13 +328,21 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     }
                     return ctx.call(map_v.as_ref(), "get", {arg(args, 0)});
                   })
+          .arity(1)
           .build());
 
   // Event dispatcher: routes an event to the focused child of a panel.
   reg.register_class(
       ClassBuilder("ui.EventDispatcher")
-          .field("keymap")
+          .source("src/apps/toolkit.cpp")
+          .entry()
+          .field("keymap", "ui.KeyMap")
           .field("dispatched")
+          .references("ui.Panel")
+          .calls("ui.KeyMap", "lookup", 1)
+          .calls("ArrayList", "size", 0)
+          .calls("ArrayList", "get", 1)
+          .calls("ui.Button", "handle", 1)
           .method(
               "dispatch",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -319,17 +371,23 @@ void register_toolkit(vm::ClassRegistry& reg) {
                                     1});
                 return state;
               })
+          .arity(2)
           .build());
 
   // The window ties it together.
   reg.register_class(
       ClassBuilder("ui.Window")
-          .field("title")
-          .field("toolbar")
-          .field("content")
-          .field("dispatcher")
-          .field("display")
+          .source("src/apps/toolkit.cpp")
+          .entry()
+          .field("title", "String")
+          .field("toolbar", "ui.Panel")
+          .field("content", "ui.Panel")
+          .field("dispatcher", "ui.EventDispatcher")
+          .field("display", "Display")
           .field("paints")
+          .calls("Display", "drawText", 3)
+          .calls("Display", "flush", 0)
+          .calls("ui.Panel", "paintAll", 0)
           .method("paintTree",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef display =
@@ -355,6 +413,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                         Value{(paints.is_int() ? paints.as_int() : 0) + 1});
                     return Value{painted};
                   })
+          .arity(0)
           .build());
 }
 

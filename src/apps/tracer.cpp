@@ -45,26 +45,35 @@ void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
   reg.register_class(ClassBuilder("Trc.Material")
+                         .source("src/apps/tracer.cpp")
+                         .migratable()
                          .field("r")
                          .field("g")
                          .field("b")
                          .field("reflect")
                          .build());
   reg.register_class(ClassBuilder("Trc.Sphere")
+                         .source("src/apps/tracer.cpp")
+                         .migratable()
                          .field("x")
                          .field("y")
                          .field("z")
                          .field("radius")
-                         .field("material")
+                         .field("material", "Trc.Material")
                          .build());
 
   reg.register_class(
       ClassBuilder("Trc.Scene")
+          .source("src/apps/tracer.cpp")
+          .migratable()
+          .entry()
           .field("spheres")
           .field("count")
           .field("lightX")
           .field("lightY")
           .field("lightZ")
+          .references("Trc.Sphere")
+          .references("Trc.Material")
           .method(
               "buildScene",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -104,6 +113,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.put_field(self, kSceneLightZ, Value{-10.0});
                 return Value{};
               })
+          .arity(1)
           .method("getSphere",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef spheres =
@@ -112,14 +122,23 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         spheres, FieldId{static_cast<std::uint32_t>(
                                      arg(args, 0).as_int())});
                   })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("Trc.RayEngine")
-          .field("scene")
+          .source("src/apps/tracer.cpp")
+          .migratable()
+          .entry()
+          .field("scene", "Trc.Scene")
           .field("buffer")
           .field("w")
           .field("h")
+          .references("Trc.Sphere")
+          .references("Trc.Material")
+          .calls("Trc.Scene", "getSphere", 1)
+          .calls("Math", "sqrt", 1)
+          .calls("Math", "pow", 2)
           .method(
               "renderRow",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -198,6 +217,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 }
                 return Value{w};
               })
+          .arity(1)
           .method("checksumImage",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef buffer =
@@ -210,12 +230,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Trc.Screen")
-          .field("display")
+          .source("src/apps/tracer.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
+          .field("display", "Display")
           .field("blits")
+          .calls("Display", "drawLine", 4)
+          .calls("Display", "flush", 0)
           // Pinned: progressive preview + final present on the device.
           .native_method(
               "presentRows",
@@ -244,6 +270,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                     1});
                 return Value{static_cast<std::int64_t>(h)};
               })
+          .arity(4)
+          .effect(vm::NativeEffect::device_state)
           .build());
 }
 

@@ -47,6 +47,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("Vox.HeightField")
+          .source("src/apps/voxel.cpp")
+          .migratable()
+          .entry()
           .field("data")
           .field("size")
           .method("initField",
@@ -81,11 +84,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .arity(0)
           .build());
 
   reg.register_class(
       ClassBuilder("Vox.DiamondSquare")
+          .source("src/apps/voxel.cpp")
+          .migratable()
+          .entry()
           .field("roughness")
+          .references("Vox.HeightField")
+          .calls("Math", "noise", 3)
           .method(
               "generate",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -119,9 +128,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 (void)self;
                 return Value{};
               })
+          .arity(2)
           .build());
 
   reg.register_class(ClassBuilder("Vox.Camera")
+                         .source("src/apps/voxel.cpp")
+                         .migratable()
+                         .entry()
                          .field("x")
                          .field("y")
                          .field("angle")
@@ -130,9 +143,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
 
   reg.register_class(
       ClassBuilder("Vox.RayCaster")
-          .field("field")
+          .source("src/apps/voxel.cpp")
+          .migratable()
+          .entry()
+          .field("field", "Vox.HeightField")
           .field("buffer")
           .field("cols")
+          .references("Vox.Camera")
+          .calls("Math", "cos", 1)
+          .calls("Math", "sin", 1)
+          .calls("Math", "sqrt", 1)
+          .calls("Vox.HeightField", "heightAt", 2)
           .method(
               "renderFrame",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -187,12 +208,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 }
                 return Value{cols};
               })
+          .arity(1)
           .build());
 
   reg.register_class(
       ClassBuilder("Vox.Screen")
-          .field("display")
+          .source("src/apps/voxel.cpp")
+          .pin(vm::PinReason::ui)
+          .entry()
+          .field("display", "Display")
           .field("frames")
+          .calls("Display", "drawLine", 4)
+          .calls("Display", "flush", 0)
           // Pinned: presenting columns requires the device framebuffer.
           .native_method(
               "present",
@@ -219,6 +246,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                     1});
                 return Value{static_cast<std::int64_t>(h)};
               })
+          .arity(1)
+          .effect(vm::NativeEffect::device_state)
           .build());
 }
 

@@ -34,9 +34,10 @@ graph::ComponentKey ExecutionMonitor::ensure_component(ClassId cls,
     ++classes_seen_count_;
     counters_.class_events += 1;
     // Pinning rule (paper 3.3): classes containing (stateful) native methods
-    // cannot be offloaded and seed the client partition.
+    // cannot be offloaded and seed the client partition. An explicit
+    // pin_reason (ui, user-pinned) pins the same way.
     graph_.set_pinned(graph::ComponentKey{cls},
-                      registry_->get(cls).has_stateful_native());
+                      registry_->get(cls).is_pinned());
   }
   return key;
 }

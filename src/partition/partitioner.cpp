@@ -1,9 +1,124 @@
 #include "partition/partitioner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
 namespace aide::partition {
+
+namespace {
+
+// Deterministic union-find over component keys; the root of a set is always
+// its smallest key.
+class ComponentUnionFind {
+ public:
+  void add(const graph::ComponentKey& k) { parent_.emplace(k, k); }
+
+  graph::ComponentKey find(const graph::ComponentKey& k) {
+    auto it = parent_.find(k);
+    if (it == parent_.end()) return k;
+    graph::ComponentKey root = k;
+    while (parent_.at(root) != root) root = parent_.at(root);
+    // Path compression.
+    graph::ComponentKey cur = k;
+    while (parent_.at(cur) != root) {
+      const graph::ComponentKey next = parent_.at(cur);
+      parent_.at(cur) = root;
+      cur = next;
+    }
+    return root;
+  }
+
+  void unite(const graph::ComponentKey& a, const graph::ComponentKey& b) {
+    const graph::ComponentKey ra = find(a);
+    const graph::ComponentKey rb = find(b);
+    if (ra == rb) return;
+    if (ra < rb) {
+      parent_.at(rb) = ra;
+    } else {
+      parent_.at(ra) = rb;
+    }
+  }
+
+ private:
+  std::unordered_map<graph::ComponentKey, graph::ComponentKey> parent_;
+};
+
+}  // namespace
+
+ContractedGraph contract_with_hints(const graph::ExecGraph& graph,
+                                    const analysis::StaticHints& hints) {
+  ContractedGraph out;
+
+  std::vector<graph::ComponentKey> keys;
+  keys.reserve(graph.node_count());
+  for (const auto& [key, info] : graph.nodes()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  ComponentUnionFind uf;
+  for (const auto& key : keys) uf.add(key);
+
+  const auto never_migrate = [&](ClassId cls) {
+    return std::binary_search(hints.never_migrate.begin(),
+                              hints.never_migrate.end(), cls);
+  };
+
+  // 1. Collapse the client side: every component that is statically
+  //    never-migrate or dynamically pinned joins one anchor. MINCUT seeds the
+  //    client partition with all pinned components anyway, so this preserves
+  //    semantics while removing nodes and intra-client edges.
+  bool have_anchor = false;
+  graph::ComponentKey anchor;
+  for (const auto& key : keys) {
+    const auto* info = graph.find_node(key);
+    const bool pinned = info != nullptr && info->pinned;
+    if (!pinned && !never_migrate(key.cls)) continue;
+    if (!have_anchor) {
+      anchor = key;
+      have_anchor = true;
+    } else {
+      uf.unite(anchor, key);
+    }
+  }
+
+  // 2. Zero-benefit merges between unpinned class-granularity components.
+  for (const auto& [leaf, partner] : hints.merge_candidates) {
+    const graph::ComponentKey a{leaf};
+    const graph::ComponentKey b{partner};
+    const auto* na = graph.find_node(a);
+    const auto* nb = graph.find_node(b);
+    if (na == nullptr || nb == nullptr) continue;
+    if (na->pinned || nb->pinned) continue;
+    uf.unite(a, b);
+  }
+
+  for (const auto& key : keys) {
+    const graph::ComponentKey rep = uf.find(key);
+    out.members[rep].push_back(key);
+    const auto* info = graph.find_node(key);
+    auto& merged = out.graph.node(rep);
+    merged.mem_bytes += info->mem_bytes;
+    merged.peak_mem_bytes += info->peak_mem_bytes;
+    merged.exec_self_time += info->exec_self_time;
+    merged.live_objects += info->live_objects;
+    merged.pinned = merged.pinned || info->pinned;
+  }
+
+  std::unordered_map<graph::EdgeKey, graph::EdgeInfo> merged_edges;
+  for (const auto& [key, info] : graph.edges()) {
+    const graph::ComponentKey ra = uf.find(key.a);
+    const graph::ComponentKey rb = uf.find(key.b);
+    if (ra == rb) continue;  // interaction inside a merged group
+    auto& e = merged_edges[graph::ExecGraph::make_edge_key(ra, rb)];
+    e.invocations += info.invocations;
+    e.accesses += info.accesses;
+    e.bytes += info.bytes;
+  }
+  for (const auto& [key, info] : merged_edges) {
+    out.graph.set_edge(key.a, key.b, info);
+  }
+  return out;
+}
 
 SimDuration predicted_comm_time(const graph::Candidate& cand,
                                 const netsim::LinkParams& link) {
@@ -41,10 +156,24 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
   const auto wall_start = std::chrono::steady_clock::now();
 
   PartitionDecision decision;
-  const auto candidates = graph::modified_mincut(graph, req.weight);
+
+  // Pre-contract under static hints when provided: MINCUT then runs on the
+  // smaller graph, and cuts that separate statically-inseparable components
+  // are unrepresentable by construction.
+  ContractedGraph contracted;
+  const graph::ExecGraph* cut_graph = &graph;
+  if (req.hints != nullptr && !req.hints->empty()) {
+    contracted = contract_with_hints(graph, *req.hints);
+    cut_graph = &contracted.graph;
+    decision.hints_applied = true;
+  }
+  decision.mincut_nodes = cut_graph->node_count();
+  decision.mincut_edges = cut_graph->edge_count();
+
+  const auto candidates = graph::modified_mincut(*cut_graph, req.weight);
   decision.candidates_total = candidates.size();
 
-  const SimDuration total_self = graph.total_self_time();
+  const SimDuration total_self = cut_graph->total_self_time();
   decision.predicted_original_time = static_cast<SimDuration>(
       sim_to_seconds(total_self) / req.client_speed * 1e9);
 
@@ -92,6 +221,22 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
               ? decision.predicted_original_time
               : best_any;
     }
+  }
+
+  // A contracted representative stands for every component folded into it;
+  // expand the selection back to monitor-visible keys so the platform can
+  // gather the right objects.
+  if (decision.offload && decision.hints_applied) {
+    std::unordered_set<graph::ComponentKey> expanded;
+    for (const auto& comp : decision.selected.offload) {
+      const auto it = contracted.members.find(comp);
+      if (it == contracted.members.end()) {
+        expanded.insert(comp);
+        continue;
+      }
+      expanded.insert(it->second.begin(), it->second.end());
+    }
+    decision.selected.offload = std::move(expanded);
   }
 
   decision.compute_seconds =

@@ -15,10 +15,19 @@
 //    3.5x surrogate) plus communication for cut-crossing interactions; the
 //    fastest candidate is selected only if it beats staying on the client
 //    (Biomer: the system "correctly decided not to offload any objects").
+// Static hints (src/analysis) can pre-contract the execution graph before
+// MINCUT: never-migrate components collapse into the pinned client anchor and
+// zero-benefit merge candidates collapse into their partners, shrinking the
+// cut problem while making statically-illegal cuts unrepresentable. Hints are
+// opt-in (PartitionRequest::hints); without them the pipeline is bit-identical
+// to the purely dynamic paper behavior.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
+#include "analysis/hints.hpp"
 #include "common/simclock.hpp"
 #include "graph/mincut.hpp"
 #include "netsim/link.hpp"
@@ -51,6 +60,11 @@ struct PartitionRequest {
   graph::EdgeWeightFn weight;
   // One-time object migration is charged into speed-up predictions.
   bool charge_migration = true;
+
+  // Optional static hints from analysis::analyze(); when set (and non-empty)
+  // the graph is pre-contracted before MINCUT. Not owned; must outlive the
+  // call.
+  const analysis::StaticHints* hints = nullptr;
 };
 
 struct PartitionDecision {
@@ -69,7 +83,32 @@ struct PartitionDecision {
   // Real wall-clock cost of running the heuristic + evaluation (the paper
   // reports ~0.1 s on a 600 MHz Pentium).
   double compute_seconds = 0.0;
+
+  // Size of the graph MINCUT actually ran on (after hint contraction, when
+  // hints were applied) — the pre-contraction win is nodes/edges saved.
+  std::size_t mincut_nodes = 0;
+  std::size_t mincut_edges = 0;
+  bool hints_applied = false;
 };
+
+// Result of pre-contracting an execution graph with static hints. `members`
+// maps each surviving representative to the original components folded into
+// it (including itself) so a selected offload set can be expanded back to
+// monitor-visible component keys.
+struct ContractedGraph {
+  graph::ExecGraph graph;
+  std::unordered_map<graph::ComponentKey, std::vector<graph::ComponentKey>>
+      members;
+};
+
+// Contracts `graph` under `hints`: every component whose class is in
+// never_migrate (or whose node is dynamically pinned) merges into a single
+// pinned client anchor; each merge-candidate pair with both endpoints
+// unpinned merges into one node. Node stats and edge totals are preserved
+// (parallel edges sum; intra-group edges vanish). Deterministic: the
+// representative of a group is its smallest component key.
+[[nodiscard]] ContractedGraph contract_with_hints(
+    const graph::ExecGraph& graph, const analysis::StaticHints& hints);
 
 // Predicted communication time for one candidate's historical cut traffic.
 [[nodiscard]] SimDuration predicted_comm_time(const graph::Candidate& cand,

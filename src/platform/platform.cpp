@@ -1,6 +1,7 @@
 #include "platform/platform.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/log.hpp"
 
@@ -22,6 +23,18 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
                         config.enhancements.min_array_bytes,
                         {registry_->int_array_class()}}}),
       resource_monitor_(kClientNode, config.trigger) {
+  if (config_.static_analysis) {
+    // Static partition-safety gate: refuse to run a program whose registry
+    // has ERROR-severity findings; surface the warnings either way.
+    analysis_ = analysis::analyze(*registry_);
+    for (const auto& d : analysis_->diagnostics) {
+      if (d.severity == analysis::Severity::warning) {
+        AIDE_LOG_WARN("aidelint", d.format());
+      }
+    }
+    if (!analysis_->ok()) throw analysis::AnalysisError(*analysis_);
+  }
+
   vm::VmConfig client_cfg;
   client_cfg.node = kClientNode;
   client_cfg.name = "client";
@@ -124,6 +137,9 @@ partition::PartitionRequest Platform::make_request(
   const SimTime since = offloads_.empty() ? 0 : offloads_.back().at;
   req.history_duration = std::max<SimDuration>(clock_.now() - since, 1);
   req.weight = config_.edge_weight;
+  if (config_.use_static_hints && analysis_.has_value()) {
+    req.hints = &analysis_->hints;
+  }
   return req;
 }
 
@@ -197,6 +213,25 @@ std::optional<OffloadReport> Platform::offload_now(
                   decision.candidates_total, " candidates)");
     offloading_in_progress_ = false;
     return std::nullopt;
+  }
+
+  // Assertion mode: the dynamic decision must agree with the static verdict.
+  // A pin root may never offload; with hints enabled the whole pinned
+  // closure may not either. A violation is a partitioner bug, not a policy
+  // outcome — fail loudly.
+  if (config_.assert_static_verdict && analysis_.has_value()) {
+    for (const auto& comp : decision.selected.offload) {
+      const bool illegal =
+          analysis_->is_pin_root(comp.cls) ||
+          (config_.use_static_hints && analysis_->in_closure(comp.cls));
+      if (illegal) {
+        offloading_in_progress_ = false;
+        throw std::logic_error(
+            "static/dynamic verdict mismatch: partitioner selected pinned "
+            "class '" +
+            registry_->get(comp.cls).name + "' for offload");
+      }
+    }
   }
 
   // Gather the client-resident objects of every selected component. The

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "common/simclock.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/resource_monitor.hpp"
@@ -70,6 +71,19 @@ struct PlatformConfig {
   double min_improvement = 0.0;  // speed_up objective margin
 
   Enhancements enhancements;
+
+  // Run the static partition-safety analyzer (aidelint) over the registry at
+  // startup: construction throws analysis::AnalysisError on ERROR-severity
+  // findings and logs WARN findings.
+  bool static_analysis = true;
+  // Feed the analyzer's static hints into the partitioner so the execution
+  // graph is pre-contracted before MINCUT. Off by default: the purely
+  // dynamic pipeline stays bit-identical to the paper model.
+  bool use_static_hints = false;
+  // Cross-check every runtime migration decision against the static verdict
+  // (defense in depth): offloading a pin root — or, with hints enabled, any
+  // never-migrate class — raises std::logic_error.
+  bool assert_static_verdict = true;
 
   // React to triggers automatically; otherwise only offload_now() offloads.
   bool auto_offload = true;
@@ -129,6 +143,11 @@ class Platform : private vm::VmHooks {
   [[nodiscard]] const PlatformConfig& config() const noexcept {
     return config_;
   }
+  // The startup static-analysis report (empty when static_analysis is off).
+  [[nodiscard]] const std::optional<analysis::AnalysisReport>&
+  analysis_report() const noexcept {
+    return analysis_;
+  }
 
   [[nodiscard]] const std::vector<OffloadReport>& offloads() const noexcept {
     return offloads_;
@@ -178,6 +197,7 @@ class Platform : private vm::VmHooks {
   SimClock clock_;
   netsim::Link link_;
   std::shared_ptr<const vm::ClassRegistry> registry_;
+  std::optional<analysis::AnalysisReport> analysis_;
 
   std::unique_ptr<vm::Vm> client_;
   std::unique_ptr<vm::Vm> surrogate_;

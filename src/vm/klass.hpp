@@ -22,6 +22,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,36 @@ using MethodBody =
 
 enum class MethodKind : std::uint8_t { managed, native };
 
+// Why a class cannot leave the client device. `stateful_native` is derived
+// from the method table (the paper's rule); `ui` and `user_pinned` are
+// explicit declarations so diagnostics and static hints can explain the pin.
+enum class PinReason : std::uint8_t { none, stateful_native, ui, user_pinned };
+
+[[nodiscard]] constexpr std::string_view to_string(PinReason r) noexcept {
+  switch (r) {
+    case PinReason::none: return "none";
+    case PinReason::stateful_native: return "stateful-native";
+    case PinReason::ui: return "ui";
+    case PinReason::user_pinned: return "user-pinned";
+  }
+  return "none";
+}
+
+// Declared side-effect class of a native method. Stateless natives are pure
+// by construction; stateful natives should declare `device_state` so the
+// static analyzer can tell "touches the device" apart from "forgot to say".
+enum class NativeEffect : std::uint8_t { undeclared, pure, device_state };
+
+// A statically declared call site: code in the declaring class invokes
+// `target_class.method` with `argc` arguments (-1 = argument count unknown).
+// Purely metadata — the analyzer cross-checks it against the target's
+// declared arity; execution never consults it.
+struct CallSiteDecl {
+  std::string target_class;
+  std::string method;
+  int argc = -1;
+};
+
 struct MethodDef {
   std::string name;
   MethodKind kind = MethodKind::managed;
@@ -49,6 +80,12 @@ struct MethodDef {
   // Stateless/idempotent native (math, string copy): may run on either VM
   // when the stateless-native enhancement is enabled.
   bool stateless = false;
+  // Declared side effect (natives only; managed bodies are fully
+  // instrumented and need no declaration).
+  NativeEffect effect = NativeEffect::undeclared;
+  // Declared parameter count (-1 = undeclared; bodies take a span, so the
+  // arity is not recoverable from the signature).
+  int declared_arity = -1;
   // Fixed CPU work charged when the method body starts (in addition to any
   // explicit VmContext::work the body performs).
   SimDuration base_cost = 0;
@@ -57,6 +94,9 @@ struct MethodDef {
 
 struct FieldDef {
   std::string name;
+  // Declared managed class of the values this field holds; empty for
+  // primitive/untyped slots. Drives the analyzer's static reference graph.
+  std::string type;
 };
 
 struct ClassDef {
@@ -65,6 +105,23 @@ struct ClassDef {
   std::vector<FieldDef> fields;
   std::vector<MethodDef> methods;
   std::vector<std::string> statics;  // static slot names (data lives on client)
+
+  // Explicitly declared pin reason (ui, user_pinned). `stateful_native` need
+  // not be declared: it is derived from the method table.
+  PinReason pin_reason = PinReason::none;
+  // Author asserts this class is safe and intended to be offloaded. A
+  // migratable class inside the pinned closure is a lint ERROR.
+  bool declared_migratable = false;
+  // Instantiated directly by the embedding driver (the "main" of a scenario);
+  // exempt from dead-class and pinned-leaf lints.
+  bool entry = false;
+  // Source file anchor for diagnostics (optional).
+  std::string source;
+  // Statically declared cross-class call sites (class-level).
+  std::vector<CallSiteDecl> calls;
+  // Additional class references (field accesses, allocations) that are not
+  // captured by a typed field or a declared call.
+  std::vector<std::string> refs;
 
   // True if any method is native and stateful — such classes are pinned to
   // the client device (paper 3.3: the client partition is seeded with
@@ -75,6 +132,18 @@ struct ClassDef {
       if (m.kind == MethodKind::native && !m.stateless) return true;
     }
     return false;
+  }
+
+  // The reason this class is pinned: the explicit declaration when present,
+  // otherwise derived from the method table.
+  [[nodiscard]] PinReason effective_pin_reason() const noexcept {
+    if (pin_reason != PinReason::none) return pin_reason;
+    return has_stateful_native() ? PinReason::stateful_native
+                                 : PinReason::none;
+  }
+
+  [[nodiscard]] bool is_pinned() const noexcept {
+    return effective_pin_reason() != PinReason::none;
   }
 
   [[nodiscard]] MethodId find_method(std::string_view name) const {
@@ -110,7 +179,14 @@ class ClassBuilder {
   explicit ClassBuilder(std::string name) { def_.name = std::move(name); }
 
   ClassBuilder& field(std::string name) {
-    def_.fields.push_back(FieldDef{std::move(name)});
+    def_.fields.push_back(FieldDef{.name = std::move(name), .type = {}});
+    return *this;
+  }
+
+  // Field whose values are declared to be instances of `type`.
+  ClassBuilder& field(std::string name, std::string type) {
+    def_.fields.push_back(
+        FieldDef{.name = std::move(name), .type = std::move(type)});
     return *this;
   }
 
@@ -145,8 +221,63 @@ class ClassBuilder {
                                      .kind = MethodKind::native,
                                      .is_static = is_static,
                                      .stateless = stateless,
+                                     // Stateless natives are pure by
+                                     // construction; stateful ones must
+                                     // declare their effect explicitly.
+                                     .effect = stateless
+                                                   ? NativeEffect::pure
+                                                   : NativeEffect::undeclared,
                                      .base_cost = base_cost,
                                      .body = std::move(body)});
+    return *this;
+  }
+
+  // ---- static metadata (consumed by src/analysis, never by execution) ----
+
+  ClassBuilder& pin(PinReason reason) {
+    def_.pin_reason = reason;
+    return *this;
+  }
+
+  ClassBuilder& migratable() {
+    def_.declared_migratable = true;
+    return *this;
+  }
+
+  ClassBuilder& entry() {
+    def_.entry = true;
+    return *this;
+  }
+
+  ClassBuilder& source(std::string file) {
+    def_.source = std::move(file);
+    return *this;
+  }
+
+  // Declares that code in this class calls `target_class.method` with `argc`
+  // arguments (-1 = unknown).
+  ClassBuilder& calls(std::string target_class, std::string method,
+                      int argc = -1) {
+    def_.calls.push_back(CallSiteDecl{std::move(target_class),
+                                      std::move(method), argc});
+    return *this;
+  }
+
+  // Declares a class reference not captured by a typed field or a call.
+  ClassBuilder& references(std::string target_class) {
+    def_.refs.push_back(std::move(target_class));
+    return *this;
+  }
+
+  // Declares the parameter count of the most recently added method.
+  ClassBuilder& arity(int argc) {
+    if (!def_.methods.empty()) def_.methods.back().declared_arity = argc;
+    return *this;
+  }
+
+  // Declares the side effect of the most recently added method.
+  ClassBuilder& effect(NativeEffect e) {
+    if (!def_.methods.empty()) def_.methods.back().effect = e;
     return *this;
   }
 

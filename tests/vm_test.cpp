@@ -189,7 +189,7 @@ TEST_F(VmTest, HeapAccountsStringFieldGrowth) {
 }
 
 TEST_F(VmTest, ClassLookupErrors) {
-  EXPECT_THROW(vm_.find_class("NoSuchClass"), VmError);
+  EXPECT_THROW((void)vm_.find_class("NoSuchClass"), VmError);
   EXPECT_THROW(vm_.new_object("NoSuchClass"), VmError);
 }
 
