@@ -6,8 +6,10 @@
 // Graphviz renderings to fig5a.dot / fig5b.dot. Node labels carry class
 // names and live memory; dashed edges in 5b are the remote interactions
 // across the cut.
+#include <algorithm>
 #include <fstream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "platform/platform.hpp"
@@ -58,12 +60,18 @@ int main() {
         static_cast<unsigned long long>(selected.cut_interactions()));
 
     std::printf("  components remaining on client:\n");
+    std::vector<graph::ComponentKey> client_keys;
     for (const auto& [key, info] : monitor.graph().nodes()) {
       if (!selected.offload.contains(key) && info.mem_bytes > 0) {
-        std::printf("    %-24s %8lld KB%s\n", names.at(key).c_str(),
-                    static_cast<long long>(info.mem_bytes / 1024),
-                    info.pinned ? "  [pinned]" : "");
+        client_keys.push_back(key);
       }
+    }
+    std::sort(client_keys.begin(), client_keys.end());
+    for (const auto& key : client_keys) {
+      const auto* info = monitor.graph().find_node(key);
+      std::printf("    %-24s %8lld KB%s\n", names.at(key).c_str(),
+                  static_cast<long long>(info->mem_bytes / 1024),
+                  info->pinned ? "  [pinned]" : "");
     }
   } else {
     std::printf("  (no offload occurred)\n");

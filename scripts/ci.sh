@@ -24,6 +24,9 @@ ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 step "aidelint (static partition-safety) over all apps"
 ./build-ci/src/analysis/aidelint
 
+step "graph hot-path smoke (monitor throughput + MINCUT parity)"
+./build-ci/bench/bench_graph_hotpath --smoke
+
 if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then
   step "clang-tidy"
   # Library and app sources; test files follow gtest idioms tidy dislikes.

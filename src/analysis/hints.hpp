@@ -41,6 +41,18 @@ struct StaticHints {
     return never_migrate.empty() && must_colocate.empty() &&
            merge_candidates.empty();
   }
+
+  // Dense ClassId-indexed view of never_migrate, for consumers that resolve
+  // classes to interned ids on a hot path (the partitioner's pre-contraction
+  // tests every graph node; a bitmap load replaces a binary search).
+  [[nodiscard]] std::vector<bool> never_migrate_mask(
+      std::size_t n_classes) const {
+    std::vector<bool> mask(n_classes, false);
+    for (const ClassId cls : never_migrate) {
+      if (cls.value() < n_classes) mask[cls.value()] = true;
+    }
+    return mask;
+  }
 };
 
 }  // namespace aide::analysis

@@ -1,6 +1,7 @@
 #include "graph/exec_graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
 namespace aide::graph {
@@ -35,29 +36,79 @@ std::string node_label(const ComponentKey& key,
 
 }  // namespace
 
+void ExecGraph::remove_components(
+    const std::unordered_set<ComponentKey>& dead) {
+  if (dead.empty()) return;
+
+  // Compact the node arrays, preserving relative order.
+  std::vector<NodeIndex> remap(keys_.size(), npos);
+  NodeIndex live = 0;
+  for (NodeIndex i = 0; i < keys_.size(); ++i) {
+    if (dead.contains(keys_[i])) continue;
+    remap[i] = live;
+    if (live != i) {
+      keys_[live] = keys_[i];
+      infos_[live] = infos_[i];
+    }
+    ++live;
+  }
+  if (live == keys_.size()) return;  // nothing listed was actually present
+  keys_.resize(live);
+  infos_.resize(live);
+
+  index_.clear();
+  for (NodeIndex i = 0; i < live; ++i) index_[keys_[i]] = i;
+
+  // Compact the edge arrays, dropping edges that touch a dead node.
+  EdgeSlot live_edges = 0;
+  for (EdgeSlot s = 0; s < edge_infos_.size(); ++s) {
+    const auto [a, b] = edge_ends_[s];
+    if (remap[a] == npos || remap[b] == npos) continue;
+    edge_ends_[live_edges] = {remap[a], remap[b]};
+    edge_infos_[live_edges] = edge_infos_[s];
+    ++live_edges;
+  }
+  edge_ends_.resize(live_edges);
+  edge_infos_.resize(live_edges);
+
+  // Rebuild adjacency and the edge index from the surviving slots.
+  adj_.assign(live, {});
+  edge_index_.clear();
+  for (EdgeSlot s = 0; s < live_edges; ++s) {
+    const auto [a, b] = edge_ends_[s];
+    edge_index_[pack_edge(a, b)] = s;
+    adj_[a].push_back(AdjEntry{b, s});
+    adj_[b].push_back(AdjEntry{a, s});
+  }
+}
+
 std::string ExecGraph::to_dot(
     const std::unordered_map<ComponentKey, int>* placement,
     const std::unordered_map<ComponentKey, std::string>* names) const {
   // Sort nodes/edges for deterministic output.
-  std::vector<const NodeMap::value_type*> sorted_nodes;
-  sorted_nodes.reserve(nodes_.size());
-  for (const auto& kv : nodes_) sorted_nodes.push_back(&kv);
+  std::vector<NodeIndex> sorted_nodes(keys_.size());
+  std::iota(sorted_nodes.begin(), sorted_nodes.end(), NodeIndex{0});
   std::sort(sorted_nodes.begin(), sorted_nodes.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
+            [&](NodeIndex a, NodeIndex b) { return keys_[a] < keys_[b]; });
 
-  std::vector<const EdgeMap::value_type*> sorted_edges;
-  sorted_edges.reserve(edges_.size());
-  for (const auto& kv : edges_) sorted_edges.push_back(&kv);
+  std::vector<EdgeSlot> sorted_edges(edge_infos_.size());
+  std::iota(sorted_edges.begin(), sorted_edges.end(), EdgeSlot{0});
   std::sort(sorted_edges.begin(), sorted_edges.end(),
-            [](const auto* a, const auto* b) {
-              return std::tie(a->first.a, a->first.b) <
-                     std::tie(b->first.a, b->first.b);
+            [&](EdgeSlot x, EdgeSlot y) {
+              const EdgeKey a =
+                  make_edge_key(keys_[edge_ends_[x].first],
+                                keys_[edge_ends_[x].second]);
+              const EdgeKey b =
+                  make_edge_key(keys_[edge_ends_[y].first],
+                                keys_[edge_ends_[y].second]);
+              return std::tie(a.a, a.b) < std::tie(b.a, b.b);
             });
 
   std::ostringstream os;
   os << "graph exec {\n  node [shape=ellipse, fontsize=9];\n";
-  for (const auto* kv : sorted_nodes) {
-    const auto& [key, info] = *kv;
+  for (const NodeIndex i : sorted_nodes) {
+    const ComponentKey& key = keys_[i];
+    const NodeInfo& info = infos_[i];
     os << "  " << node_id_str(key) << " [label=\""
        << node_label(key, names, info) << "\"";
     if (info.pinned) os << ", style=bold";
@@ -68,8 +119,10 @@ std::string ExecGraph::to_dot(
     }
     os << "];\n";
   }
-  for (const auto* kv : sorted_edges) {
-    const auto& [ekey, info] = *kv;
+  for (const EdgeSlot s : sorted_edges) {
+    const EdgeKey ekey = make_edge_key(keys_[edge_ends_[s].first],
+                                       keys_[edge_ends_[s].second]);
+    const EdgeInfo& info = edge_infos_[s];
     bool remote = false;
     if (placement != nullptr) {
       const auto ia = placement->find(ekey.a);

@@ -63,6 +63,16 @@ struct Candidate {
 [[nodiscard]] std::vector<Candidate> modified_mincut(
     const ExecGraph& graph, const EdgeWeightFn& weight = {});
 
+// Streaming form of modified_mincut: maintains ONE running Candidate and
+// invokes `visit` once per intermediate partitioning (same sequence as
+// modified_mincut returns), updating the offload set and cut statistics with
+// O(deg(moved)) deltas per step instead of an O(E) rescan. Policies that only
+// need to scan the series (decide_partitioning) use this to avoid
+// materializing and copying every candidate. The Candidate reference is only
+// valid during the callback; copy it to keep it.
+void modified_mincut_visit(const ExecGraph& graph, const EdgeWeightFn& weight,
+                           const std::function<void(const Candidate&)>& visit);
+
 // A global minimum cut (ignores pinning): returns the lighter-side vertex set
 // and the cut weight. Used as the "plain MINCUT" baseline the paper argues
 // against ("it may simply remove a single component").

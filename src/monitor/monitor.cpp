@@ -10,6 +10,7 @@ ExecutionMonitor::ExecutionMonitor(
   for (const ClassId cls : config_.granularity.object_granularity_classes) {
     object_granularity_classes_.insert(cls);
   }
+  class_only_ = !config_.granularity.arrays_as_objects;
 }
 
 graph::ComponentKey ExecutionMonitor::component_of(ClassId cls,
@@ -17,15 +18,13 @@ graph::ComponentKey ExecutionMonitor::component_of(ClassId cls,
   // Object-granularity promotion only ever happens under the Array
   // enhancement, so the common configuration skips the per-event lookup.
   if (config_.granularity.arrays_as_objects && obj.valid()) {
-    const auto it = object_component_.find(obj);
-    if (it != object_component_.end()) return it->second;
+    const auto it = object_node_.find(obj);
+    if (it != object_node_.end()) return graph_.key_of(it->second);
   }
   return graph::ComponentKey{cls};
 }
 
-graph::ComponentKey ExecutionMonitor::ensure_component(ClassId cls,
-                                                       ObjectId obj) {
-  const graph::ComponentKey key = component_of(cls, obj);
+void ExecutionMonitor::note_class_seen(ClassId cls) {
   if (cls.value() >= class_seen_.size()) {
     class_seen_.resize(registry_->size(), false);
   }
@@ -36,35 +35,111 @@ graph::ComponentKey ExecutionMonitor::ensure_component(ClassId cls,
     // Pinning rule (paper 3.3): classes containing (stateful) native methods
     // cannot be offloaded and seed the client partition. An explicit
     // pin_reason (ui, user-pinned) pins the same way.
-    graph_.set_pinned(graph::ComponentKey{cls},
-                      registry_->get(cls).is_pinned());
+    graph_.node_at(class_index(cls)).pinned = registry_->get(cls).is_pinned();
   }
-  return key;
 }
 
-void ExecutionMonitor::on_invoke(const vm::InvokeEvent& ev) {
-  counters_.invoke_events += 1;
-  if (ev.remote) {
-    counters_.remote_invocations += 1;
-    if (ev.is_native) counters_.remote_native_invocations += 1;
+ExecutionMonitor::NodeIndex ExecutionMonitor::class_index(ClassId cls) {
+  if (cls.value() >= class_node_.size()) {
+    class_node_.resize(registry_->size(), graph::ExecGraph::npos);
   }
-  const auto from = ensure_component(ev.caller_cls, ev.caller_obj);
-  const auto to = ensure_component(ev.callee_cls, ev.callee_obj);
-  graph_.record_interaction(from, to, /*is_invocation=*/true, ev.bytes);
+  NodeIndex& cached = class_node_[cls.value()];
+  if (cached == graph::ExecGraph::npos) {
+    cached = graph_.intern(graph::ComponentKey{cls});
+  }
+  return cached;
 }
 
-void ExecutionMonitor::on_access(const vm::AccessEvent& ev) {
-  counters_.access_events += 1;
-  if (ev.remote) counters_.remote_accesses += 1;
-  const auto from = ensure_component(ev.from_cls, ev.from_obj);
-  const auto to = ensure_component(ev.to_cls, ev.to_obj);
-  graph_.record_interaction(from, to, /*is_invocation=*/false, ev.bytes);
+ExecutionMonitor::NodeIndex ExecutionMonitor::resolve_index(ClassId cls,
+                                                            ObjectId obj) {
+  if (config_.granularity.arrays_as_objects && obj.valid()) {
+    const auto it = object_node_.find(obj);
+    if (it != object_node_.end()) return it->second;
+  }
+  return class_index(cls);
+}
+
+void ExecutionMonitor::record_edge(NodeIndex from, NodeIndex to,
+                                   bool is_invocation, std::uint64_t bytes) {
+  // Self-interactions are never recorded (paper: "Information is recorded
+  // only for interactions between two different classes").
+  if (from == to) return;
+  NodeIndex a = from, b = to;
+  if (b < a) std::swap(a, b);
+  if (a == edge_cache_a_ && b == edge_cache_b_) {
+    graph_.bump_edge(edge_cache_slot_, is_invocation, bytes);
+    return;
+  }
+  edge_cache_slot_ = graph_.record_interaction_at(from, to, is_invocation,
+                                                  bytes);
+  edge_cache_a_ = a;
+  edge_cache_b_ = b;
+}
+
+bool ExecutionMonitor::ensure_pair_table() {
+  const std::size_t n = registry_->size();
+  if (n > kMaxPairTableClasses) return false;
+  if (class_pair_stride_ < n) {
+    class_pair_stride_ = n;
+    class_pair_slot_.assign(n * n, graph::ExecGraph::npos);
+  }
+  return true;
+}
+
+void ExecutionMonitor::record_event_slow(ClassId from_cls, ObjectId from_obj,
+                                         ClassId to_cls, ObjectId to_obj,
+                                         bool is_invocation,
+                                         std::uint64_t bytes) {
+  const std::uint64_t sig =
+      (static_cast<std::uint64_t>(from_cls.value()) << 32) | to_cls.value();
+  note_class_seen(from_cls);
+  note_class_seen(to_cls);
+  ev_cache_cls_sig_ = sig;
+  ev_cache_from_obj_ = from_obj;
+  ev_cache_to_obj_ = to_obj;
+
+  // Events whose endpoints resolve to class nodes go through the dense pair
+  // table: one array load instead of an EdgeKey hash probe.
+  const bool class_resolved =
+      class_only_ || (!from_obj.valid() && !to_obj.valid());
+  if (class_resolved && ensure_pair_table()) {
+    EdgeSlot& entry =
+        class_pair_slot_[from_cls.value() * class_pair_stride_ +
+                         to_cls.value()];
+    if (entry != graph::ExecGraph::npos) {
+      graph_.bump_edge(entry, is_invocation, bytes);
+      ev_cache_slot_ = entry;
+      return;
+    }
+    const NodeIndex from = class_index(from_cls);
+    const NodeIndex to = class_index(to_cls);
+    if (from == to) {
+      // Self-interactions are never recorded; cache that outcome so repeats
+      // of the pair cost one compare.
+      ev_cache_slot_ = graph::ExecGraph::npos;
+      return;
+    }
+    record_edge(from, to, is_invocation, bytes);
+    // record_edge leaves the (min, max) edge cache at this pair's slot.
+    entry = edge_cache_slot_;
+    ev_cache_slot_ = edge_cache_slot_;
+    return;
+  }
+
+  const NodeIndex from = resolve_index(from_cls, from_obj);
+  const NodeIndex to = resolve_index(to_cls, to_obj);
+  if (from == to) {
+    ev_cache_slot_ = graph::ExecGraph::npos;
+    return;
+  }
+  record_edge(from, to, is_invocation, bytes);
+  ev_cache_slot_ = edge_cache_slot_;
 }
 
 void ExecutionMonitor::on_method_exit(NodeId, ClassId cls, ObjectId obj,
                                       MethodId, SimDuration self_time,
                                       SimTime) {
-  graph_.add_self_time(component_of(cls, obj), self_time);
+  graph_.add_self_time_at(resolve_index(cls, obj), self_time);
 }
 
 void ExecutionMonitor::on_alloc(NodeId, ObjectId obj, ClassId cls,
@@ -72,28 +147,33 @@ void ExecutionMonitor::on_alloc(NodeId, ObjectId obj, ClassId cls,
   counters_.objects_created += 1;
   counters_.class_events += 1;
 
-  graph::ComponentKey key{cls};
+  note_class_seen(cls);
+  NodeIndex idx;
   const auto& g = config_.granularity;
   if (g.arrays_as_objects && bytes >= g.min_array_bytes &&
       object_granularity_classes_.contains(cls)) {
-    key = graph::ComponentKey{cls, obj};
-    object_component_[obj] = key;
+    idx = graph_.intern(graph::ComponentKey{cls, obj});
+    object_node_[obj] = idx;
+    drop_event_cache();  // (cls, obj) now resolves to the object node
+  } else {
+    idx = class_index(cls);
   }
-  ensure_component(cls, ObjectId::invalid());
-  graph_.add_memory(key, bytes, +1);
+  graph_.add_memory_at(idx, bytes, +1);
 }
 
 void ExecutionMonitor::on_resize(NodeId, ObjectId obj, ClassId cls,
                                  std::int64_t delta) {
-  graph_.add_memory(component_of(cls, obj), delta, 0);
+  graph_.add_memory_at(resolve_index(cls, obj), delta, 0);
 }
 
 void ExecutionMonitor::on_free(NodeId, ObjectId obj, ClassId cls,
                                std::int64_t bytes, SimTime) {
   counters_.objects_freed += 1;
   counters_.class_events += 1;
-  graph_.add_memory(component_of(cls, obj), -bytes, -1);
-  object_component_.erase(obj);
+  graph_.add_memory_at(resolve_index(cls, obj), -bytes, -1);
+  if (object_node_.erase(obj) != 0) {
+    drop_event_cache();  // (cls, obj) falls back to the class node
+  }
 }
 
 void ExecutionMonitor::on_gc(NodeId, const vm::GcReport&) {
@@ -126,6 +206,10 @@ MetricsSummary ExecutionMonitor::metrics_summary() const {
   if (samples_.empty()) {
     out.avg_classes = static_cast<double>(classes_seen_count_);
     out.max_classes = classes_seen_count_;
+    const auto live = static_cast<std::size_t>(
+        counters_.objects_created - counters_.objects_freed);
+    out.avg_objects = static_cast<double>(live);
+    out.max_objects = live;
     out.avg_links = static_cast<double>(graph_.edge_count());
     out.max_links = graph_.edge_count();
     return out;
@@ -149,36 +233,53 @@ MetricsSummary ExecutionMonitor::metrics_summary() const {
 void ExecutionMonitor::prune_dead_components() {
   // Object-granularity nodes whose objects died carry no future-placement
   // information; drop them (with their edges) before partitioning.
-  std::vector<graph::ComponentKey> dead;
+  std::unordered_set<graph::ComponentKey> dead;
   for (const auto& [key, info] : graph_.nodes()) {
     if (key.is_object_granularity() && info.live_objects <= 0) {
-      dead.push_back(key);
+      dead.insert(key);
     }
   }
   if (dead.empty()) return;
+  graph_.remove_components(dead);
+  rebuild_caches();
+}
 
-  graph::ExecGraph pruned;
-  for (const auto& [key, info] : graph_.nodes()) {
-    if (std::find(dead.begin(), dead.end(), key) != dead.end()) continue;
-    pruned.node(key) = info;
+void ExecutionMonitor::rebuild_caches() {
+  edge_cache_a_ = graph::ExecGraph::npos;
+  edge_cache_b_ = graph::ExecGraph::npos;
+  edge_cache_slot_ = graph::ExecGraph::npos;
+  drop_event_cache();
+  std::fill(class_pair_slot_.begin(), class_pair_slot_.end(),
+            graph::ExecGraph::npos);
+  std::fill(class_node_.begin(), class_node_.end(), graph::ExecGraph::npos);
+  object_node_.clear();
+  for (NodeIndex i = 0; i < graph_.node_count(); ++i) {
+    const graph::ComponentKey& key = graph_.key_of(i);
+    if (key.is_object_granularity()) {
+      object_node_[key.object] = i;
+    } else {
+      if (key.cls.value() >= class_node_.size()) {
+        class_node_.resize(key.cls.value() + 1, graph::ExecGraph::npos);
+      }
+      class_node_[key.cls.value()] = i;
+    }
   }
-  for (const auto& [ekey, einfo] : graph_.edges()) {
-    const bool drop =
-        std::find(dead.begin(), dead.end(), ekey.a) != dead.end() ||
-        std::find(dead.begin(), dead.end(), ekey.b) != dead.end();
-    if (drop) continue;
-    pruned.set_edge(ekey.a, ekey.b, einfo);
-  }
-  graph_ = std::move(pruned);
 }
 
 void ExecutionMonitor::reset() {
   graph_.clear();
   counters_ = MonitorCounters{};
-  object_component_.clear();
+  class_node_.clear();
+  object_node_.clear();
   samples_.clear();
   class_seen_.clear();
   classes_seen_count_ = 0;
+  edge_cache_a_ = graph::ExecGraph::npos;
+  edge_cache_b_ = graph::ExecGraph::npos;
+  edge_cache_slot_ = graph::ExecGraph::npos;
+  drop_event_cache();
+  class_pair_slot_.clear();
+  class_pair_stride_ = 0;
 }
 
 }  // namespace aide::monitor

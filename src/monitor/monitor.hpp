@@ -11,6 +11,13 @@
 // Component granularity follows the paper: classes by default; with the
 // "Array" enhancement enabled (section 5.2), large primitive arrays become
 // object-granularity components that can be placed independently.
+//
+// Hot-path layout: components resolve to dense ExecGraph::NodeIndex handles
+// through a per-class vector (no hashing for class-granularity events) and a
+// single-entry edge-slot cache that services runs of events between the same
+// component pair with one array bump — zero allocations and zero hash probes
+// in steady state. The caches are rebuilt whenever node indices shift
+// (prune_dead_components / reset).
 #pragma once
 
 #include <cstdint>
@@ -78,8 +85,25 @@ class ExecutionMonitor : public vm::VmHooks {
 
   // --- VmHooks -------------------------------------------------------------
 
-  void on_invoke(const vm::InvokeEvent& ev) override;
-  void on_access(const vm::AccessEvent& ev) override;
+  // The two interaction hooks are defined in-class so a caller holding the
+  // concrete monitor (the VM's instrumentation site, the benches) can inline
+  // the whole cache-hit path into its dispatch loop.
+  void on_invoke(const vm::InvokeEvent& ev) override {
+    counters_.invoke_events += 1;
+    if (ev.remote) {
+      counters_.remote_invocations += 1;
+      if (ev.is_native) counters_.remote_native_invocations += 1;
+    }
+    record_event(ev.caller_cls, ev.caller_obj, ev.callee_cls, ev.callee_obj,
+                 /*is_invocation=*/true, ev.bytes);
+  }
+
+  void on_access(const vm::AccessEvent& ev) override {
+    counters_.access_events += 1;
+    if (ev.remote) counters_.remote_accesses += 1;
+    record_event(ev.from_cls, ev.from_obj, ev.to_cls, ev.to_obj,
+                 /*is_invocation=*/false, ev.bytes);
+  }
   void on_method_exit(NodeId vm, ClassId cls, ObjectId obj, MethodId m,
                       SimDuration self_time, SimTime t) override;
   void on_alloc(NodeId vm, ObjectId obj, ClassId cls, std::int64_t bytes,
@@ -95,6 +119,9 @@ class ExecutionMonitor : public vm::VmHooks {
   [[nodiscard]] const graph::ExecGraph& graph() const noexcept {
     return graph_;
   }
+  // Mutable access: callers that add/remove nodes or edges through this
+  // reference must be followed by rebuild_caches() — the monitor caches node
+  // indices and edge slots.
   [[nodiscard]] graph::ExecGraph& graph() noexcept { return graph_; }
 
   [[nodiscard]] const MonitorCounters& counters() const noexcept {
@@ -116,24 +143,122 @@ class ExecutionMonitor : public vm::VmHooks {
   // so the partitioner never places dead components.
   void prune_dead_components();
 
+  // Re-derives the node-index and edge-slot caches from the graph. Must be
+  // called after any external mutation through the non-const graph()
+  // accessor; prune/reset invoke it internally.
+  void rebuild_caches();
+
   void reset();
 
  private:
-  graph::ComponentKey ensure_component(ClassId cls, ObjectId obj);
+  using NodeIndex = graph::ExecGraph::NodeIndex;
+  using EdgeSlot = graph::ExecGraph::EdgeSlot;
+
+  // First-seen gate: on a class's first event, count it, record the class
+  // event, and apply the pinning rule (which creates the class node).
+  void note_class_seen(ClassId cls);
+
+  // Dense index of the class-granularity node for `cls` (interned on first
+  // use, then a vector load).
+  NodeIndex class_index(ClassId cls);
+
+  // Resolves an event's (class, object) pair to its component node under the
+  // granularity policy. Does not run the first-seen gate.
+  NodeIndex resolve_index(ClassId cls, ObjectId obj);
+
+  // Gate + resolution + edge update for one interaction event. When the raw
+  // endpoints repeat, the single-entry event cache resolves the whole event
+  // to a pre-located edge slot: one signature compare and one array bump, no
+  // hashing and no allocation. Under class granularity (the default — no
+  // Array enhancement) objects cannot affect resolution, so the cache keys on
+  // the packed class pair alone and hits across object churn.
+  void record_event(ClassId from_cls, ObjectId from_obj, ClassId to_cls,
+                    ObjectId to_obj, bool is_invocation, std::uint64_t bytes) {
+    const std::uint64_t sig =
+        (static_cast<std::uint64_t>(from_cls.value()) << 32) | to_cls.value();
+    if (class_only_
+            ? sig == ev_cache_cls_sig_
+            // Branchless three-way equality fold: one well-predicted branch
+            // instead of three short-circuited ones.
+            : ((sig ^ ev_cache_cls_sig_) |
+               (from_obj.value() ^ ev_cache_from_obj_.value()) |
+               (to_obj.value() ^ ev_cache_to_obj_.value())) == 0) {
+      if (ev_cache_slot_ != graph::ExecGraph::npos) {
+        graph_.bump_edge(ev_cache_slot_, is_invocation, bytes);
+      }
+      return;
+    }
+    record_event_slow(from_cls, from_obj, to_cls, to_obj, is_invocation,
+                      bytes);
+  }
+
+  // Event-cache miss: first-seen gate, component resolution, and the edge
+  // lookup (dense pair table, then the (min, max) slot cache, then the edge
+  // hash map), refilling the event cache on the way out.
+  void record_event_slow(ClassId from_cls, ObjectId from_obj, ClassId to_cls,
+                         ObjectId to_obj, bool is_invocation,
+                         std::uint64_t bytes);
+
+  void drop_event_cache() noexcept { ev_cache_cls_sig_ = kNoEventCache; }
+
+  // Records one interaction through the single-entry edge-slot cache.
+  void record_edge(NodeIndex from, NodeIndex to, bool is_invocation,
+                   std::uint64_t bytes);
 
   std::shared_ptr<const vm::ClassRegistry> registry_;
   MonitorConfig config_;
   graph::ExecGraph graph_;
   MonitorCounters counters_;
 
-  // Live-object to component mapping (object-granularity support).
-  std::unordered_map<ObjectId, graph::ComponentKey> object_component_;
+  // ClassId -> node index of the class-granularity node (npos = not interned).
+  std::vector<NodeIndex> class_node_;
+  // Live promoted object -> its object-granularity node.
+  std::unordered_map<ObjectId, NodeIndex> object_node_;
   std::unordered_set<ClassId> object_granularity_classes_;
   std::vector<MetricsSample> samples_;
   // Dense seen-class bitmap: this sits on the hot path of every interaction
   // event (the monitoring-overhead experiment measures exactly this code).
   std::vector<bool> class_seen_;
   std::size_t classes_seen_count_ = 0;
+
+  // Single-entry edge cache: last (min, max) node pair and its edge slot.
+  // Event streams are bursty — runs of interactions between the same pair —
+  // so this hits without touching the edge hash table.
+  NodeIndex edge_cache_a_ = graph::ExecGraph::npos;
+  NodeIndex edge_cache_b_ = graph::ExecGraph::npos;
+  EdgeSlot edge_cache_slot_ = graph::ExecGraph::npos;
+
+  // Single-entry event cache: last raw (class, object) endpoint pair and the
+  // edge slot it resolved to (npos = self-interaction, nothing to record).
+  // A hit skips the first-seen gate (the cached pair has been fully processed
+  // before), component resolution, and the edge lookup; it is dropped
+  // whenever a (class, object) resolution could change (alloc promotion,
+  // free of a promoted object, prune, reset). The two ClassIds are packed
+  // into one 64-bit signature; kNoEventCache (both halves ClassId::invalid())
+  // can never match a real event.
+  static constexpr std::uint64_t kNoEventCache = ~std::uint64_t{0};
+  std::uint64_t ev_cache_cls_sig_ = kNoEventCache;
+  ObjectId ev_cache_from_obj_ = ObjectId::invalid();
+  ObjectId ev_cache_to_obj_ = ObjectId::invalid();
+  EdgeSlot ev_cache_slot_ = graph::ExecGraph::npos;
+
+  // True when the granularity policy can never promote objects: resolution
+  // then depends on the class pair alone, which unlocks the stronger event
+  // cache key and the dense pair table below. Fixed at construction.
+  bool class_only_ = true;
+
+  // Dense (from_cls, to_cls) -> edge-slot table, filled lazily: event-cache
+  // misses for class-resolved events cost one array load instead of an
+  // EdgeKey hash probe. Only maintained while the registry is small enough
+  // for the n^2 table to stay cache-friendly; cleared whenever edge slots
+  // shift (prune/reset) or the registry grows past the current stride.
+  static constexpr std::size_t kMaxPairTableClasses = 1024;
+  std::vector<EdgeSlot> class_pair_slot_;
+  std::size_t class_pair_stride_ = 0;
+
+  // Lazily (re)sizes the pair table to the registry; false when the registry
+  // is too large and callers must take the hash path.
+  bool ensure_pair_table();
 };
 
 }  // namespace aide::monitor

@@ -3,119 +3,133 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <map>
+#include <numeric>
 
 namespace aide::partition {
 
 namespace {
 
-// Deterministic union-find over component keys; the root of a set is always
-// its smallest key.
-class ComponentUnionFind {
+// Deterministic union-find over dense sorted positions; the root of a set is
+// always its smallest position, i.e. (positions being sorted by key) its
+// smallest component key — the same representative the old key-based
+// union-find chose.
+class PositionUnionFind {
  public:
-  void add(const graph::ComponentKey& k) { parent_.emplace(k, k); }
+  explicit PositionUnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
 
-  graph::ComponentKey find(const graph::ComponentKey& k) {
-    auto it = parent_.find(k);
-    if (it == parent_.end()) return k;
-    graph::ComponentKey root = k;
-    while (parent_.at(root) != root) root = parent_.at(root);
+  std::size_t find(std::size_t p) {
+    std::size_t root = p;
+    while (parent_[root] != root) root = parent_[root];
     // Path compression.
-    graph::ComponentKey cur = k;
-    while (parent_.at(cur) != root) {
-      const graph::ComponentKey next = parent_.at(cur);
-      parent_.at(cur) = root;
-      cur = next;
+    while (parent_[p] != root) {
+      const std::size_t next = parent_[p];
+      parent_[p] = root;
+      p = next;
     }
     return root;
   }
 
-  void unite(const graph::ComponentKey& a, const graph::ComponentKey& b) {
-    const graph::ComponentKey ra = find(a);
-    const graph::ComponentKey rb = find(b);
+  void unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
     if (ra == rb) return;
     if (ra < rb) {
-      parent_.at(rb) = ra;
+      parent_[rb] = ra;
     } else {
-      parent_.at(ra) = rb;
+      parent_[ra] = rb;
     }
   }
 
  private:
-  std::unordered_map<graph::ComponentKey, graph::ComponentKey> parent_;
+  std::vector<std::size_t> parent_;
 };
 
 }  // namespace
 
 ContractedGraph contract_with_hints(const graph::ExecGraph& graph,
                                     const analysis::StaticHints& hints) {
+  using NodeIndex = graph::ExecGraph::NodeIndex;
   ContractedGraph out;
 
-  std::vector<graph::ComponentKey> keys;
-  keys.reserve(graph.node_count());
-  for (const auto& [key, info] : graph.nodes()) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
+  // Sorted-position view of the interned node set.
+  const std::size_t n = graph.node_count();
+  std::vector<NodeIndex> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeIndex{0});
+  std::sort(nodes.begin(), nodes.end(), [&](NodeIndex a, NodeIndex b) {
+    return graph.key_of(a) < graph.key_of(b);
+  });
+  std::vector<std::size_t> pos_of(n);
+  std::size_t max_cls = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    pos_of[nodes[p]] = p;
+    max_cls = std::max<std::size_t>(max_cls, graph.key_of(nodes[p]).cls.value());
+  }
 
-  ComponentUnionFind uf;
-  for (const auto& key : keys) uf.add(key);
+  const std::vector<bool> never_migrate =
+      hints.never_migrate_mask(n == 0 ? 0 : max_cls + 1);
 
-  const auto never_migrate = [&](ClassId cls) {
-    return std::binary_search(hints.never_migrate.begin(),
-                              hints.never_migrate.end(), cls);
-  };
+  PositionUnionFind uf(n);
 
   // 1. Collapse the client side: every component that is statically
   //    never-migrate or dynamically pinned joins one anchor. MINCUT seeds the
   //    client partition with all pinned components anyway, so this preserves
-  //    semantics while removing nodes and intra-client edges.
-  bool have_anchor = false;
-  graph::ComponentKey anchor;
-  for (const auto& key : keys) {
-    const auto* info = graph.find_node(key);
-    const bool pinned = info != nullptr && info->pinned;
-    if (!pinned && !never_migrate(key.cls)) continue;
-    if (!have_anchor) {
-      anchor = key;
-      have_anchor = true;
+  //    semantics while removing nodes and intra-client edges. The anchor is
+  //    the smallest such key (position order), so it roots the merged set.
+  std::size_t anchor = n;
+  for (std::size_t p = 0; p < n; ++p) {
+    const graph::ComponentKey& key = graph.key_of(nodes[p]);
+    const bool pinned = graph.node_at(nodes[p]).pinned;
+    if (!pinned && !never_migrate[key.cls.value()]) continue;
+    if (anchor == n) {
+      anchor = p;
     } else {
-      uf.unite(anchor, key);
+      uf.unite(anchor, p);
     }
   }
 
   // 2. Zero-benefit merges between unpinned class-granularity components.
   for (const auto& [leaf, partner] : hints.merge_candidates) {
-    const graph::ComponentKey a{leaf};
-    const graph::ComponentKey b{partner};
-    const auto* na = graph.find_node(a);
-    const auto* nb = graph.find_node(b);
-    if (na == nullptr || nb == nullptr) continue;
-    if (na->pinned || nb->pinned) continue;
-    uf.unite(a, b);
+    const NodeIndex ia = graph.index_of(graph::ComponentKey{leaf});
+    const NodeIndex ib = graph.index_of(graph::ComponentKey{partner});
+    if (ia == graph::ExecGraph::npos || ib == graph::ExecGraph::npos) continue;
+    if (graph.node_at(ia).pinned || graph.node_at(ib).pinned) continue;
+    uf.unite(pos_of[ia], pos_of[ib]);
   }
 
-  for (const auto& key : keys) {
-    const graph::ComponentKey rep = uf.find(key);
+  for (std::size_t p = 0; p < n; ++p) {
+    const graph::ComponentKey& key = graph.key_of(nodes[p]);
+    const graph::ComponentKey& rep = graph.key_of(nodes[uf.find(p)]);
     out.members[rep].push_back(key);
-    const auto* info = graph.find_node(key);
+    const graph::NodeInfo& info = graph.node_at(nodes[p]);
     auto& merged = out.graph.node(rep);
-    merged.mem_bytes += info->mem_bytes;
-    merged.peak_mem_bytes += info->peak_mem_bytes;
-    merged.exec_self_time += info->exec_self_time;
-    merged.live_objects += info->live_objects;
-    merged.pinned = merged.pinned || info->pinned;
+    merged.mem_bytes += info.mem_bytes;
+    merged.peak_mem_bytes += info.peak_mem_bytes;
+    merged.exec_self_time += info.exec_self_time;
+    merged.live_objects += info.live_objects;
+    merged.pinned = merged.pinned || info.pinned;
   }
 
-  std::unordered_map<graph::EdgeKey, graph::EdgeInfo> merged_edges;
-  for (const auto& [key, info] : graph.edges()) {
-    const graph::ComponentKey ra = uf.find(key.a);
-    const graph::ComponentKey rb = uf.find(key.b);
+  // Accumulate surviving edges keyed by (root-position) pair, then emit in
+  // position order — deterministic and hash-free.
+  std::map<std::pair<std::size_t, std::size_t>, graph::EdgeInfo> merged_edges;
+  for (graph::ExecGraph::EdgeSlot s = 0; s < graph.edge_count(); ++s) {
+    const auto [a, b] = graph.edge_ends(s);
+    std::size_t ra = uf.find(pos_of[a]);
+    std::size_t rb = uf.find(pos_of[b]);
     if (ra == rb) continue;  // interaction inside a merged group
-    auto& e = merged_edges[graph::ExecGraph::make_edge_key(ra, rb)];
+    if (rb < ra) std::swap(ra, rb);
+    const graph::EdgeInfo& info = graph.edge_at(s);
+    auto& e = merged_edges[{ra, rb}];
     e.invocations += info.invocations;
     e.accesses += info.accesses;
     e.bytes += info.bytes;
   }
-  for (const auto& [key, info] : merged_edges) {
-    out.graph.set_edge(key.a, key.b, info);
+  for (const auto& [pair, info] : merged_edges) {
+    out.graph.set_edge(graph.key_of(nodes[pair.first]),
+                       graph.key_of(nodes[pair.second]), info);
   }
   return out;
 }
@@ -170,24 +184,26 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
   decision.mincut_nodes = cut_graph->node_count();
   decision.mincut_edges = cut_graph->edge_count();
 
-  const auto candidates = graph::modified_mincut(*cut_graph, req.weight);
-  decision.candidates_total = candidates.size();
-
   const SimDuration total_self = cut_graph->total_self_time();
   decision.predicted_original_time = static_cast<SimDuration>(
       sim_to_seconds(total_self) / req.client_speed * 1e9);
 
+  // The candidate series streams through the incremental visitor: one running
+  // candidate, O(deg) updates per step, and a copy taken only when a
+  // candidate is actually selected.
   if (req.objective == Objective::free_memory) {
     double best_cost = std::numeric_limits<double>::infinity();
-    for (const auto& cand : candidates) {
-      if (cand.offload_mem_bytes < req.min_free_bytes) continue;
-      ++decision.candidates_feasible;
-      if (cand.cut_weight < best_cost) {
-        best_cost = cand.cut_weight;
-        decision.selected = cand;
-        decision.offload = true;
-      }
-    }
+    graph::modified_mincut_visit(
+        *cut_graph, req.weight, [&](const graph::Candidate& cand) {
+          ++decision.candidates_total;
+          if (cand.offload_mem_bytes < req.min_free_bytes) return;
+          ++decision.candidates_feasible;
+          if (cand.cut_weight < best_cost) {
+            best_cost = cand.cut_weight;
+            decision.selected = cand;
+            decision.offload = true;
+          }
+        });
     if (decision.offload && req.history_duration > 0) {
       decision.predicted_bandwidth_bps =
           static_cast<double>(decision.selected.cut_bytes) * 8.0 /
@@ -199,17 +215,19 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
         static_cast<double>(decision.predicted_original_time) *
         (1.0 - req.min_improvement));
     SimDuration best_any = std::numeric_limits<SimDuration>::max();
-    for (const auto& cand : candidates) {
-      if (cand.offload_self_time <= 0) continue;
-      const SimDuration t = predicted_offload_time(cand, total_self, req);
-      best_any = std::min(best_any, t);
-      if (t <= required_bound && t < best_time) {
-        ++decision.candidates_feasible;
-        best_time = t;
-        decision.selected = cand;
-        decision.offload = true;
-      }
-    }
+    graph::modified_mincut_visit(
+        *cut_graph, req.weight, [&](const graph::Candidate& cand) {
+          ++decision.candidates_total;
+          if (cand.offload_self_time <= 0) return;
+          const SimDuration t = predicted_offload_time(cand, total_self, req);
+          best_any = std::min(best_any, t);
+          if (t <= required_bound && t < best_time) {
+            ++decision.candidates_feasible;
+            best_time = t;
+            decision.selected = cand;
+            decision.offload = true;
+          }
+        });
     // When declining, still report the best candidate's prediction — the
     // paper reports Biomer's "best partitioning was predicted to take 790
     // seconds while the unpartitioned application took 750".

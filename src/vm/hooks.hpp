@@ -17,33 +17,36 @@ namespace aide::vm {
 
 // One method-invocation interaction, reported by the *calling* VM after the
 // call returned. `bytes` covers parameters plus the return value.
+//
+// Event structs sit on the monitoring hot path (one per instrumented VM
+// operation), so members are ordered widest-first to avoid alignment padding.
 struct InvokeEvent {
+  ObjectId caller_obj = ObjectId::invalid();
+  ObjectId callee_obj = ObjectId::invalid();  // invalid for static methods
+  std::uint64_t bytes = 0;
+  SimTime t = 0;
   NodeId vm;
   ClassId caller_cls;
-  ObjectId caller_obj = ObjectId::invalid();
   ClassId callee_cls;
-  ObjectId callee_obj = ObjectId::invalid();  // invalid for static methods
   MethodId method;
   bool is_native = false;
   bool is_static = false;
   bool is_stateless = false;
   bool remote = false;  // the call crossed to the other VM
-  std::uint64_t bytes = 0;
-  SimTime t = 0;
 };
 
 // One data access (instance field, static slot, or array element).
 struct AccessEvent {
+  ObjectId from_obj = ObjectId::invalid();
+  ObjectId to_obj = ObjectId::invalid();  // invalid for static slots
+  std::uint64_t bytes = 0;
+  SimTime t = 0;
   NodeId vm;
   ClassId from_cls;
-  ObjectId from_obj = ObjectId::invalid();
   ClassId to_cls;
-  ObjectId to_obj = ObjectId::invalid();  // invalid for static slots
   bool is_write = false;
   bool is_static = false;
   bool remote = false;
-  std::uint64_t bytes = 0;
-  SimTime t = 0;
 };
 
 class VmHooks {

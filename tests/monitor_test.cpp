@@ -201,5 +201,93 @@ TEST_F(MonitorTest, ResetClearsEverything) {
   EXPECT_EQ(mon.counters().invoke_events, 0u);
 }
 
+TEST_F(MonitorTest, RepeatedEventsAccumulateThroughCaches) {
+  // Exercises the single-entry event cache and the dense pair table: runs of
+  // the same pair, an interleaved second pair, and the reverse direction must
+  // all land on the right edge records.
+  auto mon = make_monitor();
+  for (int i = 0; i < 5; ++i) mon.on_invoke(invoke(counter_cls_, pair_cls_, 2));
+  mon.on_invoke(invoke(counter_cls_, device_cls_, 3));
+  for (int i = 0; i < 4; ++i) mon.on_invoke(invoke(counter_cls_, pair_cls_, 2));
+  mon.on_invoke(invoke(pair_cls_, counter_cls_, 7));
+  const auto* cp = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                         ComponentKey{pair_cls_});
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->invocations, 10u);  // both directions share the edge
+  EXPECT_EQ(cp->bytes, 9u * 2 + 7);
+  const auto* cd = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                         ComponentKey{device_cls_});
+  ASSERT_NE(cd, nullptr);
+  EXPECT_EQ(cd->invocations, 1u);
+}
+
+TEST_F(MonitorTest, PromotionRedirectsCachedEventResolution) {
+  auto mon = make_monitor(/*arrays_as_objects=*/true, /*min_bytes=*/100);
+  InvokeEvent ev = invoke(counter_cls_, int_array_cls_, 8);
+  ev.callee_obj = ObjectId{7};
+  // Before promotion the object resolves to its class node (and primes the
+  // event cache with that resolution).
+  mon.on_invoke(ev);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  // After promotion the identical raw event must hit the object node, not
+  // the cached class-node edge.
+  mon.on_invoke(ev);
+  const auto* cls_edge = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                               ComponentKey{int_array_cls_});
+  ASSERT_NE(cls_edge, nullptr);
+  EXPECT_EQ(cls_edge->invocations, 1u);
+  const auto* obj_edge = mon.graph().find_edge(
+      ComponentKey{counter_cls_}, ComponentKey{int_array_cls_, ObjectId{7}});
+  ASSERT_NE(obj_edge, nullptr);
+  EXPECT_EQ(obj_edge->invocations, 1u);
+
+  // Freeing the promoted object restores class resolution for the same pair.
+  mon.on_free(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  mon.on_invoke(ev);
+  EXPECT_EQ(mon.graph()
+                .find_edge(ComponentKey{counter_cls_},
+                           ComponentKey{int_array_cls_})
+                ->invocations,
+            2u);
+  EXPECT_EQ(mon.graph()
+                .find_edge(ComponentKey{counter_cls_},
+                           ComponentKey{int_array_cls_, ObjectId{7}})
+                ->invocations,
+            1u);
+}
+
+TEST_F(MonitorTest, RecordingStaysCorrectAfterPruneShiftsSlots) {
+  auto mon = make_monitor(/*arrays_as_objects=*/true, /*min_bytes=*/100);
+  mon.on_alloc(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  // Edge slot 0 goes to the doomed object node; slot 1 to counter<->pair.
+  InvokeEvent to_obj = invoke(counter_cls_, int_array_cls_, 8);
+  to_obj.callee_obj = ObjectId{7};
+  mon.on_invoke(to_obj);
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 5));
+  mon.on_free(NodeId{1}, ObjectId{7}, int_array_cls_, 5000, 0);
+  mon.prune_dead_components();
+  // counter<->pair compacted into a different slot; stale caches would bump
+  // the wrong (or a dangling) record.
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 5));
+  const auto* cp = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                         ComponentKey{pair_cls_});
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->invocations, 2u);
+  EXPECT_EQ(cp->bytes, 10u);
+  EXPECT_EQ(mon.graph().edge_count(), 1u);
+}
+
+TEST_F(MonitorTest, RecordingWorksAgainAfterReset) {
+  auto mon = make_monitor();
+  for (int i = 0; i < 3; ++i) mon.on_invoke(invoke(counter_cls_, pair_cls_, 4));
+  mon.reset();
+  mon.on_invoke(invoke(counter_cls_, pair_cls_, 4));
+  const auto* cp = mon.graph().find_edge(ComponentKey{counter_cls_},
+                                         ComponentKey{pair_cls_});
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->invocations, 1u);
+  EXPECT_EQ(mon.counters().invoke_events, 1u);
+}
+
 }  // namespace
 }  // namespace aide::monitor
