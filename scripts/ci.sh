@@ -27,6 +27,9 @@ step "aidelint (static partition-safety) over all apps"
 step "graph hot-path smoke (monitor throughput + MINCUT parity)"
 ./build-ci/bench/bench_graph_hotpath --smoke
 
+step "chaos smoke (crash-consistent offload under seeded schedules)"
+./build-ci/tests/chaos_test --smoke
+
 if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then
   step "clang-tidy"
   # Library and app sources; test files follow gtest idioms tidy dislikes.
@@ -41,6 +44,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   cmake -B build-asan -S . -DAIDE_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  ./build-asan/tests/chaos_test --smoke
 else
   step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"
 fi

@@ -1,0 +1,42 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the rpc frame header to detect corrupted-in-transit messages: any
+// single-byte flip the chaos injector produces is guaranteed to change the
+// checksum, so a corrupt frame is always rejected rather than decoded.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace aide {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(
+    std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    crc = detail::kCrc32Table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace aide

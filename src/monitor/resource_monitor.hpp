@@ -79,6 +79,15 @@ class ResourceMonitor : public vm::VmHooks {
     consecutive_low_ = 0;
   }
 
+  // The failed peer came back (re-admission): lift the suppression so
+  // low-memory triggers can drive offloading again. The consecutive-report
+  // counter restarts — pre-failure pressure history is stale by now.
+  void note_peer_recovered() noexcept {
+    suppressed_ = false;
+    triggered_ = false;
+    consecutive_low_ = 0;
+  }
+
   [[nodiscard]] bool suppressed() const noexcept { return suppressed_; }
 
   void reset() noexcept {

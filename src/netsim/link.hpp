@@ -88,6 +88,12 @@ struct DegradedWindow {
   }
 };
 
+// Which direction of a request/response exchange a transmission belongs to.
+// The fault model can target the reply leg alone (reply_drop_probability),
+// which is what exercises at-most-once dedup end-to-end: the request executes
+// but its acknowledgement is lost.
+enum class Leg : std::uint8_t { request, reply };
+
 // A deterministic, seedable fault schedule. A default-constructed plan is
 // inert: every message is delivered at the nominal cost and the link behaves
 // bit-for-bit like the fault-free model.
@@ -98,14 +104,34 @@ struct FaultPlan {
   std::vector<DegradedWindow> degraded;
   // Probability that an otherwise-deliverable message is lost in transit.
   double drop_probability = 0.0;
-  // Seed for the drop stream; only consumed when drop_probability > 0.
+  // Probability that a reply-leg message alone is lost in transit.
+  double reply_drop_probability = 0.0;
+  // Seed for the drop stream; only consumed when a drop probability > 0.
   std::uint64_t drop_seed = 0xD0D0;
-  // Permanent link death: nothing is delivered at or after this instant.
+  // Link death window [dead_after, revive_at): nothing is delivered inside
+  // it. revive_at == kNever makes the death permanent (PR 1 semantics);
+  // anything earlier models a surrogate that recovers and can be re-admitted.
   SimTime dead_after = kNever;
+  SimTime revive_at = kNever;
+  // Repeating outage schedule: when outage_period > 0, the link is down
+  // during [phase + k*period, phase + k*period + duration) for every k >= 0.
+  SimDuration outage_period = 0;
+  SimDuration outage_duration = 0;
+  SimTime outage_phase = 0;
+  // Message-level chaos: probabilities that a delivered message arrives
+  // corrupted (one byte flipped), duplicated (delivered twice), or reordered
+  // (a stale retransmit of the previous message arrives in its place). All
+  // three draw from one seeded stream separate from the drop stream.
+  double corrupt_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  std::uint64_t chaos_seed = 0xC4A05;
 
   [[nodiscard]] bool enabled() const noexcept {
     return !outages.empty() || !degraded.empty() || drop_probability > 0.0 ||
-           dead_after != kNever;
+           reply_drop_probability > 0.0 || dead_after != kNever ||
+           outage_period > 0 || corrupt_probability > 0.0 ||
+           duplicate_probability > 0.0 || reorder_probability > 0.0;
   }
 };
 
@@ -118,6 +144,10 @@ struct LinkStats {
   std::uint64_t messages_dropped = 0;  // transmitted but lost in transit
   std::uint64_t bytes_dropped = 0;
   std::uint64_t link_down_failures = 0;  // sends refused: link down/dead
+  // Chaos accounting (all zero unless chaos probabilities are set).
+  std::uint64_t messages_corrupted = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
 
   void reset() noexcept { *this = LinkStats{}; }
 
@@ -126,16 +156,23 @@ struct LinkStats {
 
 class Link {
  public:
-  // The outcome of attempting one transmission under the fault model.
+  // The outcome of attempting one transmission under the fault model. The
+  // chaos flags describe what the network did to a delivered message; the
+  // transport (rpc::Endpoint) implements the corresponding semantics.
   struct Delivery {
     bool delivered = false;
     SimDuration cost = 0;  // airtime consumed (0 when the link was down)
+    bool corrupted = false;   // arrives with one byte flipped
+    bool duplicated = false;  // arrives twice (second airtime already charged)
+    bool reordered = false;   // a stale retransmit arrives in its place
+    std::uint64_t chaos_salt = 0;  // picks the flipped byte when corrupted
   };
 
   explicit Link(LinkParams params = LinkParams::wavelan()) noexcept
       : params_(params),
         jitter_rng_(params.jitter_seed),
-        drop_rng_(FaultPlan{}.drop_seed) {}
+        drop_rng_(FaultPlan{}.drop_seed),
+        chaos_rng_(FaultPlan{}.chaos_seed) {}
 
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
@@ -144,14 +181,22 @@ class Link {
   void set_fault_plan(FaultPlan plan) {
     plan_ = std::move(plan);
     drop_rng_.reseed(plan_.drop_seed);
+    chaos_rng_.reseed(plan_.chaos_seed);
   }
   [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
 
   // Whether the link delivers anything at virtual time `now`.
   [[nodiscard]] bool is_down(SimTime now) const noexcept {
-    if (now >= plan_.dead_after) return true;
+    if (now >= plan_.dead_after &&
+        (plan_.revive_at == FaultPlan::kNever || now < plan_.revive_at)) {
+      return true;
+    }
     for (const OutageWindow& w : plan_.outages) {
       if (w.contains(now)) return true;
+    }
+    if (plan_.outage_period > 0 && now >= plan_.outage_phase) {
+      const SimDuration into = (now - plan_.outage_phase) % plan_.outage_period;
+      if (into < plan_.outage_duration) return true;
     }
     return false;
   }
@@ -166,20 +211,54 @@ class Link {
   // refuses the send outright (no airtime); a dropped message consumes its
   // full airtime but is not delivered. With an inert FaultPlan this is
   // exactly one_way_cost: same cost, same jitter stream, same accounting.
-  [[nodiscard]] Delivery try_one_way(std::uint64_t payload_bytes,
-                                     SimTime now) noexcept {
+  //
+  // Draw-order discipline: every new probability field draws from its stream
+  // only when it is nonzero, so a plan that leaves the new fields at their
+  // defaults consumes the drop stream exactly as PR 1 did.
+  [[nodiscard]] Delivery try_one_way(std::uint64_t payload_bytes, SimTime now,
+                                     Leg leg = Leg::request) noexcept {
     if (is_down(now)) {
       stats_.link_down_failures += 1;
       return Delivery{false, 0};
     }
-    const SimDuration cost = charge(payload_bytes, bandwidth_factor_at(now));
+    const double factor = bandwidth_factor_at(now);
+    const SimDuration cost = charge(payload_bytes, factor);
     if (plan_.drop_probability > 0.0 &&
         drop_rng_.next_double() < plan_.drop_probability) {
       stats_.messages_dropped += 1;
       stats_.bytes_dropped += payload_bytes;
       return Delivery{false, cost};
     }
-    return Delivery{true, cost};
+    if (leg == Leg::reply && plan_.reply_drop_probability > 0.0 &&
+        drop_rng_.next_double() < plan_.reply_drop_probability) {
+      stats_.messages_dropped += 1;
+      stats_.bytes_dropped += payload_bytes;
+      return Delivery{false, cost};
+    }
+    Delivery d{true, cost};
+    // Draw each chaos stream unconditionally (when armed) so outcomes do not
+    // shift later draws; then resolve at most one effect per message.
+    const bool corrupt = plan_.corrupt_probability > 0.0 &&
+                         chaos_rng_.next_double() < plan_.corrupt_probability;
+    const bool reorder = plan_.reorder_probability > 0.0 &&
+                         chaos_rng_.next_double() < plan_.reorder_probability;
+    const bool duplicate =
+        plan_.duplicate_probability > 0.0 &&
+        chaos_rng_.next_double() < plan_.duplicate_probability;
+    if (corrupt) {
+      d.corrupted = true;
+      d.chaos_salt = chaos_rng_.next_u64();
+      stats_.messages_corrupted += 1;
+    } else if (reorder) {
+      d.reordered = true;
+      stats_.messages_reordered += 1;
+    } else if (duplicate) {
+      d.duplicated = true;
+      stats_.messages_duplicated += 1;
+      // The second copy occupies the air too.
+      d.cost += charge(payload_bytes, factor);
+    }
+    return d;
   }
 
   // Side-effect-free probe of the nominal (fault-free, jitter-free) cost.
@@ -228,6 +307,7 @@ class Link {
   FaultPlan plan_;
   Rng jitter_rng_;
   Rng drop_rng_;
+  Rng chaos_rng_;
 };
 
 }  // namespace aide::netsim

@@ -98,15 +98,81 @@ PlatformConfig Platform::config_for(const SurrogateInfo& surrogate,
 }
 
 void Platform::on_gc(NodeId vm, const vm::GcReport&) {
-  if (vm != kClientNode || !config_.auto_offload || offloading_in_progress_ ||
-      surrogate_dead_) {
+  if (vm != kClientNode || offloading_in_progress_) return;
+  if (surrogate_dead_) {
+    maybe_readmit();
     return;
   }
-  if (offloads_.size() >= config_.max_offloads) return;
+  maybe_heartbeat();  // may detect a dead surrogate and run recovery
+  if (surrogate_dead_ || !config_.auto_offload) return;
+  if (offloads_.size() >= offload_budget()) return;
   if (resource_monitor_.triggered()) {
     resource_monitor_.consume_trigger();
     offload_now();
   }
+}
+
+void Platform::maybe_heartbeat() {
+  if (config_.heartbeat.idle_after <= 0 || !offloaded() || surrogate_dead_) {
+    return;
+  }
+  if (clock_.now() - client_ep_->last_contact() < config_.heartbeat.idle_after) {
+    return;
+  }
+  if (!client_ep_->ping()) handle_peer_failure();
+}
+
+void Platform::maybe_readmit() {
+  if (!config_.readmission.enabled ||
+      readmissions_.size() >= config_.readmission.max_readmissions) {
+    return;
+  }
+  if (last_probe_at_ != 0 &&
+      clock_.now() - last_probe_at_ < config_.readmission.probe_interval) {
+    return;
+  }
+  last_probe_at_ = clock_.now();
+  probes_since_failure_ += 1;
+  const auto probe = link_.try_one_way(config_.readmission.probe_bytes,
+                                       clock_.now(), netsim::Leg::request);
+  if (!probe.delivered) return;
+  clock_.advance(probe.cost);
+  readmit();
+}
+
+void Platform::readmit() {
+  // The recovered surrogate starts from an empty heap (its state was pulled
+  // back at failure time); reconnect the pair under a fresh migration epoch
+  // so any frame from before the failure is fenced, re-arm the triggers, and
+  // re-run the partitioning policy immediately — the memory pressure that
+  // forced the original offload did not go away with the failure.
+  rpc::Endpoint::connect(*client_ep_, *surrogate_ep_);
+  client_ep_->advance_epoch();
+  surrogate_dead_ = false;
+
+  ReadmissionReport report;
+  report.at = clock_.now();
+  report.ordinal = readmissions_.size() + 1;
+  report.probes_sent = probes_since_failure_;
+  probes_since_failure_ = 0;
+  readmissions_.push_back(report);
+
+  resource_monitor_.note_peer_recovered();
+  if (surrogate_registry_ != nullptr && registered_surrogate_.valid()) {
+    surrogate_registry_->mark_alive(registered_surrogate_);
+  }
+
+  // Like low_memory_rescue: prefer the policy's own constraint, but restore
+  // the pre-failure placement even when only a smaller win is available —
+  // the device already proved it cannot run the workload comfortably alone.
+  auto offload = offload_now();
+  if (!offload.has_value()) {
+    offload = offload_now(std::int64_t{1});
+  }
+  readmissions_.back().reoffloaded = offload.has_value();
+  AIDE_LOG_INFO("platform", "surrogate re-admitted at ", report.at,
+                "ns (probe #", report.probes_sent, "), re-offload ",
+                offload.has_value() ? "succeeded" : "deferred");
 }
 
 bool Platform::low_memory_rescue(vm::Vm&) {
@@ -146,6 +212,9 @@ partition::PartitionRequest Platform::make_request(
 bool Platform::handle_peer_failure() {
   if (surrogate_dead_) return true;
   surrogate_dead_ = true;
+  // Re-admission probing starts one probe_interval from now.
+  last_probe_at_ = clock_.now();
+  probes_since_failure_ = 0;
 
   FailureReport report;
   report.at = clock_.now();

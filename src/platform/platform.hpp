@@ -42,6 +42,28 @@ struct Enhancements {
   std::int64_t min_array_bytes = 4096;
 };
 
+// Idle-period failure detection: when the client endpoint has been quiet for
+// `idle_after` (checked on client GC ticks, the platform's natural timer), a
+// ping() probes the surrogate so a dead peer is detected before the next
+// application RPC stalls on it. 0 disables heartbeats — the default, which
+// keeps armed-but-inert fault plans bit-identical to fault-free runs.
+struct HeartbeatPolicy {
+  SimDuration idle_after = 0;
+};
+
+// Surrogate re-admission: after handle_peer_failure the platform keeps
+// probing the link (on client GC ticks, rate-limited by probe_interval); when
+// a probe gets through it reconnects the endpoint pair under a fresh
+// migration epoch, re-runs the partitioning policy and re-offloads. Off by
+// default: PR 1's permanent-degradation semantics remain the baseline.
+struct ReadmissionPolicy {
+  bool enabled = false;
+  SimDuration probe_interval = sim_ms(250);
+  // Payload of one probe message (charged to the link when it delivers).
+  std::uint64_t probe_bytes = 64;
+  std::size_t max_readmissions = 4;
+};
+
 struct PlatformConfig {
   std::int64_t client_heap = std::int64_t{6} << 20;   // paper: 6 MB Java heap
   std::int64_t surrogate_heap = std::int64_t{64} << 20;
@@ -57,6 +79,10 @@ struct PlatformConfig {
   netsim::FaultPlan fault_plan;
   // RPC retry-with-backoff bounds, charged against virtual time.
   rpc::RetryPolicy retry;
+  // Idle-period heartbeat probing (off by default).
+  HeartbeatPolicy heartbeat;
+  // Probe-and-reconnect after a surrogate failure (off by default).
+  ReadmissionPolicy readmission;
   // Recovery-channel cost model for pulling state back from a dead
   // surrogate: a flat re-handshake latency plus the reclaimed bytes over the
   // recovery bandwidth.
@@ -111,6 +137,14 @@ struct FailureReport {
   std::uint64_t bytes_reclaimed = 0;
 };
 
+// One successful re-admission of a recovered surrogate.
+struct ReadmissionReport {
+  SimTime at = 0;
+  std::size_t ordinal = 0;        // 1 for the first re-admission, ...
+  std::size_t probes_sent = 0;    // probes since the failure it recovers
+  bool reoffloaded = false;       // the immediate re-partitioning migrated
+};
+
 class Platform : private vm::VmHooks {
  public:
   Platform(std::shared_ptr<const vm::ClassRegistry> registry,
@@ -161,6 +195,11 @@ class Platform : private vm::VmHooks {
     return surrogate_dead_;
   }
 
+  [[nodiscard]] const std::vector<ReadmissionReport>& readmissions()
+      const noexcept {
+    return readmissions_;
+  }
+
   // Registers the registry entry this platform's surrogate was selected
   // from, so a failure can be reported back for future selections.
   void attach_surrogate_registry(SurrogateRegistry* registry,
@@ -186,8 +225,21 @@ class Platform : private vm::VmHooks {
   [[nodiscard]] SimDuration elapsed() const noexcept { return clock_.now(); }
 
  private:
-  // VmHooks: the platform watches client GC reports for the trigger.
+  // VmHooks: the platform watches client GC reports for the trigger (and,
+  // with the respective policies armed, for heartbeat and re-admission
+  // probing — GC cadence is the platform's deterministic timer).
   void on_gc(NodeId vm, const vm::GcReport& report) override;
+
+  // Idle-period liveness probe; a failed ping runs handle_peer_failure.
+  void maybe_heartbeat();
+  // Probe the link after a failure; reconnect + re-offload on recovery.
+  void maybe_readmit();
+  void readmit();
+  // max_offloads covers the normal policy; each re-admission is entitled to
+  // one more migration on top of it.
+  [[nodiscard]] std::size_t offload_budget() const noexcept {
+    return config_.max_offloads + readmissions_.size();
+  }
 
   bool low_memory_rescue(vm::Vm& vm);
   [[nodiscard]] partition::PartitionRequest make_request(
@@ -209,6 +261,9 @@ class Platform : private vm::VmHooks {
 
   std::vector<OffloadReport> offloads_;
   std::vector<FailureReport> failures_;
+  std::vector<ReadmissionReport> readmissions_;
+  SimTime last_probe_at_ = 0;
+  std::size_t probes_since_failure_ = 0;
   bool offloading_in_progress_ = false;
   bool surrogate_dead_ = false;
   SurrogateRegistry* surrogate_registry_ = nullptr;

@@ -60,6 +60,9 @@ class SurrogateRegistry {
   // re-advertises.
   void mark_dead(NodeId id) { dead_.insert(id); }
 
+  // Re-admission: a surrogate that recovered becomes selectable again.
+  void mark_alive(NodeId id) { dead_.erase(id); }
+
   [[nodiscard]] bool is_dead(NodeId id) const {
     return dead_.contains(id);
   }

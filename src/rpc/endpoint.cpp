@@ -41,12 +41,24 @@ void Endpoint::disconnect() {
     other.refs_.clear();
     other.has_cached_response_ = false;
     other.cached_response_.clear();
+    other.drop_transport_state();
   }
   peer_ = nullptr;
   vm_.set_peer(nullptr);
   refs_.clear();
   has_cached_response_ = false;
   cached_response_.clear();
+  drop_transport_state();
+}
+
+void Endpoint::drop_transport_state() {
+  // A PREPARE-staged batch dies with the connection: it never touched the
+  // heap, so dropping the bytes is the rollback. In-flight frame copies for
+  // the reorder injector go with it.
+  has_staged_migration_ = false;
+  staged_migration_.clear();
+  last_req_frame_.clear();
+  last_resp_frame_.clear();
 }
 
 std::optional<std::vector<std::uint8_t>> Endpoint::take_cached_response(
@@ -96,26 +108,72 @@ vm::ObjectRef Endpoint::translate_in(const WireRef& wire) {
 
 // --- transport ----------------------------------------------------------------
 
+SimDuration Endpoint::effective_timeout() const noexcept {
+  if (!retry_.adaptive || !rtt_.primed) return retry_.timeout;
+  const auto rto = static_cast<SimDuration>(
+      rtt_.srtt + retry_.rtt_dev_multiplier * rtt_.rttvar);
+  return std::clamp(rto, retry_.min_timeout, retry_.timeout);
+}
+
+bool Endpoint::ping() {
+  if (peer_ == nullptr) return false;
+  stats_.heartbeats_sent += 1;
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::ping));
+  try {
+    (void)transact(std::move(w));
+    return true;
+  } catch (const PeerUnavailable&) {
+    return false;
+  }
+}
+
 std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
   if (peer_ == nullptr) {
     throw VmError(VmErrorCode::null_reference, "endpoint not connected");
   }
-  const auto req = std::move(request).take();
+  const auto payload = std::move(request).take();
   stats_.rpcs_sent += 1;
   const std::uint64_t seq = ++next_seq_;
+  const auto frame = make_frame(epoch_, seq, payload);
 
   const int max_attempts = std::max(retry_.max_attempts, 1);
   SimDuration backoff = retry_.backoff_initial;
   for (int attempt = 1;; ++attempt) {
     bool delivered = false;
-    std::vector<std::uint8_t> resp;
+    std::vector<std::uint8_t> resp_payload;
+    SimDuration rtt_sample = 0;
 
-    const auto req_leg = link_.try_one_way(req.size(), vm_.clock().now());
+    const auto req_leg = link_.try_one_way(frame.size(), vm_.clock().now(),
+                                           netsim::Leg::request);
     if (req_leg.delivered) {
-      stats_.bytes_sent += req.size();
+      stats_.bytes_sent += frame.size();
       vm_.clock().advance(req_leg.cost);
+
+      std::optional<std::vector<std::uint8_t>> resp_frame;
+      // Snapshot the peer's previous response before serving: a reordered
+      // reply leg presents this stale frame, not the one being produced now.
+      const std::vector<std::uint8_t> prev_resp_frame = peer_->last_resp_frame_;
       try {
-        resp = peer_->serve_request(req, seq);
+        if (req_leg.reordered) {
+          // The in-flight frame is delayed past its timeout; what arrives
+          // now is a stale retransmit of the previous request, which the
+          // peer fences (or dedups from its reply cache) without executing.
+          if (!last_req_frame_.empty()) {
+            (void)peer_->receive_frame(last_req_frame_);
+          }
+        } else {
+          std::vector<std::uint8_t> wire = frame;
+          if (req_leg.corrupted) {
+            wire[req_leg.chaos_salt % wire.size()] ^= 0xFF;
+          }
+          resp_frame = peer_->receive_frame(wire);
+          if (req_leg.duplicated) {
+            // The second copy reaches the peer too; its reply cache absorbs
+            // it and the redundant response is discarded in the air.
+            (void)peer_->receive_frame(wire);
+          }
+        }
       } catch (const PeerUnavailable&) {
         // A nested call the peer made while serving us was abandoned; the
         // peer rolled back its partial frame. Not retryable — re-sending
@@ -123,30 +181,72 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
         stats_.aborted_rpcs += 1;
         throw PeerUnavailable(seq, "peer failed while serving rpc");
       }
-      const auto resp_leg = link_.try_one_way(resp.size(), vm_.clock().now());
-      if (resp_leg.delivered) {
-        stats_.bytes_received += resp.size();
-        vm_.clock().advance(resp_leg.cost);
-        delivered = true;
+
+      if (resp_frame.has_value()) {
+        const auto resp_leg = link_.try_one_way(
+            resp_frame->size(), vm_.clock().now(), netsim::Leg::reply);
+        if (resp_leg.delivered) {
+          vm_.clock().advance(resp_leg.cost);
+          std::span<const std::uint8_t> resp_wire = *resp_frame;
+          bool arrived = true;
+          if (resp_leg.reordered) {
+            // A stale retransmit of the peer's *previous* response arrives in
+            // place of the in-flight one; the seq/epoch fence rejects it
+            // below and the attempt times out. With no previous response to
+            // retransmit, nothing arrives at all.
+            if (prev_resp_frame.empty()) {
+              arrived = false;
+            } else {
+              resp_wire = prev_resp_frame;
+            }
+          }
+          std::vector<std::uint8_t> corrupted_copy;
+          if (arrived && resp_leg.corrupted) {
+            corrupted_copy.assign(resp_wire.begin(), resp_wire.end());
+            corrupted_copy[resp_leg.chaos_salt % corrupted_copy.size()] ^=
+                0xFF;
+            resp_wire = corrupted_copy;
+          }
+          if (arrived) {
+            stats_.bytes_received += resp_wire.size();
+            const auto view = parse_frame(resp_wire);
+            if (!view.has_value()) {
+              stats_.corrupt_frames_rejected += 1;
+            } else if (view->seq != seq || view->epoch != epoch_) {
+              stats_.stale_frames_fenced += 1;
+            } else {
+              if (resp_leg.duplicated) stats_.duplicate_frames_dropped += 1;
+              resp_payload.assign(view->payload.begin(), view->payload.end());
+              rtt_sample = req_leg.cost + resp_leg.cost;
+              delivered = true;
+            }
+          }
+        }
       }
     }
 
     if (delivered) {
-      ByteReader r(resp);
+      // Feed the detector with transport time only (remote execution already
+      // advanced the clock between the legs and must not inflate the RTO).
+      rtt_.sample(rtt_sample);
+      last_contact_ = vm_.clock().now();
+      last_req_frame_ = frame;
+      ByteReader r(resp_payload);
       const auto status = r.read_u8();
       if (status == kStatusVmError) {
         const auto code = static_cast<VmErrorCode>(r.read_u8());
         throw VmError(code, "remote: " + r.read_string());
       }
       // Strip the status byte; hand the remainder to the caller.
-      return {resp.begin() + 1, resp.end()};
+      return {resp_payload.begin() + 1, resp_payload.end()};
     }
 
-    // No response: either the send was refused (link down) or a leg was
-    // dropped in transit. The sender can't tell the difference — it just
-    // times out.
+    // No response: the send was refused (link down), a leg was dropped in
+    // transit, or the frame that arrived was rejected (corrupt or stale).
+    // The sender can't tell the difference — it just times out, waiting the
+    // adaptive estimate rather than the configured worst case.
     stats_.timeouts += 1;
-    vm_.clock().advance(retry_.timeout);
+    vm_.clock().advance(effective_timeout());
     if (attempt >= max_attempts) {
       stats_.aborted_rpcs += 1;
       throw PeerUnavailable(seq, "rpc aborted after " +
@@ -421,8 +521,16 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
     throw VmError(VmErrorCode::null_reference, "endpoint not connected");
   }
 
-  // Phase 1: extract everything first so cross-references among the batch
-  // serialize consistently (they all become stubs locally).
+  MigrationTrace trace;
+  trace.begin = vm_.clock().now();
+  trace.objects = ids.size();
+  // A fresh epoch fences every frame still in flight from before this
+  // migration; the PREPARE carries it to the peer.
+  advance_epoch();
+  trace.epoch = epoch_;
+
+  // Extract everything first so cross-references among the batch serialize
+  // consistently (they all become stubs locally).
   std::vector<std::unique_ptr<vm::Object>> objects;
   objects.reserve(ids.size());
   for (const ObjectId id : ids) {
@@ -431,32 +539,53 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
     refs_.release_export(id);
   }
 
-  ByteWriter w;
-  w.write_u8(static_cast<std::uint8_t>(Op::migrate));
-  w.write_u32(static_cast<std::uint32_t>(objects.size()));
-  for (const auto& obj : objects) write_object_header(w, *obj);
-  for (const auto& obj : objects) write_object_payload(w, *obj, *this);
+  ByteWriter prepare;
+  prepare.write_u8(static_cast<std::uint8_t>(Op::migrate_prepare));
+  prepare.write_u32(static_cast<std::uint32_t>(objects.size()));
+  for (const auto& obj : objects) write_object_header(prepare, *obj);
+  for (const auto& obj : objects) write_object_payload(prepare, *obj, *this);
 
-  const std::uint64_t bytes = w.size();
+  const std::uint64_t bytes = prepare.size();
   stats_.migrations_sent += 1;
   stats_.objects_migrated_out += objects.size();
   stats_.bytes_migrated_out += bytes;
 
-  std::vector<std::uint8_t> resp;
+  const auto reinstate = [&] {
+    for (auto& obj : objects) vm_.migrate_in(std::move(obj));
+  };
+
   try {
-    resp = transact(std::move(w));
+    (void)transact(std::move(prepare));
   } catch (const PeerUnavailable&) {
-    // Adoption is all-or-nothing on the serving side: if the peer holds the
-    // batch, its copies are authoritative (the response was lost) and
-    // reintegration will pull them back; otherwise reinstate our copies so
-    // the heap is exactly as before the attempt.
-    const bool adopted = peer_ != nullptr && !objects.empty() &&
-                         peer_->vm_.is_local(objects[0]->id);
-    if (!adopted) {
-      for (auto& obj : objects) vm_.migrate_in(std::move(obj));
-    }
+    // PREPARE staged raw bytes at most — nothing touched the peer's heap,
+    // so reinstating our extracted copies restores the exact pre-offload
+    // state, no matter which message boundary the link died at.
+    migrations_.push_back(trace);
+    reinstate();
     throw;
   }
+  trace.prepare_acked = vm_.clock().now();
+
+  ByteWriter commit;
+  commit.write_u8(static_cast<std::uint8_t>(Op::migrate_commit));
+  commit.write_u32(static_cast<std::uint32_t>(objects.size()));
+
+  std::vector<std::uint8_t> resp;
+  try {
+    resp = transact(std::move(commit));
+  } catch (const PeerUnavailable&) {
+    // Adoption is atomic on the serving side: if the peer holds the batch,
+    // the COMMIT applied and only its response was lost — the peer's copies
+    // are authoritative and reintegration will pull them back. Otherwise the
+    // staged bytes die with the connection and we reinstate ours.
+    const bool adopted = peer_ != nullptr && !objects.empty() &&
+                         peer_->vm_.is_local(objects[0]->id);
+    migrations_.push_back(trace);
+    if (!adopted) reinstate();
+    throw;
+  }
+  trace.commit_acked = vm_.clock().now();
+  trace.committed = true;
 
   ByteReader r(resp);
   const auto count = r.read_u32();
@@ -470,34 +599,56 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
     const ExportHandle h{r.read_u64()};
     refs_.note_import(h, objects[i]->id);
   }
+  migrations_.push_back(trace);
   return bytes;
 }
 
 // --- serving ---------------------------------------------------------------------
 
-std::vector<std::uint8_t> Endpoint::serve_request(
-    std::span<const std::uint8_t> request, std::uint64_t seq) {
-  if (fault_tolerant() && has_cached_response_ && seq == last_served_seq_) {
-    // A retry of the request we just served: at-most-once execution demands
-    // we replay the reply, not the side effects.
-    stats_.duplicates_served += 1;
-    return cached_response_;
+std::optional<std::vector<std::uint8_t>> Endpoint::receive_frame(
+    std::span<const std::uint8_t> wire) {
+  const auto view = parse_frame(wire);
+  if (!view.has_value()) {
+    stats_.corrupt_frames_rejected += 1;
+    return std::nullopt;
   }
+  if (view->epoch < epoch_) {
+    // A frame from before the current migration epoch: whatever it asks for
+    // refers to a placement that no longer exists. Fence it.
+    stats_.stale_frames_fenced += 1;
+    return std::nullopt;
+  }
+  epoch_ = view->epoch;  // adopt the sender's newer fencing token
+  if (last_served_seq_ != 0 && view->seq <= last_served_seq_) {
+    if (fault_tolerant() && has_cached_response_ &&
+        view->seq == last_served_seq_) {
+      // A retry of the request we just served: at-most-once execution
+      // demands we replay the reply, not the side effects.
+      stats_.duplicates_served += 1;
+      return make_frame(epoch_, view->seq, cached_response_);
+    }
+    stats_.stale_frames_fenced += 1;
+    return std::nullopt;
+  }
+
   serving_depth_ += 1;
   std::vector<std::uint8_t> resp;
   try {
-    resp = serve(request);
+    resp = serve(view->payload);
   } catch (...) {
     serving_depth_ -= 1;
     throw;
   }
   serving_depth_ -= 1;
+  last_served_seq_ = view->seq;
   if (fault_tolerant()) {
-    last_served_seq_ = seq;
     cached_response_ = resp;
     has_cached_response_ = true;
   }
-  return resp;
+  last_contact_ = vm_.clock().now();
+  auto resp_frame = make_frame(epoch_, view->seq, resp);
+  last_resp_frame_ = resp_frame;
+  return resp_frame;
 }
 
 std::vector<std::uint8_t> Endpoint::serve(
@@ -636,12 +787,37 @@ std::vector<std::uint8_t> Endpoint::serve(
         out.write_u8(kStatusOk);
         break;
       }
-      case Op::migrate: {
-        const auto count = r.read_u32();
+      case Op::migrate_prepare: {
+        // Stage the encoded batch verbatim without touching the heap:
+        // adoption is deferred to COMMIT, so an abort at any message
+        // boundary of the transfer leaves this VM exactly as it was. A
+        // higher-epoch PREPARE supersedes stale staging from an aborted
+        // earlier migration; disconnect drops it entirely.
+        staged_migration_.assign(request.begin() + 1, request.end());
+        staged_epoch_ = epoch_;
+        has_staged_migration_ = true;
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::migrate_commit: {
+        const auto expected = r.read_u32();
+        if (!has_staged_migration_ || staged_epoch_ != epoch_) {
+          throw VmError(VmErrorCode::type_mismatch,
+                        "migrate commit without a staged batch");
+        }
+        const std::vector<std::uint8_t> staged = std::move(staged_migration_);
+        staged_migration_.clear();
+        has_staged_migration_ = false;
+        ByteReader sr(staged);
+        const auto count = sr.read_u32();
+        if (count != expected) {
+          throw VmError(VmErrorCode::type_mismatch,
+                        "migrate commit count mismatch");
+        }
         std::vector<vm::Object*> adopted;
         adopted.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) {
-          const ObjectHeader h = read_object_header(r);
+          const ObjectHeader h = read_object_header(sr);
           auto obj = std::make_unique<vm::Object>();
           obj->id = h.id;
           obj->cls = h.cls;
@@ -659,7 +835,7 @@ std::vector<std::uint8_t> Endpoint::serve(
         }
         for (vm::Object* obj : adopted) {
           const std::int64_t before = obj->size_bytes();
-          read_object_payload(r, *obj, *this);
+          read_object_payload(sr, *obj, *this);
           // String fields arrive in the payload; account their bytes.
           vm_.heap().adjust_used(obj->size_bytes() - before);
         }
@@ -669,6 +845,11 @@ std::vector<std::uint8_t> Endpoint::serve(
           out.write_u64(refs_.export_object(obj->id).value());
           vm_.remove_root(vm::ObjectRef{obj->id});
         }
+        break;
+      }
+      case Op::ping: {
+        // Heartbeat probe: prove liveness, touch nothing.
+        out.write_u8(kStatusOk);
         break;
       }
       default:

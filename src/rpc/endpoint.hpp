@@ -14,7 +14,18 @@
 //    collection scheme", paper section 4),
 //  * fault tolerance: bounded retry-with-backoff against the link's
 //    FaultPlan, at-most-once execution via a sequence-numbered reply cache,
-//    and local-fallback recovery when the peer is unrecoverably gone.
+//    and local-fallback recovery when the peer is unrecoverably gone,
+//  * crash-consistent transport: every message travels in a CRC32-checked
+//    frame carrying the sender's migration epoch and sequence number, so
+//    corrupted frames are rejected (and retried), duplicated frames are
+//    absorbed by the reply cache, and stale/reordered frames from a previous
+//    exchange or epoch are fenced instead of decoded,
+//  * two-phase object migration (PREPARE stages raw bytes, COMMIT adopts
+//    them atomically) so a link death at any message boundary of a transfer
+//    rolls back to bit-identical pre-offload state,
+//  * adaptive failure detection: a Jacobson-style RTT estimator over the
+//    transport legs shortens the retry timeout once samples exist, and
+//    ping() gives the platform an idle-period heartbeat probe.
 //
 // Execution is synchronous and serial, matching the paper's emulator model:
 // "the two VMs do not execute application code simultaneously".
@@ -50,6 +61,11 @@ struct EndpointStats {
   std::uint64_t aborted_rpcs = 0;     // RPCs abandoned as PeerUnavailable
   std::uint64_t duplicates_served = 0;  // dedup hits in the reply cache
   std::uint64_t recovered_rpcs = 0;   // RPCs completed via local fallback
+  // Frame-level accounting (all zero without chaos injection).
+  std::uint64_t corrupt_frames_rejected = 0;  // CRC mismatches discarded
+  std::uint64_t stale_frames_fenced = 0;   // old-seq/old-epoch frames fenced
+  std::uint64_t duplicate_frames_dropped = 0;  // redundant copies discarded
+  std::uint64_t heartbeats_sent = 0;  // idle-period ping() probes
 
   friend bool operator==(const EndpointStats&, const EndpointStats&) = default;
 };
@@ -59,12 +75,54 @@ struct EndpointStats {
 struct RetryPolicy {
   int max_attempts = 4;
   // How long the sender waits for a response before declaring the attempt
-  // lost.
+  // lost. With `adaptive` set this is the upper bound (and the pre-sample
+  // default); the effective timeout follows the RTT estimator.
   SimDuration timeout = sim_ms(50);
   // Exponential backoff between attempts.
   SimDuration backoff_initial = sim_ms(25);
   double backoff_multiplier = 2.0;
   SimDuration backoff_max = sim_ms(400);
+  // Jacobson-style adaptive timeout: srtt + rtt_dev_multiplier * rttvar,
+  // clamped to [min_timeout, timeout]. Timeouts are only charged on genuine
+  // delivery failure in this simulation, so adapting can only shorten the
+  // stall a failure costs, never cause a spurious abort.
+  bool adaptive = true;
+  double rtt_dev_multiplier = 4.0;
+  SimDuration min_timeout = sim_ms(2);
+};
+
+// EWMA mean + deviation of the transport round-trip (request leg + reply
+// leg, excluding remote execution), per Jacobson's TCP RTO estimator:
+// gain 1/8 on the mean, 1/4 on the deviation.
+struct RttEstimator {
+  double srtt = 0.0;
+  double rttvar = 0.0;
+  bool primed = false;
+
+  void sample(SimDuration rtt) noexcept {
+    const double r = static_cast<double>(rtt);
+    if (!primed) {
+      srtt = r;
+      rttvar = r / 2.0;
+      primed = true;
+      return;
+    }
+    const double err = r - srtt;
+    srtt += err / 8.0;
+    const double abs_err = err < 0 ? -err : err;
+    rttvar += (abs_err - rttvar) / 4.0;
+  }
+};
+
+// Message-boundary timestamps of one two-phase migration, recorded so the
+// chaos harness can aim link deaths at every boundary of a transfer.
+struct MigrationTrace {
+  std::uint32_t epoch = 0;
+  std::size_t objects = 0;
+  bool committed = false;
+  SimTime begin = 0;          // entering migrate_objects (before PREPARE)
+  SimTime prepare_acked = 0;  // PREPARE response received
+  SimTime commit_acked = 0;   // COMMIT response received
 };
 
 class Endpoint final : public vm::RemotePeer, private RefTranslator {
@@ -92,6 +150,34 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
   [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
     return retry_;
+  }
+
+  // The timeout the next attempt would charge: the adaptive Jacobson RTO
+  // once the estimator is primed, the configured fixed timeout before that
+  // (or whenever adaptivity is off).
+  [[nodiscard]] SimDuration effective_timeout() const noexcept;
+  [[nodiscard]] const RttEstimator& rtt_estimator() const noexcept {
+    return rtt_;
+  }
+
+  // The current migration-epoch fencing token. Frames from older epochs are
+  // rejected; each migrate_objects() bumps it, and the platform bumps it
+  // explicitly when re-admitting a recovered surrogate.
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  void advance_epoch() noexcept { epoch_ += 1; }
+
+  // Heartbeat probe: a null RPC round trip. Returns false (after charging
+  // the full retry budget) when the peer is unreachable; never throws.
+  bool ping();
+
+  // Virtual time of the last successful exchange with the peer, in either
+  // direction. Drives the platform's idle-period heartbeat scheduling.
+  [[nodiscard]] SimTime last_contact() const noexcept { return last_contact_; }
+
+  // Message-boundary traces of every migration this endpoint initiated
+  // (including aborted ones, with committed == false).
+  [[nodiscard]] const std::vector<MigrationTrace>& migrations() const noexcept {
+    return migrations_;
   }
 
   // Installed on the client endpoint by the platform: invoked when an RPC is
@@ -150,7 +236,9 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
     chars_read = 10,
     chars_write = 11,
     release = 12,
-    migrate = 13,
+    migrate_prepare = 13,  // stage the encoded batch (no heap effects)
+    migrate_commit = 14,   // atomically adopt the staged batch
+    ping = 15,             // heartbeat: reply immediately, no side effects
   };
 
   // RefTranslator.
@@ -173,13 +261,20 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   vm::Value recover_invoke(const PeerUnavailable& e, std::size_t mark,
                            const std::function<vm::Value()>& rerun_local);
 
-  // Dedup wrapper around serve(): replays the cached reply for a retried
-  // sequence number instead of executing the request twice.
-  std::vector<std::uint8_t> serve_request(std::span<const std::uint8_t> request,
-                                          std::uint64_t seq);
+  // Receiving side of the framed transport: validates the CRC, fences stale
+  // seq/epoch frames, replays the cached reply for a retried sequence number
+  // and serves fresh requests. Returns the framed response, or nullopt when
+  // the frame was rejected — indistinguishable from a lost message to the
+  // sender, which times out and retries.
+  std::optional<std::vector<std::uint8_t>> receive_frame(
+      std::span<const std::uint8_t> wire);
 
   // Serves one request on the receiving side.
   std::vector<std::uint8_t> serve(std::span<const std::uint8_t> request);
+
+  // Clears connection-scoped transport state (staged migration batch,
+  // retransmission copies) on disconnect.
+  void drop_transport_state();
 
   [[nodiscard]] bool fault_tolerant() const noexcept {
     return link_.fault_plan().enabled();
@@ -197,14 +292,30 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   RetryPolicy retry_;
   std::function<bool()> peer_failure_handler_;
 
-  // Outgoing sequence numbers; carried out-of-band by the in-process
-  // transport (a real deployment would put them in a message header).
+  // Outgoing sequence numbers, carried in the frame header.
   std::uint64_t next_seq_ = 0;
+  // Migration-epoch fencing token. Starts at 1 on both sides; each migration
+  // bumps the initiator's copy and the receiver adopts the higher value from
+  // the frame header, so frames from before an offload are always stale.
+  std::uint32_t epoch_ = 1;
   // Single-entry reply cache: execution is synchronous and serial, so only
   // the most recent request can ever be retried.
   std::uint64_t last_served_seq_ = 0;
   std::vector<std::uint8_t> cached_response_;
   bool has_cached_response_ = false;
+  // Last frames sent in each direction: what a reordered delivery presents
+  // to the receiver in place of the in-flight frame.
+  std::vector<std::uint8_t> last_req_frame_;
+  std::vector<std::uint8_t> last_resp_frame_;
+  // PREPARE-staged migration batch: raw encoded bytes, not yet adopted into
+  // the heap. Dropped on disconnect, superseded by any higher-epoch PREPARE.
+  std::vector<std::uint8_t> staged_migration_;
+  std::uint32_t staged_epoch_ = 0;
+  bool has_staged_migration_ = false;
+  // Adaptive failure detection.
+  RttEstimator rtt_;
+  SimTime last_contact_ = 0;
+  std::vector<MigrationTrace> migrations_;
   // Depth of serve() frames on this endpoint; recovery must only run at the
   // top level, never while a peer frame is live above us on the stack.
   int serving_depth_ = 0;

@@ -1,8 +1,39 @@
 #include "rpc/serializer.hpp"
 
+#include <cstring>
+
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace aide::rpc {
+
+std::vector<std::uint8_t> make_frame(std::uint32_t epoch, std::uint64_t seq,
+                                     std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(kFrameHeaderSize + payload.size());
+  std::memcpy(frame.data() + 4, &epoch, sizeof epoch);
+  std::memcpy(frame.data() + 8, &seq, sizeof seq);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderSize, payload.data(),
+                payload.size());
+  }
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(frame).subspan(4));
+  std::memcpy(frame.data(), &crc, sizeof crc);
+  return frame;
+}
+
+std::optional<FrameView> parse_frame(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < kFrameHeaderSize) return std::nullopt;
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, frame.data(), sizeof crc);
+  if (crc32(frame.subspan(4)) != crc) return std::nullopt;
+  FrameView view;
+  std::memcpy(&view.epoch, frame.data() + 4, sizeof view.epoch);
+  std::memcpy(&view.seq, frame.data() + 8, sizeof view.seq);
+  view.payload = frame.subspan(kFrameHeaderSize);
+  return view;
+}
 
 namespace {
 enum class Tag : std::uint8_t {

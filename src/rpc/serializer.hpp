@@ -8,12 +8,41 @@
 // other's references into its own namespace).
 #pragma once
 
+#include <optional>
+#include <span>
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "vm/object.hpp"
 #include "vm/value.hpp"
 
 namespace aide::rpc {
+
+// Transport framing: every message between the two endpoints travels inside
+// a 16-byte header
+//
+//   [u32 crc][u32 epoch][u64 seq][payload...]
+//
+// where `crc` is a CRC32 over everything after itself. The epoch is the
+// sender's migration-epoch fencing token (stale frames from before an offload
+// are rejected); `seq` is the per-sender RPC sequence number that drives
+// at-most-once dedup. A frame whose CRC does not match is indistinguishable
+// from a lost message to the sender: it times out and retransmits.
+inline constexpr std::size_t kFrameHeaderSize = 16;
+
+struct FrameView {
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> make_frame(
+    std::uint32_t epoch, std::uint64_t seq,
+    std::span<const std::uint8_t> payload);
+// Validates the header and CRC; nullopt means corrupt or truncated.
+[[nodiscard]] std::optional<FrameView> parse_frame(
+    std::span<const std::uint8_t> frame) noexcept;
 
 // A reference as it appears on the wire: the owning node and the owner's
 // export handle, plus enough metadata (identity, class, shape) for the

@@ -1,0 +1,326 @@
+// Deterministic chaos harness (ISSUE 4 tentpole acceptance).
+//
+// Two families of adversarial schedules, both derived from a fault-free probe
+// run (exact, because the platform is fully deterministic under virtual
+// time):
+//
+//   * ChaosScheduleTest — 25 seeded message-level chaos schedules (loss,
+//     reply-leg loss, corruption, duplication, reordering, periodic outages,
+//     degraded bandwidth, and combinations) crossed with the five paper
+//     applications. Every cell must produce the standalone checksum
+//     byte-for-byte, with retry traffic bounded by the per-RPC retry budget.
+//
+//   * CrashPointSweepTest — the surrogate link is killed at every message
+//     boundary of the two-phase migration protocol (PREPARE refused, PREPARE
+//     in flight, mid-transfer, COMMIT refused, COMMIT applied but unacked,
+//     and immediately after COMMIT). Each kill point must roll back or roll
+//     forward to a state whose final output is byte-identical to the
+//     standalone run, with no stub left dangling on the client.
+//
+// This binary owns its main(): `chaos_test --smoke` runs a 5-schedule subset
+// (the ctest / CI configuration); the bare binary runs the full 25-schedule
+// sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "netsim/link.hpp"
+#include "platform/platform.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::chaos {
+
+bool g_smoke = false;
+
+namespace {
+
+constexpr NodeId kClientNode{1};
+constexpr std::size_t kFullSchedules = 25;
+constexpr std::size_t kSmokeSchedules = 5;
+
+const char* const kApps[] = {"JavaNote", "Dia", "Biomer", "Voxel", "Tracer"};
+
+std::size_t schedule_count() {
+  return g_smoke ? kSmokeSchedules : kFullSchedules;
+}
+
+// Scaled-down parameters: the full harness runs every app ~30 times.
+apps::AppParams chaos_params() {
+  apps::AppParams p;
+  p.doc_bytes = 48 * 1024;
+  p.edits = 16;
+  p.scrolls = 20;
+  p.image_size = 64;
+  p.layers = 3;
+  p.filter_passes = 3;
+  p.atoms = 80;
+  p.iterations = 4;
+  p.field_size = 49;
+  p.frames = 4;
+  p.columns = 32;
+  p.trace_w = 16;
+  p.trace_h = 12;
+  p.spheres = 6;
+  return p;
+}
+
+// Deterministic early offload (same driver as tests/fault_test.cpp): pins
+// the migration instant so schedules can target protocol boundaries.
+class ForcedOffload : public vm::VmHooks {
+ public:
+  explicit ForcedOffload(platform::Platform& p) : p_(p) {}
+  void on_gc(NodeId node, const vm::GcReport&) override {
+    if (node != kClientNode) return;
+    if (++cycles_ < 2) return;
+    if (p_.offloaded() || p_.surrogate_dead()) return;
+    p_.offload_now(std::int64_t{1});
+  }
+
+ private:
+  platform::Platform& p_;
+  int cycles_ = 0;
+};
+
+platform::PlatformConfig chaos_config() {
+  platform::PlatformConfig cfg;
+  cfg.client_heap = 64 << 20;
+  cfg.surrogate_heap = 64 << 20;
+  cfg.auto_offload = false;  // ForcedOffload drives the schedule
+  cfg.client_gc_alloc_count_threshold = 4;
+  cfg.client_gc_alloc_bytes_divisor = 512;
+  return cfg;
+}
+
+std::uint64_t standalone_checksum(const apps::AppInfo& app,
+                                  const apps::AppParams& params) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 64 << 20;
+  vm::Vm vm(cfg, reg, clock);
+  return app.run(vm, params);
+}
+
+struct Outcome {
+  std::uint64_t checksum = 0;
+  bool offloaded = false;
+  bool dead = false;
+  SimTime end = 0;
+  std::size_t failures = 0;
+  std::size_t objects_reclaimed = 0;
+  std::size_t stub_count = 0;
+  rpc::MigrationTrace migration;
+  rpc::EndpointStats client;
+  rpc::EndpointStats surrogate;
+  netsim::LinkStats link;
+};
+
+Outcome run(const apps::AppInfo& app, const apps::AppParams& params,
+            const netsim::FaultPlan& plan) {
+  auto cfg = chaos_config();
+  cfg.fault_plan = plan;
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  platform::Platform p(reg, cfg);
+  ForcedOffload forced(p);
+  p.client().add_hooks(&forced);
+  Outcome o;
+  o.checksum = app.run(p.client(), params);
+  p.client().remove_hooks(&forced);
+  o.offloaded = p.offloaded();
+  o.dead = p.surrogate_dead();
+  o.end = p.elapsed();
+  o.failures = p.failures().size();
+  if (!p.failures().empty()) {
+    o.objects_reclaimed = p.failures().front().objects_reclaimed;
+  }
+  o.stub_count = p.client().stub_count();
+  if (!p.client_endpoint().migrations().empty()) {
+    o.migration = p.client_endpoint().migrations().front();
+  }
+  o.client = p.client_endpoint().stats();
+  o.surrogate = p.surrogate_endpoint().stats();
+  o.link = p.link().stats();
+  return o;
+}
+
+// The 25 seeded schedules, indexed 0..24. Five families, escalating with
+// each lap; the probe run anchors the time-targeted families to this app's
+// actual offload timeline.
+netsim::FaultPlan schedule(std::size_t i, const Outcome& probe) {
+  const std::size_t lap = i / 5;
+  netsim::FaultPlan plan;
+  switch (i % 5) {
+    case 0:  // plain message loss, both legs
+      plan.drop_probability = 0.02 + 0.015 * static_cast<double>(lap);
+      plan.drop_seed = 0x1000 + i;
+      break;
+    case 1:  // acknowledgement loss only (at-most-once pressure)
+      plan.reply_drop_probability = 0.10 + 0.04 * static_cast<double>(lap);
+      plan.drop_seed = 0x2000 + i;
+      break;
+    case 2:  // the chaos trio: corruption, duplication, reordering
+      plan.corrupt_probability = 0.02 + 0.01 * static_cast<double>(lap);
+      plan.duplicate_probability = 0.04 + 0.02 * static_cast<double>(lap);
+      plan.reorder_probability = 0.03 + 0.01 * static_cast<double>(lap);
+      plan.chaos_seed = 0x3000 + i;
+      break;
+    case 3:  // repeating radio blackouts across the whole run
+      plan.outage_period = sim_ms(150) + sim_ms(35) * static_cast<int>(lap);
+      plan.outage_duration = sim_ms(4) + sim_ms(2) * static_cast<int>(lap);
+      plan.outage_phase = probe.migration.begin + sim_ms(3) * static_cast<int>(i);
+      break;
+    default:  // kitchen sink: loss + chaos + halved bandwidth after offload
+      plan.drop_probability = 0.02;
+      plan.drop_seed = 0x5000 + i;
+      plan.corrupt_probability = 0.015;
+      plan.duplicate_probability = 0.03;
+      plan.reorder_probability = 0.02;
+      plan.chaos_seed = 0x6000 + i;
+      plan.degraded.push_back({probe.migration.begin, probe.end, 0.5});
+      break;
+  }
+  return plan;
+}
+
+class ChaosScheduleTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ChaosScheduleTest, EverySeededScheduleKeepsOutputByteIdentical) {
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+
+  const Outcome probe = run(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(probe.offloaded);
+  ASSERT_TRUE(probe.migration.committed);
+  ASSERT_EQ(probe.checksum, expected);
+
+  const int per_rpc_retries = rpc::RetryPolicy{}.max_attempts - 1;
+  for (std::size_t i = 0; i < schedule_count(); ++i) {
+    SCOPED_TRACE("schedule " + std::to_string(i));
+    const Outcome o = run(app, params, schedule(i, probe));
+    // The transparency requirement, extended across every chaos mode.
+    EXPECT_EQ(o.checksum, expected);
+    // At most one surrogate loss; when the run ends degraded, recovery must
+    // have repatriated everything (no dangling stub). A surviving surrogate
+    // legitimately keeps its offloaded objects (and their client stubs).
+    EXPECT_LE(o.failures, 1u);
+    if (o.dead) {
+      EXPECT_EQ(o.stub_count, 0u);
+    }
+    // Retry traffic is bounded by the per-RPC retry budget.
+    EXPECT_LE(o.client.retries,
+              o.client.rpcs_sent * static_cast<std::uint64_t>(per_rpc_retries));
+    EXPECT_LE(o.surrogate.retries,
+              o.surrogate.rpcs_sent *
+                  static_cast<std::uint64_t>(per_rpc_retries));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ChaosScheduleTest, ::testing::ValuesIn(kApps));
+
+TEST(ChaosDeterminismTest, SameScheduleReproducesIdenticalStatistics) {
+  const auto& app = apps::app_by_name("Dia");
+  const auto params = chaos_params();
+  const Outcome probe = run(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(probe.offloaded);
+
+  const netsim::FaultPlan plan = schedule(7, probe);  // chaos-trio family
+  const Outcome a = run(app, params, plan);
+  const Outcome b = run(app, params, plan);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_TRUE(a.link == b.link);
+  EXPECT_TRUE(a.client == b.client);
+  EXPECT_TRUE(a.surrogate == b.surrogate);
+}
+
+class CrashPointSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrashPointSweepTest, LinkDeathAtEveryMigrationBoundaryIsConsistent) {
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+
+  const Outcome probe = run(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(probe.offloaded);
+  const rpc::MigrationTrace& t = probe.migration;
+  ASSERT_TRUE(t.committed);
+  ASSERT_LT(t.begin, t.prepare_acked);
+  ASSERT_LT(t.prepare_acked, t.commit_acked);
+
+  // What the kill point must leave behind:
+  //   rolled_back     — the batch never left the client; nothing to reclaim.
+  //   adopted_unacked — the surrogate adopted the staged batch but the ack
+  //                     died; the initiator reports the migration aborted and
+  //                     recovery pulls the adopted objects back.
+  //   completed       — the migration finished; later death is an ordinary
+  //                     mid-invoke failure handled by recovery.
+  enum class Expect { rolled_back, adopted_unacked, completed };
+  struct KillPoint {
+    const char* label;
+    SimTime at;
+    Expect expect;
+  };
+  const KillPoint points[] = {
+      {"PREPARE refused at send", t.begin, Expect::rolled_back},
+      {"PREPARE in flight", t.begin + 1, Expect::rolled_back},
+      {"mid-transfer", t.begin + (t.prepare_acked - t.begin) / 2,
+       Expect::rolled_back},
+      {"COMMIT refused at send", t.prepare_acked, Expect::rolled_back},
+      {"COMMIT applied but unacked", t.prepare_acked + 1,
+       Expect::adopted_unacked},
+      {"immediately after COMMIT", t.commit_acked, Expect::completed},
+      {"one tick after COMMIT", t.commit_acked + 1, Expect::completed},
+  };
+  const std::size_t n_points =
+      g_smoke ? 4 : sizeof(points) / sizeof(points[0]);
+
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const KillPoint& kp = points[i];
+    SCOPED_TRACE(kp.label);
+    netsim::FaultPlan plan;
+    plan.dead_after = kp.at;
+    const Outcome o = run(app, params, plan);
+    // Byte-identical output from every crash point: the two-phase protocol
+    // never leaves an object half-migrated or doubly-owned.
+    EXPECT_EQ(o.checksum, expected);
+    EXPECT_TRUE(o.dead);
+    EXPECT_EQ(o.failures, 1u);
+    EXPECT_EQ(o.stub_count, 0u);
+    switch (kp.expect) {
+      case Expect::rolled_back:
+        EXPECT_FALSE(o.offloaded);
+        EXPECT_FALSE(o.migration.committed);
+        EXPECT_EQ(o.objects_reclaimed, 0u);
+        break;
+      case Expect::adopted_unacked:
+        EXPECT_FALSE(o.offloaded);
+        EXPECT_FALSE(o.migration.committed);
+        EXPECT_GT(o.objects_reclaimed, 0u);
+        break;
+      case Expect::completed:
+        EXPECT_TRUE(o.offloaded);
+        EXPECT_TRUE(o.migration.committed);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CrashPointSweepTest, ::testing::ValuesIn(kApps));
+
+}  // namespace
+}  // namespace aide::chaos
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") aide::chaos::g_smoke = true;
+  }
+  return RUN_ALL_TESTS();
+}

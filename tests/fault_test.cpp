@@ -29,6 +29,7 @@ namespace aide {
 namespace {
 
 constexpr NodeId kClientNode{1};
+constexpr NodeId kSurrogateNode{2};
 
 // Scaled-down application parameters: the matrix runs every app seven times.
 apps::AppParams fault_params() {
@@ -95,6 +96,30 @@ std::uint64_t standalone_checksum(const apps::AppInfo& app,
   return app.run(vm, params);
 }
 
+// Classifies where each method invocation actually executed, from a chosen
+// virtual instant onwards: the calling VM reports the event, so execution
+// happened on the surrogate iff (reporter == surrogate) XOR remote.
+class RemoteFractionProbe : public vm::VmHooks {
+ public:
+  explicit RemoteFractionProbe(SimTime after) : after_(after) {}
+  void on_invoke(const vm::InvokeEvent& e) override {
+    if (e.t < after_) return;
+    total_ += 1;
+    if ((e.vm == kSurrogateNode) != e.remote) remote_ += 1;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double fraction() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(remote_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  SimTime after_;
+  std::uint64_t total_ = 0;
+  std::uint64_t remote_ = 0;
+};
+
 struct RunResult {
   std::uint64_t checksum = 0;
   bool offloaded = false;
@@ -103,22 +128,34 @@ struct RunResult {
   SimTime offload_done = 0;
   SimTime end = 0;
   std::size_t failures = 0;
+  std::size_t offload_count = 0;
+  std::size_t readmission_count = 0;
+  SimTime readmission_at = 0;
+  bool readmission_reoffloaded = false;
   std::size_t objects_reclaimed = 0;
   std::size_t stub_count = 0;
+  rpc::MigrationTrace migration;  // first migration's message boundaries
+  std::uint64_t invokes_measured = 0;
+  double remote_fraction = 0.0;  // of invokes at/after measure_after
   rpc::EndpointStats client_stats;
   rpc::EndpointStats surrogate_stats;
   netsim::LinkStats link_stats;
 };
 
 RunResult run_app(const apps::AppInfo& app, const apps::AppParams& params,
-                  platform::PlatformConfig cfg) {
+                  platform::PlatformConfig cfg, SimTime measure_after = 0) {
   auto reg = std::make_shared<vm::ClassRegistry>();
   app.register_classes(*reg);
   platform::Platform p(reg, cfg);
   ForcedOffload forced(p);
+  RemoteFractionProbe remote_probe(measure_after);
   p.client().add_hooks(&forced);
+  p.client().add_hooks(&remote_probe);
+  p.surrogate().add_hooks(&remote_probe);
   RunResult r;
   r.checksum = app.run(p.client(), params);
+  p.surrogate().remove_hooks(&remote_probe);
+  p.client().remove_hooks(&remote_probe);
   p.client().remove_hooks(&forced);
   r.offloaded = p.offloaded();
   r.dead = p.surrogate_dead();
@@ -128,10 +165,21 @@ RunResult run_app(const apps::AppInfo& app, const apps::AppParams& params,
   }
   r.end = p.elapsed();
   r.failures = p.failures().size();
+  r.offload_count = p.offloads().size();
+  r.readmission_count = p.readmissions().size();
+  if (!p.readmissions().empty()) {
+    r.readmission_at = p.readmissions().front().at;
+    r.readmission_reoffloaded = p.readmissions().front().reoffloaded;
+  }
   if (!p.failures().empty()) {
     r.objects_reclaimed = p.failures().front().objects_reclaimed;
   }
   r.stub_count = p.client().stub_count();
+  if (!p.client_endpoint().migrations().empty()) {
+    r.migration = p.client_endpoint().migrations().front();
+  }
+  r.invokes_measured = remote_probe.total();
+  r.remote_fraction = remote_probe.fraction();
   r.client_stats = p.client_endpoint().stats();
   r.surrogate_stats = p.surrogate_endpoint().stats();
   r.link_stats = p.link().stats();
@@ -177,16 +225,39 @@ TEST_P(FaultMatrixTest, EveryScheduleRecoversWithIdenticalOutput) {
   }
 
   {
-    SCOPED_TRACE("cell: surrogate dies mid-migration");
-    // The migration request leaves at offload_at; one tick later the link is
-    // dead, so the batch is adopted but the acknowledgement never returns.
+    SCOPED_TRACE("cell: surrogate dies with PREPARE in flight");
+    // The PREPARE leaves at offload_at; one tick later the link is dead, so
+    // its acknowledgement never returns and the COMMIT is never sent. The
+    // staged bytes die with the connection: the batch never entered the
+    // surrogate heap, so rollback is purely local and recovery reclaims
+    // nothing.
     netsim::FaultPlan plan;
     plan.dead_after = probe.offload_at + 1;
     const RunResult r = run_cell(app, params, plan);
     EXPECT_EQ(r.checksum, expected);
     EXPECT_TRUE(r.dead);
+    EXPECT_FALSE(r.offloaded);
     EXPECT_EQ(r.failures, 1u);
-    // The adopted batch was pulled back by recovery.
+    EXPECT_EQ(r.objects_reclaimed, 0u);
+    EXPECT_GE(r.client_stats.aborted_rpcs, 1u);
+    EXPECT_EQ(r.stub_count, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: surrogate dies with COMMIT applied but unacked");
+    // The COMMIT leaves right after the PREPARE acknowledgement; one tick
+    // later the link is dead. The surrogate adopts the staged batch but the
+    // acknowledgement never returns, so the initiator's abort path must
+    // detect the adoption and leave ownership with the surrogate — recovery
+    // then pulls those objects back.
+    ASSERT_TRUE(probe.migration.committed);
+    ASSERT_GT(probe.migration.prepare_acked, probe.migration.begin);
+    netsim::FaultPlan plan;
+    plan.dead_after = probe.migration.prepare_acked + 1;
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_TRUE(r.dead);
+    EXPECT_EQ(r.failures, 1u);
     EXPECT_GT(r.objects_reclaimed, 0u);
     EXPECT_GE(r.client_stats.aborted_rpcs, 1u);
     EXPECT_EQ(r.stub_count, 0u);
@@ -223,6 +294,28 @@ TEST_P(FaultMatrixTest, EveryScheduleRecoversWithIdenticalOutput) {
     // Without aborts every timeout is followed by a retry.
     EXPECT_EQ(r.client_stats.retries, r.client_stats.timeouts);
     EXPECT_EQ(r.link_stats.messages_dropped, 0u);
+  }
+
+  {
+    SCOPED_TRACE("cell: reply-leg losses only (at-most-once dedup)");
+    // Requests always arrive and execute; only acknowledgements vanish.
+    // Every loss forces a retry of an already-executed request, which the
+    // serving endpoint must answer from its reply cache — duplicates_served
+    // counts those, and the unchanged checksum proves no side effect ran
+    // twice.
+    netsim::FaultPlan plan;
+    plan.reply_drop_probability = 0.25;
+    plan.drop_seed = 0x5EED0;
+    const RunResult r = run_cell(app, params, plan);
+    EXPECT_EQ(r.checksum, expected);
+    EXPECT_GT(r.link_stats.messages_dropped, 0u);
+    EXPECT_GT(r.client_stats.duplicates_served +
+                  r.surrogate_stats.duplicates_served,
+              0u);
+    // A reply can only be lost after its request got through, so at worst an
+    // abort happens when all retry replies are also lost — vanishingly rare,
+    // but either path ends in the checksum proved above.
+    EXPECT_LE(r.failures, 1u);
   }
 
   {
@@ -268,6 +361,58 @@ TEST(FaultParityTest, ArmedButNeverFiringPlanMatchesFaultFreeRunExactly) {
   EXPECT_TRUE(r.client_stats == base.client_stats);
   EXPECT_TRUE(r.surrogate_stats == base.surrogate_stats);
   EXPECT_EQ(r.failures, 0u);
+}
+
+// ISSUE 4 acceptance: a revive_at schedule produces a second OffloadReport
+// and the post-recovery remote-execution fraction is within noise of a run
+// where the surrogate never failed.
+TEST(ReadmissionTest, RevivedSurrogateIsReAdmittedAndReOffloaded) {
+  const auto& app = apps::app_by_name("Dia");
+  const auto params = fault_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+
+  // Fault-free probe fixes the offload timeline and the steady-state remote
+  // fraction (measured from the completed offload onwards).
+  const RunResult probe =
+      run_app(app, params, fault_config(), /*measure_after=*/0);
+  ASSERT_TRUE(probe.offloaded);
+  const RunResult baseline =
+      run_app(app, params, fault_config(), probe.offload_done);
+  ASSERT_GT(baseline.invokes_measured, 0u);
+  ASSERT_GT(baseline.remote_fraction, 0.0);
+
+  // Kill the surrogate a quarter of the way into the post-offload phase and
+  // revive it 250 ms later (past the failure-detection retries, so the first
+  // post-recovery probe finds it alive). Timestamps after the failure shift
+  // relative to the probe run — the revive instant only needs to land while
+  // the app is still executing.
+  auto cfg = fault_config();
+  cfg.fault_plan.dead_after =
+      probe.offload_done + (probe.end - probe.offload_done) / 4;
+  cfg.fault_plan.revive_at = cfg.fault_plan.dead_after + sim_ms(250);
+  cfg.readmission.enabled = true;
+  cfg.readmission.probe_interval = sim_ms(1);
+
+  // First pass learns the (deterministic) re-admission instant; the second
+  // measures the remote-execution fraction from exactly that instant.
+  const RunResult first = run_app(app, params, cfg);
+  ASSERT_EQ(first.failures, 1u);
+  ASSERT_EQ(first.readmission_count, 1u);
+  ASSERT_TRUE(first.readmission_reoffloaded);
+  const RunResult r = run_app(app, params, cfg, first.readmission_at);
+
+  EXPECT_EQ(r.checksum, expected);
+  EXPECT_FALSE(r.dead);  // recovered, not permanently degraded
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_EQ(r.readmission_count, 1u);
+  EXPECT_EQ(r.offload_count, 2u);  // the second OffloadReport
+  EXPECT_GT(r.readmission_at, cfg.fault_plan.revive_at);
+
+  // Post-recovery execution is offloaded again: the remote fraction after
+  // re-admission matches the never-failed steady state within noise.
+  ASSERT_GT(r.invokes_measured, 0u);
+  EXPECT_GT(r.remote_fraction, 0.0);
+  EXPECT_NEAR(r.remote_fraction, baseline.remote_fraction, 0.25);
 }
 
 TEST(FaultDeterminismTest, SameSeedsReproduceIdenticalRuns) {

@@ -218,6 +218,171 @@ TEST(LinkFaultTest, DegradedWindowSlowsSerializationOnly) {
   EXPECT_EQ(link.try_one_way(0, sim_ms(15)).cost, sim_us(1200));
 }
 
+TEST(LinkFaultTest, OutageWindowEdgeSemantics) {
+  // Half-open [begin, end): a message stamped exactly at `end` is the first
+  // one delivered again; one stamped exactly at `begin` is the first refused.
+  Link link;
+  FaultPlan plan;
+  plan.outages.push_back({sim_ms(10), sim_ms(20)});
+  link.set_fault_plan(plan);
+  EXPECT_TRUE(link.try_one_way(100, sim_ms(10) - 1).delivered);
+  EXPECT_FALSE(link.try_one_way(100, sim_ms(10)).delivered);
+  EXPECT_FALSE(link.try_one_way(100, sim_ms(20) - 1).delivered);
+  EXPECT_TRUE(link.try_one_way(100, sim_ms(20)).delivered);
+  EXPECT_EQ(link.stats().link_down_failures, 2u);
+}
+
+TEST(LinkFaultTest, EmptyOutageWindowIsInert) {
+  // begin == end contains no instant at all, including begin itself.
+  Link link;
+  FaultPlan plan;
+  plan.outages.push_back({sim_ms(10), sim_ms(10)});
+  link.set_fault_plan(plan);
+  EXPECT_TRUE(plan.enabled());  // armed, yet can never fire
+  EXPECT_FALSE(link.is_down(sim_ms(10)));
+  EXPECT_TRUE(link.try_one_way(100, sim_ms(10)).delivered);
+  EXPECT_EQ(link.stats().link_down_failures, 0u);
+}
+
+TEST(LinkFaultTest, DegradedWindowEdgeSemantics) {
+  Link link;
+  FaultPlan plan;
+  plan.degraded.push_back({sim_ms(10), sim_ms(20), 0.5});
+  link.set_fault_plan(plan);
+  const SimDuration nominal = sim_us(1200) + sim_ms(1);   // 1375 B at 11 Mbps
+  const SimDuration degraded = sim_us(1200) + sim_ms(2);  // half bandwidth
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(10) - 1).cost, nominal);
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(10)).cost, degraded);  // begin in
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(20) - 1).cost, degraded);
+  EXPECT_EQ(link.try_one_way(1375, sim_ms(20)).cost, nominal);  // end out
+}
+
+TEST(LinkFaultTest, ReviveWindowEndsTheDeath) {
+  // [dead_after, revive_at) is half-open too: the revival instant delivers.
+  Link link;
+  FaultPlan plan;
+  plan.dead_after = sim_ms(5);
+  plan.revive_at = sim_ms(9);
+  link.set_fault_plan(plan);
+  EXPECT_TRUE(link.try_one_way(0, sim_ms(5) - 1).delivered);
+  EXPECT_FALSE(link.try_one_way(0, sim_ms(5)).delivered);
+  EXPECT_FALSE(link.try_one_way(0, sim_ms(9) - 1).delivered);
+  EXPECT_TRUE(link.try_one_way(0, sim_ms(9)).delivered);
+  EXPECT_TRUE(link.try_one_way(0, sim_sec(3600)).delivered);  // stays up
+  EXPECT_EQ(link.stats().link_down_failures, 2u);
+}
+
+TEST(LinkFaultTest, PeriodicOutageRepeatsForever) {
+  // Down during [phase + k*period, phase + k*period + duration).
+  Link link;
+  FaultPlan plan;
+  plan.outage_phase = sim_ms(2);
+  plan.outage_period = sim_ms(10);
+  plan.outage_duration = sim_ms(3);
+  link.set_fault_plan(plan);
+  EXPECT_FALSE(link.is_down(0));              // before the phase offset
+  EXPECT_FALSE(link.is_down(sim_ms(2) - 1));
+  for (int k = 0; k < 5; ++k) {
+    const SimTime base = sim_ms(2) + k * sim_ms(10);
+    EXPECT_TRUE(link.is_down(base)) << k;
+    EXPECT_TRUE(link.is_down(base + sim_ms(3) - 1)) << k;
+    EXPECT_FALSE(link.is_down(base + sim_ms(3))) << k;
+    EXPECT_FALSE(link.is_down(base + sim_ms(10) - 1)) << k;
+  }
+}
+
+TEST(LinkFaultTest, ReplyLegDropsOnlyAffectReplies) {
+  FaultPlan plan;
+  plan.reply_drop_probability = 0.5;
+  plan.drop_seed = 99;
+  Link link;
+  link.set_fault_plan(plan);
+  int reply_drops = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(link.try_one_way(100, 0, Leg::request).delivered);
+    const auto d = link.try_one_way(100, 0, Leg::reply);
+    if (!d.delivered) {
+      ++reply_drops;
+      EXPECT_GT(d.cost, 0);  // lost in transit, not refused: airtime burned
+    }
+  }
+  EXPECT_GT(reply_drops, 10);
+  EXPECT_LT(reply_drops, 90);
+  EXPECT_EQ(link.stats().messages_dropped,
+            static_cast<std::uint64_t>(reply_drops));
+}
+
+TEST(LinkFaultTest, ChaosIsSeededAndExclusivePerMessage) {
+  FaultPlan plan;
+  plan.corrupt_probability = 0.2;
+  plan.duplicate_probability = 0.2;
+  plan.reorder_probability = 0.2;
+  Link a, b;
+  a.set_fault_plan(plan);
+  b.set_fault_plan(plan);
+  std::uint64_t corrupted = 0, duplicated = 0, reordered = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto da = a.try_one_way(100, 0);
+    const auto db = b.try_one_way(100, 0);
+    EXPECT_TRUE(da.delivered);  // chaos mangles, never refuses
+    EXPECT_EQ(da.corrupted, db.corrupted);  // same seed, same schedule
+    EXPECT_EQ(da.duplicated, db.duplicated);
+    EXPECT_EQ(da.reordered, db.reordered);
+    EXPECT_EQ(da.chaos_salt, db.chaos_salt);
+    // At most one effect per message.
+    EXPECT_LE(static_cast<int>(da.corrupted) + static_cast<int>(da.duplicated) +
+                  static_cast<int>(da.reordered),
+              1);
+    corrupted += da.corrupted;
+    duplicated += da.duplicated;
+    reordered += da.reordered;
+    if (da.duplicated) {
+      // The second copy burned airtime: more than one nominal charge.
+      EXPECT_GT(da.cost, Link().one_way_cost(100));
+    }
+  }
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_GT(duplicated, 0u);
+  EXPECT_GT(reordered, 0u);
+  EXPECT_EQ(a.stats().messages_corrupted, corrupted);
+  EXPECT_EQ(a.stats().messages_duplicated, duplicated);
+  EXPECT_EQ(a.stats().messages_reordered, reordered);
+
+  // A different chaos seed shifts the schedule.
+  FaultPlan other = plan;
+  other.chaos_seed = 0xC4A06;
+  Link c;
+  c.set_fault_plan(other);
+  a.set_fault_plan(plan);  // reseeds: replay from the start
+  bool diverged = false;
+  for (int i = 0; i < 300; ++i) {
+    const auto da = a.try_one_way(100, 0);
+    const auto dc = c.try_one_way(100, 0);
+    if (da.corrupted != dc.corrupted || da.duplicated != dc.duplicated ||
+        da.reordered != dc.reordered) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(LinkFaultTest, ChaosDrawsDoNotPerturbTheDropStream) {
+  // The chaos stream is separate from the drop stream: arming chaos must not
+  // change which messages the drop schedule loses.
+  FaultPlan drops_only;
+  drops_only.drop_probability = 0.3;
+  drops_only.drop_seed = 7;
+  FaultPlan both = drops_only;
+  both.corrupt_probability = 0.5;
+  both.duplicate_probability = 0.5;
+  Link a, b;
+  a.set_fault_plan(drops_only);
+  b.set_fault_plan(both);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.try_one_way(100, 0).delivered, b.try_one_way(100, 0).delivered);
+  }
+}
+
 TEST(LinkFaultTest, DefaultPlanIsInert) {
   EXPECT_FALSE(FaultPlan{}.enabled());
   FaultPlan armed;
@@ -226,6 +391,15 @@ TEST(LinkFaultTest, DefaultPlanIsInert) {
   FaultPlan lossy;
   lossy.drop_probability = 0.01;
   EXPECT_TRUE(lossy.enabled());
+  FaultPlan reply_lossy;
+  reply_lossy.reply_drop_probability = 0.01;
+  EXPECT_TRUE(reply_lossy.enabled());
+  FaultPlan periodic;
+  periodic.outage_period = sim_ms(10);
+  EXPECT_TRUE(periodic.enabled());
+  FaultPlan chaotic;
+  chaotic.corrupt_probability = 0.01;
+  EXPECT_TRUE(chaotic.enabled());
 }
 
 }  // namespace
