@@ -27,6 +27,9 @@ step "aidelint (static partition-safety) over all apps"
 step "graph hot-path smoke (monitor throughput + MINCUT parity)"
 ./build-ci/bench/bench_graph_hotpath --smoke
 
+step "VM hot-path smoke (slab heap + call-site cache parity)"
+./build-ci/bench/bench_vm_hotpath --smoke
+
 step "chaos smoke (crash-consistent offload under seeded schedules)"
 ./build-ci/tests/chaos_test --smoke
 
@@ -45,6 +48,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
   ./build-asan/tests/chaos_test --smoke
+  ./build-asan/bench/bench_vm_hotpath --smoke
 else
   step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"
 fi

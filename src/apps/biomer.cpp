@@ -48,6 +48,22 @@ constexpr FieldId kBondA{0}, kBondB{1}, kBondOrder{2};
 constexpr FieldId kViewDisplay{0}, kViewFrames{1};
 constexpr FieldId kHudDisplay{0}, kHudUpdates{1};
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kListAdd{"add"};
+const vm::CallSite kMolBuildMol{"buildMol"};
+const vm::CallSite kMolGetAtom{"getAtom"};
+const vm::CallSite kMolAtomCount{"atomCount"};
+const vm::CallSite kMolChecksum{"checksumMol"};
+const vm::CallSite kFieldMinimizeStep{"minimizeStep"};
+const vm::CallSite kAnalyzerAnalyze{"analyze"};
+const vm::CallSite kViewportDrawFrame{"drawFrame"};
+const vm::CallSite kHudShowEnergy{"showEnergy"};
+const vm::CallSite kDisplayDrawPixel{"drawPixel"};
+const vm::CallSite kDisplayDrawText{"drawText"};
+const vm::CallSite kDisplayFlush{"flush"};
+const vm::StaticCallSite kMathSin{"Math", "sin"};
+
 void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
@@ -113,7 +129,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                       ctx.get_field(atoms, FieldId{static_cast<std::uint32_t>(
                                                i + 1)}));
                   ctx.put_field(bond, kBondOrder, Value{(i % 3) + 1});
-                  ctx.call(bonds, "add", {Value{bond}});
+                  ctx.call(bonds, kListAdd, {Value{bond}});
                 }
                 ctx.put_field(self, kMolBonds, Value{bonds});
                 return Value{};
@@ -137,7 +153,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     std::uint64_t h = 5;
                     for (std::int64_t i = 0; i < n; i += 7) {
                       const ObjectRef atom =
-                          ctx.call(self, "getAtom", {Value{i}}).as_ref();
+                          ctx.call(self, kMolGetAtom, {Value{i}}).as_ref();
                       h = mix(h, static_cast<std::uint64_t>(
                                      ctx.get_field(atom, kAtomX).to_real() *
                                      1000.0));
@@ -164,13 +180,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
                 const ObjectRef mol = arg(args, 0).as_ref();
                 const std::int64_t iter = arg(args, 1).as_int();
-                const std::int64_t n = ctx.call(mol, "atomCount").as_int();
+                const std::int64_t n = ctx.call(mol, kMolAtomCount).as_int();
                 double energy = 0.0;
                 const int samples = std::min<int>(
                     4 + static_cast<int>(iter) / 2, kNeighborSamplesCap);
                 for (std::int64_t i = 0; i < n; ++i) {
                   const ObjectRef atom =
-                      ctx.call(mol, "getAtom", {Value{i}}).as_ref();
+                      ctx.call(mol, kMolGetAtom, {Value{i}}).as_ref();
                   double x = ctx.get_field(atom, kAtomX).to_real();
                   double y = ctx.get_field(atom, kAtomY).to_real();
                   double z = ctx.get_field(atom, kAtomZ).to_real();
@@ -179,7 +195,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.work(kPairWork);
                     const std::int64_t j = (i + s * 17) % n;
                     const ObjectRef other =
-                        ctx.call(mol, "getAtom", {Value{j}}).as_ref();
+                        ctx.call(mol, kMolGetAtom, {Value{j}}).as_ref();
                     const double dx =
                         ctx.get_field(other, kAtomX).to_real() - x;
                     const double dy =
@@ -250,11 +266,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   ctx.put_field(self, FieldId{1}, Value{0});
                 }
                 const ObjectRef buffer = ctx.new_int_array(kAnalysisInts);
-                const std::int64_t n = ctx.call(mol, "atomCount").as_int();
+                const std::int64_t n = ctx.call(mol, kMolAtomCount).as_int();
                 for (std::int64_t i = 0; i < n; i += 16) {
                   ctx.work(kAnalyzeWork);
                   const ObjectRef atom =
-                      ctx.call(mol, "getAtom", {Value{i}}).as_ref();
+                      ctx.call(mol, kMolGetAtom, {Value{i}}).as_ref();
                   const double x = ctx.get_field(atom, kAtomX).to_real();
                   ctx.array_put(buffer, (i / 16) % kAnalysisInts,
                                 Value{static_cast<std::int64_t>(x * 100)});
@@ -291,24 +307,24 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 const ObjectRef mol = arg(args, 0).as_ref();
                 const ObjectRef display =
                     ctx.get_field(self, kViewDisplay).as_ref();
-                const std::int64_t n = ctx.call(mol, "atomCount").as_int();
+                const std::int64_t n = ctx.call(mol, kMolAtomCount).as_int();
                 // Project and plot a sampled subset every frame.
                 for (std::int64_t i = 0; i < n; i += 3) {
                   ctx.work(kProjectWork);
                   const ObjectRef atom =
-                      ctx.call(mol, "getAtom", {Value{i}}).as_ref();
+                      ctx.call(mol, kMolGetAtom, {Value{i}}).as_ref();
                   const double x = ctx.get_field(atom, kAtomX).to_real();
                   const double y = ctx.get_field(atom, kAtomY).to_real();
                   const double z = ctx.get_field(atom, kAtomZ).to_real();
                   const double a =
-                      ctx.call_static("Math", "sin", {Value{x * 0.1}})
+                      ctx.call_static(kMathSin, {Value{x * 0.1}})
                           .as_real();
-                  ctx.call(display, "drawPixel",
+                  ctx.call(display, kDisplayDrawPixel,
                            {Value{static_cast<std::int64_t>(x * 2 + z) % 320},
                             Value{static_cast<std::int64_t>(y + a * 8) % 240},
                             Value{std::int64_t{0x33CC33}}});
                 }
-                ctx.call(display, "flush");
+                ctx.call(display, kDisplayFlush);
                 const Value frames = ctx.get_field(self, kViewFrames);
                 ctx.put_field(self, kViewFrames,
                               Value{(frames.is_int() ? frames.as_int() : 0) +
@@ -331,7 +347,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const ObjectRef display =
                         ctx.get_field(self, kHudDisplay).as_ref();
                     ctx.call(
-                        display, "drawText",
+                        display, kDisplayDrawText,
                         {Value{0}, Value{0},
                          Value{"E=" + std::to_string(
                                           arg(args, 0).to_real())}});
@@ -360,7 +376,7 @@ std::uint64_t run_biomer(Vm& ctx, const AppParams& params) {
 
   const ObjectRef mol = ctx.new_object("Bio.Molecule");
   ctx.add_root(mol);
-  ctx.call(mol, "buildMol", {Value{atoms}});
+  ctx.call(mol, kMolBuildMol, {Value{atoms}});
 
   const ObjectRef field = ctx.new_object("Bio.ForceField");
   ctx.add_root(field);
@@ -380,17 +396,17 @@ std::uint64_t run_biomer(Vm& ctx, const AppParams& params) {
 
   for (int iter = 0; iter < iterations; ++iter) {
     const Value energy =
-        ctx.call(field, "minimizeStep", {Value{mol}, Value{iter}});
-    ctx.call(analyzer, "analyze", {Value{mol}});
+        ctx.call(field, kFieldMinimizeStep, {Value{mol}, Value{iter}});
+    ctx.call(analyzer, kAnalyzerAnalyze, {Value{mol}});
     // The editor refreshes the 3D view and HUD after every iteration.
-    ctx.call(viewport, "drawFrame", {Value{mol}});
-    ctx.call(hud, "showEnergy", {energy});
+    ctx.call(viewport, kViewportDrawFrame, {Value{mol}});
+    ctx.call(hud, kHudShowEnergy, {energy});
     dispatch_ui_event(ctx, window, iter);
     if (iter % 4 == 0) paint_window(ctx, window);
   }
 
   std::uint64_t h = static_cast<std::uint64_t>(
-      ctx.call(mol, "checksumMol").as_int());
+      ctx.call(mol, kMolChecksum).as_int());
   h = mix(h, static_cast<std::uint64_t>(
                  ctx.get_field(display, FieldId{1}).is_int()
                      ? ctx.get_field(display, FieldId{1}).as_int()

@@ -42,6 +42,29 @@ constexpr FieldId kImageLayers{0}, kImageW{1}, kImageH{2};
 constexpr FieldId kHistEntries{0}, kHistCount{1};
 constexpr FieldId kCanvasDisplay{0}, kCanvasBlits{1};
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kListAdd{"add"};
+const vm::CallSite kListGet{"get"};
+const vm::CallSite kListSize{"size"};
+const vm::CallSite kLayerInit{"initLayer"};
+const vm::CallSite kLayerFill{"fillLayer"};
+const vm::CallSite kLayerClone{"cloneLayer"};
+const vm::CallSite kLayerChecksum{"checksumLayer"};
+const vm::CallSite kImageInit{"initImage"};
+const vm::CallSite kImageAddLayer{"addLayer"};
+const vm::CallSite kImageGetLayer{"getLayer"};
+const vm::CallSite kImageLayerCount{"layerCount"};
+const vm::CallSite kEngineBoxBlur{"boxBlur"};
+const vm::CallSite kEngineInvert{"invert"};
+const vm::CallSite kHistoryPush{"pushLayer"};
+const vm::CallSite kHistoryDepth{"depth"};
+const vm::CallSite kCanvasBlit{"blitPreview"};
+const vm::CallSite kToolbarBuild{"buildTools"};
+const vm::CallSite kToolbarHighlight{"highlightTool"};
+const vm::CallSite kConsolePrintln{"println"};
+const vm::CallSite kDisplayDrawText{"drawText"};
+
 void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
@@ -93,7 +116,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const ObjectRef src =
                         ctx.get_field(self, kLayerPixels).as_ref();
                     const ObjectRef copy = ctx.new_object("Dia.Layer");
-                    ctx.call(copy, "initLayer",
+                    ctx.call(copy, kLayerInit,
                              {Value{w}, Value{h},
                               ctx.get_field(self, kLayerName)});
                     const ObjectRef dst =
@@ -144,20 +167,20 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef layers =
                         ctx.get_field(self, kImageLayers).as_ref();
-                    ctx.call(layers, "add", {arg(args, 0)});
+                    ctx.call(layers, kListAdd, {arg(args, 0)});
                     return Value{};
                   })
           .method("getLayer",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef layers =
                         ctx.get_field(self, kImageLayers).as_ref();
-                    return ctx.call(layers, "get", {arg(args, 0)});
+                    return ctx.call(layers, kListGet, {arg(args, 0)});
                   })
           .method("layerCount",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef layers =
                         ctx.get_field(self, kImageLayers).as_ref();
-                    return ctx.call(layers, "size");
+                    return ctx.call(layers, kListSize);
                   })
           .build());
 
@@ -185,7 +208,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   // Progress ticks to the device console (pinned native).
                   if (console.is_ref() && !console.as_ref().is_null() &&
                       (y % 16) == 1) {
-                    ctx.call(console.as_ref(), "println",
+                    ctx.call(console.as_ref(), kConsolePrintln,
                              {Value{"blur row " + std::to_string(y)}});
                   }
                   for (std::int64_t x = 1; x + 1 < w; x += kFilterStride) {
@@ -242,7 +265,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                       entries_v = Value{make_list(ctx)};
                       ctx.put_field(self, kHistEntries, entries_v);
                     }
-                    ctx.call(entries_v.as_ref(), "add", {arg(args, 0)});
+                    ctx.call(entries_v.as_ref(), kListAdd, {arg(args, 0)});
                     const Value n = ctx.get_field(self, kHistCount);
                     ctx.put_field(self, kHistCount,
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
@@ -287,7 +310,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                     1});
                 const ObjectRef display =
                     ctx.get_field(self, kCanvasDisplay).as_ref();
-                ctx.call(display, "drawText",
+                ctx.call(display, kDisplayDrawText,
                          {Value{0}, Value{0},
                           Value{"preview " + std::to_string(h & 0xFFFF)}});
                 return Value{static_cast<std::int64_t>(h)};
@@ -321,13 +344,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef labels =
                         ctx.get_field(self, FieldId{1}).as_ref();
-                    const std::int64_t n = ctx.call(labels, "size").as_int();
+                    const std::int64_t n = ctx.call(labels, kListSize).as_int();
                     const ObjectRef label =
-                        ctx.call(labels, "get", {Value{arg(args, 0).as_int() % n}})
+                        ctx.call(labels, kListGet, {Value{arg(args, 0).as_int() % n}})
                             .as_ref();
                     const ObjectRef display =
                         ctx.get_field(self, FieldId{0}).as_ref();
-                    ctx.call(display, "drawText",
+                    ctx.call(display, kDisplayDrawText,
                              {Value{4}, Value{4},
                               Value{string_value(ctx, label)}});
                     return Value{};
@@ -353,7 +376,7 @@ std::uint64_t run_dia(Vm& ctx, const AppParams& params) {
 
   const ObjectRef image = ctx.new_object("Dia.Image");
   ctx.add_root(image);
-  ctx.call(image, "initImage", {Value{size}, Value{size}});
+  ctx.call(image, kImageInit, {Value{size}, Value{size}});
 
   const ObjectRef console = ctx.new_object("Console");
   ctx.add_root(console);
@@ -371,7 +394,7 @@ std::uint64_t run_dia(Vm& ctx, const AppParams& params) {
   const ObjectRef toolbar = ctx.new_object("Dia.ToolBar");
   ctx.add_root(toolbar);
   ctx.put_field(toolbar, FieldId{0}, Value{display});
-  ctx.call(toolbar, "buildTools");
+  ctx.call(toolbar, kToolbarBuild);
 
   const ObjectRef window =
       build_standard_window(ctx, display, "Dia - composition", 8, 3);
@@ -380,40 +403,40 @@ std::uint64_t run_dia(Vm& ctx, const AppParams& params) {
 
   for (int i = 0; i < layers; ++i) {
     const ObjectRef layer = ctx.new_object("Dia.Layer");
-    ctx.call(layer, "initLayer",
+    ctx.call(layer, kLayerInit,
              {Value{size}, Value{size},
               Value{make_string(ctx, "layer" + std::to_string(i))}});
-    ctx.call(layer, "fillLayer", {Value{0x101010 * (i + 1)}});
-    ctx.call(image, "addLayer", {Value{layer}});
-    ctx.call(canvas, "blitPreview", {Value{layer}});
+    ctx.call(layer, kLayerFill, {Value{0x101010 * (i + 1)}});
+    ctx.call(image, kImageAddLayer, {Value{layer}});
+    ctx.call(canvas, kCanvasBlit, {Value{layer}});
   }
 
   for (int pass = 0; pass < passes; ++pass) {
     const std::int64_t which = pass % layers;
     const ObjectRef layer =
-        ctx.call(image, "getLayer", {Value{which}}).as_ref();
-    ctx.call(toolbar, "highlightTool", {Value{pass}});
+        ctx.call(image, kImageGetLayer, {Value{which}}).as_ref();
+    ctx.call(toolbar, kToolbarHighlight, {Value{pass}});
     dispatch_ui_event(ctx, window, pass);
     paint_window(ctx, window);
     // Snapshot before the destructive edit.
-    const Value snapshot = ctx.call(layer, "cloneLayer");
-    ctx.call(history, "pushLayer", {snapshot});
+    const Value snapshot = ctx.call(layer, kLayerClone);
+    ctx.call(history, kHistoryPush, {snapshot});
     if (pass % 2 == 0) {
-      ctx.call(engine, "boxBlur", {Value{layer}});
+      ctx.call(engine, kEngineBoxBlur, {Value{layer}});
     } else {
-      ctx.call(engine, "invert", {Value{layer}});
+      ctx.call(engine, kEngineInvert, {Value{layer}});
     }
-    ctx.call(canvas, "blitPreview", {Value{layer}});
+    ctx.call(canvas, kCanvasBlit, {Value{layer}});
   }
 
   std::uint64_t h = 17;
-  const std::int64_t layer_count = ctx.call(image, "layerCount").as_int();
+  const std::int64_t layer_count = ctx.call(image, kImageLayerCount).as_int();
   for (std::int64_t i = 0; i < layer_count; ++i) {
-    const ObjectRef layer = ctx.call(image, "getLayer", {Value{i}}).as_ref();
+    const ObjectRef layer = ctx.call(image, kImageGetLayer, {Value{i}}).as_ref();
     h = mix(h, static_cast<std::uint64_t>(
-                   ctx.call(layer, "checksumLayer").as_int()));
+                   ctx.call(layer, kLayerChecksum).as_int()));
   }
-  h = mix(h, static_cast<std::uint64_t>(ctx.call(history, "depth").as_int()));
+  h = mix(h, static_cast<std::uint64_t>(ctx.call(history, kHistoryDepth).as_int()));
   h = mix(h, static_cast<std::uint64_t>(
                  ctx.get_field(display, FieldId{1}).is_int()
                      ? ctx.get_field(display, FieldId{1}).as_int()

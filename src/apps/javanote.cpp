@@ -67,6 +67,39 @@ constexpr FieldId kCaretLine{0}, kCaretCol{1};
 constexpr FieldId kViewCore{0}, kViewDisplay{1}, kViewStatus{2}, kViewTop{3};
 constexpr FieldId kStatusDisplay{0}, kStatusUpdates{1};
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kListAdd{"add"};
+const vm::CallSite kSegInit{"initSeg"};
+const vm::CallSite kSegWrite{"write"};
+const vm::CallSite kSegReadAll{"readAll"};
+const vm::CallSite kSegSnapshot{"snapshot"};
+const vm::CallSite kDocInit{"initDoc"};
+const vm::CallSite kDocAddSegment{"addSegment"};
+const vm::CallSite kDocGetSegment{"getSegment"};
+const vm::CallSite kDocSegmentCount{"segmentCount"};
+const vm::CallSite kDocChecksum{"checksumDoc"};
+const vm::CallSite kIndexRebuild{"rebuild"};
+const vm::CallSite kCacheBuild{"build"};
+const vm::CallSite kCacheGetLine{"getLine"};
+const vm::CallSite kCacheRefreshLine{"refreshLine"};
+const vm::CallSite kCacheLineCount{"lineCountC"};
+const vm::CallSite kUndoPushSnap{"pushSnap"};
+const vm::CallSite kUndoDepth{"depth"};
+const vm::CallSite kCoreLoadFile{"loadFile"};
+const vm::CallSite kCoreApplyEdit{"applyEdit"};
+const vm::CallSite kCoreChecksum{"checksumCore"};
+const vm::CallSite kStatusUpdate{"update"};
+const vm::CallSite kViewRender{"render"};
+const vm::CallSite kViewScrollTo{"scrollTo"};
+const vm::CallSite kMenuBuildMenus{"buildMenus"};
+const vm::CallSite kFsRead{"read"};
+const vm::CallSite kEventsPoll{"poll"};
+const vm::CallSite kDisplayDrawText{"drawText"};
+const vm::CallSite kDisplayFlush{"flush"};
+const vm::StaticCallSite kSysTimeMillis{"System", "currentTimeMillis"};
+const vm::StaticCallSite kStrCopyCase{"StrUtil", "copyCase"};
+
 void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
@@ -196,9 +229,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     std::uint64_t h = 7;
                     for (std::int64_t i = 0; i < count; ++i) {
                       const ObjectRef seg =
-                          ctx.call(self, "getSegment", {Value{i}}).as_ref();
+                          ctx.call(self, kDocGetSegment, {Value{i}}).as_ref();
                       const std::string text =
-                          ctx.call(seg, "readAll").as_str();
+                          ctx.call(seg, kSegReadAll).as_str();
                       h = mix(h, str_hash(text));
                     }
                     return Value{static_cast<std::int64_t>(h)};
@@ -221,7 +254,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
                 const ObjectRef doc = arg(args, 0).as_ref();
                 const std::int64_t seg_count =
-                    ctx.call(doc, "segmentCount").as_int();
+                    ctx.call(doc, kDocSegmentCount).as_int();
                 // Generous upper bound: one line per 16 bytes.
                 const std::int64_t max_lines =
                     (seg_count * kSegContentBytes) / 16 + 2;
@@ -230,8 +263,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 std::int64_t lines = 0;
                 for (std::int64_t s = 0; s < seg_count; ++s) {
                   const ObjectRef seg =
-                      ctx.call(doc, "getSegment", {Value{s}}).as_ref();
-                  const std::string text = ctx.call(seg, "readAll").as_str();
+                      ctx.call(doc, kDocGetSegment, {Value{s}}).as_ref();
+                  const std::string text = ctx.call(seg, kSegReadAll).as_str();
                   ctx.work(kScanWorkPerByte *
                            static_cast<SimDuration>(text.size()));
                   std::int64_t line_start = 0;
@@ -275,7 +308,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
                 const ObjectRef doc = arg(args, 0).as_ref();
                 const std::int64_t seg_count =
-                    ctx.call(doc, "segmentCount").as_int();
+                    ctx.call(doc, kDocSegmentCount).as_int();
                 const std::int64_t max_lines =
                     (seg_count * kSegContentBytes) / 16 + 2;
                 const ObjectRef lines = ctx.new_ref_array(max_lines);
@@ -283,8 +316,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 std::int64_t count = 0;
                 for (std::int64_t s = 0; s < seg_count; ++s) {
                   const ObjectRef seg =
-                      ctx.call(doc, "getSegment", {Value{s}}).as_ref();
-                  const std::string text = ctx.call(seg, "readAll").as_str();
+                      ctx.call(doc, kDocGetSegment, {Value{s}}).as_ref();
+                  const std::string text = ctx.call(seg, kSegReadAll).as_str();
                   std::size_t start = 0;
                   while (start < text.size() && count < max_lines) {
                     const std::size_t nl = text.find('\n', start);
@@ -300,7 +333,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const ObjectRef hl_str = ctx.new_object("String");
                     ctx.put_field(
                         hl_str, FieldId{0},
-                        Value{ctx.call_static("StrUtil", "copyCase",
+                        Value{ctx.call_static(kStrCopyCase,
                                               {Value{line}})
                                   .as_str() +
                               line});
@@ -370,7 +403,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                       entries_v = Value{make_list(ctx)};
                       ctx.put_field(self, kUndoEntries, entries_v);
                     }
-                    ctx.call(entries_v.as_ref(), "add", {arg(args, 0)});
+                    ctx.call(entries_v.as_ref(), kListAdd, {arg(args, 0)});
                     const Value n = ctx.get_field(self, kUndoCount);
                     ctx.put_field(self, kUndoCount,
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
@@ -414,19 +447,19 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 const auto& path = arg(args, 1).as_str();
                 const std::int64_t total = arg(args, 2).as_int();
                 const ObjectRef doc = ctx.get_field(self, kCoreDoc).as_ref();
-                ctx.call(doc, "initDoc",
+                ctx.call(doc, kDocInit,
                          {Value{total / kSegContentBytes + 2}});
                 for (std::int64_t off = 0; off < total;
                      off += kSegContentBytes) {
                   const std::int64_t len =
                       std::min<std::int64_t>(kSegContentBytes, total - off);
                   const Value chunk =
-                      ctx.call(fs, "read",
+                      ctx.call(fs, kFsRead,
                                {Value{path}, Value{off}, Value{len}});
                   const ObjectRef seg = ctx.new_object("JNote.TextSegment");
-                  ctx.call(seg, "initSeg");
-                  ctx.call(seg, "write", {chunk, Value{0}});
-                  ctx.call(doc, "addSegment", {Value{seg}});
+                  ctx.call(seg, kSegInit);
+                  ctx.call(seg, kSegWrite, {chunk, Value{0}});
+                  ctx.call(doc, kDocAddSegment, {Value{seg}});
                 }
                 return Value{total};
               })
@@ -438,17 +471,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.work(kEditWork);
                 const ObjectRef doc = ctx.get_field(self, kCoreDoc).as_ref();
                 const std::int64_t seg_count =
-                    ctx.call(doc, "segmentCount").as_int();
+                    ctx.call(doc, kDocSegmentCount).as_int();
                 if (seg_count == 0) return Value{false};
                 const ObjectRef seg =
-                    ctx.call(doc, "getSegment",
+                    ctx.call(doc, kDocGetSegment,
                              {Value{seg_index % seg_count}})
                         .as_ref();
                 // Undo snapshot (before-image), then in-place write.
-                const Value snap = ctx.call(seg, "snapshot");
+                const Value snap = ctx.call(seg, kSegSnapshot);
                 const ObjectRef undo =
                     ctx.get_field(self, kCoreUndo).as_ref();
-                ctx.call(undo, "pushSnap", {snap});
+                ctx.call(undo, kUndoPushSnap, {snap});
                 const std::int64_t used =
                     ctx.get_field(seg, kSegUsed).as_int();
                 const std::int64_t offset =
@@ -456,15 +489,15 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         ? (seg_index * 37) %
                               (used - static_cast<std::int64_t>(text.size()))
                         : 0;
-                ctx.call(seg, "write", {Value{text}, Value{offset}});
+                ctx.call(seg, kSegWrite, {Value{text}, Value{offset}});
                 // Refresh the touched region of the render cache.
                 const ObjectRef cache =
                     ctx.get_field(self, kCoreCache).as_ref();
                 const std::int64_t line =
                     (seg_index * 53) %
                     std::max<std::int64_t>(
-                        ctx.call(cache, "lineCountC").as_int(), 1);
-                ctx.call(cache, "refreshLine", {Value{line}, Value{text}});
+                        ctx.call(cache, kCacheLineCount).as_int(), 1);
+                ctx.call(cache, kCacheRefreshLine, {Value{line}, Value{text}});
                 const ObjectRef caret =
                     ctx.get_field(self, kCoreCaret).as_ref();
                 ctx.put_field(caret, kCaretLine, Value{line});
@@ -481,9 +514,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const ObjectRef caret =
                         ctx.get_field(self, kCoreCaret).as_ref();
                     std::uint64_t h = static_cast<std::uint64_t>(
-                        ctx.call(doc, "checksumDoc").as_int());
+                        ctx.call(doc, kDocChecksum).as_int());
                     h = mix(h, static_cast<std::uint64_t>(
-                                   ctx.call(undo, "depth").as_int()));
+                                   ctx.call(undo, kUndoDepth).as_int()));
                     h = mix(h, static_cast<std::uint64_t>(
                                    ctx.get_field(caret, kCaretLine).as_int()));
                     return Value{static_cast<std::int64_t>(h)};
@@ -506,8 +539,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     // out of the checksummed text: transparency tests compare
                     // final state across executions whose virtual timings
                     // differ (offloaded vs not).
-                    (void)ctx.call_static("System", "currentTimeMillis");
-                    ctx.call(display, "drawText",
+                    (void)ctx.call_static(kSysTimeMillis);
+                    ctx.call(display, kDisplayDrawText,
                              {Value{0}, Value{479},
                               Value{"ln " +
                                     std::to_string(arg(args, 0).as_int())}});
@@ -543,21 +576,21 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 for (int row = 0; row < kViewRows; ++row) {
                   ctx.work(kRenderLineWork);
                   const Value line_v =
-                      ctx.call(cache, "getLine", {Value{top + row}});
+                      ctx.call(cache, kCacheGetLine, {Value{top + row}});
                   const std::string text =
                       line_v.is_ref() && !line_v.as_ref().is_null()
                           ? string_value(ctx, line_v.as_ref())
                           : "";
-                  ctx.call(display, "drawText",
+                  ctx.call(display, kDisplayDrawText,
                            {Value{0}, Value{row * 12}, Value{text}});
                 }
-                ctx.call(display, "flush");
+                ctx.call(display, kDisplayFlush);
                 return Value{};
               })
           .method("scrollTo",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     ctx.put_field(self, kViewTop, arg(args, 0));
-                    return ctx.call(self, "render");
+                    return ctx.call(self, kViewRender);
                   })
           .build());
 
@@ -654,7 +687,7 @@ std::uint64_t run_javanote(Vm& ctx, const AppParams& params) {
 
   const ObjectRef menu = ctx.new_object("JNote.MenuBar");
   ctx.add_root(menu);
-  ctx.call(menu, "buildMenus");
+  ctx.call(menu, kMenuBuildMenus);
 
   const ObjectRef window =
       build_standard_window(ctx, display, "JavaNote - report.txt");
@@ -662,9 +695,9 @@ std::uint64_t run_javanote(Vm& ctx, const AppParams& params) {
   paint_window(ctx, window);
 
   // Load the file and build the editing structures.
-  ctx.call(core, "loadFile", {Value{fs}, Value{"report.txt"}, Value{doc_bytes}});
-  ctx.call(index, "rebuild", {Value{doc}});
-  const std::int64_t lines = ctx.call(cache, "build", {Value{doc}}).as_int();
+  ctx.call(core, kCoreLoadFile, {Value{fs}, Value{"report.txt"}, Value{doc_bytes}});
+  ctx.call(index, kIndexRebuild, {Value{doc}});
+  const std::int64_t lines = ctx.call(cache, kCacheBuild, {Value{doc}}).as_int();
 
   // Interactive session: an editing phase (undo snapshots steadily grow the
   // heap towards exhaustion) followed by a reading/scrolling phase — the
@@ -673,26 +706,26 @@ std::uint64_t run_javanote(Vm& ctx, const AppParams& params) {
   std::int64_t top = 0;
   std::int64_t ui_state = 0;
   for (int step = 0; step < steps; ++step) {
-    const std::int64_t ev = ctx.call(events, "poll").as_int();
+    const std::int64_t ev = ctx.call(events, kEventsPoll).as_int();
     ui_state = dispatch_ui_event(ctx, window, ev);
     const bool is_edit = (step < 2 * edits) && (step % 2 == 0);
     if (is_edit) {
-      ctx.call(core, "applyEdit",
+      ctx.call(core, kCoreApplyEdit,
                {Value{step}, Value{"<edit " + std::to_string(step) + "/>"}});
-      ctx.call(view, "render");
+      ctx.call(view, kViewRender);
     } else {
       top = (top + 7 + step % 5) % std::max<std::int64_t>(lines - kViewRows, 1);
-      ctx.call(view, "scrollTo", {Value{top}});
+      ctx.call(view, kViewScrollTo, {Value{top}});
     }
     if (step % 10 == 0) {
-      ctx.call(status, "update", {Value{top}});
+      ctx.call(status, kStatusUpdate, {Value{top}});
       paint_window(ctx, window);
     }
   }
 
   // Observable final state.
   std::uint64_t h = static_cast<std::uint64_t>(
-      ctx.call(core, "checksumCore").as_int());
+      ctx.call(core, kCoreChecksum).as_int());
   h = mix(h, static_cast<std::uint64_t>(
                  ctx.get_field(display, FieldId{1}).is_int()
                      ? ctx.get_field(display, FieldId{1}).as_int()

@@ -14,6 +14,13 @@ using vm::Vm;
 
 namespace {
 
+// Cached call sites for the collection hot paths: each resolves
+// "ArrayList.<method>" once per registry and then dispatches by MethodId.
+// Deliberately const, not constexpr: the cache fields are mutable.
+const vm::CallSite kListSize{"size"};
+const vm::CallSite kListGet{"get"};
+const vm::CallSite kListAdd{"add"};
+
 const Value& arg(std::span<const Value> args, std::size_t i) {
   static const Value nil;
   return i < args.size() ? args[i] : nil;
@@ -199,7 +206,7 @@ void register_system_classes(vm::ClassRegistry& reg) {
                            const auto& key = arg(args, 0).as_str();
                            const ClassId cls = ctx.find_class("System");
                            const auto& def = ctx.class_def(cls);
-                           return ctx.get_static(cls, def.find_static(key));
+                           return ctx.get_static(cls, def.require_static(key));
                          })
           .arity(1)
           .build());
@@ -614,10 +621,10 @@ void register_collections(vm::ClassRegistry& reg) {
                 }
                 const ObjectRef entries = entries_v.as_ref();
                 const std::int64_t n =
-                    ctx.call(entries, "size").as_int();
+                    ctx.call(entries, kListSize).as_int();
                 for (std::int64_t i = 0; i < n; ++i) {
                   const ObjectRef pair =
-                      ctx.call(entries, "get", {Value{i}}).as_ref();
+                      ctx.call(entries, kListGet, {Value{i}}).as_ref();
                   if (ctx.get_field(pair, FieldId{0}) == arg(args, 0)) {
                     ctx.put_field(pair, FieldId{1}, arg(args, 1));
                     return Value{false};
@@ -626,7 +633,7 @@ void register_collections(vm::ClassRegistry& reg) {
                 const ObjectRef pair = ctx.new_object("Pair");
                 ctx.put_field(pair, FieldId{0}, arg(args, 0));
                 ctx.put_field(pair, FieldId{1}, arg(args, 1));
-                ctx.call(entries, "add", {Value{pair}});
+                ctx.call(entries, kListAdd, {Value{pair}});
                 const Value size = ctx.get_field(self, FieldId{1});
                 ctx.put_field(self, FieldId{1},
                               Value{(size.is_int() ? size.as_int() : 0) + 1});
@@ -643,10 +650,10 @@ void register_collections(vm::ClassRegistry& reg) {
                 }
                 const ObjectRef entries = entries_v.as_ref();
                 const std::int64_t n =
-                    ctx.call(entries, "size").as_int();
+                    ctx.call(entries, kListSize).as_int();
                 for (std::int64_t i = 0; i < n; ++i) {
                   const ObjectRef pair =
-                      ctx.call(entries, "get", {Value{i}}).as_ref();
+                      ctx.call(entries, kListGet, {Value{i}}).as_ref();
                   if (ctx.get_field(pair, FieldId{0}) == arg(args, 0)) {
                     return ctx.get_field(pair, FieldId{1});
                   }
@@ -678,7 +685,7 @@ void register_collections(vm::ClassRegistry& reg) {
                         ctx.get_field(self, FieldId{0}).as_ref();
                     const std::int64_t index =
                         ctx.get_field(self, FieldId{1}).as_int();
-                    return Value{index < ctx.call(list, "size").as_int()};
+                    return Value{index < ctx.call(list, kListSize).as_int()};
                   },
                   sim_ns(150))
           .arity(0)
@@ -689,7 +696,7 @@ void register_collections(vm::ClassRegistry& reg) {
                     const std::int64_t index =
                         ctx.get_field(self, FieldId{1}).as_int();
                     ctx.put_field(self, FieldId{1}, Value{index + 1});
-                    return ctx.call(list, "get", {Value{index}});
+                    return ctx.call(list, kListGet, {Value{index}});
                   },
                   sim_ns(200))
           .arity(0)
@@ -720,15 +727,15 @@ std::string string_value(Vm& ctx, ObjectRef str) {
 ObjectRef make_list(Vm& ctx) { return ctx.new_object("ArrayList"); }
 
 void list_add(Vm& ctx, ObjectRef list, const Value& item) {
-  ctx.call(list, "add", {item});
+  ctx.call(list, kListAdd, {item});
 }
 
 Value list_get(Vm& ctx, ObjectRef list, std::int64_t index) {
-  return ctx.call(list, "get", {Value{index}});
+  return ctx.call(list, kListGet, {Value{index}});
 }
 
 std::int64_t list_size(Vm& ctx, ObjectRef list) {
-  return ctx.call(list, "size").as_int();
+  return ctx.call(list, kListSize).as_int();
 }
 
 ObjectRef box_int(Vm& ctx, std::int64_t value) {

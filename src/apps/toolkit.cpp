@@ -28,6 +28,29 @@ constexpr SimDuration kLayoutWork = sim_us(60);
 //   3: display (Display, set at build time)
 constexpr FieldId kWBounds{0}, kWLabel{1}, kWState{2}, kWDisplay{3};
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kListAdd{"add"};
+const vm::CallSite kListGet{"get"};
+const vm::CallSite kListSize{"size"};
+const vm::CallSite kMapPut{"put"};
+const vm::CallSite kMapGet{"get"};
+const vm::CallSite kDisplayDrawLine{"drawLine"};
+const vm::CallSite kDisplayDrawText{"drawText"};
+const vm::CallSite kDisplayFlush{"flush"};
+const vm::CallSite kWidgetPaint{"paint"};
+const vm::CallSite kWidgetHandle{"handle"};
+const vm::CallSite kIconInit{"initIcon"};
+const vm::CallSite kLayoutLayout{"layout"};
+const vm::CallSite kPanelAddChild{"addChild"};
+const vm::CallSite kPanelDoLayout{"doLayout"};
+const vm::CallSite kPanelPaintAll{"paintAll"};
+const vm::CallSite kKeyMapBind{"bind"};
+const vm::CallSite kKeyMapLookup{"lookup"};
+const vm::CallSite kDispatcherDispatch{"dispatch"};
+const vm::CallSite kWindowPaintTree{"paintTree"};
+const vm::StaticCallSite kThemeAccentFor{"ui.Theme", "accentFor"};
+
 // Paints a generic widget: a frame plus its label text.
 Value paint_widget(Vm& ctx, ObjectRef self) {
   ctx.work(kPaintWork);
@@ -43,12 +66,12 @@ Value paint_widget(Vm& ctx, ObjectRef self) {
     w = ctx.get_field(r, FieldId{2}).as_int();
     h = ctx.get_field(r, FieldId{3}).as_int();
   }
-  ctx.call(display, "drawLine", {Value{x}, Value{y}, Value{x + w}, Value{y}});
-  ctx.call(display, "drawLine",
+  ctx.call(display, kDisplayDrawLine, {Value{x}, Value{y}, Value{x + w}, Value{y}});
+  ctx.call(display, kDisplayDrawLine,
            {Value{x}, Value{y + h}, Value{x + w}, Value{y + h}});
   const Value label_v = ctx.get_field(self, kWLabel);
   if (label_v.is_str()) {
-    ctx.call(display, "drawText", {Value{x + 2}, Value{y + 2}, label_v});
+    ctx.call(display, kDisplayDrawText, {Value{x + 2}, Value{y + 2}, label_v});
   }
   return Value{};
 }
@@ -176,12 +199,12 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 const ObjectRef children = arg(args, 0).as_ref();
                 const Value gap_v = ctx.get_field(self, FieldId{0});
                 const std::int64_t gap = gap_v.is_int() ? gap_v.as_int() : 4;
-                const std::int64_t n = ctx.call(children, "size").as_int();
+                const std::int64_t n = ctx.call(children, kListSize).as_int();
                 std::int64_t x = gap;
                 for (std::int64_t i = 0; i < n; ++i) {
                   ctx.work(kLayoutWork);
                   const ObjectRef w =
-                      ctx.call(children, "get", {Value{i}}).as_ref();
+                      ctx.call(children, kListGet, {Value{i}}).as_ref();
                   const ObjectRef bounds =
                       ctx.get_field(w, kWBounds).as_ref();
                   ctx.put_field(bounds, FieldId{0}, Value{x});
@@ -206,12 +229,12 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 const ObjectRef children = arg(args, 0).as_ref();
                 const Value gap_v = ctx.get_field(self, FieldId{0});
                 const std::int64_t gap = gap_v.is_int() ? gap_v.as_int() : 4;
-                const std::int64_t n = ctx.call(children, "size").as_int();
+                const std::int64_t n = ctx.call(children, kListSize).as_int();
                 std::int64_t y = 20;
                 for (std::int64_t i = 0; i < n; ++i) {
                   ctx.work(kLayoutWork);
                   const ObjectRef w =
-                      ctx.call(children, "get", {Value{i}}).as_ref();
+                      ctx.call(children, kListGet, {Value{i}}).as_ref();
                   const ObjectRef bounds =
                       ctx.get_field(w, kWBounds).as_ref();
                   ctx.put_field(bounds, FieldId{1}, Value{y});
@@ -264,7 +287,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                       children_v = Value{make_list(ctx)};
                       ctx.put_field(self, FieldId{0}, children_v);
                     }
-                    ctx.call(children_v.as_ref(), "add", {arg(args, 0)});
+                    ctx.call(children_v.as_ref(), kListAdd, {arg(args, 0)});
                     return Value{};
                   })
           .arity(1)
@@ -275,7 +298,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     if (layout_v.is_ref() && !layout_v.as_ref().is_null() &&
                         children_v.is_ref() &&
                         !children_v.as_ref().is_null()) {
-                      return ctx.call(layout_v.as_ref(), "layout",
+                      return ctx.call(layout_v.as_ref(), kLayoutLayout,
                                       {children_v});
                     }
                     return Value{};
@@ -290,11 +313,11 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     }
                     const ObjectRef children = children_v.as_ref();
                     const std::int64_t n =
-                        ctx.call(children, "size").as_int();
+                        ctx.call(children, kListSize).as_int();
                     for (std::int64_t i = 0; i < n; ++i) {
                       const ObjectRef w =
-                          ctx.call(children, "get", {Value{i}}).as_ref();
-                      ctx.call(w, "paint");
+                          ctx.call(children, kListGet, {Value{i}}).as_ref();
+                      ctx.call(w, kWidgetPaint);
                     }
                     return Value{n};
                   })
@@ -316,7 +339,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                       map_v = Value{ctx.new_object("HashMap")};
                       ctx.put_field(self, FieldId{0}, map_v);
                     }
-                    return ctx.call(map_v.as_ref(), "put",
+                    return ctx.call(map_v.as_ref(), kMapPut,
                                     {arg(args, 0), arg(args, 1)});
                   })
           .arity(2)
@@ -326,7 +349,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     if (!map_v.is_ref() || map_v.as_ref().is_null()) {
                       return Value{};
                     }
-                    return ctx.call(map_v.as_ref(), "get", {arg(args, 0)});
+                    return ctx.call(map_v.as_ref(), kMapGet, {arg(args, 0)});
                   })
           .arity(1)
           .build());
@@ -352,7 +375,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 std::int64_t focus = code;
                 if (keymap_v.is_ref() && !keymap_v.as_ref().is_null()) {
                   const Value bound =
-                      ctx.call(keymap_v.as_ref(), "lookup", {Value{code}});
+                      ctx.call(keymap_v.as_ref(), kKeyMapLookup, {Value{code}});
                   if (bound.is_int()) focus = bound.as_int();
                 }
                 const Value children_v = ctx.get_field(panel, FieldId{0});
@@ -360,11 +383,11 @@ void register_toolkit(vm::ClassRegistry& reg) {
                   return Value{0};
                 }
                 const ObjectRef children = children_v.as_ref();
-                const std::int64_t n = ctx.call(children, "size").as_int();
+                const std::int64_t n = ctx.call(children, kListSize).as_int();
                 if (n == 0) return Value{0};
                 const ObjectRef target =
-                    ctx.call(children, "get", {Value{focus % n}}).as_ref();
-                const Value state = ctx.call(target, "handle", {Value{code}});
+                    ctx.call(children, kListGet, {Value{focus % n}}).as_ref();
+                const Value state = ctx.call(target, kWidgetHandle, {Value{code}});
                 const Value count = ctx.get_field(self, FieldId{1});
                 ctx.put_field(self, FieldId{1},
                               Value{(count.is_int() ? count.as_int() : 0) +
@@ -394,7 +417,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                         ctx.get_field(self, FieldId{4}).as_ref();
                     const Value title_v = ctx.get_field(self, FieldId{0});
                     if (title_v.is_ref() && !title_v.as_ref().is_null()) {
-                      ctx.call(display, "drawText",
+                      ctx.call(display, kDisplayDrawText,
                                {Value{2}, Value{2},
                                 Value{string_value(ctx, title_v.as_ref())}});
                     }
@@ -403,10 +426,10 @@ void register_toolkit(vm::ClassRegistry& reg) {
                       const Value panel_v = ctx.get_field(self, panel_field);
                       if (panel_v.is_ref() && !panel_v.as_ref().is_null()) {
                         painted +=
-                            ctx.call(panel_v.as_ref(), "paintAll").as_int();
+                            ctx.call(panel_v.as_ref(), kPanelPaintAll).as_int();
                       }
                     }
-                    ctx.call(display, "flush");
+                    ctx.call(display, kDisplayFlush);
                     const Value paints = ctx.get_field(self, FieldId{5});
                     ctx.put_field(
                         self, FieldId{5},
@@ -428,7 +451,7 @@ ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
   ctx.put_static("ui.Theme", "fg", Value{0x202020});
   ctx.put_static("ui.Theme", "bg", Value{0xF4F4F0});
   ctx.put_static("ui.Theme", "accent",
-                 ctx.call_static("ui.Theme", "accentFor", {Value{7}}));
+                 ctx.call_static(kThemeAccentFor, {Value{7}}));
 
   // Toolbar: buttons with icons, flow-layouted.
   const ObjectRef toolbar = ctx.new_object("ui.Panel");
@@ -439,10 +462,10 @@ ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
     const ObjectRef button = make_widget(
         ctx, "ui.Button", display, "btn" + std::to_string(i), 4 + i * 52, 18);
     const ObjectRef icon = ctx.new_object("ui.Icon");
-    ctx.call(icon, "initIcon", {Value{8}, Value{i}});
-    ctx.call(toolbar, "addChild", {Value{button}});
+    ctx.call(icon, kIconInit, {Value{8}, Value{i}});
+    ctx.call(toolbar, kPanelAddChild, {Value{button}});
   }
-  ctx.call(toolbar, "doLayout");
+  ctx.call(toolbar, kPanelDoLayout);
   ctx.put_field(window, FieldId{1}, Value{toolbar});
 
   // Content: labels, a checkbox, scrollbar, list, status, tabs, progress.
@@ -451,7 +474,7 @@ ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
   ctx.put_field(column, FieldId{0}, Value{3});
   ctx.put_field(content, FieldId{1}, Value{column});
   for (int i = 0; i < labels; ++i) {
-    ctx.call(content, "addChild",
+    ctx.call(content, kPanelAddChild,
              {Value{make_widget(ctx, "ui.Label", display,
                                 "label " + std::to_string(i), 4, 0)}});
   }
@@ -459,17 +482,17 @@ ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
                           "ui.ScrollBar", "ui.ListBox", "ui.ComboBox",
                           "ui.ProgressBar", "ui.Separator", "ui.StatusField",
                           "ui.TabStrip", "ui.Spinner"}) {
-    ctx.call(content, "addChild",
+    ctx.call(content, kPanelAddChild,
              {Value{make_widget(ctx, cls, display, cls, 4, 0)}});
   }
-  ctx.call(content, "doLayout");
+  ctx.call(content, kPanelDoLayout);
   ctx.put_field(window, FieldId{2}, Value{content});
 
   // Dispatcher with a few key bindings.
   const ObjectRef dispatcher = ctx.new_object("ui.EventDispatcher");
   const ObjectRef keymap = ctx.new_object("ui.KeyMap");
   for (int code = 0; code < 7; ++code) {
-    ctx.call(keymap, "bind", {Value{code}, Value{(code * 3) % 11}});
+    ctx.call(keymap, kKeyMapBind, {Value{code}, Value{(code * 3) % 11}});
   }
   ctx.put_field(dispatcher, FieldId{0}, Value{keymap});
   ctx.put_field(window, FieldId{3}, Value{dispatcher});
@@ -477,7 +500,7 @@ ObjectRef build_standard_window(Vm& ctx, ObjectRef display,
 }
 
 void paint_window(Vm& ctx, ObjectRef window) {
-  ctx.call(window, "paintTree");
+  ctx.call(window, kWindowPaintTree);
 }
 
 std::int64_t dispatch_ui_event(Vm& ctx, ObjectRef window,
@@ -485,7 +508,7 @@ std::int64_t dispatch_ui_event(Vm& ctx, ObjectRef window,
   const ObjectRef dispatcher = ctx.get_field(window, FieldId{3}).as_ref();
   const ObjectRef content = ctx.get_field(window, FieldId{2}).as_ref();
   const Value state =
-      ctx.call(dispatcher, "dispatch", {Value{content}, Value{event_code}});
+      ctx.call(dispatcher, kDispatcherDispatch, {Value{content}, Value{event_code}});
   return state.is_int() ? state.as_int() : 0;
 }
 

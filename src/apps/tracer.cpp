@@ -34,6 +34,18 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kSceneGetSphere{"getSphere"};
+const vm::CallSite kSceneBuildScene{"buildScene"};
+const vm::CallSite kEngineRenderRow{"renderRow"};
+const vm::CallSite kEngineChecksum{"checksumImage"};
+const vm::CallSite kScreenPresentRows{"presentRows"};
+const vm::CallSite kDisplayDrawLine{"drawLine"};
+const vm::CallSite kDisplayFlush{"flush"};
+const vm::StaticCallSite kMathSqrt{"Math", "sqrt"};
+const vm::StaticCallSite kMathPow{"Math", "pow"};
+
 constexpr FieldId kSphX{0}, kSphY{1}, kSphZ{2}, kSphR{3}, kSphMat{4};
 constexpr FieldId kMatR{0}, kMatG{1}, kMatB{2}, kMatReflect{3};
 constexpr FieldId kSceneSpheres{0}, kSceneCount{1}, kSceneLightX{2},
@@ -171,7 +183,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   for (std::int64_t s = 0; s < count; ++s) {
                     ctx.work(kIntersectWork);
                     const ObjectRef sphere =
-                        ctx.call(scene, "getSphere", {Value{s}}).as_ref();
+                        ctx.call(scene, kSceneGetSphere, {Value{s}}).as_ref();
                     const double sx = ctx.get_field(sphere, kSphX).to_real();
                     const double sy = ctx.get_field(sphere, kSphY).to_real();
                     const double sz = ctx.get_field(sphere, kSphZ).to_real();
@@ -183,7 +195,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     const double disc = b * b - c;
                     if (disc <= 0) continue;
                     const double sq =
-                        ctx.call_static("Math", "sqrt", {Value{disc}})
+                        ctx.call_static(kMathSqrt, {Value{disc}})
                             .as_real();
                     const double t = b - sq;
                     if (t > 0.01 && t < best_t) {
@@ -194,7 +206,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                   // Tone mapping goes through the Math native for every
                   // pixel (the paper's stateless-native hot path).
                   const double gamma =
-                      ctx.call_static("Math", "pow",
+                      ctx.call_static(kMathPow,
                                       {Value{0.9}, Value{1.0 + ry}})
                           .as_real();
                   std::int64_t rgb = 0x10203A;  // background
@@ -260,10 +272,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                    ctx.array_get(buffer, y * w + x)
                                        .as_int()));
                   }
-                  ctx.call(display, "drawLine",
+                  ctx.call(display, kDisplayDrawLine,
                            {Value{0}, Value{y}, Value{w}, Value{y}});
                 }
-                ctx.call(display, "flush");
+                ctx.call(display, kDisplayFlush);
                 const Value blits = ctx.get_field(self, kScreenBlits);
                 ctx.put_field(self, kScreenBlits,
                               Value{(blits.is_int() ? blits.as_int() : 0) +
@@ -293,7 +305,7 @@ std::uint64_t run_tracer(Vm& ctx, const AppParams& params) {
 
   const ObjectRef scene = ctx.new_object("Trc.Scene");
   ctx.add_root(scene);
-  ctx.call(scene, "buildScene", {Value{spheres}});
+  ctx.call(scene, kSceneBuildScene, {Value{spheres}});
 
   const ObjectRef engine = ctx.new_object("Trc.RayEngine");
   ctx.add_root(engine);
@@ -309,12 +321,12 @@ std::uint64_t run_tracer(Vm& ctx, const AppParams& params) {
   std::uint64_t checksum = 37;
   const std::int64_t preview_every = std::max<std::int64_t>(h / 4, 1);
   for (std::int64_t y = 0; y < h; ++y) {
-    ctx.call(engine, "renderRow", {Value{y}});
+    ctx.call(engine, kEngineRenderRow, {Value{y}});
     // Low interaction: only occasional progressive previews.
     if ((y + 1) % preview_every == 0) {
       const ObjectRef buffer = ctx.get_field(engine, kEngineBuffer).as_ref();
       const Value ph = ctx.call(
-          screen, "presentRows",
+          screen, kScreenPresentRows,
           {Value{buffer}, Value{y + 1 - preview_every}, Value{preview_every},
            Value{w}});
       checksum = mix(checksum, static_cast<std::uint64_t>(ph.as_int()));
@@ -322,7 +334,7 @@ std::uint64_t run_tracer(Vm& ctx, const AppParams& params) {
   }
 
   checksum = mix(checksum, static_cast<std::uint64_t>(
-                               ctx.call(engine, "checksumImage").as_int()));
+                               ctx.call(engine, kEngineChecksum).as_int()));
   checksum = mix(checksum, static_cast<std::uint64_t>(
                                ctx.get_field(display, FieldId{1}).is_int()
                                    ? ctx.get_field(display, FieldId{1})

@@ -42,6 +42,22 @@ constexpr FieldId kCamX{0}, kCamY{1}, kCamAngle{2}, kCamHeight{3};
 constexpr FieldId kCasterField{0}, kCasterBuffer{1}, kCasterCols{2};
 constexpr FieldId kScreenDisplay{0}, kScreenFrames{1};
 
+// Cached call sites (resolved once per registry epoch, then MethodId
+// dispatch). const, not constexpr: the resolution fields are mutable.
+const vm::CallSite kFieldInitField{"initField"};
+const vm::CallSite kFieldHeightAt{"heightAt"};
+const vm::CallSite kFieldChecksum{"checksumField"};
+const vm::CallSite kGenGenerate{"generate"};
+const vm::CallSite kCasterRenderFrame{"renderFrame"};
+const vm::CallSite kScreenPresent{"present"};
+const vm::CallSite kEventsPoll{"poll"};
+const vm::CallSite kDisplayDrawLine{"drawLine"};
+const vm::CallSite kDisplayFlush{"flush"};
+const vm::StaticCallSite kMathNoise{"Math", "noise"};
+const vm::StaticCallSite kMathCos{"Math", "cos"};
+const vm::StaticCallSite kMathSin{"Math", "sin"};
+const vm::StaticCallSite kMathSqrt{"Math", "sqrt"};
+
 void register_classes_impl(vm::ClassRegistry& reg) {
   using vm::ClassBuilder;
 
@@ -112,7 +128,7 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     for (std::int64_t x = 0; x < size; x += stride) {
                       ctx.work(kGenWork);
                       const std::int64_t noise =
-                          ctx.call_static("Math", "noise",
+                          ctx.call_static(kMathNoise,
                                           {Value{x / stride},
                                            Value{y / stride}, Value{seed}})
                               .as_int();
@@ -176,9 +192,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                    static_cast<double>(cols) -
                                0.5);
                   const double dx =
-                      ctx.call_static("Math", "cos", {Value{ray}}).as_real();
+                      ctx.call_static(kMathCos, {Value{ray}}).as_real();
                   const double dy =
-                      ctx.call_static("Math", "sin", {Value{ray}}).as_real();
+                      ctx.call_static(kMathSin, {Value{ray}}).as_real();
                   std::int64_t top = 0;
                   for (int step = 1; step <= kMarchSteps; ++step) {
                     ctx.work(kMarchWork);
@@ -187,13 +203,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     // unenhanced offload (paper 5.2).
                     const double dist =
                         ctx.call_static(
-                               "Math", "sqrt",
+                               kMathSqrt,
                                {Value{static_cast<double>(step) *
                                       static_cast<double>(step * step)}})
                             .as_real() *
                         static_cast<double>(step) / 1.733;
                     const std::int64_t h =
-                        ctx.call(field, "heightAt",
+                        ctx.call(field, kFieldHeightAt,
                                  {Value{static_cast<std::int64_t>(
                                       cx + dx * dist)},
                                   Value{static_cast<std::int64_t>(
@@ -235,11 +251,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                       ctx.array_get(buffer, col).as_int();
                   h = mix(h, static_cast<std::uint64_t>(top));
                   if (col % 8 == 0) {
-                    ctx.call(display, "drawLine",
+                    ctx.call(display, kDisplayDrawLine,
                              {Value{col}, Value{0}, Value{col}, Value{top}});
                   }
                 }
-                ctx.call(display, "flush");
+                ctx.call(display, kDisplayFlush);
                 const Value frames = ctx.get_field(self, kScreenFrames);
                 ctx.put_field(self, kScreenFrames,
                               Value{(frames.is_int() ? frames.as_int() : 0) +
@@ -271,10 +287,10 @@ std::uint64_t run_voxel(Vm& ctx, const AppParams& params) {
 
   const ObjectRef field = ctx.new_object("Vox.HeightField");
   ctx.add_root(field);
-  ctx.call(field, "initField", {Value{size}});
+  ctx.call(field, kFieldInitField, {Value{size}});
   const ObjectRef generator = ctx.new_object("Vox.DiamondSquare");
   ctx.add_root(generator);
-  ctx.call(generator, "generate",
+  ctx.call(generator, kGenGenerate,
            {Value{field}, Value{static_cast<std::int64_t>(params.seed)}});
 
   const ObjectRef camera = ctx.new_object("Vox.Camera");
@@ -298,21 +314,21 @@ std::uint64_t run_voxel(Vm& ctx, const AppParams& params) {
   std::uint64_t h = 23;
   for (int frame = 0; frame < frames; ++frame) {
     // Interactive camera movement from the (pinned) event queue.
-    const std::int64_t ev = ctx.call(events, "poll").as_int();
+    const std::int64_t ev = ctx.call(events, kEventsPoll).as_int();
     const double angle = ctx.get_field(camera, kCamAngle).to_real();
     ctx.put_field(camera, kCamAngle,
                   Value{angle + 0.05 * static_cast<double>(ev % 3 - 1)});
     ctx.put_field(camera, kCamX,
                   Value{ctx.get_field(camera, kCamX).to_real() + 1.5});
 
-    ctx.call(caster, "renderFrame", {Value{camera}});
+    ctx.call(caster, kCasterRenderFrame, {Value{camera}});
     const ObjectRef buffer = ctx.get_field(caster, kCasterBuffer).as_ref();
-    const Value frame_hash = ctx.call(screen, "present", {Value{buffer}});
+    const Value frame_hash = ctx.call(screen, kScreenPresent, {Value{buffer}});
     h = mix(h, static_cast<std::uint64_t>(frame_hash.as_int()));
   }
 
   h = mix(h, static_cast<std::uint64_t>(
-                 ctx.call(field, "checksumField").as_int()));
+                 ctx.call(field, kFieldChecksum).as_int()));
   h = mix(h, static_cast<std::uint64_t>(
                  ctx.get_field(screen, kScreenFrames).as_int()));
 

@@ -837,7 +837,7 @@ std::vector<std::uint8_t> Endpoint::serve(
           const std::int64_t before = obj->size_bytes();
           read_object_payload(sr, *obj, *this);
           // String fields arrive in the payload; account their bytes.
-          vm_.heap().adjust_used(obj->size_bytes() - before);
+          vm_.heap().resync_used(*obj, before);
         }
         out.write_u8(kStatusOk);
         out.write_u32(count);

@@ -151,6 +151,8 @@ void read_object_payload(ByteReader& r, vm::Object& obj, RefTranslator& tr) {
       obj.chars = r.read_string();
       break;
   }
+  // The payload (string fields in particular) was rewritten wholesale.
+  obj.invalidate_size_cache();
 }
 
 }  // namespace aide::rpc

@@ -6,12 +6,23 @@
 // GC reports mirror what the paper extracts from Chai's incremental
 // mark-and-sweep collector: the amount of free heap after each cycle
 // (section 3.4).
+//
+// Layout: a slab of slots (each holding one pooled Object behind a stable
+// unique_ptr) plus a dense per-node ObjectId → slot table. Ids are
+// `(node << 48) | counter` with a monotone per-VM counter, so the counter is
+// a natural dense index: each node keeps a vector of packed
+// `(generation+1) << 32 | slot` entries offset by a running `base`. find and
+// contains are two array indexations; create/extract recycle slots and
+// payload capacity off a free list (no malloc in steady state); sweep and
+// for_each walk nodes and counters in ascending order, making GC callback
+// order deterministic and id-sorted. Slot generations are bumped on every
+// release so a stale id can never alias a recycled slot.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -43,82 +54,279 @@ class Heap {
   [[nodiscard]] std::int64_t free_bytes() const noexcept {
     return capacity_ - used_;
   }
-  [[nodiscard]] std::size_t object_count() const noexcept {
-    return objects_.size();
-  }
+  [[nodiscard]] std::size_t object_count() const noexcept { return live_; }
 
   [[nodiscard]] bool fits(std::int64_t bytes) const noexcept {
     return used_ + bytes <= capacity_;
   }
 
-  // Inserts a fully-formed object; the caller has already verified capacity.
-  Object& insert(std::unique_ptr<Object> obj) {
-    used_ += obj->size_bytes();
-    Object& ref = *obj;
-    objects_[obj->id] = std::move(obj);
-    return ref;
+  // Allocates an object in-place, recycling a freed slot (and its payload
+  // capacity) when one is available. The caller has already verified capacity
+  // and computed the footprint; payloads come back zero-initialised exactly
+  // like a fresh allocation.
+  Object& create(ObjectId id, ClassId cls, ObjectKind kind,
+                 std::size_t fields_len, std::size_t ints_len,
+                 std::size_t chars_len, std::int64_t size_bytes) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    if (!s.obj) s.obj = std::make_unique<Object>();
+    Object& obj = *s.obj;
+    obj.id = id;
+    obj.cls = cls;
+    obj.kind = kind;
+    obj.gc_mark = false;
+    obj.fields.assign(fields_len, Value{});
+    obj.ints.assign(ints_len, 0);
+    obj.chars.assign(chars_len, '\0');
+    obj.set_size_cache(size_bytes);
+    link(id, slot);
+    used_ += size_bytes;
+    ++live_;
+    return obj;
   }
 
+  // Inserts a fully-formed object (migration adopts objects built by the
+  // deserializer); the caller has already verified capacity. The Object's
+  // address stays stable for its whole lifetime.
+  Object& insert(std::unique_ptr<Object> obj) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.obj = std::move(obj);  // replaces any pooled carcass
+    used_ += s.obj->size_bytes();
+    link(s.obj->id, slot);
+    ++live_;
+    return *s.obj;
+  }
+
+  // The entry embeds the object pointer next to the generation word, so a
+  // hit costs the node-table walk plus one same-cache-line read; the slot's
+  // generation is cross-checked to reject stale ids.
   [[nodiscard]] Object* find(ObjectId id) noexcept {
-    const auto it = objects_.find(id);
-    return it == objects_.end() ? nullptr : it->second.get();
+    const Entry* e = entry_of(id);
+    return e != nullptr ? e->obj : nullptr;
   }
   [[nodiscard]] const Object* find(ObjectId id) const noexcept {
-    const auto it = objects_.find(id);
-    return it == objects_.end() ? nullptr : it->second.get();
+    const Entry* e = entry_of(id);
+    return e != nullptr ? e->obj : nullptr;
   }
 
   [[nodiscard]] bool contains(ObjectId id) const noexcept {
-    return objects_.contains(id);
+    return lookup(id) != kNoSlot;
   }
 
   // Adjusts accounting after an in-place mutation changed an object's size
-  // (e.g. a string field grew).
-  void adjust_used(std::int64_t delta) noexcept { used_ += delta; }
+  // (e.g. a string field grew); keeps the object's cached footprint and the
+  // heap's used-byte total in lockstep.
+  void adjust_used(Object& obj, std::int64_t delta) noexcept {
+    obj.adjust_size(delta);
+    used_ += delta;
+  }
+
+  // Re-syncs the used-byte total after an object's payload was rewritten
+  // wholesale (migration adoption): the object was charged `previous_bytes`
+  // at insert and its size cache has already been refreshed.
+  void resync_used(const Object& obj, std::int64_t previous_bytes) noexcept {
+    used_ += obj.size_bytes() - previous_bytes;
+  }
 
   // Removes an object without destroying it — used by migration, which moves
   // the object to the peer VM.
   std::unique_ptr<Object> extract(ObjectId id) {
-    auto it = objects_.find(id);
-    if (it == objects_.end()) return nullptr;
-    auto obj = std::move(it->second);
-    objects_.erase(it);
+    const std::uint32_t slot = lookup(id);
+    if (slot == kNoSlot) return nullptr;
+    Slot& s = slots_[slot];
+    auto obj = std::move(s.obj);
     used_ -= obj->size_bytes();
+    --live_;
+    unlink(obj->id);
+    release_slot(slot);
     return obj;
   }
 
   // Sweep phase: destroys every unmarked object, invoking `on_free` for each,
-  // and clears all marks. Returns bytes freed.
+  // and clears all marks. Objects are visited in ascending id order (nodes
+  // ascending, counters ascending), so GC callbacks are deterministic.
+  // Returns bytes freed.
   std::int64_t sweep(const std::function<void(const Object&)>& on_free) {
     std::int64_t freed = 0;
-    for (auto it = objects_.begin(); it != objects_.end();) {
-      Object& obj = *it->second;
-      if (!obj.gc_mark) {
-        freed += obj.size_bytes();
-        if (on_free) on_free(obj);
-        it = objects_.erase(it);
-      } else {
-        obj.gc_mark = false;
-        ++it;
+    for (NodeTable& t : nodes_) {
+      for (std::size_t i = 0; i < t.entries.size(); ++i) {
+        const Entry e = t.entries[i];
+        if (e.packed == 0) continue;
+        Object& obj = *e.obj;
+        if (!obj.gc_mark) {
+          freed += obj.size_bytes();
+          if (on_free) on_free(obj);
+          t.entries[i] = Entry{};
+          --live_;
+          release_slot(static_cast<std::uint32_t>(e.packed));
+        } else {
+          obj.gc_mark = false;
+        }
       }
+      trim(t);
     }
     used_ -= freed;
     return freed;
   }
 
+  // Ascending id order, same as sweep.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [id, obj] : objects_) fn(*obj);
+    for (const NodeTable& t : nodes_) {
+      for (const Entry& e : t.entries) {
+        if (e.packed != 0) fn(*e.obj);
+      }
+    }
   }
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [id, obj] : objects_) fn(*obj);
+    for (NodeTable& t : nodes_) {
+      for (const Entry& e : t.entries) {
+        if (e.packed != 0) fn(*e.obj);
+      }
+    }
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFU;
+  static constexpr std::uint64_t kCounterMask = (1ULL << 48) - 1;
+  // Pooled payload capacity beyond this is returned to the allocator on
+  // release so one huge array cannot pin its buffer forever.
+  static constexpr std::size_t kMaxPooledPayload = 4096;
+
+  struct Slot {
+    std::unique_ptr<Object> obj;  // carcass retained while free (payload pool)
+    std::uint32_t gen = 0;        // bumped on every release; guards stale ids
+  };
+
+  // Dense counter → entry table for one node's ids. `packed` holds
+  // `(gen + 1) << 32 | slot` (0 means no object) and `obj` caches the slot's
+  // object pointer so a hit needs no second table chase. `base` is the
+  // counter of entries[0] and advances as the dead prefix is trimmed.
+  struct Entry {
+    std::uint64_t packed = 0;
+    Object* obj = nullptr;
+  };
+  struct NodeTable {
+    std::uint64_t base = 0;
+    std::vector<Entry> entries;
+  };
+
+  [[nodiscard]] const Entry* entry_of(ObjectId id) const noexcept {
+    if (!id.valid()) return nullptr;
+    const std::uint64_t node = id.value() >> 48;
+    if (node >= nodes_.size()) return nullptr;
+    const NodeTable& t = nodes_[node];
+    const std::uint64_t counter = id.value() & kCounterMask;
+    if (counter < t.base || counter - t.base >= t.entries.size()) {
+      return nullptr;
+    }
+    const Entry& e = t.entries[counter - t.base];
+    if (e.packed == 0) return nullptr;
+    // Releasing a slot always clears or overwrites its entry in the same
+    // operation, so a live entry's recorded generation must match the slot;
+    // the packed generation is defense in depth, not a hot-path branch.
+    assert(slots_[static_cast<std::uint32_t>(e.packed)].gen ==
+           static_cast<std::uint32_t>(e.packed >> 32) - 1);
+    return &e;
+  }
+
+  [[nodiscard]] std::uint32_t lookup(ObjectId id) const noexcept {
+    const Entry* e = entry_of(id);
+    return e != nullptr ? static_cast<std::uint32_t>(e->packed) : kNoSlot;
+  }
+
+  void link(ObjectId id, std::uint32_t slot) {
+    const std::uint64_t node = id.value() >> 48;
+    const std::uint64_t counter = id.value() & kCounterMask;
+    if (node >= nodes_.size()) nodes_.resize(node + 1);
+    NodeTable& t = nodes_[node];
+    if (t.entries.empty()) {
+      t.base = counter;
+      t.entries.push_back(Entry{});
+    } else if (counter < t.base) {
+      // An id below the trimmed prefix came back (object migrated out long
+      // ago returns home). Re-grow the front; rare, so O(n) is fine.
+      t.entries.insert(t.entries.begin(), t.base - counter, Entry{});
+      t.base = counter;
+    } else if (counter - t.base >= t.entries.size()) {
+      t.entries.resize(counter - t.base + 1, Entry{});
+    }
+    Entry& e = t.entries[counter - t.base];
+    if (e.packed != 0) {
+      release_slot(static_cast<std::uint32_t>(e.packed));  // id re-insert
+    }
+    e.packed = (static_cast<std::uint64_t>(slots_[slot].gen) + 1) << 32 | slot;
+    e.obj = slots_[slot].obj.get();
+  }
+
+  void unlink(ObjectId id) noexcept {
+    const std::uint64_t node = id.value() >> 48;
+    if (node >= nodes_.size()) return;
+    NodeTable& t = nodes_[node];
+    const std::uint64_t counter = id.value() & kCounterMask;
+    if (counter >= t.base && counter - t.base < t.entries.size()) {
+      t.entries[counter - t.base] = Entry{};
+    }
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  // Retires a slot to the free list. The Object carcass stays (its payload
+  // capacity is the recycling win) but its contents are dropped so strings
+  // and dead references are not kept alive, and oversized buffers are
+  // returned to the allocator.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    ++s.gen;
+    if (Object* obj = s.obj.get()) {
+      obj->fields.clear();
+      obj->ints.clear();
+      obj->chars.clear();
+      if (obj->fields.capacity() > kMaxPooledPayload) obj->fields.shrink_to_fit();
+      if (obj->ints.capacity() > kMaxPooledPayload) obj->ints.shrink_to_fit();
+      if (obj->chars.capacity() > kMaxPooledPayload) obj->chars.shrink_to_fit();
+      obj->invalidate_size_cache();
+    }
+    free_.push_back(slot);
+  }
+
+  // Drops the dead prefix (advancing base) and the dead tail of a node table
+  // so the dense span tracks the live id range instead of every id ever
+  // allocated.
+  static void trim(NodeTable& t) {
+    std::size_t first = 0;
+    while (first < t.entries.size() && t.entries[first].packed == 0) ++first;
+    if (first == t.entries.size()) {
+      t.entries.clear();
+      t.base = 0;
+      return;
+    }
+    if (first > 0) {
+      t.entries.erase(t.entries.begin(),
+                      t.entries.begin() + static_cast<std::ptrdiff_t>(first));
+      t.base += first;
+    }
+    std::size_t last = t.entries.size();
+    while (last > 0 && t.entries[last - 1].packed == 0) --last;
+    t.entries.resize(last);
+  }
+
   std::int64_t capacity_;
   std::int64_t used_ = 0;
-  std::unordered_map<ObjectId, std::unique_ptr<Object>> objects_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<NodeTable> nodes_;
 };
 
 }  // namespace aide::vm

@@ -17,6 +17,7 @@
 // (section 4).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,6 +37,29 @@ namespace aide::vm {
 class Vm;
 // Managed method bodies receive the VM they execute on as their context.
 using VmContext = Vm;
+
+// Heterogeneous string → index map: lets string_view lookups skip the
+// temporary std::string the default hasher would force.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using SymbolIndex = std::unordered_map<std::string, std::uint32_t,
+                                       TransparentStringHash, std::equal_to<>>;
+
+// find_static's "not found" result, mirroring MethodId/FieldId::invalid().
+inline constexpr std::uint32_t kInvalidStaticSlot = 0xFFFFFFFFU;
+
+// Monotone global counter stamping every ClassRegistry mutation. Two
+// registries can never share an epoch, so a call-site cache keyed by epoch is
+// automatically invalid against any registry other than the one it was
+// resolved in (and against the same registry after late registration).
+inline std::uint64_t next_registry_epoch() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 // Body of a managed or native method. `self` is null for static methods.
 using MethodBody =
@@ -123,6 +147,10 @@ struct ClassDef {
   // captured by a typed field or a declared call.
   std::vector<std::string> refs;
 
+  // First index of this class's statics in the VM's flat statics table;
+  // assigned at registration.
+  std::uint32_t static_base = 0;
+
   // True if any method is native and stateful — such classes are pinned to
   // the client device (paper 3.3: the client partition is seeded with
   // "classes that cannot be offloaded, such as classes that contain native
@@ -147,6 +175,12 @@ struct ClassDef {
   }
 
   [[nodiscard]] MethodId find_method(std::string_view name) const {
+    if (!method_index_.empty()) {
+      const auto it = method_index_.find(name);
+      return it == method_index_.end() ? MethodId::invalid()
+                                       : MethodId{it->second};
+    }
+    // Unregistered defs (builder output inspected directly) have no index.
     for (std::size_t i = 0; i < methods.size(); ++i) {
       if (methods[i].name == name) {
         return MethodId{static_cast<std::uint32_t>(i)};
@@ -156,6 +190,11 @@ struct ClassDef {
   }
 
   [[nodiscard]] FieldId find_field(std::string_view name) const {
+    if (!field_index_.empty()) {
+      const auto it = field_index_.find(name);
+      return it == field_index_.end() ? FieldId::invalid()
+                                      : FieldId{it->second};
+    }
     for (std::size_t i = 0; i < fields.size(); ++i) {
       if (fields[i].name == name) {
         return FieldId{static_cast<std::uint32_t>(i)};
@@ -164,13 +203,100 @@ struct ClassDef {
     return FieldId::invalid();
   }
 
+  // Returns kInvalidStaticSlot when absent, matching find_method/find_field.
   [[nodiscard]] std::uint32_t find_static(std::string_view name) const {
+    if (!static_index_.empty()) {
+      const auto it = static_index_.find(name);
+      return it == static_index_.end() ? kInvalidStaticSlot : it->second;
+    }
     for (std::size_t i = 0; i < statics.size(); ++i) {
       if (statics[i] == name) return static_cast<std::uint32_t>(i);
     }
-    throw VmError(VmErrorCode::unknown_field,
-                  "static slot " + std::string(name) + " in " + this->name);
+    return kInvalidStaticSlot;
   }
+
+  // find_static that throws on a missing slot — for callers resolving a
+  // user-supplied name where "unknown static" is an error, not a probe.
+  [[nodiscard]] std::uint32_t require_static(std::string_view name) const {
+    const std::uint32_t slot = find_static(name);
+    if (slot == kInvalidStaticSlot) {
+      throw VmError(VmErrorCode::unknown_field,
+                    "static slot " + std::string(name) + " in " + this->name);
+    }
+    return slot;
+  }
+
+  // Builds the interned symbol tables; called once at registration.
+  void build_index() {
+    method_index_.clear();
+    field_index_.clear();
+    static_index_.clear();
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      // First definition wins, matching the old linear scan.
+      method_index_.try_emplace(methods[i].name,
+                                static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      field_index_.try_emplace(fields[i].name, static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < statics.size(); ++i) {
+      static_index_.try_emplace(statics[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+ private:
+  SymbolIndex method_index_;
+  SymbolIndex field_index_;
+  SymbolIndex static_index_;
+};
+
+// A cached call site: resolves a method name against a receiver's class once
+// and reuses the MethodId until the receiver class or the registry epoch
+// changes (monomorphic inline cache). Intended to live as a file-scope
+// constant next to the calling code, so the resolution state is mutable.
+// The name must outlive the call site — string literals in practice.
+class CallSite {
+ public:
+  explicit constexpr CallSite(std::string_view method) noexcept
+      : method_(method) {}
+
+  [[nodiscard]] std::string_view method() const noexcept { return method_; }
+
+ private:
+  friend class Vm;
+  std::string_view method_;
+  mutable std::uint64_t epoch_ = 0;  // 0 never matches a live registry
+  mutable ClassId cls_ = ClassId::invalid();
+  mutable MethodId mid_ = MethodId::invalid();
+  // Resolved to a managed instance method with a body — eligible for the
+  // lean local dispatch route (no placement rules, no static/kind
+  // re-checks). `mdef_` caches the resolved method; it is only dereferenced
+  // after the epoch check passes, which guarantees the registry (and thus
+  // the ClassDef storage the pointer aims into) has not changed since
+  // resolution.
+  mutable bool fast_ok_ = false;
+  mutable const MethodDef* mdef_ = nullptr;
+};
+
+// Cached static call site: class name + method name resolved once per
+// registry epoch.
+class StaticCallSite {
+ public:
+  constexpr StaticCallSite(std::string_view cls, std::string_view method) noexcept
+      : cls_name_(cls), method_(method) {}
+
+  [[nodiscard]] std::string_view class_name() const noexcept {
+    return cls_name_;
+  }
+  [[nodiscard]] std::string_view method() const noexcept { return method_; }
+
+ private:
+  friend class Vm;
+  std::string_view cls_name_;
+  std::string_view method_;
+  mutable std::uint64_t epoch_ = 0;
+  mutable ClassId cls_ = ClassId::invalid();
+  mutable MethodId mid_ = MethodId::invalid();
 };
 
 // Fluent builder used by the managed standard library and the applications.
@@ -303,8 +429,12 @@ class ClassRegistry {
   ClassId register_class(ClassDef def) {
     const ClassId id{static_cast<std::uint32_t>(classes_.size())};
     def.id = id;
+    def.static_base = static_slot_count_;
+    static_slot_count_ += static_cast<std::uint32_t>(def.statics.size());
+    def.build_index();
     by_name_[def.name] = id;
     classes_.push_back(std::move(def));
+    epoch_ = next_registry_epoch();
     return id;
   }
 
@@ -317,7 +447,7 @@ class ClassRegistry {
   }
 
   [[nodiscard]] ClassId find(std::string_view name) const {
-    const auto it = by_name_.find(std::string(name));
+    const auto it = by_name_.find(name);
     if (it == by_name_.end()) {
       throw VmError(VmErrorCode::unknown_class, std::string(name));
     }
@@ -325,10 +455,20 @@ class ClassRegistry {
   }
 
   [[nodiscard]] bool contains(std::string_view name) const {
-    return by_name_.contains(std::string(name));
+    return by_name_.find(name) != by_name_.end();
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return classes_.size(); }
+
+  // Bumped on every registration; never shared between registry instances.
+  // Call-site caches compare against this to detect staleness.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // Total static slots across all registered classes — the size of the VM's
+  // flat statics table (each class's slots start at its static_base).
+  [[nodiscard]] std::uint32_t static_slot_count() const noexcept {
+    return static_slot_count_;
+  }
 
   [[nodiscard]] ClassId int_array_class() const noexcept { return int_array_; }
   [[nodiscard]] ClassId char_array_class() const noexcept {
@@ -340,10 +480,14 @@ class ClassRegistry {
 
  private:
   std::vector<ClassDef> classes_;
-  std::unordered_map<std::string, ClassId> by_name_;
+  std::unordered_map<std::string, ClassId, TransparentStringHash,
+                     std::equal_to<>>
+      by_name_;
   ClassId int_array_;
   ClassId char_array_;
   ClassId object_array_;
+  std::uint64_t epoch_ = next_registry_epoch();
+  std::uint32_t static_slot_count_ = 0;
 };
 
 }  // namespace aide::vm

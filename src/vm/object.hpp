@@ -5,6 +5,13 @@
 // objects of the well-known classes "int[]" and "char[]" — the paper's
 // component-granularity discussion (sections 5.1/5.2) revolves around exactly
 // these primitive array classes.
+//
+// An object's heap footprint is cached: the only mutation that can change it
+// after allocation is a string field growing or shrinking, and that path
+// (Vm::raw_put_field) adjusts the cache incrementally by the slot delta.
+// Code that rewrites a payload wholesale (the rpc deserializer) invalidates
+// the cache instead; the next size_bytes() call recomputes it with the full
+// scan that used to run on *every* query.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +37,40 @@ struct Object {
   bool gc_mark = false;
 
   // Heap footprint charged against the VM's capacity. Mirrors a JVM's
-  // header + slots accounting.
+  // header + slots accounting. Cached; O(1) once computed.
   [[nodiscard]] std::int64_t size_bytes() const noexcept {
+    if (size_cache_ < 0) size_cache_ = compute_size_bytes();
+    return size_cache_;
+  }
+
+  // The payload was rewritten wholesale (deserialization, slot recycling);
+  // the next size_bytes() recomputes from scratch.
+  void invalidate_size_cache() noexcept { size_cache_ = -1; }
+
+  // A single slot's string payload changed by `delta` bytes; keeps the cache
+  // exact without a rescan. No-op while the cache is unset.
+  void adjust_size(std::int64_t delta) noexcept {
+    if (size_cache_ >= 0) size_cache_ += delta;
+  }
+
+  // Sets the cache directly when the caller just shaped the payload and
+  // already knows the footprint (the slab heap's allocation path).
+  void set_size_cache(std::int64_t bytes) noexcept { size_cache_ = bytes; }
+
+  [[nodiscard]] std::int64_t array_length() const noexcept {
+    switch (kind) {
+      case ObjectKind::int_array:
+        return static_cast<std::int64_t>(ints.size());
+      case ObjectKind::char_array:
+        return static_cast<std::int64_t>(chars.size());
+      case ObjectKind::plain:
+        return 0;
+    }
+    return 0;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t compute_size_bytes() const noexcept {
     constexpr std::int64_t header = 16;
     switch (kind) {
       case ObjectKind::plain: {
@@ -49,17 +88,7 @@ struct Object {
     return header;
   }
 
-  [[nodiscard]] std::int64_t array_length() const noexcept {
-    switch (kind) {
-      case ObjectKind::int_array:
-        return static_cast<std::int64_t>(ints.size());
-      case ObjectKind::char_array:
-        return static_cast<std::int64_t>(chars.size());
-      case ObjectKind::plain:
-        return 0;
-    }
-    return 0;
-  }
+  mutable std::int64_t size_cache_ = -1;
 };
 
 }  // namespace aide::vm

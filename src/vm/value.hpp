@@ -10,9 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <span>
 #include <string>
-#include <variant>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/ids.hpp"
@@ -29,80 +30,157 @@ struct ObjectRef {
 
 inline constexpr ObjectRef kNullRef{};
 
+// Implemented as a hand-rolled tagged union rather than std::variant: the
+// five non-string kinds share one 8-byte payload that copies with a plain
+// store, so the copy/move/assign/destroy of the overwhelmingly common cases
+// (ints, refs, nil) never reaches the variant-style alternative dispatch or
+// the string machinery. Only the string kind pays for string lifetime.
 class Value {
  public:
-  Value() noexcept : v_(std::monostate{}) {}
-  Value(bool b) noexcept : v_(b) {}                       // NOLINT(google-explicit-constructor)
-  Value(std::int64_t i) noexcept : v_(i) {}               // NOLINT(google-explicit-constructor)
-  Value(int i) noexcept : v_(std::int64_t{i}) {}          // NOLINT(google-explicit-constructor)
-  Value(double d) noexcept : v_(d) {}                     // NOLINT(google-explicit-constructor)
-  Value(ObjectRef r) noexcept : v_(r) {}                  // NOLINT(google-explicit-constructor)
-  Value(std::string s) : v_(std::move(s)) {}              // NOLINT(google-explicit-constructor)
-  Value(const char* s) : v_(std::string(s)) {}            // NOLINT(google-explicit-constructor)
-
-  [[nodiscard]] bool is_nil() const noexcept {
-    return std::holds_alternative<std::monostate>(v_);
+  Value() noexcept {}
+  Value(bool b) noexcept : kind_(Kind::boolean) { b_ = b; }       // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) noexcept : kind_(Kind::integer) { i_ = i; }  // NOLINT(google-explicit-constructor)
+  Value(int i) noexcept : kind_(Kind::integer) { i_ = i; }        // NOLINT(google-explicit-constructor)
+  Value(double d) noexcept : kind_(Kind::real) { d_ = d; }        // NOLINT(google-explicit-constructor)
+  Value(ObjectRef r) noexcept : kind_(Kind::ref) { r_ = r; }      // NOLINT(google-explicit-constructor)
+  Value(std::string s) : kind_(Kind::str) {                       // NOLINT(google-explicit-constructor)
+    new (&s_) std::string(std::move(s));
   }
+  Value(const char* s) : Value(std::string(s)) {}                 // NOLINT(google-explicit-constructor)
+
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept { move_from(std::move(o)); }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+  ~Value() { destroy(); }
+
+  [[nodiscard]] bool is_nil() const noexcept { return kind_ == Kind::nil; }
   [[nodiscard]] bool is_bool() const noexcept {
-    return std::holds_alternative<bool>(v_);
+    return kind_ == Kind::boolean;
   }
   [[nodiscard]] bool is_int() const noexcept {
-    return std::holds_alternative<std::int64_t>(v_);
+    return kind_ == Kind::integer;
   }
-  [[nodiscard]] bool is_real() const noexcept {
-    return std::holds_alternative<double>(v_);
-  }
-  [[nodiscard]] bool is_ref() const noexcept {
-    return std::holds_alternative<ObjectRef>(v_);
-  }
-  [[nodiscard]] bool is_str() const noexcept {
-    return std::holds_alternative<std::string>(v_);
-  }
+  [[nodiscard]] bool is_real() const noexcept { return kind_ == Kind::real; }
+  [[nodiscard]] bool is_ref() const noexcept { return kind_ == Kind::ref; }
+  [[nodiscard]] bool is_str() const noexcept { return kind_ == Kind::str; }
 
-  [[nodiscard]] bool as_bool() const { return get<bool>(); }
-  [[nodiscard]] std::int64_t as_int() const { return get<std::int64_t>(); }
-  [[nodiscard]] double as_real() const { return get<double>(); }
-  [[nodiscard]] ObjectRef as_ref() const { return get<ObjectRef>(); }
+  [[nodiscard]] bool as_bool() const {
+    require(Kind::boolean);
+    return b_;
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    require(Kind::integer);
+    return i_;
+  }
+  [[nodiscard]] double as_real() const {
+    require(Kind::real);
+    return d_;
+  }
+  [[nodiscard]] ObjectRef as_ref() const {
+    require(Kind::ref);
+    return r_;
+  }
   [[nodiscard]] const std::string& as_str() const {
-    return get<std::string>();
+    require(Kind::str);
+    return s_;
   }
 
   // Numeric coercion helper: many managed methods accept int-or-real.
   [[nodiscard]] double to_real() const {
-    if (is_int()) return static_cast<double>(as_int());
+    if (is_int()) return static_cast<double>(i_);
     return as_real();
   }
 
   // Bytes this value contributes to a serialized message.
   [[nodiscard]] std::uint64_t wire_size() const noexcept {
-    struct Sizer {
-      std::uint64_t operator()(std::monostate) const noexcept { return 1; }
-      std::uint64_t operator()(bool) const noexcept { return 1; }
-      std::uint64_t operator()(std::int64_t) const noexcept { return 8; }
-      std::uint64_t operator()(double) const noexcept { return 8; }
-      std::uint64_t operator()(ObjectRef) const noexcept { return 8; }
-      std::uint64_t operator()(const std::string& s) const noexcept {
-        return 4 + s.size();
-      }
-    };
-    return std::visit(Sizer{}, v_);
+    switch (kind_) {
+      case Kind::nil:
+      case Kind::boolean:
+        return 1;
+      case Kind::integer:
+      case Kind::real:
+      case Kind::ref:
+        return 8;
+      case Kind::str:
+        return 4 + s_.size();
+    }
+    return 0;  // unreachable
   }
 
-  friend bool operator==(const Value&, const Value&) = default;
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::nil:
+        return true;
+      case Kind::boolean:
+        return a.b_ == b.b_;
+      case Kind::integer:
+        return a.i_ == b.i_;
+      case Kind::real:
+        return a.d_ == b.d_;
+      case Kind::ref:
+        return a.r_ == b.r_;
+      case Kind::str:
+        return a.s_ == b.s_;
+    }
+    return false;  // unreachable
+  }
 
  private:
-  template <typename T>
-  [[nodiscard]] const T& get() const {
-    const T* p = std::get_if<T>(&v_);
-    if (p == nullptr) {
+  enum class Kind : std::uint8_t { nil, boolean, integer, real, ref, str };
+
+  void require(Kind k) const {
+    if (kind_ != k) {
       throw VmError(VmErrorCode::type_mismatch, "bad Value access");
     }
-    return *p;
   }
 
-  std::variant<std::monostate, bool, std::int64_t, double, ObjectRef,
-               std::string>
-      v_;
+  void destroy() noexcept {
+    if (kind_ == Kind::str) [[unlikely]] {
+      s_.~basic_string();
+    }
+  }
+  // Callers guarantee *this holds no live string (fresh storage or after
+  // destroy()).
+  void copy_from(const Value& o) {
+    if (o.kind_ == Kind::str) [[unlikely]] {
+      new (&s_) std::string(o.s_);
+    } else {
+      payload_ = o.payload_;
+    }
+    kind_ = o.kind_;
+  }
+  void move_from(Value&& o) noexcept {
+    if (o.kind_ == Kind::str) [[unlikely]] {
+      new (&s_) std::string(std::move(o.s_));
+    } else {
+      payload_ = o.payload_;
+    }
+    kind_ = o.kind_;
+  }
+
+  union {
+    std::uint64_t payload_ = 0;  // raw copy channel for the non-string kinds
+    bool b_;
+    std::int64_t i_;
+    double d_;
+    ObjectRef r_;
+    std::string s_;
+  };
+  Kind kind_ = Kind::nil;
 };
 
 // Total wire size of an argument pack plus a fixed per-message header.

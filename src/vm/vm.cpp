@@ -65,28 +65,15 @@ ObjectRef Vm::allocate(ClassId cls, ObjectKind kind, std::int64_t ints_len,
   maybe_gc_after_alloc(size);
   ensure_capacity(size);
 
-  auto obj = std::make_unique<Object>();
-  obj->id = next_object_id();
-  obj->cls = cls;
-  obj->kind = kind;
-  switch (kind) {
-    case ObjectKind::plain:
-      obj->fields.assign(static_cast<std::size_t>(ints_len), Value{});
-      break;
-    case ObjectKind::int_array:
-      obj->ints.assign(static_cast<std::size_t>(ints_len), 0);
-      break;
-    case ObjectKind::char_array:
-      if (!chars_init.empty()) {
-        obj->chars.assign(chars_init);
-      } else {
-        obj->chars.assign(static_cast<std::size_t>(chars_len), '\0');
-      }
-      break;
+  const ObjectId id = next_object_id();
+  Object& obj = heap_.create(
+      id, cls, kind,
+      kind == ObjectKind::plain ? static_cast<std::size_t>(ints_len) : 0,
+      kind == ObjectKind::int_array ? static_cast<std::size_t>(ints_len) : 0,
+      static_cast<std::size_t>(chars_len), size);
+  if (kind == ObjectKind::char_array && !chars_init.empty()) {
+    obj.chars.assign(chars_init);
   }
-
-  const ObjectId id = obj->id;
-  heap_.insert(std::move(obj));
 
   stats_.allocations += 1;
   stats_.alloc_bytes += static_cast<std::uint64_t>(size);
@@ -143,7 +130,8 @@ GcReport Vm::collect_garbage() {
 
   // Mark.
   std::vector<ObjectId> worklist;
-  for (const Frame& f : frames_) {
+  for (std::size_t i = 0; i < frame_depth_; ++i) {
+    const Frame& f = frames_[i];
     if (f.self.valid()) worklist.push_back(f.self);
     worklist.insert(worklist.end(), f.local_roots.begin(),
                     f.local_roots.end());
@@ -152,7 +140,7 @@ GcReport Vm::collect_garbage() {
     if (count > 0) worklist.push_back(id);
   }
   worklist.insert(worklist.end(), driver_roots_.begin(), driver_roots_.end());
-  for (const auto& [key, v] : statics_) mark_value(v, worklist);
+  for (const Value& v : statics_) mark_value(v, worklist);
   // Journaled old values must survive until their scope resolves: a rollback
   // would write them back. Empty unless a fault plan is active.
   for (const JournalEntry& e : journal_) mark_value(e.old_value, worklist);
@@ -244,6 +232,7 @@ void Vm::journal_rollback(std::size_t mark) {
         }
         break;
       case JournalEntry::Kind::static_slot:
+        if (e.key >= statics_.size()) statics_.resize(e.key + 1);
         statics_[e.key] = e.old_value;
         break;
       case JournalEntry::Kind::array_elem:
@@ -285,8 +274,8 @@ void Vm::root_in_frame(const Value& v) {
 
 void Vm::root_in_frame(ObjectRef r) {
   if (r.is_null()) return;
-  if (!frames_.empty()) {
-    frames_.back().local_roots.push_back(r.id);
+  if (frame_depth_ > 0) {
+    frames_[frame_depth_ - 1].local_roots.push_back(r.id);
   } else {
     // Driver-level code holds references in C++ locals the collector cannot
     // see; pin them until the driver releases its roots.
@@ -349,12 +338,63 @@ Value Vm::call_static(std::string_view cls, std::string_view method,
                        std::span<const Value>(args.begin(), args.size()));
 }
 
+Value Vm::call_site_slow(ObjectRef obj, const CallSite& site,
+                         std::span<const Value> args) {
+  if (obj.is_null()) {
+    throw VmError(VmErrorCode::null_reference, "invoke on null");
+  }
+  // One heap probe resolves both the receiver class and its locality.
+  Object* o = heap_.find(obj.id);
+  const ClassId cls = o != nullptr ? o->cls : class_of(obj.id);
+  if (site.epoch_ != registry_->epoch() || site.cls_ != cls) {
+    // Miss: first use, a different receiver class, or a different/expanded
+    // registry since the last resolution.
+    const MethodId m = registry_->get(cls).find_method(site.method_);
+    if (!m.valid()) {
+      throw VmError(VmErrorCode::unknown_method,
+                    registry_->get(cls).name + "." +
+                        std::string(site.method_));
+    }
+    site.cls_ = cls;
+    site.mid_ = m;
+    site.epoch_ = registry_->epoch();
+    const MethodDef& mdef = registry_->get(cls).methods[m.value()];
+    site.fast_ok_ =
+        (mdef.kind == MethodKind::managed && !mdef.is_static && mdef.body);
+    site.mdef_ = site.fast_ok_ ? &mdef : nullptr;
+  }
+  return dispatch_invoke(obj, cls, site.mid_, args,
+                         /*is_static=*/false,
+                         o != nullptr ? Locality::local : Locality::unknown);
+}
+
+Value Vm::call_static(const StaticCallSite& site,
+                      std::initializer_list<Value> args) {
+  if (site.epoch_ != registry_->epoch()) {
+    const ClassId cid = registry_->find(site.cls_name_);
+    const MethodId m = registry_->get(cid).find_method(site.method_);
+    if (!m.valid()) {
+      throw VmError(VmErrorCode::unknown_method,
+                    std::string(site.cls_name_) + "." +
+                        std::string(site.method_));
+    }
+    site.cls_ = cid;
+    site.mid_ = m;
+    site.epoch_ = registry_->epoch();
+  }
+  return dispatch_invoke(kNullRef, site.cls_, site.mid_,
+                         std::span<const Value>(args.begin(), args.size()),
+                         /*is_static=*/true);
+}
+
 Value Vm::invoke(ObjectRef obj, MethodId method, std::span<const Value> args) {
   if (obj.is_null()) {
     throw VmError(VmErrorCode::null_reference, "invoke on null");
   }
-  const ClassId cls = class_of(obj.id);
-  return dispatch_invoke(obj, cls, method, args, /*is_static=*/false);
+  Object* o = heap_.find(obj.id);
+  const ClassId cls = o != nullptr ? o->cls : class_of(obj.id);
+  return dispatch_invoke(obj, cls, method, args, /*is_static=*/false,
+                         o != nullptr ? Locality::local : Locality::unknown);
 }
 
 Value Vm::invoke_static(ClassId cls, MethodId method,
@@ -363,7 +403,8 @@ Value Vm::invoke_static(ClassId cls, MethodId method,
 }
 
 Value Vm::dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
-                          std::span<const Value> args, bool is_static) {
+                          std::span<const Value> args, bool is_static,
+                          Locality locality) {
   const MethodDef& m = method_def(cls, mid);
   if (m.is_static != is_static) {
     throw VmError(VmErrorCode::unknown_method,
@@ -376,26 +417,32 @@ Value Vm::dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
   //    stateless-native enhancement is enabled;
   //  * static managed methods execute on the invoking VM;
   //  * instance managed methods follow the placement of the target object.
+  const bool known_local = locality == Locality::local;
   bool run_here;
   if (m.kind == MethodKind::native) {
     if (m.stateless && cfg_.stateless_natives_local) {
-      run_here = is_static || is_local(target.id);
+      run_here = is_static || known_local || is_local(target.id);
     } else {
       run_here = cfg_.is_client;
     }
-    if (run_here && !is_static && !is_local(target.id)) run_here = false;
+    if (run_here && !is_static && !(known_local || is_local(target.id))) {
+      run_here = false;
+    }
   } else if (is_static) {
     run_here = true;
   } else {
-    run_here = is_local(target.id);
+    run_here = known_local || is_local(target.id);
   }
 
-  const SimTime t0 = clock_.now();
-  const std::uint64_t arg_bytes = args_wire_size(args);
+  // Event assembly (timestamps, wire-size sums) only pays off when someone
+  // is listening; skipping it when no hooks are attached is unobservable.
+  const bool traced = !hooks_.empty();
+  const SimTime t0 = traced ? clock_.now() : 0;
+  const std::uint64_t arg_bytes = traced ? args_wire_size(args) : 0;
 
   Value ret;
   if (run_here) {
-    ret = execute_local(target, cls, mid, args);
+    ret = execute_local(target, cls, mid, m, args);
   } else {
     if (peer_ == nullptr) {
       throw VmError(VmErrorCode::null_reference,
@@ -408,41 +455,51 @@ Value Vm::dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
   }
 
   stats_.invocations += 1;
-  InvokeEvent ev;
-  ev.vm = cfg_.node;
-  ev.caller_cls = current_cls().valid() ? current_cls() : cls;
-  ev.caller_obj = current_obj();
-  ev.callee_cls = cls;
-  ev.callee_obj = is_static ? ObjectId::invalid() : target.id;
-  ev.method = mid;
-  ev.is_native = (m.kind == MethodKind::native);
-  ev.is_static = is_static;
-  ev.is_stateless = m.stateless;
-  ev.remote = !run_here;
-  ev.bytes = arg_bytes + ret.wire_size();
-  ev.t = t0;
-  fire([&](VmHooks& h) { h.on_invoke(ev); });
+  if (traced) {
+    InvokeEvent ev;
+    ev.vm = cfg_.node;
+    ev.caller_cls = current_cls().valid() ? current_cls() : cls;
+    ev.caller_obj = current_obj();
+    ev.callee_cls = cls;
+    ev.callee_obj = is_static ? ObjectId::invalid() : target.id;
+    ev.method = mid;
+    ev.is_native = (m.kind == MethodKind::native);
+    ev.is_static = is_static;
+    ev.is_stateless = m.stateless;
+    ev.remote = !run_here;
+    ev.bytes = arg_bytes + ret.wire_size();
+    ev.t = t0;
+    fire([&](VmHooks& h) { h.on_invoke(ev); });
+  }
 
   return ret;
 }
 
 Value Vm::execute_local(ObjectRef self, ClassId cls, MethodId mid,
-                        std::span<const Value> args) {
-  if (frames_.size() >= cfg_.max_stack_depth) {
+                        const MethodDef& m, std::span<const Value> args) {
+  if (frame_depth_ >= cfg_.max_stack_depth) {
     throw VmError(VmErrorCode::stack_overflow, registry_->get(cls).name);
   }
-  const MethodDef& m = method_def(cls, mid);
   if (!m.body) {
     throw VmError(VmErrorCode::native_not_registered,
                   registry_->get(cls).name + "." + m.name);
   }
 
-  frames_.push_back(Frame{cls, self.id, mid, clock_.now(), 0, {}});
-  const std::size_t frame_ix = frames_.size() - 1;
-  if (self.id.valid()) frames_[frame_ix].local_roots.push_back(self.id);
+  // Reuse a pooled frame: past max depth the pool stops growing, and each
+  // retired frame keeps its local_roots capacity.
+  if (frame_depth_ == frames_.size()) frames_.emplace_back();
+  const std::size_t frame_ix = frame_depth_++;
+  Frame& f = frames_[frame_ix];
+  f.cls = cls;
+  f.self = self.id;
+  f.method = mid;
+  f.start = clock_.now();
+  f.child_time = 0;
+  f.local_roots.clear();
+  if (self.id.valid()) f.local_roots.push_back(self.id);
   for (const Value& a : args) {
     if (a.is_ref() && !a.as_ref().is_null()) {
-      frames_[frame_ix].local_roots.push_back(a.as_ref().id);
+      f.local_roots.push_back(a.as_ref().id);
     }
   }
 
@@ -459,8 +516,8 @@ Value Vm::execute_local(ObjectRef self, ClassId cls, MethodId mid,
     // Unwind bookkeeping, then let the error propagate (possibly across the
     // simulated RPC boundary, where the endpoint converts it).
     const SimDuration total = clock_.now() - frames_[frame_ix].start;
-    frames_.pop_back();
-    if (!frames_.empty()) frames_.back().child_time += total;
+    --frame_depth_;
+    if (frame_depth_ > 0) frames_[frame_depth_ - 1].child_time += total;
     throw;
   }
 
@@ -470,8 +527,8 @@ Value Vm::execute_local(ObjectRef self, ClassId cls, MethodId mid,
     h.on_method_exit(cfg_.node, cls, self.id, mid, self_time, clock_.now());
   });
 
-  frames_.pop_back();
-  if (!frames_.empty()) frames_.back().child_time += total;
+  --frame_depth_;
+  if (frame_depth_ > 0) frames_[frame_depth_ - 1].child_time += total;
   root_in_frame(ret);
   return ret;
 }
@@ -479,17 +536,18 @@ Value Vm::execute_local(ObjectRef self, ClassId cls, MethodId mid,
 Value Vm::run_incoming_invoke(ObjectId target, MethodId method,
                               std::span<const Value> args) {
   const ClassId cls = class_of(target);
-  return execute_local(ObjectRef{target}, cls, method, args);
+  return execute_local(ObjectRef{target}, cls, method, method_def(cls, method),
+                       args);
 }
 
 Value Vm::run_incoming_invoke_static(ClassId cls, MethodId method,
                                      std::span<const Value> args) {
-  return execute_local(kNullRef, cls, method, args);
+  return execute_local(kNullRef, cls, method, method_def(cls, method), args);
 }
 
 // --- field access --------------------------------------------------------------
 
-Value Vm::get_field(ObjectRef obj, FieldId field) {
+Value Vm::get_field_slow(ObjectRef obj, FieldId field) {
   if (obj.is_null()) {
     throw VmError(VmErrorCode::null_reference, "get_field on null");
   }
@@ -515,17 +573,19 @@ Value Vm::get_field(ObjectRef obj, FieldId field) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = obj.id;
-  ev.is_write = false;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = obj.id;
+    ev.is_write = false;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 
   root_in_frame(v);
   return v;
@@ -541,15 +601,15 @@ Value Vm::get_field(ObjectRef obj, std::string_view field) {
   return get_field(obj, f);
 }
 
-void Vm::put_field(ObjectRef obj, FieldId field, const Value& v) {
+void Vm::put_field_slow(ObjectRef obj, FieldId field, const Value& v) {
   if (obj.is_null()) {
     throw VmError(VmErrorCode::null_reference, "put_field on null");
   }
   bool remote = false;
   ClassId tcls;
-  if (heap_.contains(obj.id)) {
-    tcls = class_of(obj.id);
-    raw_put_field(obj.id, field, v);
+  if (Object* o = heap_.find(obj.id); o != nullptr) {
+    tcls = o->cls;
+    put_field_local(*o, field, v);
   } else {
     tcls = class_of(obj.id);
     if (peer_ == nullptr) {
@@ -561,17 +621,19 @@ void Vm::put_field(ObjectRef obj, FieldId field, const Value& v) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = obj.id;
-  ev.is_write = true;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = obj.id;
+    ev.is_write = true;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 }
 
 void Vm::put_field(ObjectRef obj, std::string_view field, const Value& v) {
@@ -594,13 +656,16 @@ Value Vm::raw_get_field(ObjectId target, FieldId field) {
 }
 
 void Vm::raw_put_field(ObjectId target, FieldId field, const Value& v) {
-  Object& o = require_local(target);
+  put_field_local(require_local(target), field, v);
+}
+
+void Vm::put_field_local(Object& o, FieldId field, const Value& v) {
   if (field.value() >= o.fields.size()) {
     throw VmError(VmErrorCode::unknown_field,
                   "field #" + std::to_string(field.value()));
   }
   if (journal_recording()) {
-    journal_.push_back({JournalEntry::Kind::field, target, field.value(),
+    journal_.push_back({JournalEntry::Kind::field, o.id, field.value(),
                         o.fields[field.value()], 0, {}});
   }
   // Only string payloads change an object's footprint; compute the delta
@@ -612,8 +677,8 @@ void Vm::raw_put_field(ObjectId target, FieldId field, const Value& v) {
       (old.is_str() ? static_cast<std::int64_t>(old.as_str().size()) : 0);
   o.fields[field.value()] = v;
   if (delta != 0) {
-    heap_.adjust_used(delta);
-    fire([&](VmHooks& h) { h.on_resize(cfg_.node, target, o.cls, delta); });
+    heap_.adjust_used(o, delta);
+    fire([&](VmHooks& h) { h.on_resize(cfg_.node, o.id, o.cls, delta); });
   }
 }
 
@@ -634,16 +699,18 @@ Value Vm::get_static(ClassId cls, std::uint32_t slot) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : cls;
-  ev.from_obj = current_obj();
-  ev.to_cls = cls;
-  ev.is_static = true;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : cls;
+    ev.from_obj = current_obj();
+    ev.to_cls = cls;
+    ev.is_static = true;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 
   root_in_frame(v);
   return v;
@@ -651,7 +718,7 @@ Value Vm::get_static(ClassId cls, std::uint32_t slot) {
 
 Value Vm::get_static(std::string_view cls, std::string_view slot) {
   const ClassId cid = registry_->find(cls);
-  return get_static(cid, registry_->get(cid).find_static(slot));
+  return get_static(cid, registry_->get(cid).require_static(slot));
 }
 
 void Vm::put_static(ClassId cls, std::uint32_t slot, const Value& v) {
@@ -668,39 +735,45 @@ void Vm::put_static(ClassId cls, std::uint32_t slot, const Value& v) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : cls;
-  ev.from_obj = current_obj();
-  ev.to_cls = cls;
-  ev.is_static = true;
-  ev.is_write = true;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : cls;
+    ev.from_obj = current_obj();
+    ev.to_cls = cls;
+    ev.is_static = true;
+    ev.is_write = true;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 }
 
 void Vm::put_static(std::string_view cls, std::string_view slot,
                     const Value& v) {
   const ClassId cid = registry_->find(cls);
-  put_static(cid, registry_->get(cid).find_static(slot), v);
+  put_static(cid, registry_->get(cid).require_static(slot), v);
 }
 
 Value Vm::raw_get_static(ClassId cls, std::uint32_t slot) {
-  const auto it = statics_.find(static_key(cls, slot));
-  return it == statics_.end() ? Value{} : it->second;
+  const std::uint64_t ix = static_index(cls, slot);
+  return ix < statics_.size() ? statics_[ix] : Value{};
 }
 
 void Vm::raw_put_static(ClassId cls, std::uint32_t slot, const Value& v) {
-  const std::uint64_t key = static_key(cls, slot);
-  if (journal_recording()) {
-    const auto it = statics_.find(key);
-    journal_.push_back({JournalEntry::Kind::static_slot, ObjectId::invalid(),
-                        key, it == statics_.end() ? Value{} : it->second, 0,
-                        {}});
+  const std::uint64_t ix = static_index(cls, slot);
+  if (ix >= statics_.size()) {
+    // Grow to the registry's current slot total so one resize covers every
+    // class registered so far (late registrations grow it again).
+    statics_.resize(
+        std::max<std::uint64_t>(ix + 1, registry_->static_slot_count()));
   }
-  statics_[key] = v;
+  if (journal_recording()) {
+    journal_.push_back({JournalEntry::Kind::static_slot, ObjectId::invalid(),
+                        ix, statics_[ix], 0, {}});
+  }
+  statics_[ix] = v;
 }
 
 // --- arrays ---------------------------------------------------------------------
@@ -734,16 +807,18 @@ Value Vm::array_get(ObjectRef arr, std::int64_t index) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = arr.id;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = arr.id;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
   return v;
 }
 
@@ -765,17 +840,19 @@ void Vm::array_put(ObjectRef arr, std::int64_t index, const Value& v) {
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = arr.id;
-  ev.is_write = true;
-  ev.remote = remote;
-  ev.bytes = v.wire_size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = arr.id;
+    ev.is_write = true;
+    ev.remote = remote;
+    ev.bytes = v.wire_size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 }
 
 std::int64_t Vm::array_length(ObjectRef arr) {
@@ -813,16 +890,18 @@ std::string Vm::chars_read(ObjectRef arr, std::int64_t offset,
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = arr.id;
-  ev.remote = remote;
-  ev.bytes = out.size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = arr.id;
+    ev.remote = remote;
+    ev.bytes = out.size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
   return out;
 }
 
@@ -845,17 +924,19 @@ void Vm::chars_write(ObjectRef arr, std::int64_t offset,
   }
 
   stats_.field_accesses += 1;
-  AccessEvent ev;
-  ev.vm = cfg_.node;
-  ev.from_cls = current_cls().valid() ? current_cls() : tcls;
-  ev.from_obj = current_obj();
-  ev.to_cls = tcls;
-  ev.to_obj = arr.id;
-  ev.is_write = true;
-  ev.remote = remote;
-  ev.bytes = data.size();
-  ev.t = clock_.now();
-  fire([&](VmHooks& h) { h.on_access(ev); });
+  if (!hooks_.empty()) {
+    AccessEvent ev;
+    ev.vm = cfg_.node;
+    ev.from_cls = current_cls().valid() ? current_cls() : tcls;
+    ev.from_obj = current_obj();
+    ev.to_cls = tcls;
+    ev.to_obj = arr.id;
+    ev.is_write = true;
+    ev.remote = remote;
+    ev.bytes = data.size();
+    ev.t = clock_.now();
+    fire([&](VmHooks& h) { h.on_access(ev); });
+  }
 }
 
 Value Vm::raw_array_get(ObjectId target, std::int64_t index) {

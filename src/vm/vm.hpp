@@ -119,7 +119,7 @@ class Vm {
   [[nodiscard]] const VmConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] std::size_t stack_depth() const noexcept {
-    return frames_.size();
+    return frame_depth_;
   }
   [[nodiscard]] std::size_t stub_count() const noexcept {
     return stubs_.size();
@@ -145,9 +145,39 @@ class Vm {
   ObjectRef new_char_array(std::int64_t length);
   ObjectRef new_char_array(std::string_view initial);
 
-  Value get_field(ObjectRef obj, FieldId field);
+  // Field access fast paths are inlined: a local object with no hooks
+  // listening is the common case in every scenario's inner loop, and costs a
+  // slab lookup plus the value copy. Everything else — remote objects,
+  // attached monitors, journaling, string payloads (footprint deltas),
+  // errors — drops to the out-of-line slow path, which preserves the full
+  // event/stats behavior.
+  Value get_field(ObjectRef obj, FieldId field) {
+    if (Object* o = heap_.find(obj.id);
+        o != nullptr && hooks_.empty() &&
+        field.value() < o->fields.size()) [[likely]] {
+      stats_.field_accesses += 1;
+      const Value& v = o->fields[field.value()];
+      if (v.is_ref()) [[unlikely]] {
+        root_in_frame(v);
+      }
+      return v;
+    }
+    return get_field_slow(obj, field);
+  }
   Value get_field(ObjectRef obj, std::string_view field);
-  void put_field(ObjectRef obj, FieldId field, const Value& v);
+  void put_field(ObjectRef obj, FieldId field, const Value& v) {
+    if (Object* o = heap_.find(obj.id);
+        o != nullptr && hooks_.empty() && !journal_recording() &&
+        field.value() < o->fields.size()) [[likely]] {
+      Value& slot = o->fields[field.value()];
+      if (!v.is_str() && !slot.is_str()) [[likely]] {
+        slot = v;
+        stats_.field_accesses += 1;
+        return;
+      }
+    }
+    put_field_slow(obj, field, v);
+  }
   void put_field(ObjectRef obj, std::string_view field, const Value& v);
 
   Value invoke(ObjectRef obj, MethodId method, std::span<const Value> args);
@@ -156,6 +186,26 @@ class Vm {
   Value invoke_static(ClassId cls, MethodId method,
                       std::span<const Value> args);
   Value call_static(std::string_view cls, std::string_view method,
+                    std::initializer_list<Value> args = {});
+
+  // Cached call sites: the name is resolved to a MethodId once per
+  // class/registry-epoch pair and the result is stored in the site itself,
+  // so hot loops skip the name lookup entirely. A resolved managed instance
+  // method on a local receiver with no hooks listening dispatches straight
+  // to the method body (monomorphic inline cache hit); anything else —
+  // cache miss, native/static target, remote receiver, attached monitor —
+  // goes through the generic dispatch path.
+  Value call(ObjectRef obj, const CallSite& site,
+             std::initializer_list<Value> args = {}) {
+    const std::span<const Value> a(args.begin(), args.size());
+    if (Object* o = heap_.find(obj.id);
+        o != nullptr && site.epoch_ == registry_->epoch() &&
+        site.cls_ == o->cls && site.fast_ok_ && hooks_.empty()) [[likely]] {
+      return call_fast(obj, site.cls_, site.mid_, *site.mdef_, a);
+    }
+    return call_site_slow(obj, site, a);
+  }
+  Value call_static(const StaticCallSite& site,
                     std::initializer_list<Value> args = {});
 
   Value get_static(ClassId cls, std::uint32_t slot);
@@ -173,6 +223,7 @@ class Vm {
 
   // Charges CPU work (virtual nanoseconds at speed 1.0) to the current frame.
   void work(SimDuration d) {
+    if (d <= 0) return;  // advance() ignores non-positive deltas anyway
     clock_.advance(
         static_cast<SimDuration>(static_cast<double>(d) / cfg_.cpu_speed));
   }
@@ -304,10 +355,64 @@ class Vm {
   void ensure_capacity(std::int64_t bytes);
   void maybe_gc_after_alloc(std::int64_t bytes);
 
+  // What the caller already knows about the target's placement: callers that
+  // just resolved the receiver through the local heap pass `local` so the
+  // placement rules skip a second heap probe.
+  enum class Locality : std::uint8_t { unknown, local };
+
   Value execute_local(ObjectRef self, ClassId cls, MethodId mid,
-                      std::span<const Value> args);
+                      const MethodDef& m, std::span<const Value> args);
   Value dispatch_invoke(ObjectRef target, ClassId cls, MethodId mid,
-                        std::span<const Value> args, bool is_static);
+                        std::span<const Value> args, bool is_static,
+                        Locality locality = Locality::unknown);
+
+  // Lean dispatch for a cache-hit CallSite: the receiver is local, the
+  // method is a managed instance method with a body (fast_ok_), and no
+  // hooks are attached — so no event can be observed and the event-only
+  // assembly is skipped. GC-visible state (frame identity, local roots)
+  // and virtual time (work) are maintained exactly as execute_local does.
+  Value call_fast(ObjectRef self, ClassId cls, MethodId mid,
+                  const MethodDef& m, std::span<const Value> args) {
+    if (frame_depth_ >= cfg_.max_stack_depth) [[unlikely]] {
+      throw VmError(VmErrorCode::stack_overflow, registry_->get(cls).name);
+    }
+    if (frame_depth_ == frames_.size()) [[unlikely]] frames_.emplace_back();
+    const std::size_t frame_ix = frame_depth_++;
+    Frame& f = frames_[frame_ix];
+    f.cls = cls;
+    f.self = self.id;
+    f.method = mid;
+    f.start = clock_.now();
+    f.child_time = 0;
+    f.local_roots.clear();
+    f.local_roots.push_back(self.id);
+    for (const Value& a : args) {
+      if (a.is_ref() && !a.as_ref().is_null()) [[unlikely]] {
+        f.local_roots.push_back(a.as_ref().id);
+      }
+    }
+    work(m.base_cost);
+    Value ret;
+    try {
+      ret = m.body(*this, self, args);
+    } catch (...) {
+      const SimDuration total = clock_.now() - frames_[frame_ix].start;
+      --frame_depth_;
+      if (frame_depth_ > 0) frames_[frame_depth_ - 1].child_time += total;
+      throw;
+    }
+    const SimDuration total = clock_.now() - frames_[frame_ix].start;
+    --frame_depth_;
+    if (frame_depth_ > 0) frames_[frame_depth_ - 1].child_time += total;
+    if (ret.is_ref()) [[unlikely]] root_in_frame(ret);
+    stats_.invocations += 1;
+    return ret;
+  }
+  Value call_site_slow(ObjectRef obj, const CallSite& site,
+                       std::span<const Value> args);
+  Value get_field_slow(ObjectRef obj, FieldId field);
+  void put_field_slow(ObjectRef obj, FieldId field, const Value& v);
+  void put_field_local(Object& o, FieldId field, const Value& v);
 
   void root_in_frame(const Value& v);
   void root_in_frame(ObjectRef r);
@@ -317,10 +422,12 @@ class Vm {
 
   // Current caller identity for interaction events.
   [[nodiscard]] ClassId current_cls() const noexcept {
-    return frames_.empty() ? ClassId::invalid() : frames_.back().cls;
+    return frame_depth_ == 0 ? ClassId::invalid()
+                             : frames_[frame_depth_ - 1].cls;
   }
   [[nodiscard]] ObjectId current_obj() const noexcept {
-    return frames_.empty() ? ObjectId::invalid() : frames_.back().self;
+    return frame_depth_ == 0 ? ObjectId::invalid()
+                             : frames_[frame_depth_ - 1].self;
   }
 
   template <typename Fn>
@@ -343,12 +450,16 @@ class Vm {
       extra_roots_provider_;
   std::function<void(std::span<const ObjectId>)> stub_release_handler_;
 
+  // Frame pool: frames_[0, frame_depth_) are active. Retired frames keep
+  // their local_roots capacity, so steady-state invocation allocates nothing.
   std::vector<Frame> frames_;
+  std::size_t frame_depth_ = 0;
   std::unordered_map<ObjectId, StubInfo> stubs_;
   std::unordered_map<ObjectId, int> external_roots_;
   std::vector<ObjectId> driver_roots_;
-  // Static slot storage; populated only on the client VM.
-  std::unordered_map<std::uint64_t, Value> statics_;
+  // Static slot storage, flat-indexed by ClassDef::static_base + slot;
+  // populated only on the client VM.
+  std::vector<Value> statics_;
 
   std::vector<JournalEntry> journal_;
   int journal_depth_ = 0;
@@ -363,8 +474,10 @@ class Vm {
 
   VmStats stats_;
 
-  static std::uint64_t static_key(ClassId cls, std::uint32_t slot) noexcept {
-    return (static_cast<std::uint64_t>(cls.value()) << 32) | slot;
+  // Index into the flat statics table (and the journal's static key).
+  [[nodiscard]] std::uint64_t static_index(ClassId cls,
+                                           std::uint32_t slot) const {
+    return static_cast<std::uint64_t>(registry_->get(cls).static_base) + slot;
   }
 };
 
