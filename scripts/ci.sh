@@ -33,6 +33,9 @@ step "VM hot-path smoke (slab heap + call-site cache parity)"
 step "chaos smoke (crash-consistent offload under seeded schedules)"
 ./build-ci/tests/chaos_test --smoke
 
+step "rpc batch smoke (batched vs per-op transport parity + frame reduction)"
+./build-ci/bench/bench_rpc_batch --smoke
+
 if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then
   step "clang-tidy"
   # Library and app sources; test files follow gtest idioms tidy dislikes.
@@ -49,6 +52,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
   ./build-asan/tests/chaos_test --smoke
   ./build-asan/bench/bench_vm_hotpath --smoke
+  ./build-asan/bench/bench_rpc_batch --smoke
 else
   step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"
 fi

@@ -67,6 +67,14 @@ class ByteReader {
     return s;
   }
 
+  // A view of the next `n` raw bytes; valid as long as the underlying buffer.
+  std::span<const std::uint8_t> read_bytes(std::size_t n) {
+    check(n);
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
   [[nodiscard]] bool exhausted() const noexcept {
     return pos_ == data_.size();
   }

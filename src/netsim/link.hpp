@@ -140,6 +140,11 @@ struct LinkStats {
   std::uint64_t messages = 0;  // transmissions that made it onto the air
   std::uint64_t bytes = 0;
   SimDuration busy_time = 0;
+  // Per-op accounting for batched transports: logical operations carried by
+  // delivered request frames. With per-op framing this tracks request
+  // messages 1:1; a batching transport reports N ops per frame, so
+  // ops_carried / request frames is the link-level coalescing ratio.
+  std::uint64_t ops_carried = 0;
   // Fault accounting (all zero under an inert FaultPlan).
   std::uint64_t messages_dropped = 0;  // transmitted but lost in transit
   std::uint64_t bytes_dropped = 0;
@@ -177,6 +182,10 @@ class Link {
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
+
+  // Called by the transport after a delivered request frame to record how
+  // many logical operations it carried (1 for a legacy frame, N for a batch).
+  void note_ops(std::uint64_t n) noexcept { stats_.ops_carried += n; }
 
   void set_fault_plan(FaultPlan plan) {
     plan_ = std::move(plan);

@@ -65,6 +65,8 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
   link_.set_fault_plan(config_.fault_plan);
   client_ep_->set_retry_policy(config_.retry);
   surrogate_ep_->set_retry_policy(config_.retry);
+  client_ep_->set_batch_policy(config_.batching);
+  surrogate_ep_->set_batch_policy(config_.batching);
   if (config_.fault_plan.enabled()) {
     // Exactly-once recovery needs the undo journal; fault-free runs keep it
     // off so they stay bit-identical to the unjournaled platform.
@@ -243,6 +245,9 @@ bool Platform::handle_peer_failure() {
   for (const ObjectId id : ids) {
     client_->remove_root(vm::ObjectRef{id});
   }
+  // Any write-behind ops still queued against the dead surrogate now target
+  // reintegrated local objects; land them before the application resumes.
+  client_ep_->flush_pending();
   report.objects_reclaimed = ids.size();
   report.bytes_reclaimed = bytes;
 
@@ -308,16 +313,23 @@ std::optional<OffloadReport> Platform::offload_now(
   // object-granularity array moves alone; a class component moves all of its
   // (class-mapped) objects.
   std::vector<ObjectId> to_move;
+  std::vector<std::vector<ObjectId>> groups;
   for (const auto& comp : decision.selected.offload) {
+    std::vector<ObjectId> members;
     if (comp.is_object_granularity()) {
-      if (client_->is_local(comp.object)) to_move.push_back(comp.object);
-      continue;
-    }
-    for (const ObjectId id : client_->local_objects_of_class(comp.cls)) {
-      if (exec_monitor_.component_of(comp.cls, id) == comp) {
-        to_move.push_back(id);
+      if (client_->is_local(comp.object)) members.push_back(comp.object);
+    } else {
+      for (const ObjectId id : client_->local_objects_of_class(comp.cls)) {
+        if (exec_monitor_.component_of(comp.cls, id) == comp) {
+          members.push_back(id);
+        }
       }
     }
+    std::sort(members.begin(), members.end());
+    to_move.insert(to_move.end(), members.begin(), members.end());
+    // MINCUT put these objects in one component because they are accessed
+    // together; that is exactly the read-ahead transport's prefetch unit.
+    if (members.size() > 1) groups.push_back(std::move(members));
   }
   std::sort(to_move.begin(), to_move.end());
 
@@ -338,6 +350,12 @@ std::optional<OffloadReport> Platform::offload_now(
     }
   }
   report.objects_migrated = to_move.size();
+  if (!to_move.empty()) {
+    // Seed the client transport's read-ahead with the colocation groups this
+    // decision just shipped: a remote get against one member prefetches the
+    // neighbors it will be accessed with.
+    client_ep_->set_prefetch_groups(std::move(groups));
+  }
   report.completed_at = clock_.now();
   report.client_heap_used_after = client_->heap().used();
 

@@ -79,6 +79,11 @@ struct PlatformConfig {
   netsim::FaultPlan fault_plan;
   // RPC retry-with-backoff bounds, charged against virtual time.
   rpc::RetryPolicy retry;
+  // Batched, pipelined transport (on by default): write-behind coalescing
+  // into multi-op frames plus read-ahead object snapshots seeded with the
+  // MINCUT partition groups of each offload. Application-transparent — only
+  // frame counts and virtual-time latency change.
+  rpc::BatchPolicy batching;
   // Idle-period heartbeat probing (off by default).
   HeartbeatPolicy heartbeat;
   // Probe-and-reconnect after a surrogate failure (off by default).

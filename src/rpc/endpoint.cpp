@@ -54,11 +54,14 @@ void Endpoint::disconnect() {
 void Endpoint::drop_transport_state() {
   // A PREPARE-staged batch dies with the connection: it never touched the
   // heap, so dropping the bytes is the rollback. In-flight frame copies for
-  // the reorder injector go with it.
+  // the reorder injector go with it, and so do read-ahead snapshots of the
+  // peer's objects. The write-behind queue survives: after recovery its
+  // targets are local and flush_pending/apply_pending_locally lands it.
   has_staged_migration_ = false;
   staged_migration_.clear();
   last_req_frame_.clear();
   last_resp_frame_.clear();
+  invalidate_snapshots();
 }
 
 std::optional<std::vector<std::uint8_t>> Endpoint::take_cached_response(
@@ -128,10 +131,17 @@ bool Endpoint::ping() {
   }
 }
 
-std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
+std::vector<std::uint8_t> Endpoint::transact(ByteWriter request,
+                                             std::uint32_t ops,
+                                             bool pipelined) {
   if (peer_ == nullptr) {
     throw VmError(VmErrorCode::null_reference, "endpoint not connected");
   }
+  // Pipelining overlaps the delivered reply's airtime with whatever the
+  // caller computes next; a lost reply still pays the full timeout/retry
+  // machinery below. The decision must not depend on whether a fault plan
+  // is armed: an armed-but-inert plan stays bit-identical to fault-free.
+  const bool overlap_reply = pipelined;
   const auto payload = std::move(request).take();
   stats_.rpcs_sent += 1;
   const std::uint64_t seq = ++next_seq_;
@@ -148,6 +158,7 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
                                            netsim::Leg::request);
     if (req_leg.delivered) {
       stats_.bytes_sent += frame.size();
+      link_.note_ops(ops);
       vm_.clock().advance(req_leg.cost);
 
       std::optional<std::vector<std::uint8_t>> resp_frame;
@@ -186,7 +197,9 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request) {
         const auto resp_leg = link_.try_one_way(
             resp_frame->size(), vm_.clock().now(), netsim::Leg::reply);
         if (resp_leg.delivered) {
-          vm_.clock().advance(resp_leg.cost);
+          // A pipelined flush still pays the reply's link accounting, but the
+          // wait overlaps whatever this VM computes next in virtual time.
+          if (!overlap_reply) vm_.clock().advance(resp_leg.cost);
           std::span<const std::uint8_t> resp_wire = *resp_frame;
           bool arrived = true;
           if (resp_leg.reordered) {
@@ -273,6 +286,259 @@ std::optional<std::vector<std::uint8_t>> Endpoint::transact_or_recover(
   }
 }
 
+// --- write-behind batching ----------------------------------------------------
+
+void Endpoint::set_batch_policy(BatchPolicy policy) {
+  if (!policy.enabled) flush_pending();
+  batch_ = policy;
+  if (!batch_.read_ahead) invalidate_snapshots();
+}
+
+void Endpoint::set_prefetch_groups(std::vector<std::vector<ObjectId>> groups) {
+  groups_ = std::move(groups);
+  group_of_.clear();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const ObjectId id : groups_[g]) group_of_[id] = g;
+  }
+}
+
+// Strict queue drain: the whole queue goes out as one frame (one op as a
+// bit-identical legacy frame) and is cleared once the peer owns it. Throws
+// PeerUnavailable with the queue intact — every queued op is an idempotent
+// absolute store, so whoever catches can re-apply or re-send safely.
+void Endpoint::send_queue() {
+  if (pending_.empty() || peer_ == nullptr) return;
+  const std::size_t count = pending_.size();
+  ByteWriter w;
+  if (count == 1) {
+    w.write_bytes(pending_.front().encoded);
+  } else {
+    w.write_u8(static_cast<std::uint8_t>(Op::batch));
+    w.write_u32(static_cast<std::uint32_t>(count));
+    for (const PendingOp& p : pending_) write_op_section(w, p.encoded);
+  }
+  const auto resp =
+      transact(std::move(w), static_cast<std::uint32_t>(count),
+               /*pipelined=*/true);
+  if (count > 1) {
+    stats_.batches_sent += 1;
+    stats_.batched_ops += count;
+  }
+  pending_.clear();
+  if (count > 1) {
+    // Surface the first rider's semantic error, if any (a pure-write batch
+    // carries no demanded value, so this is the only place it can surface).
+    ByteReader r(resp);
+    const auto executed = r.read_u32();
+    for (std::uint32_t i = 0; i < executed; ++i) {
+      ByteReader sr(read_op_section(r));
+      const auto status = sr.read_u8();
+      if (status == kStatusVmError) {
+        const auto code = static_cast<VmErrorCode>(sr.read_u8());
+        throw VmError(code, "remote: " + sr.read_string());
+      }
+    }
+  }
+}
+
+// Top-level flush: recovers like any other RPC when the peer is gone for
+// good — state is pulled back and the queued stores re-apply locally.
+void Endpoint::flush_or_recover() {
+  try {
+    send_queue();
+  } catch (const PeerUnavailable&) {
+    if (serving_depth_ > 0 || !peer_failure_handler_) throw;
+    if (!peer_failure_handler_()) throw;
+    apply_pending_locally();
+    stats_.recovered_rpcs += 1;
+  }
+}
+
+void Endpoint::flush_pending() {
+  // Yield point: read-ahead state never survives one (see snapshots_).
+  invalidate_snapshots();
+  if (pending_.empty()) return;
+  if (peer_ == nullptr) {
+    // Disconnected after recovery: the targets live here now.
+    apply_pending_locally();
+    return;
+  }
+  try {
+    send_queue();
+  } catch (const PeerUnavailable&) {
+    // Called from GC entry, where platform recovery would be re-entrant
+    // (exactly like release()). The queue is idempotent and kept; the next
+    // top-level operation performs the recovery and re-applies it.
+  }
+}
+
+void Endpoint::enqueue_pending(PendingOp rec, ByteWriter encoded) {
+  stats_.ops_sent += 1;
+  rec.encoded = std::move(encoded).take();
+  pending_.push_back(std::move(rec));
+  if (pending_.size() >= batch_.max_ops) flush_or_recover();
+}
+
+void Endpoint::apply_pending_locally() {
+  const auto ops = std::move(pending_);
+  pending_.clear();
+  for (const PendingOp& p : ops) {
+    switch (p.kind) {
+      case Op::put_field:
+        vm_.raw_put_field(p.target, FieldId{p.key}, p.value);
+        break;
+      case Op::put_static:
+        vm_.raw_put_static(ClassId{p.key}, p.slot, p.value);
+        break;
+      case Op::array_put:
+        vm_.raw_array_put(p.target, p.index, p.value);
+        break;
+      case Op::chars_write:
+        vm_.raw_chars_write(p.target, p.index, p.data);
+        break;
+      default:
+        break;  // only void stores are ever deferred
+    }
+  }
+  stats_.pending_applied_locally += ops.size();
+}
+
+std::vector<std::uint8_t> Endpoint::transact_with_pending(ByteWriter op) {
+  if (pending_.empty()) return transact(std::move(op));
+
+  const std::size_t riders = pending_.size();
+  ByteWriter batch;
+  batch.write_u8(static_cast<std::uint8_t>(Op::batch));
+  batch.write_u32(static_cast<std::uint32_t>(riders + 1));
+  for (const PendingOp& p : pending_) write_op_section(batch, p.encoded);
+  const auto tail = std::move(op).take();
+  write_op_section(batch, tail);
+  stats_.batches_sent += 1;
+  stats_.batched_ops += riders + 1;
+
+  // While the batch is in flight the riders belong to the wire, not the
+  // queue: the peer may nest calls back into this VM while serving the
+  // invoke, and the nested serve's trailing flush must not re-send (and
+  // consume) ops that are already aboard the very frame being served.
+  // PeerUnavailable restores them: recovery re-applies the idempotent
+  // riders locally whether or not the batch executed. Any other outcome
+  // means the peer owns the executed prefix, so the riders are done.
+  auto in_flight = std::move(pending_);
+  pending_.clear();
+  std::vector<std::uint8_t> resp;
+  try {
+    resp = transact(std::move(batch), static_cast<std::uint32_t>(riders + 1));
+  } catch (const PeerUnavailable&) {
+    // Riders first, then whatever nested serving enqueued meanwhile.
+    in_flight.insert(in_flight.end(),
+                     std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(pending_.end()));
+    pending_ = std::move(in_flight);
+    throw;
+  }
+
+  ByteReader r(resp);
+  const auto executed = r.read_u32();
+  std::vector<std::span<const std::uint8_t>> sections;
+  sections.reserve(executed);
+  for (std::uint32_t i = 0; i < executed; ++i) {
+    sections.push_back(read_op_section(r));
+  }
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    ByteReader sr(sections[i]);
+    const auto status = sr.read_u8();
+    if (status == kStatusVmError) {
+      // The batch stopped here; ops after it never executed — the same
+      // prefix semantics as issuing the ops one at a time.
+      const auto code = static_cast<VmErrorCode>(sr.read_u8());
+      throw VmError(code, "remote: " + sr.read_string());
+    }
+  }
+  if (executed != riders + 1) {
+    throw VmError(VmErrorCode::type_mismatch,
+                  "batch reply count mismatch without an error");
+  }
+  // The last section is the demanded op's reply, status already checked.
+  const auto last = sections.back();
+  return {last.begin() + 1, last.end()};
+}
+
+std::optional<std::vector<std::uint8_t>>
+Endpoint::transact_or_recover_with_pending(ByteWriter op) {
+  try {
+    return transact_with_pending(std::move(op));
+  } catch (const PeerUnavailable&) {
+    if (serving_depth_ > 0 || !peer_failure_handler_) throw;
+    if (!peer_failure_handler_()) throw;
+    // Reintegration made every target local; the deferred stores land there.
+    apply_pending_locally();
+    stats_.recovered_rpcs += 1;
+    return std::nullopt;
+  }
+}
+
+// --- read-ahead snapshots -----------------------------------------------------
+
+const vm::Value* Endpoint::snapshot_lookup(ObjectId target,
+                                           FieldId field) const {
+  const auto it = snapshots_.find(target);
+  if (it == snapshots_.end() || field.value() >= it->second.size()) {
+    return nullptr;
+  }
+  return &it->second[field.value()];
+}
+
+std::optional<vm::Value> Endpoint::fetch_snapshot(ObjectId target,
+                                                  FieldId field) {
+  // The demanded object first, then not-yet-cached remote group mates in
+  // their (sorted) group order — a deterministic candidate list.
+  std::vector<ObjectId> wanted{target};
+  if (const auto git = group_of_.find(target); git != group_of_.end()) {
+    for (const ObjectId id : groups_[git->second]) {
+      if (wanted.size() > batch_.prefetch_limit) break;
+      if (id == target || snapshots_.contains(id) || vm_.is_local(id)) {
+        continue;
+      }
+      // Group tables outlive the distributed GC: a mate whose stub was
+      // released (or that migrated home) is no longer addressable from here.
+      if (!vm_.knows(id)) continue;
+      wanted.push_back(id);
+    }
+  }
+
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(Op::get_object));
+  w.write_u32(static_cast<std::uint32_t>(wanted.size()));
+  for (const ObjectId id : wanted) write_target(w, id);
+
+  const auto resp = transact_or_recover_with_pending(std::move(w));
+  if (!resp.has_value()) return vm_.raw_get_field(target, field);
+
+  ByteReader r(*resp);
+  const auto count = r.read_u32();
+  std::optional<vm::Value> result;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ObjectId id{r.read_u64()};
+    const bool present = r.read_u8() != 0;
+    if (!present) continue;
+    const auto nfields = r.read_u32();
+    std::vector<vm::Value> fields;
+    fields.reserve(nfields);
+    for (std::uint32_t f = 0; f < nfields; ++f) {
+      fields.push_back(read_value(r, *this));
+    }
+    stats_.snapshots_fetched += 1;
+    if (i > 0) stats_.objects_prefetched += 1;
+    if (id == target && field.value() < fields.size()) {
+      result = fields[field.value()];
+    }
+    snapshots_[id] = std::move(fields);
+  }
+  // nullopt here (object absent or field out of range) falls back to the
+  // legacy per-op path, which produces the authoritative error or value.
+  return result;
+}
+
 ObjectId Endpoint::resolve_target(ByteReader& r) {
   const WireRef wire = read_wire_ref(r);
   const vm::ObjectRef ref = translate_in(wire);
@@ -286,7 +552,7 @@ void Endpoint::write_target(ByteWriter& w, ObjectId id) {
 // --- outgoing operations --------------------------------------------------------
 
 vm::Value Endpoint::recover_invoke(
-    const PeerUnavailable& e, std::size_t mark,
+    const PeerUnavailable& e, std::size_t mark, std::size_t riders,
     const std::function<vm::Value()>& rerun_local) {
   if (serving_depth_ > 0 || !peer_failure_handler_) {
     // Not the top level (or nobody to recover us): keep the journal entries
@@ -303,17 +569,38 @@ vm::Value Endpoint::recover_invoke(
   if (cached.has_value()) {
     ByteReader r(*cached);
     const auto status = r.read_u8();
-    if (status == kStatusVmError) {
-      const auto code = static_cast<VmErrorCode>(r.read_u8());
-      const std::string msg = r.read_string();
+    // With riders the cached reply is a batch reply: the executed sub-ops
+    // (riders first, the invoke last) are authoritative on the peer, so the
+    // write-behind queue is done — recovery must not re-apply it on top of
+    // whatever the invoke computed afterwards.
+    std::optional<ByteReader> sub;
+    if (riders > 0 && status == kStatusOk) {
+      pending_.clear();
+      const auto executed = r.read_u32();
+      std::vector<std::span<const std::uint8_t>> sections;
+      sections.reserve(executed);
+      for (std::uint32_t i = 0; i < executed; ++i) {
+        sections.push_back(read_op_section(r));
+      }
+      // A rider's semantic error stopped the batch before the invoke ran;
+      // surface it exactly like a remote invoke error.
+      sub.emplace(sections.back());
+    } else {
+      sub.emplace(*cached);
+    }
+    const auto sub_status = sub->read_u8();
+    if (sub_status == kStatusVmError) {
+      const auto code = static_cast<VmErrorCode>(sub->read_u8());
+      const std::string msg = sub->read_string();
       vm_.journal_commit();
+      pending_.clear();
       peer_failure_handler_();
       stats_.recovered_rpcs += 1;
       throw VmError(code, "remote: " + msg);
     }
     // Decode while translations are still wired; refs the dead peer owned
     // become stubs that reintegration resolves to local objects.
-    const vm::Value ret = read_value(r, *this);
+    const vm::Value ret = read_value(*sub, *this);
     vm_.journal_commit();
     peer_failure_handler_();
     stats_.recovered_rpcs += 1;
@@ -322,15 +609,20 @@ vm::Value Endpoint::recover_invoke(
 
   // The call never completed remotely: undo the side effects of any
   // callbacks the partial attempts made into this VM, pull the surviving
-  // state back, and run the frame locally from the stub.
+  // state back, apply the write-behind queue to the now-local targets, and
+  // run the frame locally from the stub.
   vm_.journal_rollback(mark);
   if (!peer_failure_handler_()) throw;
+  apply_pending_locally();
   stats_.recovered_rpcs += 1;
   return rerun_local();
 }
 
 vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
                            std::span<const vm::Value> args) {
+  stats_.ops_sent += 1;
+  // The peer is about to execute code: read-ahead snapshots go stale now.
+  invalidate_snapshots();
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::invoke));
   write_target(w, target);
@@ -339,16 +631,18 @@ vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
   w.write_u32(static_cast<std::uint32_t>(args.size()));
   for (const auto& a : args) write_value(w, a, *this);
 
+  const std::size_t riders = pending_.size();
   const std::size_t mark = vm_.journal_begin();
   try {
-    const auto resp = transact(std::move(w));
+    const auto resp = transact_with_pending(std::move(w));
     ByteReader r(resp);
     const vm::Value ret = read_value(r, *this);
     vm_.journal_commit();
     return ret;
   } catch (const PeerUnavailable& e) {
-    return recover_invoke(
-        e, mark, [&] { return vm_.run_incoming_invoke(target, method, args); });
+    return recover_invoke(e, mark, riders, [&] {
+      return vm_.run_incoming_invoke(target, method, args);
+    });
   } catch (...) {
     // Semantic errors keep their partial effects (the fault-free contract).
     vm_.journal_commit();
@@ -358,6 +652,8 @@ vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
 
 vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
                                   std::span<const vm::Value> args) {
+  stats_.ops_sent += 1;
+  invalidate_snapshots();
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::invoke_static));
   w.write_u32(cls.value());
@@ -365,15 +661,16 @@ vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
   w.write_u32(static_cast<std::uint32_t>(args.size()));
   for (const auto& a : args) write_value(w, a, *this);
 
+  const std::size_t riders = pending_.size();
   const std::size_t mark = vm_.journal_begin();
   try {
-    const auto resp = transact(std::move(w));
+    const auto resp = transact_with_pending(std::move(w));
     ByteReader r(resp);
     const vm::Value ret = read_value(r, *this);
     vm_.journal_commit();
     return ret;
   } catch (const PeerUnavailable& e) {
-    return recover_invoke(e, mark, [&] {
+    return recover_invoke(e, mark, riders, [&] {
       return vm_.run_incoming_invoke_static(cls, method, args);
     });
   } catch (...) {
@@ -383,12 +680,24 @@ vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
 }
 
 vm::Value Endpoint::get_field(ObjectId target, FieldId field) {
+  stats_.ops_sent += 1;
+  if (batch_.enabled && batch_.read_ahead && peer_ != nullptr) {
+    if (const vm::Value* v = snapshot_lookup(target, field)) {
+      stats_.readahead_hits += 1;
+      return *v;
+    }
+    if (auto v = fetch_snapshot(target, field)) {
+      return *v;
+    }
+    // Snapshot miss (non-plain object, unknown field, ...): the legacy
+    // per-op path below is authoritative.
+  }
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::get_field));
   write_target(w, target);
   w.write_u32(field.value());
 
-  const auto resp = transact_or_recover(std::move(w));
+  const auto resp = transact_or_recover_with_pending(std::move(w));
   if (!resp.has_value()) return vm_.raw_get_field(target, field);
   ByteReader r(*resp);
   return read_value(r, *this);
@@ -400,18 +709,34 @@ void Endpoint::put_field(ObjectId target, FieldId field, const vm::Value& v) {
   write_target(w, target);
   w.write_u32(field.value());
   write_value(w, v, *this);
+  if (defer_writes()) {
+    // Keep a warm snapshot coherent with the deferred store.
+    if (const auto it = snapshots_.find(target);
+        it != snapshots_.end() && field.value() < it->second.size()) {
+      it->second[field.value()] = v;
+    }
+    PendingOp rec;
+    rec.kind = Op::put_field;
+    rec.target = target;
+    rec.key = field.value();
+    rec.value = v;
+    enqueue_pending(std::move(rec), std::move(w));
+    return;
+  }
+  stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
     vm_.raw_put_field(target, field, v);
   }
 }
 
 vm::Value Endpoint::get_static(ClassId cls, std::uint32_t slot) {
+  stats_.ops_sent += 1;
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::get_static));
   w.write_u32(cls.value());
   w.write_u32(slot);
 
-  const auto resp = transact_or_recover(std::move(w));
+  const auto resp = transact_or_recover_with_pending(std::move(w));
   if (!resp.has_value()) return vm_.raw_get_static(cls, slot);
   ByteReader r(*resp);
   return read_value(r, *this);
@@ -424,18 +749,29 @@ void Endpoint::put_static(ClassId cls, std::uint32_t slot,
   w.write_u32(cls.value());
   w.write_u32(slot);
   write_value(w, v, *this);
+  if (defer_writes()) {
+    PendingOp rec;
+    rec.kind = Op::put_static;
+    rec.key = cls.value();
+    rec.slot = slot;
+    rec.value = v;
+    enqueue_pending(std::move(rec), std::move(w));
+    return;
+  }
+  stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
     vm_.raw_put_static(cls, slot, v);
   }
 }
 
 vm::Value Endpoint::array_get(ObjectId target, std::int64_t index) {
+  stats_.ops_sent += 1;
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::array_get));
   write_target(w, target);
   w.write_i64(index);
 
-  const auto resp = transact_or_recover(std::move(w));
+  const auto resp = transact_or_recover_with_pending(std::move(w));
   if (!resp.has_value()) return vm_.raw_array_get(target, index);
   ByteReader r(*resp);
   return read_value(r, *this);
@@ -448,17 +784,28 @@ void Endpoint::array_put(ObjectId target, std::int64_t index,
   write_target(w, target);
   w.write_i64(index);
   write_value(w, v, *this);
+  if (defer_writes()) {
+    PendingOp rec;
+    rec.kind = Op::array_put;
+    rec.target = target;
+    rec.index = index;
+    rec.value = v;
+    enqueue_pending(std::move(rec), std::move(w));
+    return;
+  }
+  stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
     vm_.raw_array_put(target, index, v);
   }
 }
 
 std::int64_t Endpoint::array_length(ObjectId target) {
+  stats_.ops_sent += 1;
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::array_len));
   write_target(w, target);
 
-  const auto resp = transact_or_recover(std::move(w));
+  const auto resp = transact_or_recover_with_pending(std::move(w));
   if (!resp.has_value()) return vm_.raw_array_length(target);
   ByteReader r(*resp);
   return r.read_i64();
@@ -466,13 +813,14 @@ std::int64_t Endpoint::array_length(ObjectId target) {
 
 std::string Endpoint::chars_read(ObjectId target, std::int64_t offset,
                                  std::int64_t length) {
+  stats_.ops_sent += 1;
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::chars_read));
   write_target(w, target);
   w.write_i64(offset);
   w.write_i64(length);
 
-  const auto resp = transact_or_recover(std::move(w));
+  const auto resp = transact_or_recover_with_pending(std::move(w));
   if (!resp.has_value()) return vm_.raw_chars_read(target, offset, length);
   ByteReader r(*resp);
   return r.read_string();
@@ -485,6 +833,16 @@ void Endpoint::chars_write(ObjectId target, std::int64_t offset,
   write_target(w, target);
   w.write_i64(offset);
   w.write_string(data);
+  if (defer_writes()) {
+    PendingOp rec;
+    rec.kind = Op::chars_write;
+    rec.target = target;
+    rec.index = offset;
+    rec.data = std::string(data);
+    enqueue_pending(std::move(rec), std::move(w));
+    return;
+  }
+  stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
     vm_.raw_chars_write(target, offset, data);
   }
@@ -520,6 +878,11 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
   if (peer_ == nullptr) {
     throw VmError(VmErrorCode::null_reference, "endpoint not connected");
   }
+  // The epoch bump below fences every frame encoded before it, so the
+  // write-behind queue must drain first — strictly: a terminal failure here
+  // propagates (queue kept) for the platform's recovery to re-apply.
+  invalidate_snapshots();
+  send_queue();
 
   MigrationTrace trace;
   trace.begin = vm_.clock().now();
@@ -607,6 +970,10 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
 
 std::optional<std::vector<std::uint8_t>> Endpoint::receive_frame(
     std::span<const std::uint8_t> wire) {
+  // An incoming frame means the peer is acting: whatever we read ahead of
+  // time may be about to change (and anything we cache while serving goes
+  // stale the moment the requester resumes — hence the clear on both ends).
+  invalidate_snapshots();
   const auto view = parse_frame(wire);
   if (!view.has_value()) {
     stats_.corrupt_frames_rejected += 1;
@@ -640,6 +1007,7 @@ std::optional<std::vector<std::uint8_t>> Endpoint::receive_frame(
     throw;
   }
   serving_depth_ -= 1;
+  invalidate_snapshots();
   last_served_seq_ = view->seq;
   if (fault_tolerant()) {
     cached_response_ = resp;
@@ -653,7 +1021,64 @@ std::optional<std::vector<std::uint8_t>> Endpoint::receive_frame(
 
 std::vector<std::uint8_t> Endpoint::serve(
     std::span<const std::uint8_t> request) {
+  if (!request.empty() && static_cast<Op>(request[0]) == Op::batch) {
+    return serve_batch(request);
+  }
   stats_.rpcs_served += 1;
+  return serve_one(request);
+}
+
+std::vector<std::uint8_t> Endpoint::serve_batch(
+    std::span<const std::uint8_t> request) {
+  ByteWriter out;
+  try {
+    ByteReader r(request);
+    (void)r.read_u8();  // Op::batch
+    const auto count = r.read_u32();
+    std::vector<std::span<const std::uint8_t>> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ops.push_back(read_op_section(r));
+    }
+    // Batch-atomic execution: all sub-ops run inside one journal scope, so
+    // an abandoned nested call unwinds every one of them — a retried batch
+    // re-executes from clean state, never on top of a partial application.
+    // A sub-op's *semantic* error commits (the fault-free per-op contract)
+    // but stops the batch: ops after it never ran and never will.
+    const std::size_t mark = vm_.journal_begin();
+    const std::size_t pmark = pending_.size();
+    std::vector<std::vector<std::uint8_t>> replies;
+    replies.reserve(count);
+    try {
+      for (const auto op : ops) {
+        stats_.rpcs_served += 1;
+        auto reply = serve_one(op);
+        const bool failed = !reply.empty() && reply[0] == kStatusVmError;
+        replies.push_back(std::move(reply));
+        if (failed) break;
+      }
+    } catch (const PeerUnavailable&) {
+      vm_.journal_rollback(mark);
+      if (pending_.size() > pmark) pending_.resize(pmark);
+      throw;
+    }
+    vm_.journal_commit();
+    out.write_u8(kStatusOk);
+    out.write_u32(static_cast<std::uint32_t>(replies.size()));
+    for (const auto& reply : replies) write_op_section(out, reply);
+  } catch (const VmError& e) {
+    // A malformed batch envelope; no sub-op executed.
+    ByteWriter err;
+    err.write_u8(kStatusVmError);
+    err.write_u8(static_cast<std::uint8_t>(e.code()));
+    err.write_string(e.what());
+    return std::move(err).take();
+  }
+  return std::move(out).take();
+}
+
+std::vector<std::uint8_t> Endpoint::serve_one(
+    std::span<const std::uint8_t> request) {
   ByteWriter out;
   try {
     ByteReader r(request);
@@ -675,11 +1100,19 @@ std::vector<std::uint8_t> Endpoint::serve(
         // re-execution starts from clean state. Semantic errors (VmError)
         // commit — partial effects are the fault-free contract.
         const std::size_t mark = vm_.journal_begin();
+        const std::size_t pmark = pending_.size();
         vm::Value ret;
         try {
           ret = vm_.run_incoming_invoke(target, method, args);
+          // The requester resumes when this reply lands and may then read
+          // its own state directly: any write-behind ops this invocation
+          // queued against it must land first, inside the same rollback
+          // scope — the flush is part of executing the invoke.
+          send_queue();
         } catch (const PeerUnavailable&) {
           vm_.journal_rollback(mark);
+          // Deferred writes of the rolled-back execution die with it.
+          if (pending_.size() > pmark) pending_.resize(pmark);
           throw;
         } catch (...) {
           vm_.journal_commit();
@@ -700,11 +1133,14 @@ std::vector<std::uint8_t> Endpoint::serve(
           args.push_back(read_value(r, *this));
         }
         const std::size_t mark = vm_.journal_begin();
+        const std::size_t pmark = pending_.size();
         vm::Value ret;
         try {
           ret = vm_.run_incoming_invoke_static(cls, method, args);
+          send_queue();  // see Op::invoke
         } catch (const PeerUnavailable&) {
           vm_.journal_rollback(mark);
+          if (pending_.size() > pmark) pending_.resize(pmark);
           throw;
         } catch (...) {
           vm_.journal_commit();
@@ -850,6 +1286,35 @@ std::vector<std::uint8_t> Endpoint::serve(
       case Op::ping: {
         // Heartbeat probe: prove liveness, touch nothing.
         out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::get_object: {
+        // Read-ahead: snapshot whole plain objects (the demanded target
+        // first, then prefetch candidates). Resolution is lenient — a
+        // candidate that was collected, migrated away, or is not a plain
+        // object is reported absent, not an error; the sender falls back to
+        // the per-op path for the demanded target if it needs to.
+        const auto count = r.read_u32();
+        out.write_u8(kStatusOk);
+        out.write_u32(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const WireRef wire = read_wire_ref(r);
+          out.write_u64(wire.id.value());
+          vm::Object* obj = nullptr;
+          try {
+            const vm::ObjectRef ref = translate_in(wire);
+            obj = vm_.find_object(ref.id);
+          } catch (const VmError&) {
+            obj = nullptr;
+          }
+          if (obj == nullptr || obj->kind != vm::ObjectKind::plain) {
+            out.write_u8(0);
+            continue;
+          }
+          out.write_u8(1);
+          out.write_u32(static_cast<std::uint32_t>(obj->fields.size()));
+          for (const vm::Value& v : obj->fields) write_value(out, v, *this);
+        }
         break;
       }
       default:

@@ -25,7 +25,15 @@
 //    rolls back to bit-identical pre-offload state,
 //  * adaptive failure detection: a Jacobson-style RTT estimator over the
 //    transport legs shortens the retry timeout once samples exist, and
-//    ping() gives the platform an idle-period heartbeat probe.
+//    ping() gives the platform an idle-period heartbeat probe,
+//  * batched, pipelined transport (BatchPolicy, on by default): void ops are
+//    write-behind and coalesce with the next synchronous op into one
+//    multi-op frame under a single [crc][epoch][seq] header; remote reads
+//    fetch whole-object snapshots plus their MINCUT group neighbors
+//    (read-ahead); pure-write flushes under an inert fault plan overlap
+//    their acknowledgement with subsequent compute in virtual time. A
+//    timeout voids and retries a multi-op frame as a unit, and the serving
+//    side executes it inside one journal scope so rollback is batch-atomic.
 //
 // Execution is synchronous and serial, matching the paper's emulator model:
 // "the two VMs do not execute application code simultaneously".
@@ -35,6 +43,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -45,6 +54,28 @@
 #include "vm/vm.hpp"
 
 namespace aide::rpc {
+
+// Write-behind batching and read-ahead policy for one endpoint.
+//
+// With `enabled`, void operations (put_field / put_static / array_put /
+// chars_write) are deferred into a pending queue instead of paying a round
+// trip each: the queue is coalesced into one multi-op frame that goes out
+// when a synchronous operation rides along, when the queue reaches
+// `max_ops`, or at a yield point (GC entry, migration, the end of serving an
+// incoming invoke). A queue of exactly one op flushes as a bit-identical
+// legacy frame; an empty flush sends nothing.
+//
+// With `read_ahead`, a remote get_field miss fetches a snapshot of the whole
+// target object — plus up to `prefetch_limit` not-yet-cached neighbors from
+// its MINCUT partition group — in one frame; subsequent reads of those
+// objects are served locally until the peer next has a chance to execute
+// code (any outgoing invoke, any incoming frame, migration, flush).
+struct BatchPolicy {
+  bool enabled = true;
+  std::size_t max_ops = 32;
+  bool read_ahead = true;
+  std::size_t prefetch_limit = 4;
+};
 
 struct EndpointStats {
   std::uint64_t rpcs_sent = 0;
@@ -66,6 +97,15 @@ struct EndpointStats {
   std::uint64_t stale_frames_fenced = 0;   // old-seq/old-epoch frames fenced
   std::uint64_t duplicate_frames_dropped = 0;  // redundant copies discarded
   std::uint64_t heartbeats_sent = 0;  // idle-period ping() probes
+  // Batched-transport accounting (rpcs_sent counts frames, ops_sent counts
+  // logical operations; the gap between them is what batching saved).
+  std::uint64_t ops_sent = 0;         // logical data ops issued by the VM
+  std::uint64_t batches_sent = 0;     // multi-op frames sent
+  std::uint64_t batched_ops = 0;      // ops that travelled inside those frames
+  std::uint64_t readahead_hits = 0;   // get_fields served from the snapshot cache
+  std::uint64_t snapshots_fetched = 0;   // whole-object snapshots shipped
+  std::uint64_t objects_prefetched = 0;  // snapshots beyond the demanded one
+  std::uint64_t pending_applied_locally = 0;  // write-behind ops recovered locally
 
   friend bool operator==(const EndpointStats&, const EndpointStats&) = default;
 };
@@ -152,6 +192,25 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
     return retry_;
   }
 
+  // Batching is on by default; turning it off (or lowering max_ops) takes
+  // effect on the next operation. Disabling with ops still pending flushes
+  // them first so nothing is silently dropped.
+  void set_batch_policy(BatchPolicy policy);
+  [[nodiscard]] const BatchPolicy& batch_policy() const noexcept {
+    return batch_;
+  }
+
+  // Read-ahead groups (typically the MINCUT components of the last offload):
+  // when a get_field misses the snapshot cache, the demanded object's group
+  // mates are prefetched in the same frame. Each group must be sorted so the
+  // candidate order — and thus the wire traffic — is deterministic.
+  void set_prefetch_groups(std::vector<std::vector<ObjectId>> groups);
+
+  // The number of write-behind ops currently queued (test/bench visibility).
+  [[nodiscard]] std::size_t pending_ops() const noexcept {
+    return pending_.size();
+  }
+
   // The timeout the next attempt would charge: the adaptive Jacobson RTO
   // once the estimator is primed, the configured fixed timeout before that
   // (or whenever adaptivity is off).
@@ -215,6 +274,15 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
                    std::string_view data) override;
   void release(std::span<const ObjectId> ids) override;
 
+  // Yield-point barrier (vm::RemotePeer): sends the write-behind queue as
+  // one multi-op frame (a single op as a legacy frame, nothing when empty)
+  // and invalidates the read-ahead cache. Under an inert fault plan the
+  // flush is pipelined — only the request leg is charged to this VM's clock;
+  // the acknowledgement overlaps the compute that follows. Called from GC
+  // this swallows peer failure (recovery would be re-entrant there) and
+  // keeps the idempotent queue for the next top-level operation to recover.
+  void flush_pending() override;
+
   // Offloads the given local objects to the peer VM. Returns the number of
   // payload bytes shipped. Stubs are left behind; the peer exports the
   // adopted objects back so future references resolve. On PeerUnavailable
@@ -239,6 +307,23 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
     migrate_prepare = 13,  // stage the encoded batch (no heap effects)
     migrate_commit = 14,   // atomically adopt the staged batch
     ping = 15,             // heartbeat: reply immediately, no side effects
+    batch = 16,       // multi-op frame: N length-prefixed single-op requests
+    get_object = 17,  // read-ahead: snapshot whole objects + group neighbors
+  };
+
+  // One write-behind operation: the encoded legacy request (exports already
+  // registered, so referenced values stay GC-rooted until the flush) plus
+  // enough decoded state to re-apply the idempotent store locally when the
+  // peer dies before the queue drains.
+  struct PendingOp {
+    Op kind = Op::put_field;
+    ObjectId target;            // put_field / array_put / chars_write
+    std::uint32_t key = 0;      // field id, or class id for put_static
+    std::uint32_t slot = 0;     // static slot
+    std::int64_t index = 0;     // array index / chars offset
+    vm::Value value;
+    std::string data;           // chars_write payload
+    std::vector<std::uint8_t> encoded;
   };
 
   // RefTranslator.
@@ -247,8 +332,12 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
 
   // Sends an encoded request across the link with bounded retry and returns
   // the decoded-raw response bytes. Throws VmError if the peer reported one,
-  // PeerUnavailable when the retry budget is exhausted.
-  std::vector<std::uint8_t> transact(ByteWriter request);
+  // PeerUnavailable when the retry budget is exhausted. `ops` is the number
+  // of logical operations the frame carries (link-level accounting); with
+  // `pipelined` and an inert fault plan the reply leg is accounted but not
+  // charged to this VM's clock — the ack overlaps subsequent compute.
+  std::vector<std::uint8_t> transact(ByteWriter request, std::uint32_t ops = 1,
+                                     bool pipelined = false);
 
   // transact(), but an unrecoverable peer failure at the top level triggers
   // platform recovery and returns nullopt so the caller completes the
@@ -256,10 +345,44 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   std::optional<std::vector<std::uint8_t>> transact_or_recover(
       ByteWriter request);
 
+  // transact() with the write-behind queue riding along: the pending ops and
+  // `op` coalesce into one multi-op frame (just `op`, bit-identically, when
+  // the queue is empty). Returns the final sub-reply's payload with its
+  // status byte stripped; a rider's remote VmError is rethrown here. On
+  // success (or remote VmError — the peer owns the executed prefix either
+  // way) the queue is cleared; on PeerUnavailable it is kept for recovery.
+  std::vector<std::uint8_t> transact_with_pending(ByteWriter op);
+
+  // transact_with_pending() + the recovery contract of transact_or_recover:
+  // after the platform pulls state back, the queued idempotent stores are
+  // re-applied locally and nullopt tells the caller to finish locally too.
+  std::optional<std::vector<std::uint8_t>> transact_or_recover_with_pending(
+      ByteWriter op);
+
   // Recovery tail shared by invoke/invoke_static: salvages a cached reply or
-  // rolls back and re-executes locally. Must be called from a catch block.
+  // rolls back and re-executes locally. `riders` is how many write-behind
+  // ops were coalesced ahead of the invoke in its frame. Must be called from
+  // a catch block.
   vm::Value recover_invoke(const PeerUnavailable& e, std::size_t mark,
+                           std::size_t riders,
                            const std::function<vm::Value()>& rerun_local);
+
+  // Write-behind plumbing. send_queue drains strictly (PeerUnavailable
+  // propagates, queue kept); flush_or_recover is the top-level form that
+  // falls back to platform recovery plus local re-application.
+  [[nodiscard]] bool defer_writes() const noexcept {
+    return batch_.enabled && peer_ != nullptr;
+  }
+  void enqueue_pending(PendingOp rec, ByteWriter encoded);
+  void send_queue();
+  void flush_or_recover();
+  void apply_pending_locally();
+
+  // Read-ahead plumbing.
+  void invalidate_snapshots() noexcept { snapshots_.clear(); }
+  [[nodiscard]] const vm::Value* snapshot_lookup(ObjectId target,
+                                                 FieldId field) const;
+  std::optional<vm::Value> fetch_snapshot(ObjectId target, FieldId field);
 
   // Receiving side of the framed transport: validates the CRC, fences stale
   // seq/epoch frames, replays the cached reply for a retried sequence number
@@ -269,8 +392,15 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   std::optional<std::vector<std::uint8_t>> receive_frame(
       std::span<const std::uint8_t> wire);
 
-  // Serves one request on the receiving side.
+  // Serves one request on the receiving side (dispatches multi-op frames to
+  // serve_batch, everything else to serve_one).
   std::vector<std::uint8_t> serve(std::span<const std::uint8_t> request);
+  std::vector<std::uint8_t> serve_one(std::span<const std::uint8_t> request);
+  // Executes a multi-op frame as a unit: sub-ops run in order inside one
+  // journal scope, so an abandoned nested call rolls the whole batch back
+  // (no partial application); a sub-op's semantic error stops the batch and
+  // travels back in that op's reply section.
+  std::vector<std::uint8_t> serve_batch(std::span<const std::uint8_t> request);
 
   // Clears connection-scoped transport state (staged migration batch,
   // retransmission copies) on disconnect.
@@ -290,7 +420,19 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   RefMap refs_;
   EndpointStats stats_;
   RetryPolicy retry_;
+  BatchPolicy batch_;
   std::function<bool()> peer_failure_handler_;
+
+  // Write-behind queue: encoded-but-unsent void ops awaiting coalescing.
+  std::vector<PendingOp> pending_;
+  // Read-ahead snapshot cache: whole-object field images of peer objects.
+  // Valid only until the peer can next execute code; the two VMs never run
+  // application code simultaneously, so every such boundary is explicit
+  // (outgoing invoke, incoming frame, migration, flush) and clears it.
+  std::unordered_map<ObjectId, std::vector<vm::Value>> snapshots_;
+  // Prefetch groups (sorted member lists) and the member -> group index.
+  std::vector<std::vector<ObjectId>> groups_;
+  std::unordered_map<ObjectId, std::size_t> group_of_;
 
   // Outgoing sequence numbers, carried in the frame header.
   std::uint64_t next_seq_ = 0;

@@ -65,6 +65,16 @@ WireRef read_wire_ref(ByteReader& r) {
   return ref;
 }
 
+void write_op_section(ByteWriter& w, std::span<const std::uint8_t> op) {
+  w.write_u32(static_cast<std::uint32_t>(op.size()));
+  w.write_bytes(op);
+}
+
+std::span<const std::uint8_t> read_op_section(ByteReader& r) {
+  const auto len = r.read_u32();
+  return r.read_bytes(len);
+}
+
 void write_value(ByteWriter& w, const vm::Value& v, RefTranslator& tr) {
   if (v.is_nil()) {
     w.write_u8(static_cast<std::uint8_t>(Tag::nil));

@@ -67,6 +67,14 @@ class RefTranslator {
 void write_wire_ref(ByteWriter& w, const WireRef& ref);
 [[nodiscard]] WireRef read_wire_ref(ByteReader& r);
 
+// Multi-op framing: a batch payload is [u8 op][u32 count] followed by `count`
+// length-prefixed sections, each holding one legacy single-op request (or,
+// on the reply side, one complete single-op reply including its status byte).
+// One frame header and one CRC cover the whole batch, so a corrupted or
+// stale batch is rejected as a unit and retried as a unit.
+void write_op_section(ByteWriter& w, std::span<const std::uint8_t> op);
+[[nodiscard]] std::span<const std::uint8_t> read_op_section(ByteReader& r);
+
 void write_value(ByteWriter& w, const vm::Value& v, RefTranslator& tr);
 [[nodiscard]] vm::Value read_value(ByteReader& r, RefTranslator& tr);
 

@@ -40,6 +40,13 @@ class RemotePeer {
 
   // Distributed GC: this VM no longer holds references to these peer objects.
   virtual void release(std::span<const ObjectId> ids) = 0;
+
+  // Yield-point barrier for batching transports: drain any write-behind
+  // operations still queued for the peer and drop read-ahead state. The VM
+  // calls it on entry to garbage collection — the release protocol below it
+  // must observe the post-flush reference state. A non-batching peer (unit
+  // test fakes, the default) has nothing to do.
+  virtual void flush_pending() {}
 };
 
 }  // namespace aide::vm

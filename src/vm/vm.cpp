@@ -125,6 +125,10 @@ void Vm::mark_value(const Value& v, std::vector<ObjectId>& worklist) const {
 }
 
 GcReport Vm::collect_garbage() {
+  // Yield point: drain the transport's write-behind queue before marking.
+  // Deferred remote stores pin exported values, and the distributed-GC
+  // release pass below must see the post-flush reference state.
+  if (peer_ != nullptr) peer_->flush_pending();
   in_gc_ = true;
   const std::int64_t used_before = heap_.used();
 

@@ -188,6 +188,71 @@ netsim::FaultPlan schedule(std::size_t i, const Outcome& probe) {
   return plan;
 }
 
+// Satellite family (batched transport): the chaos quartet aimed squarely at
+// multi-op frames. Rates run hotter than the base families so nearly every
+// run corrupts, drops, duplicates, or reorders at least one batch frame;
+// batch atomicity means the application checksum still cannot move — a
+// damaged batch is voided and retried as a unit, never partially applied.
+netsim::FaultPlan batch_schedule(std::size_t i) {
+  const auto lap = static_cast<double>(i / 4);
+  netsim::FaultPlan plan;
+  switch (i % 4) {
+    case 0:  // corrupted batch frames (CRC rejects the whole frame)
+      plan.corrupt_probability = 0.05 + 0.02 * lap;
+      plan.chaos_seed = 0xBA7C0 + i;
+      break;
+    case 1:  // dropped batch frames (RTO voids the whole batch)
+      plan.drop_probability = 0.05 + 0.02 * lap;
+      plan.drop_seed = 0xBA7C1 + i;
+      break;
+    case 2:  // reordered frames (seq/epoch fence discards stale batches)
+      plan.reorder_probability = 0.06 + 0.02 * lap;
+      plan.chaos_seed = 0xBA7C2 + i;
+      break;
+    default:  // duplicated frames (reply cache dedups re-delivered batches)
+      plan.duplicate_probability = 0.08 + 0.04 * lap;
+      plan.chaos_seed = 0xBA7C3 + i;
+      break;
+  }
+  return plan;
+}
+
+class BatchedFrameChaosTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchedFrameChaosTest, DamagedMultiOpFramesRollBackOrRetryAtomically) {
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+
+  const Outcome probe = run(app, params, netsim::FaultPlan{});
+  ASSERT_TRUE(probe.offloaded);
+  ASSERT_EQ(probe.checksum, expected);
+  // The workload genuinely puts multi-op frames on the air; otherwise this
+  // family would be testing nothing beyond the base schedules.
+  const std::uint64_t probe_batches =
+      probe.client.batches_sent + probe.surrogate.batches_sent;
+  ASSERT_GT(probe_batches, 0u);
+
+  const std::size_t n = g_smoke ? 4 : 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("batch schedule " + std::to_string(i));
+    const Outcome o = run(app, params, batch_schedule(i));
+    // No partial application: a batch that executes at all executes whole,
+    // so the output is byte-identical whatever happened to its frames.
+    EXPECT_EQ(o.checksum, expected);
+    EXPECT_LE(o.failures, 1u);
+    if (o.dead) {
+      EXPECT_EQ(o.stub_count, 0u);
+    }
+    // Batching stays engaged under chaos — damage must not silently
+    // degrade the transport to per-op framing.
+    EXPECT_GT(o.client.batches_sent + o.surrogate.batches_sent, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, BatchedFrameChaosTest,
+                         ::testing::ValuesIn(kApps));
+
 class ChaosScheduleTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ChaosScheduleTest, EverySeededScheduleKeepsOutputByteIdentical) {

@@ -229,8 +229,10 @@ TEST_P(DifferentialTest, FaultyExecutionObservesIdenticalState) {
   }
   {
     // Surrogate dies mid-run, after remote execution is well established.
+    // (The batched transport compresses the run to ~250-450 ms of virtual
+    // time, so "mid-run" is earlier than it was under per-op framing.)
     Variant v{"dead-midrun", {}};
-    v.plan.dead_after = sim_ms(400);
+    v.plan.dead_after = sim_ms(100);
     variants.push_back(v);
   }
   {

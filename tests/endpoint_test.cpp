@@ -187,10 +187,11 @@ TEST_F(EndpointTest, StatelessNativeRoutesToClientWithoutEnhancement) {
 
 TEST_F(EndpointTest, StaticDataLivesOnClient) {
   surrogate_.put_static("Calc", "memory", Value{123});
+  // The read flushes the write-behind put in the same frame.
+  EXPECT_EQ(surrogate_.get_static("Calc", "memory").as_int(), 123);
   // The write landed on the client VM's static storage.
   EXPECT_EQ(client_.raw_get_static(client_.find_class("Calc"), 0).as_int(),
             123);
-  EXPECT_EQ(surrogate_.get_static("Calc", "memory").as_int(), 123);
   EXPECT_GE(surrogate_.stats().remote_field_accesses, 2u);
 }
 
@@ -609,6 +610,115 @@ TEST_F(EndpointTest, PingProbesPeerLiveness) {
   // The link comes back: probing succeeds again (re-admission's precondition).
   link_.set_fault_plan(netsim::FaultPlan{});
   EXPECT_TRUE(client_ep_.ping());
+}
+
+TEST_F(EndpointTest, EmptyBatchFlushIsElided) {
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(counter);
+  offload(counter);
+
+  // A yield point with nothing queued must not put a frame on the air.
+  const EndpointStats before = client_ep_.stats();
+  EXPECT_EQ(client_ep_.pending_ops(), 0u);
+  client_ep_.flush_pending();
+  EXPECT_EQ(client_ep_.stats().rpcs_sent, before.rpcs_sent);
+  EXPECT_EQ(client_ep_.stats().bytes_sent, before.bytes_sent);
+  EXPECT_EQ(client_ep_.stats().batches_sent, before.batches_sent);
+}
+
+TEST_F(EndpointTest, SingleOpBatchFlushMatchesLegacyFrameCost) {
+  const ObjectRef pair = client_.new_object("Pair");
+  client_.add_root(pair);
+  offload(pair);
+
+  // Legacy framing: one remote store, one frame, measured in bytes.
+  BatchPolicy off;
+  off.enabled = false;
+  off.read_ahead = false;
+  client_ep_.set_batch_policy(off);
+  const EndpointStats before_off = client_ep_.stats();
+  client_.put_field(pair, FieldId{0}, Value{std::int64_t{41}});
+  const std::uint64_t legacy_bytes =
+      client_ep_.stats().bytes_sent - before_off.bytes_sent;
+  EXPECT_EQ(client_ep_.stats().rpcs_sent - before_off.rpcs_sent, 1u);
+
+  // Batched transport, same store: the lone queued op must flush as a
+  // bit-identical legacy frame — no batch envelope, no extra bytes.
+  client_ep_.set_batch_policy(BatchPolicy{});
+  const EndpointStats before_on = client_ep_.stats();
+  client_.put_field(pair, FieldId{0}, Value{std::int64_t{42}});
+  EXPECT_EQ(client_ep_.pending_ops(), 1u);
+  client_ep_.flush_pending();
+  EXPECT_EQ(client_ep_.pending_ops(), 0u);
+  EXPECT_EQ(client_ep_.stats().rpcs_sent - before_on.rpcs_sent, 1u);
+  EXPECT_EQ(client_ep_.stats().bytes_sent - before_on.bytes_sent, legacy_bytes);
+  EXPECT_EQ(client_ep_.stats().batches_sent, before_on.batches_sent);
+  EXPECT_EQ(client_.get_field(pair, FieldId{0}).as_int(), 42);
+}
+
+TEST_F(EndpointTest, RtoExpiryVoidsWholeBatchExactlyOnce) {
+  const ObjectRef pair = client_.new_object("Pair");
+  const ObjectRef counter = client_.new_object("Counter");
+  client_.add_root(pair);
+  client_.add_root(counter);
+  const ObjectId ids[] = {pair.id, counter.id};
+  client_ep_.migrate_objects(ids);
+
+  // Two deferred stores ride the invoke's frame: one 3-op batch.
+  client_.put_field(pair, FieldId{0}, Value{std::int64_t{41}});
+  client_.put_field(pair, FieldId{1}, Value{"ride"});
+  EXPECT_EQ(client_ep_.pending_ops(), 2u);
+  const EndpointStats before = client_ep_.stats();
+
+  // The outage swallows the first attempt. The RTO voids the entire frame
+  // — one timeout for three ops, not three — and the retry re-sends the
+  // batch as a unit; the reply cache keeps the invoke at-most-once.
+  netsim::FaultPlan plan;
+  plan.outages.push_back({clock_.now(), clock_.now() + sim_ms(10)});
+  link_.set_fault_plan(plan);
+  EXPECT_EQ(client_.call(counter, "inc").as_int(), 1);
+
+  EXPECT_EQ(client_ep_.stats().timeouts - before.timeouts, 1u);
+  EXPECT_EQ(client_ep_.stats().retries - before.retries, 1u);
+  EXPECT_EQ(client_ep_.stats().aborted_rpcs, 0u);
+  EXPECT_EQ(client_ep_.stats().batches_sent - before.batches_sent, 1u);
+  EXPECT_EQ(client_ep_.stats().batched_ops - before.batched_ops, 3u);
+  EXPECT_EQ(client_ep_.pending_ops(), 0u);
+
+  // Every op in the voided batch landed exactly once.
+  link_.set_fault_plan(netsim::FaultPlan{});
+  EXPECT_EQ(client_.get_field(pair, FieldId{0}).as_int(), 41);
+  EXPECT_EQ(client_.get_field(pair, FieldId{1}).as_str(), "ride");
+  EXPECT_EQ(client_.call(counter, "get").as_int(), 1);
+}
+
+TEST_F(EndpointTest, StaleEpochBatchIsDiscardedWholesale) {
+  const ObjectRef pair = client_.new_object("Pair");
+  client_.add_root(pair);
+  offload(pair);
+
+  client_.put_field(pair, FieldId{0}, Value{std::int64_t{7}});
+  client_.put_field(pair, FieldId{1}, Value{"x"});
+  EXPECT_EQ(client_ep_.pending_ops(), 2u);
+
+  // The surrogate moves to a newer migration epoch, so the client's batch
+  // frame carries a stale fencing token. The fence must reject the frame
+  // as a unit on every attempt: neither rider may apply.
+  surrogate_ep_.advance_epoch();
+  const auto fenced_before = surrogate_ep_.stats().stale_frames_fenced;
+  EXPECT_THROW(client_.get_field(pair, FieldId{0}), PeerUnavailable);
+  EXPECT_GE(surrogate_ep_.stats().stale_frames_fenced - fenced_before,
+            static_cast<std::uint64_t>(RetryPolicy{}.max_attempts));
+  EXPECT_EQ(client_ep_.stats().aborted_rpcs, 1u);
+  EXPECT_TRUE(surrogate_.raw_get_field(pair.id, FieldId{0}).is_nil());
+  EXPECT_TRUE(surrogate_.raw_get_field(pair.id, FieldId{1}).is_nil());
+  // The idempotent riders survived the abort for whoever recovers.
+  EXPECT_EQ(client_ep_.pending_ops(), 2u);
+
+  // Once the client re-fences, the same batch goes through exactly once.
+  client_ep_.advance_epoch();
+  EXPECT_EQ(client_.get_field(pair, FieldId{0}).as_int(), 7);
+  EXPECT_EQ(client_.get_field(pair, FieldId{1}).as_str(), "x");
 }
 
 TEST_F(EndpointTest, ReverseMigrationBringsObjectBack) {

@@ -3,7 +3,11 @@
 // and cycle tolerance via the two-section migration encoding.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "rpc/serializer.hpp"
@@ -197,6 +201,190 @@ TEST(ObjectCodecTest, TwoSectionEncodingToleratesCycles) {
   EXPECT_EQ(da.fields[0].as_ref().id, ObjectId{2});
   EXPECT_EQ(db.fields[0].as_ref().id, ObjectId{1});
   EXPECT_TRUE(r.exhausted());
+}
+
+// --- seeded fuzz: nested object graphs ---------------------------------------
+
+TEST(ObjectCodecTest, NestedObjectGraphFuzzRoundTrip) {
+  Rng rng(0xB47C4);
+  for (int round = 0; round < 40; ++round) {
+    FakeTranslator tr;
+    const int n = 2 + static_cast<int>(rng.next_below(8));
+
+    // Random graph over n objects; plain objects reference arbitrary peers
+    // (self-references and cycles included), arrays carry random payloads.
+    std::vector<vm::Object> graph(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vm::Object& o = graph[static_cast<std::size_t>(i)];
+      o.id = ObjectId{100 + static_cast<std::uint64_t>(i)};
+      o.cls = ClassId{1 + static_cast<std::uint32_t>(rng.next_below(5))};
+      switch (rng.next_below(3)) {
+        case 0: {
+          o.kind = ObjectKind::plain;
+          const auto fields = rng.next_below(6);
+          for (std::uint64_t f = 0; f < fields; ++f) {
+            switch (rng.next_below(5)) {
+              case 0: o.fields.emplace_back(); break;
+              case 1: o.fields.emplace_back(rng.next_bool(0.5)); break;
+              case 2:
+                o.fields.emplace_back(
+                    static_cast<std::int64_t>(rng.next_u64()));
+                break;
+              case 3:
+                o.fields.emplace_back(ObjectRef{ObjectId{
+                    100 + rng.next_below(static_cast<std::uint64_t>(n))}});
+                break;
+              case 4: {
+                std::string s(rng.next_below(40), ' ');
+                for (auto& c : s) c = static_cast<char>('a' + rng.next_below(26));
+                o.fields.emplace_back(std::move(s));
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case 1: {
+          o.kind = ObjectKind::int_array;
+          const auto len = rng.next_below(32);
+          for (std::uint64_t j = 0; j < len; ++j) {
+            o.ints.push_back(static_cast<std::int64_t>(rng.next_u64()));
+          }
+          break;
+        }
+        case 2: {
+          o.kind = ObjectKind::char_array;
+          o.chars.assign(rng.next_below(64), '\0');
+          for (auto& c : o.chars) {
+            c = static_cast<char>(rng.next_below(256));
+          }
+          break;
+        }
+      }
+    }
+
+    // Two-section encoding (all headers, then all payloads), as migration
+    // ships it, so the reference cycles resolve on decode.
+    ByteWriter w;
+    for (const vm::Object& o : graph) write_object_header(w, o);
+    for (const vm::Object& o : graph) write_object_payload(w, o, tr);
+
+    ByteReader r(w.data());
+    std::vector<vm::Object> decoded(graph.size());
+    for (vm::Object& d : decoded) {
+      const ObjectHeader h = read_object_header(r);
+      d.id = h.id;
+      d.cls = h.cls;
+      d.kind = h.kind;
+      d.fields.assign(h.field_count, Value{});
+      d.ints.assign(static_cast<std::size_t>(h.ints_len), 0);
+      d.chars.assign(static_cast<std::size_t>(h.chars_len), '\0');
+    }
+    for (vm::Object& d : decoded) read_object_payload(r, d, tr);
+    EXPECT_TRUE(r.exhausted());
+
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " object " +
+                   std::to_string(i));
+      EXPECT_EQ(decoded[i].id, graph[i].id);
+      EXPECT_EQ(decoded[i].cls, graph[i].cls);
+      EXPECT_EQ(decoded[i].kind, graph[i].kind);
+      EXPECT_EQ(decoded[i].fields, graph[i].fields);
+      EXPECT_EQ(decoded[i].ints, graph[i].ints);
+      EXPECT_EQ(decoded[i].chars, graph[i].chars);
+    }
+  }
+}
+
+// --- seeded fuzz: multi-op frames --------------------------------------------
+
+// Builds a random multi-op batch payload ([u8 tag][u32 count][sections...])
+// and returns the section contents alongside the framed bytes.
+struct FuzzFrame {
+  std::vector<std::vector<std::uint8_t>> sections;
+  std::vector<std::uint8_t> frame;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+FuzzFrame make_fuzz_frame(Rng& rng) {
+  FuzzFrame f;
+  f.epoch = static_cast<std::uint32_t>(rng.next_below(1 << 20));
+  f.seq = rng.next_u64() >> 8;
+  const auto count = 1 + rng.next_below(8);
+  ByteWriter w;
+  w.write_u8(16);  // the batch opcode byte; opaque to the framing layer
+  w.write_u32(static_cast<std::uint32_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> op(rng.next_below(100));
+    for (auto& b : op) b = static_cast<std::uint8_t>(rng.next_below(256));
+    write_op_section(w, op);
+    f.sections.push_back(std::move(op));
+  }
+  f.frame = make_frame(f.epoch, f.seq, w.data());
+  return f;
+}
+
+TEST(FrameCodecTest, MultiOpFrameFuzzRoundTrip) {
+  Rng rng(0xF7A3E);
+  for (int round = 0; round < 200; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const FuzzFrame f = make_fuzz_frame(rng);
+
+    const auto view = parse_frame(f.frame);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->epoch, f.epoch);
+    EXPECT_EQ(view->seq, f.seq);
+
+    ByteReader r(view->payload);
+    EXPECT_EQ(r.read_u8(), 16);
+    ASSERT_EQ(r.read_u32(), f.sections.size());
+    for (const auto& op : f.sections) {
+      const auto got = read_op_section(r);
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), op.begin(), op.end()));
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(FrameCodecTest, TruncatedFramesAreRejected) {
+  Rng rng(0x7A11);
+  const FuzzFrame f = make_fuzz_frame(rng);
+  // Every proper prefix — headerless stumps and CRC-orphaned payloads alike
+  // — must be rejected, never mis-decoded.
+  for (std::size_t len = 0; len < f.frame.size(); ++len) {
+    EXPECT_FALSE(
+        parse_frame(std::span(f.frame.data(), len)).has_value())
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(FrameCodecTest, BitFlippedFramesAreRejected) {
+  Rng rng(0xF11B);
+  const FuzzFrame f = make_fuzz_frame(rng);
+  ASSERT_TRUE(parse_frame(f.frame).has_value());
+  // CRC32 catches every single-bit error, wherever it lands: header fields
+  // (including the stored CRC itself), batch count, or op payload.
+  for (std::size_t byte = 0; byte < f.frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = f.frame;
+      copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(parse_frame(copy).has_value())
+          << "flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(FrameCodecTest, TruncatedOpSectionIsRejected) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> op = {1, 2, 3, 4, 5, 6, 7, 8};
+  write_op_section(w, op);
+  const auto& bytes = w.data();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(std::span(bytes.data(), len));
+    EXPECT_THROW((void)read_op_section(r), std::out_of_range)
+        << "prefix of " << len << " bytes decoded";
+  }
 }
 
 TEST(ValueTest, WireSizesMatchSpec) {
