@@ -24,6 +24,13 @@ ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 step "aidelint (static partition-safety) over all apps"
 ./build-ci/src/analysis/aidelint
 
+step "aideverify (effect inference + metadata audit + batch-safety proofs)"
+./build-ci/src/analysis/aidelint --verify
+./build-ci/src/analysis/aidelint --verify --json >/dev/null
+
+step "lint suite (ctest -L lint: inference, audit rules, golden CLI output)"
+ctest --test-dir build-ci --output-on-failure -L lint -j "$JOBS"
+
 step "graph hot-path smoke (monitor throughput + MINCUT parity)"
 ./build-ci/bench/bench_graph_hotpath --smoke
 
@@ -50,6 +57,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   cmake -B build-asan -S . -DAIDE_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  ./build-asan/src/analysis/aidelint --verify >/dev/null
   ./build-asan/tests/chaos_test --smoke
   ./build-asan/bench/bench_vm_hotpath --smoke
   ./build-asan/bench/bench_rpc_batch --smoke

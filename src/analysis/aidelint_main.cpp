@@ -1,63 +1,55 @@
-// aidelint — standalone static partition-safety analyzer.
+// aidelint / aideverify — standalone static analyzer CLI.
 //
 // Registers each application's classes into a fresh registry (no execution)
-// and prints the analyzer's diagnostics and hint summary. Exit status is
-// nonzero iff any app has ERROR-severity findings, so the tool slots
-// directly into CI.
+// and prints diagnostics. Two modes:
 //
-// Usage:
-//   aidelint                 # analyze all five Table 1 apps
-//   aidelint Tracer Voxel    # analyze selected apps
-//   aidelint --hints         # also dump the exported static hints
+//   aidelint             metadata-consistency lint (PR 2 rules)
+//   aidelint --verify    aideverify: interprocedural effect inference,
+//                        metadata audit, batch conflict matrix
+//
+// Flags:
+//   --json     one JSON document over all selected apps instead of text
+//   --hints    also dump the exported static hints (text mode)
+//   [app...]   restrict to the named apps
+//
+// Exit-code contract: 0 clean (infos allowed), 1 warnings, 2 errors —
+// aggregated as the maximum across the selected apps.
 #include <algorithm>
-#include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/effects.hpp"
+#include "analysis/report_io.hpp"
 #include "apps/apps.hpp"
 #include "vm/klass.hpp"
 
-namespace {
-
-void print_hints(const aide::vm::ClassRegistry& reg,
-                 const aide::analysis::StaticHints& hints) {
-  std::printf("  hints:\n");
-  std::printf("    never-migrate (%zu):", hints.never_migrate.size());
-  for (const auto cls : hints.never_migrate) {
-    std::printf(" %s", reg.get(cls).name.c_str());
-  }
-  std::printf("\n    must-colocate (%zu):", hints.must_colocate.size());
-  for (const auto& [holder, held] : hints.must_colocate) {
-    std::printf(" %s->%s", reg.get(holder).name.c_str(),
-                reg.get(held).name.c_str());
-  }
-  std::printf("\n    merge-candidates (%zu):", hints.merge_candidates.size());
-  for (const auto& [leaf, partner] : hints.merge_candidates) {
-    std::printf(" %s+%s", reg.get(leaf).name.c_str(),
-                reg.get(partner).name.c_str());
-  }
-  std::printf("\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bool dump_hints = false;
+  bool verify_mode = false;
+  bool json = false;
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--hints") {
       dump_hints = true;
+    } else if (arg == "--verify") {
+      verify_mode = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: aidelint [--hints] [app...]\n");
+      std::cout << "usage: aidelint [--verify] [--json] [--hints] [app...]\n";
       return 0;
     } else {
       selected.push_back(arg);
     }
   }
 
-  std::size_t total_errors = 0;
+  int code = 0;
+  bool first = true;
+  if (json) std::cout << "{\"mode\": \"" << (verify_mode ? "verify" : "lint")
+                      << "\", \"apps\": [\n";
   for (const auto& app : aide::apps::all_apps()) {
     if (!selected.empty() &&
         std::find(selected.begin(), selected.end(), app.name) ==
@@ -66,19 +58,37 @@ int main(int argc, char** argv) {
     }
     aide::vm::ClassRegistry reg;
     app.register_classes(reg);
-    const auto report = aide::analysis::analyze(reg);
 
-    std::printf("== %s: %s\n", app.name.c_str(), report.summary().c_str());
-    for (const auto& d : report.diagnostics) {
-      std::printf("  %s\n", d.format().c_str());
+    if (json && !first) std::cout << ",\n";
+    first = false;
+    if (verify_mode) {
+      const auto report = aide::analysis::verify(reg);
+      if (json) {
+        std::cout << "{\"name\": \"" << aide::analysis::json_escape(app.name)
+                  << "\", \"report\": ";
+        aide::analysis::render_json(std::cout, reg, report);
+        std::cout << "}";
+      } else {
+        std::cout << "== " << app.name << ": ";
+        aide::analysis::render_text(std::cout, reg, report, dump_hints);
+      }
+      code = std::max(code, aide::analysis::exit_code(report));
+    } else {
+      const auto report = aide::analysis::analyze(reg);
+      if (json) {
+        std::cout << "{\"name\": \"" << aide::analysis::json_escape(app.name)
+                  << "\", \"report\": ";
+        aide::analysis::render_json(std::cout, reg, report);
+        std::cout << "}";
+      } else {
+        std::cout << "== " << app.name << ": ";
+        aide::analysis::render_text(std::cout, reg, report, dump_hints);
+      }
+      code = std::max(code, aide::analysis::exit_code(report));
     }
-    if (dump_hints) print_hints(reg, report.hints);
-    total_errors += report.errors();
   }
+  if (json) std::cout << "\n]}\n";
 
-  if (total_errors > 0) {
-    std::printf("aidelint: %zu error(s)\n", total_errors);
-    return 1;
-  }
-  return 0;
+  if (!json && code == 2) std::cout << "aidelint: errors found\n";
+  return code;
 }

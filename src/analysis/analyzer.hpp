@@ -60,6 +60,35 @@ enum class Rule : std::uint8_t {
   pinned_leaf,
   // INFO: a class is never referenced statically and is not an entry point.
   dead_class,
+
+  // ---- effect-inference rules (emitted by verify(), not analyze()) ----
+
+  // ERROR: a method's effect IR names a class, member, static slot, or
+  // callee that does not exist in the registry.
+  ir_unknown_target,
+  // ERROR: a declared NativeEffect contradicts the inferred summary (a
+  // stateless/pure native whose IR writes state or allocates).
+  effect_drift,
+  // ERROR: an IR call site's argument count contradicts the callee's
+  // declared arity.
+  arity_drift,
+  // ERROR/INFO: a write's declared value class contradicts the field's
+  // declared type (ERROR), or stores refs into an untyped field (INFO —
+  // the static reference graph understates connectivity).
+  field_type_drift,
+  // WARN: class-level `calls` metadata disagrees with the inferred call
+  // graph — a declared call site no callee's IR backs (stale), or a
+  // cross-class IR call the class never declared (missing).
+  call_decl_drift,
+  // INFO: a method has no declared effect IR; its summary is ⊤ (unknown)
+  // and poisons every transitive caller.
+  missing_ir,
+  // INFO: a ui/user pin on a class whose methods are all proven free of
+  // device effects and writes — the pin blocks offload for nothing.
+  pin_unjustified,
+  // INFO: a stateful native whose inferred summary is pure — it could be
+  // declared stateless and run on either VM.
+  stateless_candidate,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Rule r) noexcept {
@@ -72,6 +101,14 @@ enum class Rule : std::uint8_t {
       return "pinned-field-in-migratable";
     case Rule::pinned_leaf: return "pinned-leaf";
     case Rule::dead_class: return "dead-class";
+    case Rule::ir_unknown_target: return "ir-unknown-target";
+    case Rule::effect_drift: return "effect-drift";
+    case Rule::arity_drift: return "arity-drift";
+    case Rule::field_type_drift: return "field-type-drift";
+    case Rule::call_decl_drift: return "call-decl-drift";
+    case Rule::missing_ir: return "missing-ir";
+    case Rule::pin_unjustified: return "pin-unjustified";
+    case Rule::stateless_candidate: return "stateless-candidate";
   }
   return "unknown";
 }

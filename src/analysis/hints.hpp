@@ -20,6 +20,15 @@
 //    references exactly one other class and neither is in the closure —
 //    cutting between them can never be profitable at class granularity, so
 //    they may be merged before MINCUT to shrink the problem.
+//
+// The effect-inference pass (effects.hpp) fills two further sets that the
+// metadata-only analyzer leaves empty:
+//  - replay_safe: methods proven pure — re-executing them on RPC retry is
+//    indistinguishable from at-most-once delivery.
+//  - prefetch_eligible: classes with encapsulated writes (only their own
+//    methods write their instance fields) and not in the pinned closure —
+//    read-ahead snapshots of such objects can only be invalidated by calls
+//    the transport itself sees, so they are safe prefetch-group members.
 #pragma once
 
 #include <utility>
@@ -36,10 +45,16 @@ struct StaticHints {
   std::vector<std::pair<ClassId, ClassId>> must_colocate;
   // Sorted (leaf, partner) pairs; neither endpoint is in never_migrate.
   std::vector<std::pair<ClassId, ClassId>> merge_candidates;
+  // Sorted (class, method) pairs proven pure by effect inference; empty
+  // unless the hints came from analysis::verify.
+  std::vector<std::pair<ClassId, MethodId>> replay_safe;
+  // Sorted classes with encapsulated writes; empty unless from verify.
+  std::vector<ClassId> prefetch_eligible;
 
   [[nodiscard]] bool empty() const noexcept {
     return never_migrate.empty() && must_colocate.empty() &&
-           merge_candidates.empty();
+           merge_candidates.empty() && replay_safe.empty() &&
+           prefetch_eligible.empty();
   }
 
   // Dense ClassId-indexed view of never_migrate, for consumers that resolve

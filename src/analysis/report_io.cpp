@@ -1,0 +1,241 @@
+#include "analysis/report_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aide::analysis {
+
+namespace {
+
+void render_hints(std::ostream& os, const vm::ClassRegistry& reg,
+                  const StaticHints& hints) {
+  os << "  hints:\n";
+  os << "    never-migrate (" << hints.never_migrate.size() << "):";
+  for (const auto cls : hints.never_migrate) {
+    os << ' ' << reg.get(cls).name;
+  }
+  os << "\n    must-colocate (" << hints.must_colocate.size() << "):";
+  for (const auto& [holder, held] : hints.must_colocate) {
+    os << ' ' << reg.get(holder).name << "->" << reg.get(held).name;
+  }
+  os << "\n    merge-candidates (" << hints.merge_candidates.size() << "):";
+  for (const auto& [leaf, partner] : hints.merge_candidates) {
+    os << ' ' << reg.get(leaf).name << '+' << reg.get(partner).name;
+  }
+  os << '\n';
+  if (!hints.replay_safe.empty() || !hints.prefetch_eligible.empty()) {
+    os << "    replay-safe (" << hints.replay_safe.size() << "):";
+    for (const auto& [cls, method] : hints.replay_safe) {
+      const auto& def = reg.get(cls);
+      os << ' ' << def.name << '.' << def.methods[method.value()].name;
+    }
+    os << "\n    prefetch-eligible (" << hints.prefetch_eligible.size()
+       << "):";
+    for (const auto cls : hints.prefetch_eligible) {
+      os << ' ' << reg.get(cls).name;
+    }
+    os << '\n';
+  }
+}
+
+void render_diags(std::ostream& os, const std::vector<Diagnostic>& diags) {
+  for (const auto& d : diags) {
+    os << "  " << d.format() << '\n';
+  }
+}
+
+void json_diags(std::ostream& os, const std::vector<Diagnostic>& diags,
+                std::string_view indent) {
+  os << "[";
+  bool first = true;
+  for (const auto& d : diags) {
+    os << (first ? "\n" : ",\n") << indent << "  {\"severity\": \""
+       << to_string(d.severity) << "\", \"rule\": \"" << to_string(d.rule)
+       << "\", \"class\": \"" << json_escape(d.class_name)
+       << "\", \"source\": \"" << json_escape(d.source)
+       << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+    first = false;
+  }
+  if (!first) os << '\n' << indent;
+  os << "]";
+}
+
+void json_hints(std::ostream& os, const vm::ClassRegistry& reg,
+                const StaticHints& hints) {
+  const auto name_list = [&](const std::vector<ClassId>& ids) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out += (i ? ", \"" : "\"") + json_escape(reg.get(ids[i]).name) + "\"";
+    }
+    return out + "]";
+  };
+  os << "{\"never_migrate\": " << name_list(hints.never_migrate)
+     << ", \"prefetch_eligible\": " << name_list(hints.prefetch_eligible)
+     << ", \"must_colocate\": " << hints.must_colocate.size()
+     << ", \"merge_candidates\": " << hints.merge_candidates.size()
+     << ", \"replay_safe\": [";
+  for (std::size_t i = 0; i < hints.replay_safe.size(); ++i) {
+    const auto& [cls, method] = hints.replay_safe[i];
+    const auto& def = reg.get(cls);
+    os << (i ? ", \"" : "\"") << json_escape(def.name) << '.'
+       << json_escape(def.methods[method.value()].name) << '"';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string loc_name(const vm::ClassRegistry& registry, const Loc& loc) {
+  const auto& def = registry.get(loc.cls);
+  switch (loc.kind) {
+    case LocKind::field:
+      if (loc.member == kAnyMember) return def.name + ".*";
+      return def.name + "." + def.fields[loc.member].name;
+    case LocKind::static_slot:
+      if (loc.member == kAnyMember) return def.name + "::*";
+      return def.name + "::" + def.statics[loc.member];
+    case LocKind::elems: return def.name + "[*]";
+  }
+  return def.name + ".?";
+}
+
+int exit_code(const AnalysisReport& report) {
+  if (report.errors() > 0) return 2;
+  return report.count(Severity::warning) > 0 ? 1 : 0;
+}
+
+int exit_code(const VerifyReport& report) {
+  if (report.errors() > 0) return 2;
+  return report.warnings() > 0 ? 1 : 0;
+}
+
+void render_text(std::ostream& os, const vm::ClassRegistry& registry,
+                 const AnalysisReport& report, bool dump_hints) {
+  os << report.summary() << '\n';
+  render_diags(os, report.diagnostics);
+  if (dump_hints) render_hints(os, registry, report.hints);
+}
+
+void render_text(std::ostream& os, const vm::ClassRegistry& registry,
+                 const VerifyReport& report, bool dump_hints) {
+  os << report.base.summary() << '\n';
+  render_diags(os, report.base.diagnostics);
+  os << "-- " << report.summary() << '\n';
+  render_diags(os, report.diagnostics);
+  if (!report.matrix.conflicts.empty()) {
+    os << "  conflicts:";
+    for (const auto& [i, j] : report.matrix.conflicts) {
+      os << ' ' << loc_name(registry, report.matrix.store_locs[i]) << '~'
+         << loc_name(registry, report.matrix.store_locs[j]);
+    }
+    os << '\n';
+  }
+  if (dump_hints) render_hints(os, registry, report.hints);
+}
+
+void render_json(std::ostream& os, const vm::ClassRegistry& registry,
+                 const AnalysisReport& report) {
+  os << "{\n  \"classes\": " << report.classes_analyzed
+     << ",\n  \"errors\": " << report.errors()
+     << ",\n  \"warnings\": " << report.count(Severity::warning)
+     << ",\n  \"infos\": " << report.count(Severity::info)
+     << ",\n  \"diagnostics\": ";
+  json_diags(os, report.diagnostics, "  ");
+  os << ",\n  \"hints\": ";
+  json_hints(os, registry, report.hints);
+  os << "\n}";
+}
+
+void render_json(std::ostream& os, const vm::ClassRegistry& registry,
+                 const VerifyReport& report) {
+  char coverage[32];
+  std::snprintf(coverage, sizeof(coverage), "%.4f", report.ir_coverage());
+  os << "{\n  \"classes\": " << report.base.classes_analyzed
+     << ",\n  \"methods\": " << report.methods_total
+     << ",\n  \"methods_with_ir\": " << report.methods_with_ir
+     << ",\n  \"ir_coverage\": " << coverage
+     << ",\n  \"errors\": " << report.errors()
+     << ",\n  \"warnings\": " << report.warnings()
+     << ",\n  \"infos\": "
+     << report.count(Severity::info) + report.base.count(Severity::info)
+     << ",\n  \"lint_diagnostics\": ";
+  json_diags(os, report.base.diagnostics, "  ");
+  os << ",\n  \"verify_diagnostics\": ";
+  json_diags(os, report.diagnostics, "  ");
+
+  os << ",\n  \"summaries\": [";
+  bool first = true;
+  for (const auto& f : report.methods) {
+    os << (first ? "\n" : ",\n") << "    {\"method\": \""
+       << json_escape(f.class_name) << '.' << json_escape(f.method_name)
+       << "\", \"has_ir\": " << (f.has_ir ? "true" : "false")
+       << ", \"unknown\": " << (f.summary.unknown ? "true" : "false")
+       << ", \"pure\": " << (f.summary.pure() ? "true" : "false")
+       << ", \"read_only\": " << (f.summary.read_only() ? "true" : "false")
+       << ", \"device\": " << (f.summary.device ? "true" : "false")
+       << ", \"yields\": " << (f.summary.yields ? "true" : "false")
+       << ", \"reads\": [";
+    for (std::size_t i = 0; i < f.summary.reads.locs().size(); ++i) {
+      os << (i ? ", \"" : "\"")
+         << json_escape(loc_name(registry, f.summary.reads.locs()[i]))
+         << '"';
+    }
+    os << "], \"writes\": [";
+    for (std::size_t i = 0; i < f.summary.writes.locs().size(); ++i) {
+      os << (i ? ", \"" : "\"")
+         << json_escape(loc_name(registry, f.summary.writes.locs()[i]))
+         << '"';
+    }
+    os << "], \"allocs\": [";
+    for (std::size_t i = 0; i < f.summary.allocs.size(); ++i) {
+      os << (i ? ", \"" : "\"")
+         << json_escape(registry.get(f.summary.allocs[i]).name) << '"';
+    }
+    os << "]}";
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "]";
+
+  os << ",\n  \"conflict_matrix\": {\"store_locs\": [";
+  for (std::size_t i = 0; i < report.matrix.store_locs.size(); ++i) {
+    os << (i ? ", \"" : "\"")
+       << json_escape(loc_name(registry, report.matrix.store_locs[i]))
+       << '"';
+  }
+  os << "], \"conflicts\": [";
+  for (std::size_t i = 0; i < report.matrix.conflicts.size(); ++i) {
+    const auto& [a, b] = report.matrix.conflicts[i];
+    os << (i ? ", [" : "[") << a << ", " << b << ']';
+  }
+  os << "], \"any_unknown_writes\": "
+     << (report.matrix.any_unknown_writes ? "true" : "false") << "}";
+
+  os << ",\n  \"hints\": ";
+  json_hints(os, registry, report.hints);
+  os << "\n}";
+}
+
+}  // namespace aide::analysis

@@ -1,0 +1,41 @@
+// Text and JSON rendering for analysis reports, shared by the aidelint CLI
+// and the golden-output tests.
+//
+// The text shape is the historical aidelint output (summary line, indented
+// diagnostics, optional hints dump); JSON is a stable machine-readable
+// mirror for tooling. Both are deterministic for a given registry.
+//
+// Exit-code contract (used by the CLI): 0 clean (infos allowed),
+// 1 warnings, 2 errors.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "analysis/effects.hpp"
+#include "vm/klass.hpp"
+
+namespace aide::analysis {
+
+void render_text(std::ostream& os, const vm::ClassRegistry& registry,
+                 const AnalysisReport& report, bool dump_hints);
+void render_text(std::ostream& os, const vm::ClassRegistry& registry,
+                 const VerifyReport& report, bool dump_hints);
+
+// One JSON object per report, two-space indented, no trailing newline.
+void render_json(std::ostream& os, const vm::ClassRegistry& registry,
+                 const AnalysisReport& report);
+void render_json(std::ostream& os, const vm::ClassRegistry& registry,
+                 const VerifyReport& report);
+
+[[nodiscard]] int exit_code(const AnalysisReport& report);
+[[nodiscard]] int exit_code(const VerifyReport& report);
+
+// "Cls.field", "Cls::slot", or "Cls[*]" (elems); "*" for kAnyMember.
+[[nodiscard]] std::string loc_name(const vm::ClassRegistry& registry,
+                                   const Loc& loc);
+
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace aide::analysis

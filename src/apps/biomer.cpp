@@ -134,6 +134,25 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.put_field(self, kMolBonds, Value{bonds});
                 return Value{};
               })
+          .allocates("Object[]")
+          .allocates("Bio.Atom")
+          .allocates("Bio.Bond")
+          .allocates("int[]")
+          .allocates("ArrayList")
+          .writes("Bio.Atom", "x")
+          .writes("Bio.Atom", "y")
+          .writes("Bio.Atom", "z")
+          .writes("Bio.Atom", "element")
+          .writes("Bio.Atom", "traj")
+          .writes("Bio.Bond", "a", "Bio.Atom")
+          .writes("Bio.Bond", "b", "Bio.Atom")
+          .writes("Bio.Bond", "order")
+          .writes_elems("Object[]")
+          .reads_elems("Object[]")
+          .writes("Bio.Molecule", "atoms")
+          .writes("Bio.Molecule", "count")
+          .writes("Bio.Molecule", "bonds", "ArrayList")
+          .invokes("ArrayList", "add", 1)
           .method("getAtom",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef atoms =
@@ -142,10 +161,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         atoms, FieldId{static_cast<std::uint32_t>(
                                    arg(args, 0).as_int())});
                   })
+          .reads("Bio.Molecule", "atoms")
+          .reads_elems("Object[]")
           .method("atomCount",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     return ctx.get_field(self, kMolCount);
                   })
+          .reads("Bio.Molecule", "count")
           .method("checksumMol",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const std::int64_t n =
@@ -164,6 +186,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return Value{static_cast<std::int64_t>(h)};
                   })
           .arity(0)
+          .reads("Bio.Molecule", "count")
+          .reads("Bio.Atom", "x")
+          .reads("Bio.Atom", "z")
+          .invokes("Bio.Molecule", "getAtom", 1)
           .build());
 
   reg.register_class(
@@ -238,6 +264,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{energy};
               })
           .arity(2)
+          .reads("Bio.Atom", "x")
+          .reads("Bio.Atom", "y")
+          .reads("Bio.Atom", "z")
+          .reads("Bio.Atom", "traj")
+          .writes("Bio.Atom", "x")
+          .writes("Bio.Atom", "y")
+          .writes("Bio.Atom", "z")
+          .writes_elems("int[]")
+          .reads("Bio.ForceField", "steps")
+          .writes("Bio.ForceField", "steps")
+          .invokes("Bio.Molecule", "atomCount", 0)
+          .invokes("Bio.Molecule", "getAtom", 1)
           .build());
 
   reg.register_class(
@@ -285,6 +323,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{pos};
               })
           .arity(1)
+          .reads("Bio.Analyzer", "ring")
+          .reads("Bio.Analyzer", "pos")
+          .writes("Bio.Analyzer", "ring")
+          .writes("Bio.Analyzer", "pos")
+          .allocates("Object[]")
+          .allocates("int[]")
+          .writes_elems("Object[]")
+          .writes_elems("int[]")
+          .reads("Bio.Atom", "x")
+          .invokes("Bio.Molecule", "atomCount", 0)
+          .invokes("Bio.Molecule", "getAtom", 1)
           .build());
 
   reg.register_class(
@@ -333,6 +382,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               })
           .arity(1)
           .effect(vm::NativeEffect::device_state)
+          .reads("Bio.Viewport3D", "display")
+          .reads("Bio.Viewport3D", "frames")
+          .writes("Bio.Viewport3D", "frames")
+          .reads("Bio.Atom", "x")
+          .reads("Bio.Atom", "y")
+          .reads("Bio.Atom", "z")
+          .invokes("Bio.Molecule", "atomCount", 0)
+          .invokes("Bio.Molecule", "getAtom", 1)
+          .invokes("Math", "sin", 1)
+          .invokes("Display", "drawPixel", 3)
+          .invokes("Display", "flush", 0)
           .build());
 
   reg.register_class(
@@ -356,6 +416,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
                     return Value{};
                   })
+          .reads("Bio.Hud", "display")
+          .reads("Bio.Hud", "updates")
+          .writes("Bio.Hud", "updates")
+          .invokes("Display", "drawText", 3)
           .build());
 }
 

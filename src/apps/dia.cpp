@@ -88,6 +88,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kLayerH, Value{h});
                     return Value{};
                   })
+          .allocates("int[]")
+          .writes("Dia.Layer", "pixels")
+          .writes("Dia.Layer", "name", "String")
+          .writes("Dia.Layer", "w")
+          .writes("Dia.Layer", "h")
           .method("fillLayer",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef pixels =
@@ -107,6 +112,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{};
                   })
+          .reads("Dia.Layer", "pixels")
+          .reads("Dia.Layer", "w")
+          .reads("Dia.Layer", "h")
+          .writes_elems("int[]")
           .method("cloneLayer",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const std::int64_t w =
@@ -129,6 +138,14 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{copy};
                   })
+          .allocates("Dia.Layer")
+          .reads("Dia.Layer", "pixels")
+          .reads("Dia.Layer", "name")
+          .reads("Dia.Layer", "w")
+          .reads("Dia.Layer", "h")
+          .reads_elems("int[]")
+          .writes_elems("int[]")
+          .invokes("Dia.Layer", "initLayer", 3)
           .method("checksumLayer",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef pixels =
@@ -142,6 +159,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return Value{static_cast<std::int64_t>(h)};
                   })
           .arity(0)
+          .reads("Dia.Layer", "pixels")
+          .reads_elems("int[]")
           .build());
 
   reg.register_class(
@@ -163,6 +182,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kImageH, arg(args, 1));
                     return Value{};
                   })
+          .allocates("ArrayList")
+          .writes("Dia.Image", "layers", "ArrayList")
+          .writes("Dia.Image", "w")
+          .writes("Dia.Image", "h")
           .method("addLayer",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef layers =
@@ -170,18 +193,24 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.call(layers, kListAdd, {arg(args, 0)});
                     return Value{};
                   })
+          .reads("Dia.Image", "layers")
+          .invokes("ArrayList", "add", 1)
           .method("getLayer",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef layers =
                         ctx.get_field(self, kImageLayers).as_ref();
                     return ctx.call(layers, kListGet, {arg(args, 0)});
                   })
+          .reads("Dia.Image", "layers")
+          .invokes("ArrayList", "get", 1)
           .method("layerCount",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef layers =
                         ctx.get_field(self, kImageLayers).as_ref();
                     return ctx.call(layers, kListSize);
                   })
+          .reads("Dia.Image", "layers")
+          .invokes("ArrayList", "size", 0)
           .build());
 
   // Holds a device Console for progress ticks: the typed field drags the
@@ -228,6 +257,15 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                               Value{(n.is_int() ? n.as_int() : 0) + 1});
                 return Value{};
               })
+          .reads("Dia.Layer", "pixels")
+          .reads("Dia.Layer", "w")
+          .reads("Dia.Layer", "h")
+          .reads("Dia.FilterEngine", "passes")
+          .reads("Dia.FilterEngine", "console")
+          .writes("Dia.FilterEngine", "passes")
+          .reads_elems("int[]")
+          .writes_elems("int[]")
+          .invokes("Console", "println", 1)
           .method("invert",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef layer = arg(args, 0).as_ref();
@@ -247,6 +285,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return Value{};
                   })
           .arity(1)
+          .reads("Dia.Layer", "pixels")
+          .reads("Dia.FilterEngine", "passes")
+          .writes("Dia.FilterEngine", "passes")
+          .reads_elems("int[]")
+          .writes_elems("int[]")
           .build());
 
   reg.register_class(
@@ -271,12 +314,19 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
                     return Value{};
                   })
+          .allocates("ArrayList")
+          .reads("Dia.History", "entries")
+          .reads("Dia.History", "count")
+          .writes("Dia.History", "entries", "ArrayList")
+          .writes("Dia.History", "count")
+          .invokes("ArrayList", "add", 1)
           .method("depth",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value n = ctx.get_field(self, kHistCount);
                     return n.is_int() ? n : Value{0};
                   })
           .arity(0)
+          .reads("Dia.History", "count")
           .build());
 
   reg.register_class(
@@ -317,6 +367,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               })
           .arity(1)
           .effect(vm::NativeEffect::device_state)
+          .reads("Dia.Layer", "pixels")
+          .reads_elems("int[]")
+          .reads("Dia.Canvas", "display")
+          .reads("Dia.Canvas", "blits")
+          .writes("Dia.Canvas", "blits")
+          .invokes("Display", "drawText", 3)
           .build());
 
   reg.register_class(
@@ -326,6 +382,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
           .field("display", "Display")
           .field("labels", "ArrayList")
           .references("String")
+          // buildTools appends the label list; the add call site was
+          // missing until aideverify flagged it.
+          .calls("ArrayList", "add", 1)
           .calls("ArrayList", "size", 0)
           .calls("ArrayList", "get", 1)
           .calls("Display", "drawText", 3)
@@ -340,6 +399,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, FieldId{1}, Value{labels});
                     return Value{};
                   })
+          .allocates("ArrayList")
+          .allocates("String")
+          .writes("String", "value")
+          .writes("Dia.ToolBar", "labels", "ArrayList")
+          .invokes("ArrayList", "add", 1)
           .method("highlightTool",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef labels =
@@ -355,6 +419,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                               Value{string_value(ctx, label)}});
                     return Value{};
                   })
+          .reads("Dia.ToolBar", "labels")
+          .reads("Dia.ToolBar", "display")
+          .reads("String", "value")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .invokes("Display", "drawText", 3)
           .build());
 }
 

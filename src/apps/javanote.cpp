@@ -117,6 +117,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kSegUsed, Value{0});
                     return Value{};
                   })
+          .allocates("char[]")
+          .writes("JNote.TextSegment", "data")
+          .writes("JNote.TextSegment", "used")
           .method("write",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const auto& text = arg(args, 0).as_str();
@@ -135,6 +138,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                                text.size()))});
                     return Value{};
                   })
+          .reads("JNote.TextSegment", "data")
+          .reads("JNote.TextSegment", "used")
+          .writes("JNote.TextSegment", "used")
+          .writes_elems("char[]")
           .method("readAll",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef data =
@@ -145,6 +152,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                              static_cast<SimDuration>(used));
                     return Value{ctx.chars_read(data, 0, used)};
                   })
+          .reads("JNote.TextSegment", "data")
+          .reads("JNote.TextSegment", "used")
+          .reads_elems("char[]")
           .method("readSlice",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef data =
@@ -158,6 +168,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.work(kScanWorkPerByte * std::max<SimDuration>(len, 1));
                     return Value{ctx.chars_read(data, off, len)};
                   })
+          .reads("JNote.TextSegment", "data")
+          .reads("JNote.TextSegment", "used")
+          .reads_elems("char[]")
           .method("snapshot",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     // Full-segment copy for the undo stack.
@@ -172,6 +185,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.chars_write(copy, 0, ctx.chars_read(data, 0, used));
                     return Value{copy};
                   })
+          .reads("JNote.TextSegment", "data")
+          .reads("JNote.TextSegment", "used")
+          .allocates("char[]")
+          .reads_elems("char[]")
+          .writes_elems("char[]")
           .build());
 
   reg.register_class(
@@ -183,6 +201,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
           .field("count")
           .field("length")
           .references("JNote.TextSegment")
+          // checksumDoc reads every segment back through readAll; the
+          // call declaration was missing until aideverify flagged it.
+          .calls("JNote.TextSegment", "readAll", 0)
           .method("initDoc",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::int64_t max_segs = arg(args, 0).as_int();
@@ -192,6 +213,10 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kDocLength, Value{0});
                     return Value{};
                   })
+          .allocates("Object[]")
+          .writes("JNote.Document", "segments")
+          .writes("JNote.Document", "count")
+          .writes("JNote.Document", "length")
           .method("addSegment",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef segs =
@@ -210,6 +235,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kDocLength, Value{length + used});
                     return Value{};
                   })
+          .reads("JNote.Document", "segments")
+          .reads("JNote.Document", "count")
+          .reads("JNote.Document", "length")
+          .writes("JNote.Document", "count")
+          .writes("JNote.Document", "length")
+          .writes_elems("Object[]")
+          .reads("JNote.TextSegment", "used")
           .method("getSegment",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef segs =
@@ -218,10 +250,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         segs, FieldId{static_cast<std::uint32_t>(
                                   arg(args, 0).as_int())});
                   })
+          .reads("JNote.Document", "segments")
+          .reads_elems("Object[]")
           .method("segmentCount",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     return ctx.get_field(self, kDocCount);
                   })
+          .reads("JNote.Document", "count")
           .method("checksumDoc",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const std::int64_t count =
@@ -236,6 +271,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     }
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .reads("JNote.Document", "count")
+          .invokes("JNote.Document", "getSegment", 1)
+          .invokes("JNote.TextSegment", "readAll", 0)
           .build());
 
   reg.register_class(
@@ -284,10 +322,19 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.put_field(self, kIdxCount, Value{lines});
                 return Value{lines};
               })
+          .allocates("int[]")
+          .writes_elems("int[]")
+          .writes("JNote.LineIndex", "starts")
+          .writes("JNote.LineIndex", "segOf")
+          .writes("JNote.LineIndex", "count")
+          .invokes("JNote.Document", "segmentCount", 0)
+          .invokes("JNote.Document", "getSegment", 1)
+          .invokes("JNote.TextSegment", "readAll", 0)
           .method("lineCount",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     return ctx.get_field(self, kIdxCount);
                   })
+          .reads("JNote.LineIndex", "count")
           .build());
 
   reg.register_class(
@@ -353,6 +400,17 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.put_field(self, kCacheCount, Value{count});
                 return Value{count};
               })
+          .allocates("Object[]")
+          .allocates("String")
+          .writes("String", "value")
+          .writes_elems("Object[]")
+          .writes("JNote.RenderCache", "lines")
+          .writes("JNote.RenderCache", "highlights")
+          .writes("JNote.RenderCache", "count")
+          .invokes("JNote.Document", "segmentCount", 0)
+          .invokes("JNote.Document", "getSegment", 1)
+          .invokes("JNote.TextSegment", "readAll", 0)
+          .invokes("StrUtil", "copyCase", 1)
           .method("getLine",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::int64_t count =
@@ -365,6 +423,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return ctx.get_field(
                         lines, FieldId{static_cast<std::uint32_t>(i)});
                   })
+          .reads("JNote.RenderCache", "count")
+          .reads("JNote.RenderCache", "lines")
+          .reads_elems("Object[]")
           .method("refreshLine",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::int64_t count =
@@ -382,10 +443,16 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                   Value{line_str});
                     return Value{};
                   })
+          .reads("JNote.RenderCache", "count")
+          .reads("JNote.RenderCache", "lines")
+          .allocates("String")
+          .writes("String", "value")
+          .writes_elems("Object[]")
           .method("lineCountC",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     return ctx.get_field(self, kCacheCount);
                   })
+          .reads("JNote.RenderCache", "count")
           .build());
 
   reg.register_class(
@@ -409,11 +476,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
                     return Value{};
                   })
+          .allocates("ArrayList")
+          .reads("JNote.UndoStack", "entries")
+          .reads("JNote.UndoStack", "count")
+          .writes("JNote.UndoStack", "entries", "ArrayList")
+          .writes("JNote.UndoStack", "count")
+          .invokes("ArrayList", "add", 1)
           .method("depth",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value n = ctx.get_field(self, kUndoCount);
                     return n.is_int() ? n : Value{0};
                   })
+          .reads("JNote.UndoStack", "count")
           .build());
 
   reg.register_class(ClassBuilder("JNote.Caret")
@@ -436,10 +510,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
           .field("caret", "JNote.Caret")
           .references("JNote.TextSegment")
           .calls("FileSystem", "read", 3)
+          .calls("JNote.Document", "initDoc", 1)
+          .calls("JNote.Document", "addSegment", 1)
           .calls("JNote.Document", "getSegment", 1)
+          .calls("JNote.Document", "segmentCount", 0)
+          .calls("JNote.Document", "checksumDoc", 0)
+          .calls("JNote.TextSegment", "initSeg", 0)
           .calls("JNote.TextSegment", "write", 2)
+          .calls("JNote.TextSegment", "snapshot", 0)
           .calls("JNote.UndoStack", "pushSnap", 1)
+          .calls("JNote.UndoStack", "depth", 0)
           .calls("JNote.RenderCache", "refreshLine", 2)
+          .calls("JNote.RenderCache", "lineCountC", 0)
           .method(
               "loadFile",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -463,6 +545,13 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 }
                 return Value{total};
               })
+          .reads("JNote.EditorCore", "doc")
+          .allocates("JNote.TextSegment")
+          .invokes("JNote.Document", "initDoc", 1)
+          .invokes("JNote.Document", "addSegment", 1)
+          .invokes("JNote.TextSegment", "initSeg", 0)
+          .invokes("JNote.TextSegment", "write", 2)
+          .invokes("FileSystem", "read", 3)
           .method(
               "applyEdit",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -505,6 +594,20 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                               Value{static_cast<std::int64_t>(text.size())});
                 return Value{true};
               })
+          .reads("JNote.EditorCore", "doc")
+          .reads("JNote.EditorCore", "undo")
+          .reads("JNote.EditorCore", "cache")
+          .reads("JNote.EditorCore", "caret")
+          .reads("JNote.TextSegment", "used")
+          .writes("JNote.Caret", "line")
+          .writes("JNote.Caret", "col")
+          .invokes("JNote.Document", "segmentCount", 0)
+          .invokes("JNote.Document", "getSegment", 1)
+          .invokes("JNote.TextSegment", "snapshot", 0)
+          .invokes("JNote.TextSegment", "write", 2)
+          .invokes("JNote.UndoStack", "pushSnap", 1)
+          .invokes("JNote.RenderCache", "lineCountC", 0)
+          .invokes("JNote.RenderCache", "refreshLine", 2)
           .method("checksumCore",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef doc =
@@ -521,6 +624,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                    ctx.get_field(caret, kCaretLine).as_int()));
                     return Value{static_cast<std::int64_t>(h)};
                   })
+          .reads("JNote.EditorCore", "doc")
+          .reads("JNote.EditorCore", "undo")
+          .reads("JNote.EditorCore", "caret")
+          .reads("JNote.Caret", "line")
+          .invokes("JNote.Document", "checksumDoc", 0)
+          .invokes("JNote.UndoStack", "depth", 0)
           .build());
 
   reg.register_class(
@@ -549,6 +658,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                   Value{(n.is_int() ? n.as_int() : 0) + 1});
                     return Value{};
                   })
+          .reads("JNote.StatusBar", "display")
+          .reads("JNote.StatusBar", "updates")
+          .writes("JNote.StatusBar", "updates")
+          .invokes("System", "currentTimeMillis", 0)
+          .invokes("Display", "drawText", 3)
           .build());
 
   reg.register_class(
@@ -587,11 +701,21 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 ctx.call(display, kDisplayFlush);
                 return Value{};
               })
+          .reads("JNote.EditorView", "core")
+          .reads("JNote.EditorView", "display")
+          .reads("JNote.EditorView", "topLine")
+          .reads("JNote.EditorCore", "cache")
+          .reads("String", "value")
+          .invokes("JNote.RenderCache", "getLine", 1)
+          .invokes("Display", "drawText", 3)
+          .invokes("Display", "flush", 0)
           .method("scrollTo",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     ctx.put_field(self, kViewTop, arg(args, 0));
                     return ctx.call(self, kViewRender);
                   })
+          .writes("JNote.EditorView", "topLine")
+          .invokes("JNote.EditorView", "render", 0)
           .build());
 
   reg.register_class(ClassBuilder("JNote.MenuItem")
@@ -630,6 +754,14 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, FieldId{0}, Value{menus});
                     return Value{};
                   })
+          .allocates("ArrayList")
+          .allocates("JNote.MenuItem")
+          .allocates("String")
+          .writes("String", "value")
+          .writes("JNote.MenuItem", "label", "String")
+          .writes("JNote.MenuItem", "shortcut")
+          .writes("JNote.MenuBar", "menus", "ArrayList")
+          .invokes("ArrayList", "add", 1)
           .build());
 }
 

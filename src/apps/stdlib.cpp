@@ -82,6 +82,8 @@ void register_display(vm::ClassRegistry& reg) {
                          })
           .arity(3)
           .effect(vm::NativeEffect::device_state)
+          .reads("Display", "checksum")
+          .writes("Display", "checksum")
           .native_method("drawLine",
                          [](Vm& ctx, ObjectRef self, auto args) -> Value {
                            ctx.work(sim_us(2));
@@ -99,6 +101,8 @@ void register_display(vm::ClassRegistry& reg) {
                          })
           .arity(4)
           .effect(vm::NativeEffect::device_state)
+          .reads("Display", "checksum")
+          .writes("Display", "checksum")
           .native_method("drawPixel",
                          [](Vm& ctx, ObjectRef self, auto args) -> Value {
                            ctx.work(sim_ns(300));
@@ -117,6 +121,8 @@ void register_display(vm::ClassRegistry& reg) {
                          })
           .arity(3)
           .effect(vm::NativeEffect::device_state)
+          .reads("Display", "checksum")
+          .writes("Display", "checksum")
           .native_method("flush",
                          [](Vm& ctx, ObjectRef self, auto) -> Value {
                            ctx.work(sim_us(30));
@@ -128,6 +134,8 @@ void register_display(vm::ClassRegistry& reg) {
                          })
           .arity(0)
           .effect(vm::NativeEffect::device_state)
+          .reads("Display", "ops")
+          .writes("Display", "ops")
           .build());
 }
 
@@ -155,6 +163,8 @@ void register_system_classes(vm::ClassRegistry& reg) {
                          })
           .arity(1)
           .effect(vm::NativeEffect::device_state)
+          .reads("Console", "lines")
+          .writes("Console", "lines")
           .build());
 
   reg.register_class(
@@ -177,6 +187,8 @@ void register_system_classes(vm::ClassRegistry& reg) {
               })
           .arity(3)
           .effect(vm::NativeEffect::device_state)
+          .reads("FileSystem", "reads")
+          .writes("FileSystem", "reads")
           .native_method("size",
                          [](Vm& ctx, ObjectRef, auto) -> Value {
                            ctx.work(sim_us(10));
@@ -184,6 +196,7 @@ void register_system_classes(vm::ClassRegistry& reg) {
                          })
           .arity(0)
           .effect(vm::NativeEffect::device_state)
+          .no_effects()
           .build());
 
   reg.register_class(
@@ -201,6 +214,7 @@ void register_system_classes(vm::ClassRegistry& reg) {
                          /*stateless=*/false, /*is_static=*/true)
           .arity(0)
           .effect(vm::NativeEffect::device_state)
+          .no_effects()
           .static_method("getProperty",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            const auto& key = arg(args, 0).as_str();
@@ -209,6 +223,7 @@ void register_system_classes(vm::ClassRegistry& reg) {
                            return ctx.get_static(cls, def.require_static(key));
                          })
           .arity(1)
+          .reads_static("System", "*")
           .build());
 
   reg.register_class(
@@ -230,6 +245,8 @@ void register_system_classes(vm::ClassRegistry& reg) {
                          })
           .arity(0)
           .effect(vm::NativeEffect::device_state)
+          .reads("EventQueue", "counter")
+          .writes("EventQueue", "counter")
           .build());
 }
 
@@ -247,19 +264,24 @@ void register_math(vm::ClassRegistry& reg) {
           .native_method("sqrt", unary(+[](double x) { return std::sqrt(x); }),
                          true, true)
           .arity(1)
+          .no_effects()
           .native_method("sin", unary(+[](double x) { return std::sin(x); }),
                          true, true)
           .arity(1)
+          .no_effects()
           .native_method("cos", unary(+[](double x) { return std::cos(x); }),
                          true, true)
           .arity(1)
+          .no_effects()
           .native_method("exp", unary(+[](double x) { return std::exp(x); }),
                          true, true)
           .arity(1)
+          .no_effects()
           .native_method("floor",
                          unary(+[](double x) { return std::floor(x); }), true,
                          true)
           .arity(1)
+          .no_effects()
           .native_method("atan2",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(400));
@@ -268,6 +290,7 @@ void register_math(vm::ClassRegistry& reg) {
                          },
                          true, true)
           .arity(2)
+          .no_effects()
           .native_method("pow",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(500));
@@ -276,6 +299,7 @@ void register_math(vm::ClassRegistry& reg) {
                          },
                          true, true)
           .arity(2)
+          .no_effects()
           .native_method("absI",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            ctx.work(sim_ns(100));
@@ -284,6 +308,7 @@ void register_math(vm::ClassRegistry& reg) {
                          },
                          true, true)
           .arity(1)
+          .no_effects()
           .native_method("noise",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            // Deterministic integer noise for the fractal
@@ -298,6 +323,7 @@ void register_math(vm::ClassRegistry& reg) {
                                static_cast<std::int64_t>(h % 65536) - 32768};
                          },
                          true, true)
+          .no_effects()
           .build());
 
   reg.register_class(
@@ -315,6 +341,7 @@ void register_math(vm::ClassRegistry& reg) {
                          },
                          true, true)
           .arity(2)
+          .no_effects()
           .native_method("copyCase",
                          [](Vm& ctx, ObjectRef, auto args) -> Value {
                            std::string s = args[0].as_str();
@@ -328,6 +355,7 @@ void register_math(vm::ClassRegistry& reg) {
                          },
                          true, true)
           .arity(1)
+          .no_effects()
           .build());
 }
 
@@ -345,6 +373,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                   },
                   sim_ns(120))
           .arity(0)
+          .reads("String", "value")
           .method("charAt",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string s =
@@ -356,6 +385,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                   },
                   sim_ns(120))
           .arity(1)
+          .reads("String", "value")
           .method("concat",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string a =
@@ -369,6 +399,9 @@ void register_value_classes(vm::ClassRegistry& reg) {
                   },
                   sim_ns(300))
           .arity(1)
+          .reads("String", "value")
+          .allocates("String")
+          .writes("String", "value")
           .method("substring",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const std::string s =
@@ -386,6 +419,9 @@ void register_value_classes(vm::ClassRegistry& reg) {
                   },
                   sim_ns(250))
           .arity(2)
+          .reads("String", "value")
+          .allocates("String")
+          .writes("String", "value")
           .method("hashCode",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const std::string s =
@@ -394,6 +430,7 @@ void register_value_classes(vm::ClassRegistry& reg) {
                   },
                   sim_ns(200))
           .arity(0)
+          .reads("String", "value")
           .build());
 
   reg.register_class(
@@ -418,6 +455,9 @@ void register_value_classes(vm::ClassRegistry& reg) {
                     return Value{self};
                   },
                   sim_ns(250))
+          .reads("StringBuilder", "value")
+          .reads("String", "value")
+          .writes("StringBuilder", "value")
           .method("toStr",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     ObjectRef out = ctx.new_object("String");
@@ -427,6 +467,9 @@ void register_value_classes(vm::ClassRegistry& reg) {
                     return Value{out};
                   },
                   sim_ns(200))
+          .allocates("String")
+          .reads("StringBuilder", "value")
+          .writes("String", "value")
           .build());
 
   for (const char* name : {"Integer", "Long", "Double", "Boolean",
@@ -441,12 +484,14 @@ void register_value_classes(vm::ClassRegistry& reg) {
                       return ctx.get_field(self, FieldId{0});
                     },
                     sim_ns(80))
+            .reads(name, "value")
             .method("set",
                     [](Vm& ctx, ObjectRef self, auto args) -> Value {
                       ctx.put_field(self, FieldId{0}, arg(args, 0));
                       return Value{};
                     },
                     sim_ns(80))
+            .writes(name, "value")
             .build());
   }
 
@@ -545,6 +590,14 @@ void register_collections(vm::ClassRegistry& reg) {
               },
               sim_ns(300))
           .arity(1)
+          .reads("ArrayList", "size")
+          .reads("ArrayList", "tail")
+          .writes("ArrayList", "size")
+          .writes("ArrayList", "head", "ListChunk")
+          .writes("ArrayList", "tail", "ListChunk")
+          .allocates("ListChunk")
+          .reads("ListChunk", "count")
+          .writes("ListChunk", "*")
           .method(
               "get",
               [=](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -564,6 +617,8 @@ void register_collections(vm::ClassRegistry& reg) {
               },
               sim_ns(200))
           .arity(1)
+          .reads("ArrayList", "head")
+          .reads("ListChunk", "*")
           .method(
               "set",
               [=](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -585,6 +640,9 @@ void register_collections(vm::ClassRegistry& reg) {
               },
               sim_ns(200))
           .arity(2)
+          .reads("ArrayList", "head")
+          .reads("ListChunk", "*")
+          .writes("ListChunk", "*")
           .method("size",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value size = ctx.get_field(self, FieldId{0});
@@ -592,6 +650,7 @@ void register_collections(vm::ClassRegistry& reg) {
                   },
                   sim_ns(100))
           .arity(0)
+          .reads("ArrayList", "size")
           .build());
 
   reg.register_class(ClassBuilder("Pair")
@@ -641,6 +700,18 @@ void register_collections(vm::ClassRegistry& reg) {
               },
               sim_ns(400))
           .arity(2)
+          .reads("HashMap", "entries")
+          .reads("HashMap", "size")
+          .writes("HashMap", "entries", "ArrayList")
+          .writes("HashMap", "size")
+          .allocates("ArrayList")
+          .allocates("Pair")
+          .reads("Pair", "key")
+          .writes("Pair", "key")
+          .writes("Pair", "val")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .invokes("ArrayList", "add", 1)
           .method(
               "get",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -662,6 +733,11 @@ void register_collections(vm::ClassRegistry& reg) {
               },
               sim_ns(350))
           .arity(1)
+          .reads("HashMap", "entries")
+          .reads("Pair", "key")
+          .reads("Pair", "val")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
           .method("size",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value size = ctx.get_field(self, FieldId{1});
@@ -669,6 +745,7 @@ void register_collections(vm::ClassRegistry& reg) {
                   },
                   sim_ns(100))
           .arity(0)
+          .reads("HashMap", "size")
           .build());
 
   reg.register_class(
@@ -689,6 +766,9 @@ void register_collections(vm::ClassRegistry& reg) {
                   },
                   sim_ns(150))
           .arity(0)
+          .reads("Iterator", "list")
+          .reads("Iterator", "index")
+          .invokes("ArrayList", "size", 0)
           .method("next",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef list =
@@ -700,6 +780,10 @@ void register_collections(vm::ClassRegistry& reg) {
                   },
                   sim_ns(200))
           .arity(0)
+          .reads("Iterator", "list")
+          .reads("Iterator", "index")
+          .writes("Iterator", "index")
+          .invokes("ArrayList", "get", 1)
           .build());
 }
 

@@ -96,6 +96,15 @@ void register_widget(vm::ClassRegistry& reg, const std::string& name,
                 return paint_widget(ctx, self);
               })
       .arity(0)
+      .reads(name, "display")
+      .reads(name, "bounds")
+      .reads(name, "label")
+      .reads("Rect", "x")
+      .reads("Rect", "y")
+      .reads("Rect", "w")
+      .reads("Rect", "h")
+      .invokes("Display", "drawLine", 4)
+      .invokes("Display", "drawText", 3)
       .method("handle",
               [state_stride](Vm& ctx, ObjectRef self, auto args) -> Value {
                 const Value st = ctx.get_field(self, kWState);
@@ -105,7 +114,9 @@ void register_widget(vm::ClassRegistry& reg, const std::string& name,
                 ctx.put_field(self, kWState, Value{next});
                 return Value{next};
               })
-      .arity(1);
+      .arity(1)
+      .reads(name, "state")
+      .writes(name, "state");
   if (driver_instantiated) b.entry();
   reg.register_class(b.build());
 }
@@ -182,6 +193,10 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return Value{};
                   })
           .arity(2)
+          .allocates("int[]")
+          .writes_elems("int[]")
+          .writes("ui.Icon", "pixels")
+          .writes("ui.Icon", "size")
           .build());
 
   // Layout managers: assign widget bounds in rows/columns.
@@ -213,6 +228,24 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 return Value{x};
               })
           .arity(1)
+          .reads("ui.FlowLayout", "gap")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .reads("ui.Button", "bounds")
+          .reads("ui.Label", "bounds")
+          .reads("ui.TextField", "bounds")
+          .reads("ui.CheckBox", "bounds")
+          .reads("ui.RadioButton", "bounds")
+          .reads("ui.ScrollBar", "bounds")
+          .reads("ui.ListBox", "bounds")
+          .reads("ui.ComboBox", "bounds")
+          .reads("ui.ProgressBar", "bounds")
+          .reads("ui.Separator", "bounds")
+          .reads("ui.StatusField", "bounds")
+          .reads("ui.TabStrip", "bounds")
+          .reads("ui.Spinner", "bounds")
+          .reads("Rect", "w")
+          .writes("Rect", "x")
           .build());
 
   reg.register_class(
@@ -243,6 +276,24 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 return Value{y};
               })
           .arity(1)
+          .reads("ui.ColumnLayout", "gap")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .reads("ui.Button", "bounds")
+          .reads("ui.Label", "bounds")
+          .reads("ui.TextField", "bounds")
+          .reads("ui.CheckBox", "bounds")
+          .reads("ui.RadioButton", "bounds")
+          .reads("ui.ScrollBar", "bounds")
+          .reads("ui.ListBox", "bounds")
+          .reads("ui.ComboBox", "bounds")
+          .reads("ui.ProgressBar", "bounds")
+          .reads("ui.Separator", "bounds")
+          .reads("ui.StatusField", "bounds")
+          .reads("ui.TabStrip", "bounds")
+          .reads("ui.Spinner", "bounds")
+          .reads("Rect", "h")
+          .writes("Rect", "y")
           .build());
 
   // Theme: static data (lives on the client, like all statics).
@@ -263,6 +314,7 @@ void register_toolkit(vm::ClassRegistry& reg) {
                                             arg(args, 0).as_int()};
                              })
                          .arity(1)
+                         .reads_static("ui.Theme", "accent")
                          .build());
 
   // Panels hold children and delegate painting.
@@ -279,6 +331,20 @@ void register_toolkit(vm::ClassRegistry& reg) {
           .calls("ArrayList", "size", 0)
           .calls("ArrayList", "get", 1)
           .calls("ui.Button", "paint", 0)
+          .calls("ui.Label", "paint", 0)
+          .calls("ui.TextField", "paint", 0)
+          .calls("ui.CheckBox", "paint", 0)
+          .calls("ui.RadioButton", "paint", 0)
+          .calls("ui.ScrollBar", "paint", 0)
+          .calls("ui.ListBox", "paint", 0)
+          .calls("ui.ComboBox", "paint", 0)
+          .calls("ui.ProgressBar", "paint", 0)
+          .calls("ui.Separator", "paint", 0)
+          .calls("ui.StatusField", "paint", 0)
+          .calls("ui.TabStrip", "paint", 0)
+          .calls("ui.Spinner", "paint", 0)
+          .calls("ui.FlowLayout", "layout", 1)
+          .calls("ui.ColumnLayout", "layout", 1)
           .method("addChild",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     Value children_v = ctx.get_field(self, FieldId{0});
@@ -291,6 +357,10 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return Value{};
                   })
           .arity(1)
+          .reads("ui.Panel", "children")
+          .allocates("ArrayList")
+          .writes("ui.Panel", "children", "ArrayList")
+          .invokes("ArrayList", "add", 1)
           .method("doLayout",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value layout_v = ctx.get_field(self, FieldId{1});
@@ -304,6 +374,10 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return Value{};
                   })
           .arity(0)
+          .reads("ui.Panel", "layout")
+          .reads("ui.Panel", "children")
+          .invokes("ui.FlowLayout", "layout", 1)
+          .invokes("ui.ColumnLayout", "layout", 1)
           .method("paintAll",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const Value children_v = ctx.get_field(self, FieldId{0});
@@ -322,6 +396,22 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return Value{n};
                   })
           .arity(0)
+          .reads("ui.Panel", "children")
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .invokes("ui.Button", "paint", 0)
+          .invokes("ui.Label", "paint", 0)
+          .invokes("ui.TextField", "paint", 0)
+          .invokes("ui.CheckBox", "paint", 0)
+          .invokes("ui.RadioButton", "paint", 0)
+          .invokes("ui.ScrollBar", "paint", 0)
+          .invokes("ui.ListBox", "paint", 0)
+          .invokes("ui.ComboBox", "paint", 0)
+          .invokes("ui.ProgressBar", "paint", 0)
+          .invokes("ui.Separator", "paint", 0)
+          .invokes("ui.StatusField", "paint", 0)
+          .invokes("ui.TabStrip", "paint", 0)
+          .invokes("ui.Spinner", "paint", 0)
           .build());
 
   // Keyboard map: event code -> focus index, stored in a HashMap.
@@ -343,6 +433,10 @@ void register_toolkit(vm::ClassRegistry& reg) {
                                     {arg(args, 0), arg(args, 1)});
                   })
           .arity(2)
+          .reads("ui.KeyMap", "bindings")
+          .allocates("HashMap")
+          .writes("ui.KeyMap", "bindings", "HashMap")
+          .invokes("HashMap", "put", 2)
           .method("lookup",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const Value map_v = ctx.get_field(self, FieldId{0});
@@ -352,6 +446,8 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return ctx.call(map_v.as_ref(), kMapGet, {arg(args, 0)});
                   })
           .arity(1)
+          .reads("ui.KeyMap", "bindings")
+          .invokes("HashMap", "get", 1)
           .build());
 
   // Event dispatcher: routes an event to the focused child of a panel.
@@ -366,6 +462,18 @@ void register_toolkit(vm::ClassRegistry& reg) {
           .calls("ArrayList", "size", 0)
           .calls("ArrayList", "get", 1)
           .calls("ui.Button", "handle", 1)
+          .calls("ui.Label", "handle", 1)
+          .calls("ui.TextField", "handle", 1)
+          .calls("ui.CheckBox", "handle", 1)
+          .calls("ui.RadioButton", "handle", 1)
+          .calls("ui.ScrollBar", "handle", 1)
+          .calls("ui.ListBox", "handle", 1)
+          .calls("ui.ComboBox", "handle", 1)
+          .calls("ui.ProgressBar", "handle", 1)
+          .calls("ui.Separator", "handle", 1)
+          .calls("ui.StatusField", "handle", 1)
+          .calls("ui.TabStrip", "handle", 1)
+          .calls("ui.Spinner", "handle", 1)
           .method(
               "dispatch",
               [](Vm& ctx, ObjectRef self, auto args) -> Value {
@@ -395,6 +503,26 @@ void register_toolkit(vm::ClassRegistry& reg) {
                 return state;
               })
           .arity(2)
+          .reads("ui.EventDispatcher", "keymap")
+          .reads("ui.EventDispatcher", "dispatched")
+          .writes("ui.EventDispatcher", "dispatched")
+          .reads("ui.Panel", "children")
+          .invokes("ui.KeyMap", "lookup", 1)
+          .invokes("ArrayList", "size", 0)
+          .invokes("ArrayList", "get", 1)
+          .invokes("ui.Button", "handle", 1)
+          .invokes("ui.Label", "handle", 1)
+          .invokes("ui.TextField", "handle", 1)
+          .invokes("ui.CheckBox", "handle", 1)
+          .invokes("ui.RadioButton", "handle", 1)
+          .invokes("ui.ScrollBar", "handle", 1)
+          .invokes("ui.ListBox", "handle", 1)
+          .invokes("ui.ComboBox", "handle", 1)
+          .invokes("ui.ProgressBar", "handle", 1)
+          .invokes("ui.Separator", "handle", 1)
+          .invokes("ui.StatusField", "handle", 1)
+          .invokes("ui.TabStrip", "handle", 1)
+          .invokes("ui.Spinner", "handle", 1)
           .build());
 
   // The window ties it together.
@@ -437,6 +565,16 @@ void register_toolkit(vm::ClassRegistry& reg) {
                     return Value{painted};
                   })
           .arity(0)
+          .reads("ui.Window", "display")
+          .reads("ui.Window", "title")
+          .reads("ui.Window", "toolbar")
+          .reads("ui.Window", "content")
+          .reads("ui.Window", "paints")
+          .writes("ui.Window", "paints")
+          .reads("String", "value")
+          .invokes("Display", "drawText", 3)
+          .invokes("Display", "flush", 0)
+          .invokes("ui.Panel", "paintAll", 0)
           .build());
 }
 

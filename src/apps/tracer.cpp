@@ -126,6 +126,24 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{};
               })
           .arity(1)
+          .allocates("Object[]")
+          .allocates("Trc.Material")
+          .allocates("Trc.Sphere")
+          .writes("Trc.Material", "r")
+          .writes("Trc.Material", "g")
+          .writes("Trc.Material", "b")
+          .writes("Trc.Material", "reflect")
+          .writes("Trc.Sphere", "x")
+          .writes("Trc.Sphere", "y")
+          .writes("Trc.Sphere", "z")
+          .writes("Trc.Sphere", "radius")
+          .writes("Trc.Sphere", "material", "Trc.Material")
+          .writes_elems("Object[]")
+          .writes("Trc.Scene", "spheres")
+          .writes("Trc.Scene", "count")
+          .writes("Trc.Scene", "lightX")
+          .writes("Trc.Scene", "lightY")
+          .writes("Trc.Scene", "lightZ")
           .method("getSphere",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef spheres =
@@ -135,6 +153,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                                      arg(args, 0).as_int())});
                   })
           .arity(1)
+          .reads("Trc.Scene", "spheres")
+          .reads_elems("Object[]")
           .build());
 
   reg.register_class(
@@ -230,6 +250,25 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{w};
               })
           .arity(1)
+          .reads("Trc.RayEngine", "scene")
+          .reads("Trc.RayEngine", "buffer")
+          .reads("Trc.RayEngine", "w")
+          .reads("Trc.RayEngine", "h")
+          .reads("Trc.Scene", "count")
+          .reads("Trc.Scene", "lightX")
+          .reads("Trc.Scene", "lightY")
+          .reads("Trc.Sphere", "x")
+          .reads("Trc.Sphere", "y")
+          .reads("Trc.Sphere", "z")
+          .reads("Trc.Sphere", "radius")
+          .reads("Trc.Sphere", "material")
+          .reads("Trc.Material", "r")
+          .reads("Trc.Material", "g")
+          .reads("Trc.Material", "b")
+          .writes_elems("int[]")
+          .invokes("Trc.Scene", "getSphere", 1)
+          .invokes("Math", "sqrt", 1)
+          .invokes("Math", "pow", 2)
           .method("checksumImage",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef buffer =
@@ -243,6 +282,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return Value{static_cast<std::int64_t>(h)};
                   })
           .arity(0)
+          .reads("Trc.RayEngine", "buffer")
+          .reads_elems("int[]")
           .build());
 
   reg.register_class(
@@ -284,6 +325,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               })
           .arity(4)
           .effect(vm::NativeEffect::device_state)
+          .reads("Trc.Screen", "display")
+          .reads("Trc.Screen", "blits")
+          .writes("Trc.Screen", "blits")
+          .reads_elems("int[]")
+          .invokes("Display", "drawLine", 4)
+          .invokes("Display", "flush", 0)
           .build());
 }
 

@@ -76,6 +76,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     ctx.put_field(self, kFieldSize, Value{size});
                     return Value{};
                   })
+          .allocates("int[]")
+          .writes("Vox.HeightField", "data")
+          .writes("Vox.HeightField", "size")
           .method("heightAt",
                   [](Vm& ctx, ObjectRef self, auto args) -> Value {
                     const ObjectRef data =
@@ -88,6 +91,9 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                         ((arg(args, 1).as_int() % size) + size) % size;
                     return ctx.array_get(data, y * size + x);
                   })
+          .reads("Vox.HeightField", "data")
+          .reads("Vox.HeightField", "size")
+          .reads_elems("int[]")
           .method("checksumField",
                   [](Vm& ctx, ObjectRef self, auto) -> Value {
                     const ObjectRef data =
@@ -101,6 +107,8 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                     return Value{static_cast<std::int64_t>(h)};
                   })
           .arity(0)
+          .reads("Vox.HeightField", "data")
+          .reads_elems("int[]")
           .build());
 
   reg.register_class(
@@ -145,6 +153,11 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{};
               })
           .arity(2)
+          .reads("Vox.HeightField", "data")
+          .reads("Vox.HeightField", "size")
+          .reads_elems("int[]")
+          .writes_elems("int[]")
+          .invokes("Math", "noise", 3)
           .build());
 
   reg.register_class(ClassBuilder("Vox.Camera")
@@ -225,6 +238,18 @@ void register_classes_impl(vm::ClassRegistry& reg) {
                 return Value{cols};
               })
           .arity(1)
+          .reads("Vox.RayCaster", "field")
+          .reads("Vox.RayCaster", "buffer")
+          .reads("Vox.RayCaster", "cols")
+          .reads("Vox.Camera", "x")
+          .reads("Vox.Camera", "y")
+          .reads("Vox.Camera", "angle")
+          .reads("Vox.Camera", "height")
+          .writes_elems("int[]")
+          .invokes("Math", "cos", 1)
+          .invokes("Math", "sin", 1)
+          .invokes("Math", "sqrt", 1)
+          .invokes("Vox.HeightField", "heightAt", 2)
           .build());
 
   reg.register_class(
@@ -264,6 +289,12 @@ void register_classes_impl(vm::ClassRegistry& reg) {
               })
           .arity(1)
           .effect(vm::NativeEffect::device_state)
+          .reads("Vox.Screen", "display")
+          .reads("Vox.Screen", "frames")
+          .writes("Vox.Screen", "frames")
+          .reads_elems("int[]")
+          .invokes("Display", "drawLine", 4)
+          .invokes("Display", "flush", 0)
           .build());
 }
 

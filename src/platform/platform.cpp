@@ -34,6 +34,24 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
     }
     if (!analysis_->ok()) throw analysis::AnalysisError(*analysis_);
   }
+  if (config_.effect_verify) {
+    // Effect-inference gate: infer whole-program summaries from the method
+    // IR and audit every hand-declared annotation against them. Drift is a
+    // programming error — refuse startup exactly like the gate above.
+    verify_ = analysis::verify(*registry_);
+    for (const auto& d : verify_->diagnostics) {
+      if (d.severity == analysis::Severity::warning) {
+        AIDE_LOG_WARN("aideverify", d.format());
+      }
+    }
+    // Only verify-layer findings gate here; base lint errors belong to the
+    // static_analysis gate above (and stay waivable independently of it).
+    if (verify_->count(analysis::Severity::error) > 0) {
+      auto merged = verify_->base;
+      merged.diagnostics = verify_->diagnostics;
+      throw analysis::AnalysisError(merged);
+    }
+  }
 
   vm::VmConfig client_cfg;
   client_cfg.node = kClientNode;
@@ -67,6 +85,15 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
   surrogate_ep_->set_retry_policy(config_.retry);
   client_ep_->set_batch_policy(config_.batching);
   surrogate_ep_->set_batch_policy(config_.batching);
+  if (verify_.has_value() && verify_->methods_total > 0 &&
+      verify_->methods_with_ir == verify_->methods_total) {
+    // Full IR coverage: the inferred conflict matrix bounds every deferred
+    // store, so the transport may consult it. Anything less proves nothing
+    // (⊤ summaries poison the matrix) and would only force early flushes.
+    batch_safety_.emplace(*verify_);
+    client_ep_->set_batch_safety(&*batch_safety_);
+    surrogate_ep_->set_batch_safety(&*batch_safety_);
+  }
   if (config_.fault_plan.enabled()) {
     // Exactly-once recovery needs the undo journal; fault-free runs keep it
     // off so they stay bit-identical to the unjournaled platform.
@@ -205,8 +232,15 @@ partition::PartitionRequest Platform::make_request(
   const SimTime since = offloads_.empty() ? 0 : offloads_.back().at;
   req.history_duration = std::max<SimDuration>(clock_.now() - since, 1);
   req.weight = config_.edge_weight;
-  if (config_.use_static_hints && analysis_.has_value()) {
-    req.hints = &analysis_->hints;
+  if (config_.use_static_hints) {
+    // Prefer the verify-layer hints: a superset of the metadata-only ones
+    // (same contraction fields, plus replay/prefetch facts the partitioner
+    // ignores), so this changes nothing unless effect_verify found more.
+    if (verify_.has_value()) {
+      req.hints = &verify_->hints;
+    } else if (analysis_.has_value()) {
+      req.hints = &analysis_->hints;
+    }
   }
   return req;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/effects.hpp"
 #include "common/simclock.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/resource_monitor.hpp"
@@ -107,6 +108,15 @@ struct PlatformConfig {
   // startup: construction throws analysis::AnalysisError on ERROR-severity
   // findings and logs WARN findings.
   bool static_analysis = true;
+  // Run the interprocedural effect verifier (aideverify) over the registry
+  // at startup: infers per-method summaries from the declared effect IR and
+  // audits every hand-declared annotation against them; declared-metadata
+  // drift refuses startup exactly like the static_analysis gate. When every
+  // registered method carries IR (100% coverage) the resulting
+  // BatchSafetyOracle is installed into both endpoints — a partially
+  // annotated registry still verifies, but proves nothing the transport
+  // could use, so nothing is installed.
+  bool effect_verify = true;
   // Feed the analyzer's static hints into the partitioner so the execution
   // graph is pre-contracted before MINCUT. Off by default: the purely
   // dynamic pipeline stays bit-identical to the paper model.
@@ -187,6 +197,16 @@ class Platform : private vm::VmHooks {
   analysis_report() const noexcept {
     return analysis_;
   }
+  // The startup effect-verify report (empty when effect_verify is off).
+  [[nodiscard]] const std::optional<analysis::VerifyReport>& verify_report()
+      const noexcept {
+    return verify_;
+  }
+  // The batch-safety oracle serving both endpoints; null unless
+  // effect_verify ran over a registry with 100% effect-IR coverage.
+  [[nodiscard]] const analysis::BatchSafety* batch_safety() const noexcept {
+    return batch_safety_.has_value() ? &*batch_safety_ : nullptr;
+  }
 
   [[nodiscard]] const std::vector<OffloadReport>& offloads() const noexcept {
     return offloads_;
@@ -255,6 +275,9 @@ class Platform : private vm::VmHooks {
   netsim::Link link_;
   std::shared_ptr<const vm::ClassRegistry> registry_;
   std::optional<analysis::AnalysisReport> analysis_;
+  std::optional<analysis::VerifyReport> verify_;
+  // Declared before the endpoints: they hold a non-owning pointer to it.
+  std::optional<analysis::BatchSafety> batch_safety_;
 
   std::unique_ptr<vm::Vm> client_;
   std::unique_ptr<vm::Vm> surrogate_;

@@ -302,6 +302,55 @@ void Endpoint::set_prefetch_groups(std::vector<std::vector<ObjectId>> groups) {
   }
 }
 
+void Endpoint::set_batch_safety(const analysis::BatchSafetyOracle* oracle) {
+  // Queued proofs were made against the old oracle; drain before switching.
+  if (oracle != oracle_) flush_pending();
+  oracle_ = oracle;
+  pending_proven_ = true;
+}
+
+void Endpoint::set_prefetch_eligible(std::vector<ClassId> classes) {
+  std::sort(classes.begin(), classes.end());
+  has_prefetch_filter_ = !classes.empty();
+  prefetch_filter_ = std::move(classes);
+}
+
+Endpoint::StoreLoc Endpoint::store_loc_of(const PendingOp& rec) const {
+  switch (rec.kind) {
+    case Op::put_field:
+      return {vm_.class_of(rec.target), analysis::StoreKind::field, rec.key};
+    case Op::put_static:
+      return {ClassId{rec.key}, analysis::StoreKind::static_slot, rec.slot};
+    case Op::array_put:
+      return {vm_.class_of(rec.target), analysis::StoreKind::elems,
+              analysis::kAnyMember};
+    default:  // chars_write — the only other deferred kind
+      return {vm_.class_of(rec.target), analysis::StoreKind::chars,
+              analysis::kAnyMember};
+  }
+}
+
+bool Endpoint::store_proven_deferrable(const PendingOp& rec) const {
+  if (oracle_ == nullptr) return true;  // PR 6 semantics: always defer
+  if (!vm_.knows(rec.target) && rec.kind != Op::put_static) return false;
+  const StoreLoc loc = store_loc_of(rec);
+  return oracle_->store_deferrable(loc.cls, loc.kind, loc.member);
+}
+
+std::size_t Endpoint::effective_max_ops() const noexcept {
+  if (oracle_ != nullptr && pending_proven_ &&
+      batch_.max_ops_proven > batch_.max_ops) {
+    return batch_.max_ops_proven;
+  }
+  return batch_.max_ops;
+}
+
+bool Endpoint::prefetch_mate_eligible(ObjectId id) const {
+  if (!has_prefetch_filter_) return true;
+  return std::binary_search(prefetch_filter_.begin(), prefetch_filter_.end(),
+                            vm_.class_of(id));
+}
+
 // Strict queue drain: the whole queue goes out as one frame (one op as a
 // bit-identical legacy frame) and is cleared once the peer owns it. Throws
 // PeerUnavailable with the queue intact — every queued op is an idempotent
@@ -325,6 +374,7 @@ void Endpoint::send_queue() {
     stats_.batched_ops += count;
   }
   pending_.clear();
+  pending_proven_ = true;
   if (count > 1) {
     // Surface the first rider's semantic error, if any (a pure-write batch
     // carries no demanded value, so this is the only place it can surface).
@@ -375,13 +425,29 @@ void Endpoint::flush_pending() {
 void Endpoint::enqueue_pending(PendingOp rec, ByteWriter encoded) {
   stats_.ops_sent += 1;
   rec.encoded = std::move(encoded).take();
+  if (oracle_ != nullptr && pending_proven_) {
+    // Incremental proof: the queue stays "proven" only while every pair of
+    // queued stores commutes. One unprovable pair drops the whole queue back
+    // to the base depth cap — never past it, so this can only flush earlier.
+    const StoreLoc loc = store_loc_of(rec);
+    for (const PendingOp& p : pending_) {
+      const StoreLoc other = store_loc_of(p);
+      if (!oracle_->stores_commute(other.cls, other.kind, other.member,
+                                   loc.cls, loc.kind, loc.member)) {
+        pending_proven_ = false;
+        break;
+      }
+    }
+  }
   pending_.push_back(std::move(rec));
-  if (pending_.size() >= batch_.max_ops) flush_or_recover();
+  if (pending_.size() >= effective_max_ops()) flush_or_recover();
+  if (pending_.empty()) pending_proven_ = true;
 }
 
 void Endpoint::apply_pending_locally() {
   const auto ops = std::move(pending_);
   pending_.clear();
+  pending_proven_ = true;
   for (const PendingOp& p : ops) {
     switch (p.kind) {
       case Op::put_field:
@@ -425,6 +491,7 @@ std::vector<std::uint8_t> Endpoint::transact_with_pending(ByteWriter op) {
   // means the peer owns the executed prefix, so the riders are done.
   auto in_flight = std::move(pending_);
   pending_.clear();
+  pending_proven_ = true;
   std::vector<std::uint8_t> resp;
   try {
     resp = transact(std::move(batch), static_cast<std::uint32_t>(riders + 1));
@@ -434,6 +501,9 @@ std::vector<std::uint8_t> Endpoint::transact_with_pending(ByteWriter op) {
                      std::make_move_iterator(pending_.begin()),
                      std::make_move_iterator(pending_.end()));
     pending_ = std::move(in_flight);
+    // The merged queue's pairwise proof is unknown; assume the worst
+    // (only ever flushes earlier than a proven queue would).
+    pending_proven_ = false;
     throw;
   }
 
@@ -502,6 +572,13 @@ std::optional<vm::Value> Endpoint::fetch_snapshot(ObjectId target,
       // Group tables outlive the distributed GC: a mate whose stub was
       // released (or that migrated home) is no longer addressable from here.
       if (!vm_.knows(id)) continue;
+      // Mates outside the eligibility filter (classes whose fields escape
+      // through aliases the analysis can't track) are never worth a stale
+      // snapshot; the demanded object itself is always fetched.
+      if (!prefetch_mate_eligible(id)) {
+        stats_.prefetches_filtered += 1;
+        continue;
+      }
       wanted.push_back(id);
     }
   }
@@ -623,6 +700,13 @@ vm::Value Endpoint::invoke(ObjectId target, ClassId cls, MethodId method,
   stats_.ops_sent += 1;
   // The peer is about to execute code: read-ahead snapshots go stale now.
   invalidate_snapshots();
+  if (oracle_ != nullptr && !pending_.empty() &&
+      !oracle_->invoke_accepts_riders(cls, method)) {
+    // The callee's effects are not proven disjoint from the queued stores:
+    // flush them as their own frame before the call (never as riders).
+    stats_.unproven_riders_flushed += 1;
+    flush_or_recover();
+  }
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::invoke));
   write_target(w, target);
@@ -654,6 +738,11 @@ vm::Value Endpoint::invoke_static(ClassId cls, MethodId method,
                                   std::span<const vm::Value> args) {
   stats_.ops_sent += 1;
   invalidate_snapshots();
+  if (oracle_ != nullptr && !pending_.empty() &&
+      !oracle_->invoke_accepts_riders(cls, method)) {
+    stats_.unproven_riders_flushed += 1;
+    flush_or_recover();
+  }
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Op::invoke_static));
   w.write_u32(cls.value());
@@ -710,7 +799,7 @@ void Endpoint::put_field(ObjectId target, FieldId field, const vm::Value& v) {
   w.write_u32(field.value());
   write_value(w, v, *this);
   if (defer_writes()) {
-    // Keep a warm snapshot coherent with the deferred store.
+    // Keep a warm snapshot coherent with the store either way.
     if (const auto it = snapshots_.find(target);
         it != snapshots_.end() && field.value() < it->second.size()) {
       it->second[field.value()] = v;
@@ -720,8 +809,14 @@ void Endpoint::put_field(ObjectId target, FieldId field, const vm::Value& v) {
     rec.target = target;
     rec.key = field.value();
     rec.value = v;
-    enqueue_pending(std::move(rec), std::move(w));
-    return;
+    if (store_proven_deferrable(rec)) {
+      enqueue_pending(std::move(rec), std::move(w));
+      return;
+    }
+    // The oracle refuses this store: drain the queue so program order is
+    // preserved, then write through eagerly (flush earlier, never reorder).
+    stats_.unproven_stores_flushed += 1;
+    flush_or_recover();
   }
   stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
@@ -755,8 +850,12 @@ void Endpoint::put_static(ClassId cls, std::uint32_t slot,
     rec.key = cls.value();
     rec.slot = slot;
     rec.value = v;
-    enqueue_pending(std::move(rec), std::move(w));
-    return;
+    if (store_proven_deferrable(rec)) {
+      enqueue_pending(std::move(rec), std::move(w));
+      return;
+    }
+    stats_.unproven_stores_flushed += 1;
+    flush_or_recover();
   }
   stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
@@ -790,8 +889,12 @@ void Endpoint::array_put(ObjectId target, std::int64_t index,
     rec.target = target;
     rec.index = index;
     rec.value = v;
-    enqueue_pending(std::move(rec), std::move(w));
-    return;
+    if (store_proven_deferrable(rec)) {
+      enqueue_pending(std::move(rec), std::move(w));
+      return;
+    }
+    stats_.unproven_stores_flushed += 1;
+    flush_or_recover();
   }
   stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {
@@ -839,8 +942,12 @@ void Endpoint::chars_write(ObjectId target, std::int64_t offset,
     rec.target = target;
     rec.index = offset;
     rec.data = std::string(data);
-    enqueue_pending(std::move(rec), std::move(w));
-    return;
+    if (store_proven_deferrable(rec)) {
+      enqueue_pending(std::move(rec), std::move(w));
+      return;
+    }
+    stats_.unproven_stores_flushed += 1;
+    flush_or_recover();
   }
   stats_.ops_sent += 1;
   if (!transact_or_recover(std::move(w)).has_value()) {

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/batch_oracle.hpp"
 #include "common/error.hpp"
 #include "netsim/link.hpp"
 #include "rpc/refmap.hpp"
@@ -75,6 +76,11 @@ struct BatchPolicy {
   std::size_t max_ops = 32;
   bool read_ahead = true;
   std::size_t prefetch_limit = 4;
+  // Proven-deep pipelining: while an installed BatchSafetyOracle proves every
+  // pair of queued stores commutes, the queue may grow to this depth before a
+  // forced flush (values <= max_ops, and the default 0, disable deepening).
+  // Without an oracle the proof never holds, so this knob is inert.
+  std::size_t max_ops_proven = 0;
 };
 
 struct EndpointStats {
@@ -106,6 +112,10 @@ struct EndpointStats {
   std::uint64_t snapshots_fetched = 0;   // whole-object snapshots shipped
   std::uint64_t objects_prefetched = 0;  // snapshots beyond the demanded one
   std::uint64_t pending_applied_locally = 0;  // write-behind ops recovered locally
+  // Batch-safety accounting (all zero without a BatchSafetyOracle installed).
+  std::uint64_t unproven_stores_flushed = 0;  // stores written through eagerly
+  std::uint64_t unproven_riders_flushed = 0;  // pre-invoke queue flushes
+  std::uint64_t prefetches_filtered = 0;  // group mates pruned as ineligible
 
   friend bool operator==(const EndpointStats&, const EndpointStats&) = default;
 };
@@ -205,6 +215,24 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   // mates are prefetched in the same frame. Each group must be sorted so the
   // candidate order — and thus the wire traffic — is deterministic.
   void set_prefetch_groups(std::vector<std::vector<ObjectId>> groups);
+
+  // Batch-safety oracle (non-owning; the platform keeps it alive for the
+  // connection's lifetime, nullptr uninstalls). Every oracle verdict is
+  // consumed flush-earlier-only: a refusal sends the same ops in the same
+  // order across more frames, never reorders them — so an oracle that proves
+  // everything leaves the wire byte-identical to no oracle at all. Installing
+  // or replacing one flushes the queue first: queued proofs don't transfer.
+  void set_batch_safety(const analysis::BatchSafetyOracle* oracle);
+  [[nodiscard]] const analysis::BatchSafetyOracle* batch_safety()
+      const noexcept {
+    return oracle_;
+  }
+
+  // Restricts read-ahead prefetch to group mates of the given classes
+  // (sorted; typically StaticHints::prefetch_eligible). The demanded object
+  // itself is always fetched — the filter only prunes the speculative extras.
+  // An empty call clears the filter (all classes eligible again).
+  void set_prefetch_eligible(std::vector<ClassId> classes);
 
   // The number of write-behind ops currently queued (test/bench visibility).
   [[nodiscard]] std::size_t pending_ops() const noexcept {
@@ -378,6 +406,19 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   void flush_or_recover();
   void apply_pending_locally();
 
+  // Batch-safety queries against the installed oracle. Store locations map
+  // from the pending-op record; with no oracle, stores are trivially
+  // deferrable (PR 6 semantics) and the commute proof is vacuously false.
+  struct StoreLoc {
+    ClassId cls;
+    analysis::StoreKind kind;
+    std::uint32_t member;
+  };
+  [[nodiscard]] StoreLoc store_loc_of(const PendingOp& rec) const;
+  [[nodiscard]] bool store_proven_deferrable(const PendingOp& rec) const;
+  [[nodiscard]] std::size_t effective_max_ops() const noexcept;
+  [[nodiscard]] bool prefetch_mate_eligible(ObjectId id) const;
+
   // Read-ahead plumbing.
   void invalidate_snapshots() noexcept { snapshots_.clear(); }
   [[nodiscard]] const vm::Value* snapshot_lookup(ObjectId target,
@@ -422,6 +463,14 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   RetryPolicy retry_;
   BatchPolicy batch_;
   std::function<bool()> peer_failure_handler_;
+
+  // Batch-safety state: the installed oracle, whether every pair of queued
+  // stores is proven to commute (true while empty; monotonically falls as
+  // ops join the queue), and the sorted prefetch class filter.
+  const analysis::BatchSafetyOracle* oracle_ = nullptr;
+  bool pending_proven_ = true;
+  std::vector<ClassId> prefetch_filter_;
+  bool has_prefetch_filter_ = false;
 
   // Write-behind queue: encoded-but-unsent void ops awaiting coalescing.
   std::vector<PendingOp> pending_;

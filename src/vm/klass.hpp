@@ -97,6 +97,51 @@ struct CallSiteDecl {
   int argc = -1;
 };
 
+// One operation of a method's declared effect IR — the method-level
+// instruction stream the interprocedural effect analyzer (src/analysis)
+// walks. Method bodies are opaque C++ callables, so the IR is declared next
+// to the body through the ClassBuilder fluent calls; the analyzer resolves
+// the names against the registry, infers whole-program summaries by fixpoint
+// and audits the coarse metadata (NativeEffect, arity, field types, call
+// declarations) against them, and the runtime effect-recorder tests audit the
+// IR itself against observed execution. Execution never consults the IR.
+enum class EffectOpKind : std::uint8_t {
+  read_field,    // reads instance field `member` of class `cls`
+  write_field,   // writes it (value_type: declared class of stored refs)
+  read_static,   // reads static slot `member` of class `cls`
+  write_static,  // writes it
+  read_elems,    // reads elements of array class `cls` (int[]/char[]/...)
+  write_elems,   // writes them
+  alloc,         // allocates an instance of `cls`
+  call,          // invokes `cls.member` with `argc` arguments (-1 unknown)
+  yield,         // reaches an explicit yield point (forces a GC / flush)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EffectOpKind k) noexcept {
+  switch (k) {
+    case EffectOpKind::read_field: return "read-field";
+    case EffectOpKind::write_field: return "write-field";
+    case EffectOpKind::read_static: return "read-static";
+    case EffectOpKind::write_static: return "write-static";
+    case EffectOpKind::read_elems: return "read-elems";
+    case EffectOpKind::write_elems: return "write-elems";
+    case EffectOpKind::alloc: return "alloc";
+    case EffectOpKind::call: return "call";
+    case EffectOpKind::yield: return "yield";
+  }
+  return "?";
+}
+
+// `member` may be "*" — the op may touch any member of the class (used for
+// index-addressed reference arrays and reflective access).
+struct EffectOp {
+  EffectOpKind kind = EffectOpKind::read_field;
+  std::string cls;
+  std::string member;
+  int argc = -1;           // call only
+  std::string value_type;  // write_field only: class of ref values stored
+};
+
 struct MethodDef {
   std::string name;
   MethodKind kind = MethodKind::managed;
@@ -110,6 +155,11 @@ struct MethodDef {
   // Declared parameter count (-1 = undeclared; bodies take a span, so the
   // arity is not recoverable from the signature).
   int declared_arity = -1;
+  // Declared effect IR (see EffectOp). `has_ir` distinguishes "no effects"
+  // (empty list, explicitly declared pure) from "never declared" — the
+  // analyzer treats the latter as ⊤ (may do anything).
+  bool has_ir = false;
+  std::vector<EffectOp> ir{};
   // Fixed CPU work charged when the method body starts (in addition to any
   // explicit VmContext::work the body performs).
   SimDuration base_cost = 0;
@@ -407,11 +457,89 @@ class ClassBuilder {
     return *this;
   }
 
+  // ---- method effect IR (consumed by src/analysis effect inference) -------
+  //
+  // Each call appends one EffectOp to the most recently added method and
+  // marks it IR-covered. A method whose body has no effects at all declares
+  // that explicitly with no_effects().
+
+  ClassBuilder& reads(std::string cls, std::string member) {
+    return ir_op(make_op(EffectOpKind::read_field, std::move(cls),
+                         std::move(member)));
+  }
+
+  // `value_type` (optional) declares the class of reference values this
+  // write stores into the field; the analyzer audits it against the field's
+  // declared type.
+  ClassBuilder& writes(std::string cls, std::string member,
+                       std::string value_type = {}) {
+    EffectOp op = make_op(EffectOpKind::write_field, std::move(cls),
+                          std::move(member));
+    op.value_type = std::move(value_type);
+    return ir_op(std::move(op));
+  }
+
+  ClassBuilder& reads_static(std::string cls, std::string slot) {
+    return ir_op(make_op(EffectOpKind::read_static, std::move(cls),
+                         std::move(slot)));
+  }
+
+  ClassBuilder& writes_static(std::string cls, std::string slot) {
+    return ir_op(make_op(EffectOpKind::write_static, std::move(cls),
+                         std::move(slot)));
+  }
+
+  ClassBuilder& reads_elems(std::string array_cls) {
+    return ir_op(make_op(EffectOpKind::read_elems, std::move(array_cls), "*"));
+  }
+
+  ClassBuilder& writes_elems(std::string array_cls) {
+    return ir_op(make_op(EffectOpKind::write_elems, std::move(array_cls), "*"));
+  }
+
+  ClassBuilder& allocates(std::string cls) {
+    return ir_op(make_op(EffectOpKind::alloc, std::move(cls), {}));
+  }
+
+  ClassBuilder& invokes(std::string cls, std::string method, int argc = -1) {
+    EffectOp op = make_op(EffectOpKind::call, std::move(cls),
+                          std::move(method));
+    op.argc = argc;
+    return ir_op(std::move(op));
+  }
+
+  ClassBuilder& yields() {
+    return ir_op(make_op(EffectOpKind::yield, {}, {}));
+  }
+
+  // Declares the most recent method effect-free (empty IR, explicitly pure).
+  ClassBuilder& no_effects() {
+    if (!def_.methods.empty()) def_.methods.back().has_ir = true;
+    return *this;
+  }
+
   // Consumes the builder; the chained fluent calls return lvalue references,
   // so this is deliberately not rvalue-qualified.
   [[nodiscard]] ClassDef build() { return std::move(def_); }
 
  private:
+  static EffectOp make_op(EffectOpKind kind, std::string cls,
+                          std::string member) {
+    EffectOp op;
+    op.kind = kind;
+    op.cls = std::move(cls);
+    op.member = std::move(member);
+    return op;
+  }
+
+  ClassBuilder& ir_op(EffectOp op) {
+    if (!def_.methods.empty()) {
+      def_.methods.back().has_ir = true;
+      def_.methods.back().ir.push_back(std::move(op));
+    }
+    return *this;
+  }
+
   ClassDef def_;
 };
 
@@ -459,6 +587,13 @@ class ClassRegistry {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return classes_.size(); }
+
+  // Read-only whole-program traversal for static analyses: every registered
+  // class, in registration (ClassId) order. The span is invalidated by the
+  // next register_class.
+  [[nodiscard]] std::span<const ClassDef> classes() const noexcept {
+    return classes_;
+  }
 
   // Bumped on every registration; never shared between registry instances.
   // Call-site caches compare against this to detect staleness.

@@ -1,0 +1,176 @@
+// Runtime differential check of the declared effect IR: every instrumented
+// access and allocation the VM observes while a method frame is live must be
+// covered by that method's inferred summary (observed ⊆ declared). The
+// static audit proves the declarations are internally consistent; this
+// harness proves they do not under-declare what the bodies actually do, by
+// running every paper application against the recorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "apps/apps.hpp"
+#include "vm/hooks.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::analysis {
+namespace {
+
+// Attributes each event to the innermost live frame of its VM and checks it
+// against the frame's summary. Transitive summaries make this sound: a
+// method's summary covers its body's direct effects (and more).
+class EffectRecorder : public vm::VmHooks {
+ public:
+  EffectRecorder(const vm::ClassRegistry& reg, const VerifyReport& report)
+      : reg_(reg), report_(report) {}
+
+  void on_method_enter(NodeId vm, ClassId cls, ObjectId, MethodId m,
+                       SimTime) override {
+    stacks_[vm.value()].push_back({cls, m});
+  }
+  void on_method_exit(NodeId vm, ClassId, ObjectId, MethodId, SimDuration,
+                      SimTime) override {
+    auto& s = stacks_[vm.value()];
+    if (!s.empty()) s.pop_back();
+  }
+
+  void on_access(const vm::AccessEvent& e) override {
+    const EffectSummary* sum = current(e.vm);
+    if (sum == nullptr || sum->unknown) return;
+    const LocSet& set = e.is_write ? sum->writes : sum->reads;
+    if (set.unknown() || set.touches_class(e.to_cls)) return;
+    // Reads of a ref-valued field surface as an access to the referee in
+    // some instrumentation paths; accept coverage via either side.
+    if (!e.is_write && sum->writes.touches_class(e.to_cls)) return;
+    violation(e.vm, std::string(e.is_write ? "write" : "read") +
+                        " touching " + reg_.get(e.to_cls).name);
+  }
+
+  void on_alloc(NodeId vm, ObjectId, ClassId cls, std::int64_t,
+                SimTime) override {
+    const EffectSummary* sum = current(vm);
+    if (sum == nullptr || sum->unknown) return;
+    if (std::binary_search(sum->allocs.begin(), sum->allocs.end(), cls)) {
+      return;
+    }
+    violation(vm, "allocation of " + reg_.get(cls).name);
+  }
+
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  struct FrameRef {
+    ClassId cls;
+    MethodId method;
+  };
+
+  const EffectSummary* current(NodeId vm) {
+    const auto it = stacks_.find(vm.value());
+    if (it == stacks_.end() || it->second.empty()) return nullptr;
+    const FrameRef& top = it->second.back();
+    const MethodFacts* f = report_.facts(top.cls, top.method);
+    return f == nullptr ? nullptr : &f->summary;
+  }
+
+  void violation(NodeId vm, std::string what) {
+    if (violations_.size() >= 25) return;  // keep failure output readable
+    const auto& s = stacks_[vm.value()];
+    std::string frame = "<none>";
+    if (!s.empty()) {
+      const auto& top = s.back();
+      frame = reg_.get(top.cls).name + "." +
+              reg_.get(top.cls).methods[top.method.value()].name;
+    }
+    violations_.push_back(frame + ": undeclared " + std::move(what));
+  }
+
+  const vm::ClassRegistry& reg_;
+  const VerifyReport& report_;
+  std::unordered_map<std::uint32_t, std::vector<FrameRef>> stacks_;
+  std::vector<std::string> violations_;
+};
+
+apps::AppParams small_params() {
+  apps::AppParams p;
+  p.doc_bytes = 32 * 1024;
+  p.edits = 10;
+  p.scrolls = 12;
+  p.image_size = 48;
+  p.layers = 3;
+  p.filter_passes = 2;
+  p.atoms = 48;
+  p.iterations = 3;
+  p.field_size = 33;
+  p.frames = 3;
+  p.columns = 24;
+  p.trace_w = 12;
+  p.trace_h = 9;
+  p.spheres = 4;
+  return p;
+}
+
+class EffectsDifferentialTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(EffectsDifferentialTest, ObservedEffectsAreDeclared) {
+  const auto& app = apps::app_by_name(GetParam());
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  app.register_classes(*reg);
+  const VerifyReport report = verify(*reg);
+  ASSERT_EQ(report.methods_with_ir, report.methods_total) << report.summary();
+
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 64 << 20;
+  vm::Vm vm(cfg, reg, clock);
+  EffectRecorder recorder(*reg, report);
+  vm.add_hooks(&recorder);
+  app.run(vm, small_params());
+  vm.remove_hooks(&recorder);
+
+  EXPECT_TRUE(recorder.violations().empty())
+      << recorder.violations().size() << " undeclared effects, first: "
+      << recorder.violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EffectsDifferentialTest,
+                         ::testing::Values("JavaNote", "Dia", "Biomer",
+                                           "Voxel", "Tracer"));
+
+// The recorder is itself validated by an injected under-declaration: a body
+// that writes a field its IR does not declare must be caught.
+TEST(EffectsDifferentialTest2, RecorderCatchesInjectedUnderDeclaration) {
+  auto reg = std::make_shared<vm::ClassRegistry>();
+  reg->register_class(
+      vm::ClassBuilder("Liar")
+          .entry()
+          .field("x")
+          .method("sneak",
+                  [](vm::Vm& ctx, vm::ObjectRef self, auto) -> vm::Value {
+                    ctx.put_field(self, FieldId{0}, vm::Value{1});
+                    return vm::Value{};
+                  })
+          .no_effects()  // declares purity, body writes Liar.x
+          .build());
+  const VerifyReport report = verify(*reg);
+  SimClock clock;
+  vm::VmConfig cfg;
+  cfg.heap_capacity = 4 << 20;
+  vm::Vm vm(cfg, reg, clock);
+  EffectRecorder recorder(*reg, report);
+  vm.add_hooks(&recorder);
+  const vm::ObjectRef liar = vm.new_object("Liar");
+  vm.add_root(liar);
+  vm.call(liar, "sneak");
+  vm.remove_hooks(&recorder);
+  ASSERT_FALSE(recorder.violations().empty());
+  EXPECT_NE(recorder.violations().front().find("Liar.sneak"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace aide::analysis
