@@ -92,6 +92,9 @@ struct Cell {
   std::uint64_t bytes = 0;
   std::uint64_t readahead_hits = 0;
   SimTime end = 0;
+  // Per-iteration virtual latency of the remote-access trace (one sample per
+  // UI/compute step); empty for the application runs.
+  bench::LatencySummary latency;
 };
 
 // --- remote-access trace (the gate) ------------------------------------------
@@ -154,7 +157,10 @@ Cell run_trace(bool batching) {
 
   Rng rng(0xF16ACCE5);
   std::uint64_t checksum = 0;
+  std::vector<SimDuration> step_latencies;
+  step_latencies.reserve(200);
   for (int it = 0; it < 200; ++it) {
+    const SimTime it0 = clock.now();
     const std::size_t a = rng.next_below(kObjects);
     const std::size_t b = (a / kGroup) * kGroup + rng.next_below(kGroup);
 
@@ -177,6 +183,7 @@ Cell run_trace(bool batching) {
     }
     ce.flush_pending();  // yield point
     client.clear_driver_roots();
+    step_latencies.push_back(clock.now() - it0);
   }
 
   Cell c;
@@ -190,6 +197,7 @@ Cell run_trace(bool batching) {
   c.bytes = cl.bytes_sent + su.bytes_sent;
   c.readahead_hits = cl.readahead_hits + su.readahead_hits;
   c.end = clock.now();
+  c.latency = bench::summarize_latency(step_latencies);
   return c;
 }
 
@@ -323,11 +331,22 @@ int main(int argc, char** argv) {
       gate_reduction,
       static_cast<unsigned long long>(rows.front().on.readahead_hits),
       gate_ok ? "(gate: >= 3x OK)" : "(GATE FAILED: < 3x)");
+  const auto& lat_on = rows.front().on.latency;
+  const auto& lat_off = rows.front().off.latency;
+  std::printf(
+      "  per-step virtual latency: p50 %.0f -> %.0f ns   p95 %.0f -> %.0f ns"
+      "   p99 %.0f -> %.0f ns\n",
+      lat_off.p50_ns, lat_on.p50_ns, lat_off.p95_ns, lat_on.p95_ns,
+      lat_off.p99_ns, lat_on.p99_ns);
 
   if (!smoke) {
     std::ofstream json("BENCH_rpc.json");
     json << "{\n  \"gate\": \"remote-access\""
          << ",\n  \"gate_frame_reduction\": " << gate_reduction
+         << ",\n  \"trace_step_latency_legacy\": "
+         << bench::latency_json(lat_off)
+         << ",\n  \"trace_step_latency_batched\": "
+         << bench::latency_json(lat_on)
          << ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];

@@ -1,10 +1,56 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "vm/vm.hpp"
 
 namespace aide::bench {
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+  std::size_t ix = static_cast<std::size_t>(rank);
+  if (static_cast<double>(ix) < rank) ix += 1;  // ceil
+  if (ix == 0) ix = 1;
+  return sorted[std::min(ix, sorted.size()) - 1];
+}
+
+}  // namespace
+
+LatencySummary summarize_latency(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean_ns = sum / static_cast<double>(samples.size());
+  s.p50_ns = nearest_rank(samples, 50.0);
+  s.p95_ns = nearest_rank(samples, 95.0);
+  s.p99_ns = nearest_rank(samples, 99.0);
+  s.max_ns = samples.back();
+  return s;
+}
+
+LatencySummary summarize_latency(const std::vector<SimDuration>& samples) {
+  std::vector<double> d;
+  d.reserve(samples.size());
+  for (const SimDuration v : samples) d.push_back(static_cast<double>(v));
+  return summarize_latency(std::move(d));
+}
+
+std::string latency_json(const LatencySummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %zu, \"mean_ns\": %.1f, \"p50_ns\": %.1f, "
+                "\"p95_ns\": %.1f, \"p99_ns\": %.1f, \"max_ns\": %.1f}",
+                s.count, s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns);
+  return std::string(buf);
+}
 
 RecordedApp record_app(const std::string& name, apps::AppParams params) {
   RecordedApp out;

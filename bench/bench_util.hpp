@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/apps.hpp"
 #include "emul/emulator.hpp"
@@ -16,6 +17,27 @@
 #include "monitor/resource_monitor.hpp"
 
 namespace aide::bench {
+
+// Percentile summary of a latency sample set (virtual nanoseconds).
+// Percentiles use the nearest-rank method over the sorted samples, so the
+// summary of a deterministic run is itself deterministic.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+// Summarizes the samples (takes a copy; sorts it internally).
+LatencySummary summarize_latency(std::vector<double> samples);
+LatencySummary summarize_latency(const std::vector<SimDuration>& samples);
+
+// `{"count": N, "mean_ns": ..., "p50_ns": ..., "p95_ns": ..., "p99_ns": ...,
+// "max_ns": ...}` — one JSON object, no trailing newline, for embedding in a
+// harness's BENCH_*.json.
+std::string latency_json(const LatencySummary& s);
 
 // The paper's "initial" policy (Figure 6): offloading threshold of 5%
 // (300 KB of a 6 MB heap), three successive low reports, free >= 20%.

@@ -43,6 +43,12 @@ step "chaos smoke (crash-consistent offload under seeded schedules)"
 step "rpc batch smoke (batched vs per-op transport parity + frame reduction)"
 ./build-ci/bench/bench_rpc_batch --smoke
 
+step "fleet suite (ctest -L fleet: session isolation, admission, scheduling)"
+ctest --test-dir build-ci --output-on-failure -L fleet -j "$JOBS"
+
+step "fleet smoke (multi-session overhead + zero-alloc dispatch gates)"
+./build-ci/bench/bench_fleet --smoke
+
 if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then
   step "clang-tidy"
   # Library and app sources; test files follow gtest idioms tidy dislikes.
@@ -61,6 +67,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   ./build-asan/tests/chaos_test --smoke
   ./build-asan/bench/bench_vm_hotpath --smoke
   ./build-asan/bench/bench_rpc_batch --smoke
+  ./build-asan/bench/bench_fleet --smoke
 else
   step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"
 fi

@@ -48,6 +48,7 @@ struct MethodTag {};
 struct FieldTag {};
 struct NodeTag {};
 struct HandleTag {};
+struct SessionTag {};
 
 // A class loaded into a VM. Class ids are assigned by the class registry and
 // are identical on every VM that shares the application's "bytecodes"
@@ -69,6 +70,10 @@ using NodeId = StrongId<NodeTag>;
 // An export handle: the wire name a VM gives one of its objects so that the
 // peer VM can refer to it without understanding the private ObjectId space.
 using ExportHandle = StrongId<HandleTag, std::uint64_t>;
+
+// One client session on a multi-session surrogate server. Session ids are
+// assigned by the server at admission and are never reused.
+using SessionId = StrongId<SessionTag>;
 
 }  // namespace aide
 

@@ -19,6 +19,11 @@ SimDuration Emulator::rpc_cost(std::uint64_t bytes) const {
   return netsim::estimate_rpc_cost(config_.link, bytes);
 }
 
+void Emulator::charge_service(SimDuration service, ServiceKind kind) {
+  if (service_ == nullptr || service <= 0) return;
+  result_.queue_time += service_->acquire(current_time(), service, kind);
+}
+
 void Emulator::try_offload(SimTime at, EmulationResult& result) {
   monitor_->prune_dead_components();
 
@@ -43,7 +48,9 @@ void Emulator::try_offload(SimTime at, EmulationResult& result) {
       }
     }
     if (config_.charge_migration) {
-      result.migration_time += rpc_cost(moved);
+      const SimDuration cost = rpc_cost(moved);
+      charge_service(cost, ServiceKind::migration);
+      result.migration_time += cost;
     }
     OffloadSnapshot snap;
     snap.at = at;
@@ -92,7 +99,9 @@ void Emulator::try_offload(SimTime at, EmulationResult& result) {
   }
 
   if (config_.charge_migration) {
-    result.migration_time += rpc_cost(moved_bytes);
+    const SimDuration cost = rpc_cost(moved_bytes);
+    charge_service(cost, ServiceKind::migration);
+    result.migration_time += cost;
   }
 
   OffloadSnapshot snap;
@@ -103,7 +112,7 @@ void Emulator::try_offload(SimTime at, EmulationResult& result) {
   result.offloads.push_back(std::move(snap));
 }
 
-EmulationResult Emulator::run(const Trace& trace) {
+void Emulator::begin(const Trace& trace) {
   monitor::MonitorConfig mon_cfg;
   mon_cfg.granularity.arrays_as_objects = config_.arrays_as_objects;
   mon_cfg.granularity.min_array_bytes = config_.min_array_bytes;
@@ -117,196 +126,227 @@ EmulationResult Emulator::run(const Trace& trace) {
   freed_since_gc_ = 0;
   alloc_since_gc_ = 0;
 
-  EmulationResult result;
-  result.base_time = trace.duration();
+  trace_ = &trace;
+  event_ix_ = 0;
+  last_event_t_ = 0;
+  result_ = EmulationResult{};
+  result_.base_time = trace.duration();
+  compute_raw_ = 0;
+  compute_scaled_ = 0;
+  gc_cycle_ = 0;
+  eval_index_ = static_cast<std::size_t>(static_cast<double>(trace.size()) *
+                                         config_.eval_at_fraction);
+  fraction_evaluated_ = false;
+}
 
-  SimDuration compute_raw = 0;     // self-time as recorded (client speed)
-  SimDuration compute_scaled = 0;  // self-time under the emulated placement
-  std::uint32_t gc_cycle = 0;
+void Emulator::replay_event(const TraceEvent& e) {
+  last_event_t_ = e.t;
+  switch (e.type) {
+    case TraceEventType::alloc:
+      monitor_->on_alloc(kEmulatedClient, e.obj_a, e.cls_a, e.bytes, e.t);
+      live_bytes_ += e.bytes;
+      alloc_since_gc_ += e.bytes;
+      break;
 
-  const std::size_t eval_index = static_cast<std::size_t>(
-      static_cast<double>(trace.size()) * config_.eval_at_fraction);
-  bool fraction_evaluated = false;
+    case TraceEventType::free_obj:
+      monitor_->on_free(kEmulatedClient, e.obj_a, e.cls_a, e.bytes, e.t);
+      live_bytes_ -= e.bytes;
+      freed_since_gc_ += e.bytes;
+      break;
 
-  for (std::size_t idx = 0; idx < trace.events.size(); ++idx) {
-    const TraceEvent& e = trace.events[idx];
-    switch (e.type) {
-      case TraceEventType::alloc:
-        monitor_->on_alloc(kEmulatedClient, e.obj_a, e.cls_a, e.bytes, e.t);
-        live_bytes_ += e.bytes;
-        alloc_since_gc_ += e.bytes;
-        break;
+    case TraceEventType::resize:
+      monitor_->on_resize(kEmulatedClient, e.obj_a, e.cls_a, e.aux1);
+      live_bytes_ += e.aux1;
+      break;
 
-      case TraceEventType::free_obj:
-        monitor_->on_free(kEmulatedClient, e.obj_a, e.cls_a, e.bytes, e.t);
-        live_bytes_ -= e.bytes;
-        freed_since_gc_ += e.bytes;
-        break;
+    case TraceEventType::method_enter:
+      break;
 
-      case TraceEventType::resize:
-        monitor_->on_resize(kEmulatedClient, e.obj_a, e.cls_a, e.aux1);
-        live_bytes_ += e.aux1;
-        break;
-
-      case TraceEventType::method_enter:
-        break;
-
-      case TraceEventType::method_exit: {
-        monitor_->on_method_exit(kEmulatedClient, e.cls_a, e.obj_a, e.method,
-                                 e.bytes, e.t);
-        const auto comp = monitor_->component_of(e.cls_a, e.obj_a);
-        const double speed =
-            placement_of(comp) == 1 ? config_.surrogate_speedup : 1.0;
-        compute_raw += e.bytes;
-        compute_scaled +=
-            static_cast<SimDuration>(static_cast<double>(e.bytes) / speed);
-        break;
-      }
-
-      case TraceEventType::invoke: {
-        const bool is_native = (e.flags & kFlagNative) != 0;
-        const bool is_static = (e.flags & kFlagStatic) != 0;
-        const bool is_stateless = (e.flags & kFlagStateless) != 0;
-
-        const auto from = monitor_->component_of(e.cls_a, e.obj_a);
-        const int from_p = placement_of(from);
-        int to_p;
-        if (is_native) {
-          // Natives execute on the client — unless stateless and the
-          // "Native" enhancement is on, in which case they run where invoked.
-          to_p = (is_stateless && config_.stateless_natives_local) ? from_p
-                                                                   : 0;
-        } else if (is_static) {
-          // Managed statics run on the invoking VM.
-          to_p = from_p;
-        } else {
-          to_p = placement_of(monitor_->component_of(e.cls_b, e.obj_b));
-        }
-        const bool remote = from_p != to_p;
-
-        result.total_invocations += 1;
-        if (remote) {
-          result.remote_invocations += 1;
-          if (is_native) result.remote_native_invocations += 1;
-          result.remote_bytes += static_cast<std::uint64_t>(e.bytes);
-          result.comm_time +=
-              rpc_cost(static_cast<std::uint64_t>(e.bytes));
-        }
-
-        vm::InvokeEvent ev;
-        ev.vm = kEmulatedClient;
-        ev.caller_cls = e.cls_a;
-        ev.caller_obj = e.obj_a;
-        ev.callee_cls = e.cls_b;
-        ev.callee_obj = e.obj_b;
-        ev.method = e.method;
-        ev.is_native = is_native;
-        ev.is_static = is_static;
-        ev.is_stateless = is_stateless;
-        ev.remote = remote;
-        ev.bytes = static_cast<std::uint64_t>(e.bytes);
-        ev.t = e.t;
-        monitor_->on_invoke(ev);
-        break;
-      }
-
-      case TraceEventType::access: {
-        const bool is_static = (e.flags & kFlagStatic) != 0;
-        const auto from = monitor_->component_of(e.cls_a, e.obj_a);
-        const int from_p = placement_of(from);
-        // Static data lives on the client; object data follows placement.
-        const int to_p =
-            is_static ? 0
-                      : placement_of(monitor_->component_of(e.cls_b, e.obj_b));
-        const bool remote = from_p != to_p;
-
-        result.total_accesses += 1;
-        if (remote) {
-          result.remote_accesses += 1;
-          result.remote_bytes += static_cast<std::uint64_t>(e.bytes);
-          result.comm_time +=
-              rpc_cost(static_cast<std::uint64_t>(e.bytes));
-        }
-
-        vm::AccessEvent ev;
-        ev.vm = kEmulatedClient;
-        ev.from_cls = e.cls_a;
-        ev.from_obj = e.obj_a;
-        ev.to_cls = e.cls_b;
-        ev.to_obj = e.obj_b;
-        ev.is_write = (e.flags & kFlagWrite) != 0;
-        ev.is_static = is_static;
-        ev.remote = remote;
-        ev.bytes = static_cast<std::uint64_t>(e.bytes);
-        ev.t = e.t;
-        monitor_->on_access(ev);
-        break;
-      }
-
-      case TraceEventType::gc: {
-        // Emulated client heap: total live bytes minus what has been
-        // offloaded to the surrogate.
-        std::int64_t offloaded = 0;
-        for (const auto& [key, p] : placement_) {
-          if (p != 1) continue;
-          if (const auto* node = monitor_->graph().find_node(key)) {
-            offloaded += std::max<std::int64_t>(node->mem_bytes, 0);
-          }
-        }
-        const std::int64_t client_live =
-            std::max<std::int64_t>(live_bytes_ - offloaded, 0);
-        result.peak_client_live =
-            std::max(result.peak_client_live, client_live);
-
-        vm::GcReport rep;
-        rep.cycle = ++gc_cycle;
-        rep.used_before = client_live + freed_since_gc_;
-        rep.used_after = client_live;
-        rep.capacity = config_.heap_capacity;
-        rep.freed = freed_since_gc_;
-        freed_since_gc_ = 0;
-
-        // GC-pressure model: near exhaustion, every consumed byte of
-        // headroom costs another collection cycle over the live set.
-        if (config_.gc_pressure_cost_ns_per_live_byte > 0.0) {
-          const double headroom = std::max<double>(
-              static_cast<double>(config_.heap_capacity - client_live),
-              static_cast<double>(config_.heap_capacity) / 64.0);
-          const double cycles =
-              static_cast<double>(alloc_since_gc_) / headroom;
-          result.gc_pressure_time += static_cast<SimDuration>(
-              cycles * static_cast<double>(client_live) *
-              config_.gc_pressure_cost_ns_per_live_byte);
-        }
-        alloc_since_gc_ = 0;
-
-        monitor_->on_gc(kEmulatedClient, rep);
-        resource_->feed(rep);
-
-        if (config_.trigger_mode == TriggerMode::memory_gc &&
-            resource_->triggered() &&
-            result.offloads.size() < config_.max_offloads) {
-          resource_->consume_trigger();
-          try_offload(e.t, result);
-        }
-        break;
-      }
+    case TraceEventType::method_exit: {
+      monitor_->on_method_exit(kEmulatedClient, e.cls_a, e.obj_a, e.method,
+                               e.bytes, e.t);
+      const auto comp = monitor_->component_of(e.cls_a, e.obj_a);
+      const bool on_surrogate = placement_of(comp) == 1;
+      const double speed = on_surrogate ? config_.surrogate_speedup : 1.0;
+      const auto scaled =
+          static_cast<SimDuration>(static_cast<double>(e.bytes) / speed);
+      compute_raw_ += e.bytes;
+      compute_scaled_ += scaled;
+      // Surrogate-placed self-time occupies the shared surrogate CPU.
+      if (on_surrogate) charge_service(scaled, ServiceKind::compute);
+      break;
     }
 
-    if (config_.trigger_mode == TriggerMode::trace_fraction &&
-        !fraction_evaluated && idx >= eval_index &&
-        result.offloads.size() < config_.max_offloads) {
-      fraction_evaluated = true;
-      try_offload(e.t, result);
+    case TraceEventType::invoke: {
+      const bool is_native = (e.flags & kFlagNative) != 0;
+      const bool is_static = (e.flags & kFlagStatic) != 0;
+      const bool is_stateless = (e.flags & kFlagStateless) != 0;
+
+      const auto from = monitor_->component_of(e.cls_a, e.obj_a);
+      const int from_p = placement_of(from);
+      int to_p;
+      if (is_native) {
+        // Natives execute on the client — unless stateless and the
+        // "Native" enhancement is on, in which case they run where invoked.
+        to_p = (is_stateless && config_.stateless_natives_local) ? from_p
+                                                                 : 0;
+      } else if (is_static) {
+        // Managed statics run on the invoking VM.
+        to_p = from_p;
+      } else {
+        to_p = placement_of(monitor_->component_of(e.cls_b, e.obj_b));
+      }
+      const bool remote = from_p != to_p;
+
+      result_.total_invocations += 1;
+      if (remote) {
+        result_.remote_invocations += 1;
+        if (is_native) result_.remote_native_invocations += 1;
+        result_.remote_bytes += static_cast<std::uint64_t>(e.bytes);
+        const SimDuration cost =
+            rpc_cost(static_cast<std::uint64_t>(e.bytes));
+        charge_service(cost, ServiceKind::remote_op);
+        result_.comm_time += cost;
+      }
+
+      vm::InvokeEvent ev;
+      ev.vm = kEmulatedClient;
+      ev.caller_cls = e.cls_a;
+      ev.caller_obj = e.obj_a;
+      ev.callee_cls = e.cls_b;
+      ev.callee_obj = e.obj_b;
+      ev.method = e.method;
+      ev.is_native = is_native;
+      ev.is_static = is_static;
+      ev.is_stateless = is_stateless;
+      ev.remote = remote;
+      ev.bytes = static_cast<std::uint64_t>(e.bytes);
+      ev.t = e.t;
+      monitor_->on_invoke(ev);
+      break;
+    }
+
+    case TraceEventType::access: {
+      const bool is_static = (e.flags & kFlagStatic) != 0;
+      const auto from = monitor_->component_of(e.cls_a, e.obj_a);
+      const int from_p = placement_of(from);
+      // Static data lives on the client; object data follows placement.
+      const int to_p =
+          is_static ? 0
+                    : placement_of(monitor_->component_of(e.cls_b, e.obj_b));
+      const bool remote = from_p != to_p;
+
+      result_.total_accesses += 1;
+      if (remote) {
+        result_.remote_accesses += 1;
+        result_.remote_bytes += static_cast<std::uint64_t>(e.bytes);
+        const SimDuration cost =
+            rpc_cost(static_cast<std::uint64_t>(e.bytes));
+        charge_service(cost, ServiceKind::remote_op);
+        result_.comm_time += cost;
+      }
+
+      vm::AccessEvent ev;
+      ev.vm = kEmulatedClient;
+      ev.from_cls = e.cls_a;
+      ev.from_obj = e.obj_a;
+      ev.to_cls = e.cls_b;
+      ev.to_obj = e.obj_b;
+      ev.is_write = (e.flags & kFlagWrite) != 0;
+      ev.is_static = is_static;
+      ev.remote = remote;
+      ev.bytes = static_cast<std::uint64_t>(e.bytes);
+      ev.t = e.t;
+      monitor_->on_access(ev);
+      break;
+    }
+
+    case TraceEventType::gc: {
+      // Emulated client heap: total live bytes minus what has been
+      // offloaded to the surrogate.
+      std::int64_t offloaded = 0;
+      for (const auto& [key, p] : placement_) {
+        if (p != 1) continue;
+        if (const auto* node = monitor_->graph().find_node(key)) {
+          offloaded += std::max<std::int64_t>(node->mem_bytes, 0);
+        }
+      }
+      const std::int64_t client_live =
+          std::max<std::int64_t>(live_bytes_ - offloaded, 0);
+      result_.peak_client_live =
+          std::max(result_.peak_client_live, client_live);
+
+      vm::GcReport rep;
+      rep.cycle = ++gc_cycle_;
+      rep.used_before = client_live + freed_since_gc_;
+      rep.used_after = client_live;
+      rep.capacity = config_.heap_capacity;
+      rep.freed = freed_since_gc_;
+      freed_since_gc_ = 0;
+
+      // GC-pressure model: near exhaustion, every consumed byte of
+      // headroom costs another collection cycle over the live set.
+      if (config_.gc_pressure_cost_ns_per_live_byte > 0.0) {
+        const double headroom = std::max<double>(
+            static_cast<double>(config_.heap_capacity - client_live),
+            static_cast<double>(config_.heap_capacity) / 64.0);
+        const double cycles =
+            static_cast<double>(alloc_since_gc_) / headroom;
+        result_.gc_pressure_time += static_cast<SimDuration>(
+            cycles * static_cast<double>(client_live) *
+            config_.gc_pressure_cost_ns_per_live_byte);
+      }
+      alloc_since_gc_ = 0;
+
+      monitor_->on_gc(kEmulatedClient, rep);
+      resource_->feed(rep);
+
+      if (config_.trigger_mode == TriggerMode::memory_gc &&
+          resource_->triggered() &&
+          result_.offloads.size() < config_.max_offloads) {
+        resource_->consume_trigger();
+        try_offload(e.t, result_);
+      }
+      break;
     }
   }
 
+  if (config_.trigger_mode == TriggerMode::trace_fraction &&
+      !fraction_evaluated_ && event_ix_ >= eval_index_ &&
+      result_.offloads.size() < config_.max_offloads) {
+    fraction_evaluated_ = true;
+    try_offload(e.t, result_);
+  }
+}
+
+bool Emulator::step() {
+  if (done()) return false;
+  replay_event(trace_->events[event_ix_]);
+  event_ix_ += 1;
+  return true;
+}
+
+std::size_t Emulator::step(std::size_t n) {
+  std::size_t taken = 0;
+  while (taken < n && step()) taken += 1;
+  return taken;
+}
+
+EmulationResult Emulator::finish() {
   // Unattributed trace time (driver-level work, GC outside frames) stays on
   // the client; attributed self-time is re-scaled by placement.
-  result.emulated_time = result.base_time - compute_raw + compute_scaled +
-                         result.comm_time + result.migration_time +
-                         result.gc_pressure_time;
-  return result;
+  result_.emulated_time = result_.base_time - compute_raw_ + compute_scaled_ +
+                          result_.comm_time + result_.migration_time +
+                          result_.gc_pressure_time + result_.queue_time;
+  trace_ = nullptr;
+  return std::move(result_);
+}
+
+EmulationResult Emulator::run(const Trace& trace) {
+  begin(trace);
+  while (step()) {
+  }
+  return finish();
 }
 
 }  // namespace aide::emul

@@ -1,0 +1,102 @@
+#include "emul/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aide::emul {
+
+namespace {
+
+// The shared surrogate's single busy-until window. Sessions acquire it in
+// the order the fleet scheduler replays their ops (min-virtual-time-first,
+// so acquisition order is the deterministic merge order of the timelines).
+// A session never queues behind its own previous acquisition: its occupancy
+// is already serialized into its virtual clock, so only a *neighbor's*
+// occupancy can push it out.
+class BusySurrogate final : public SurrogateService {
+ public:
+  explicit BusySurrogate(FleetResult& out) : out_(out) {}
+
+  void set_active(std::size_t session) noexcept { active_ = session; }
+
+  SimDuration acquire(SimTime now, SimDuration service,
+                      ServiceKind kind) override {
+    SimTime start = now;
+    if (last_session_ != active_ && busy_until_ > now) {
+      start = busy_until_;
+    }
+    const SimDuration delay = start - now;
+    busy_until_ = std::max(busy_until_, start + service);
+    last_session_ = active_;
+    out_.surrogate_busy += service;
+    if (kind == ServiceKind::remote_op) {
+      out_.total_remote_ops += 1;
+      out_.op_latencies.push_back(service + delay);
+    }
+    return delay;
+  }
+
+ private:
+  FleetResult& out_;
+  SimTime busy_until_ = 0;
+  std::size_t active_ = std::numeric_limits<std::size_t>::max();
+  std::size_t last_session_ = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace
+
+FleetEmulator::FleetEmulator(std::shared_ptr<const vm::ClassRegistry> registry,
+                             FleetConfig config)
+    : registry_(std::move(registry)), config_(config) {}
+
+FleetResult FleetEmulator::run(std::span<const Trace* const> traces) {
+  FleetResult out;
+  const std::size_t n = traces.size();
+  out.sessions.reserve(n);
+  if (n == 0) return out;
+
+  BusySurrogate surrogate(out);
+
+  std::vector<std::unique_ptr<Emulator>> sessions;
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto em = std::make_unique<Emulator>(registry_, config_.session);
+    if (config_.shared_surrogate) em->set_surrogate_service(&surrogate);
+    em->begin(*traces[i]);
+    sessions.push_back(std::move(em));
+  }
+
+  const std::size_t quantum = std::max<std::size_t>(config_.events_per_turn, 1);
+  for (;;) {
+    // Furthest-behind session runs next; ties break to the lowest index
+    // (strict less-than), so the merge order is a pure function of the
+    // traces and the config.
+    std::size_t pick = n;
+    SimTime pick_t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sessions[i]->done()) continue;
+      const SimTime t = sessions[i]->current_time();
+      if (pick == n || t < pick_t) {
+        pick = i;
+        pick_t = t;
+      }
+    }
+    if (pick == n) break;
+    surrogate.set_active(pick);
+    sessions[pick]->step(quantum);
+    out.turns += 1;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.sessions.push_back(sessions[i]->finish());
+    out.makespan = std::max(out.makespan, out.sessions.back().emulated_time);
+  }
+  return out;
+}
+
+FleetResult FleetEmulator::run(const Trace& trace, std::size_t n_sessions) {
+  std::vector<const Trace*> traces(n_sessions, &trace);
+  return run(std::span<const Trace* const>(traces));
+}
+
+}  // namespace aide::emul

@@ -1,0 +1,266 @@
+// Multi-session surrogate server.
+//
+// The paper's prototype pairs exactly one client with one surrogate; every
+// scale story stops there. A SurrogateServer turns the surrogate side into a
+// daemon that serves many concurrent client sessions on one shared virtual
+// clock:
+//
+//   shared-immutable  — one ClassRegistry (interned symbol tables, call-site
+//                       epochs, effect summaries) plus the aidelint /
+//                       aideverify reports and the BatchSafety oracle derived
+//                       from it, all computed once at server startup and
+//                       referenced read-only by every session. Opening a
+//                       session pays zero class-metadata cost.
+//   per-session       — everything mutable: the session's client and
+//                       surrogate VMs (each with its own slab heap), its
+//                       endpoint pair (refmap tables under a session-unique
+//                       handle namespace, epoch/seq fence state, reply
+//                       cache), and its own link with independent fault and
+//                       jitter streams. Sessions cannot observe each other:
+//                       a leaked cross-session handle is rejected at the
+//                       refmap boundary and one session's epoch bumps or
+//                       aborts never fence a neighbor's frames.
+//   admission/budget  — max_sessions caps concurrent sessions (open_session
+//                       refuses beyond it), and each session carries an
+//                       offloaded-bytes budget (offload refuses migrations
+//                       that would exceed it) plus an op-rate budget (ops per
+//                       scheduling turn; the turn driver yields when it is
+//                       exhausted).
+//   scheduling        — deterministic round-robin turns: each round visits
+//                       every live session in ascending session-id order and
+//                       runs its turn function to the next yield point. All
+//                       sessions share the server's virtual clock, extending
+//                       the paper's "the two VMs do not execute application
+//                       code simultaneously" model to N+1 VMs: turns
+//                       serialize in virtual time, so every run is exactly
+//                       reproducible and the dispatch path allocates nothing
+//                       in steady state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/effects.hpp"
+#include "common/simclock.hpp"
+#include "netsim/link.hpp"
+#include "rpc/endpoint.hpp"
+#include "vm/vm.hpp"
+
+namespace aide::platform {
+
+// Per-session resource budgets. Zero means unlimited.
+struct SessionBudget {
+  // Total bytes a session may hold offloaded on the surrogate; an offload
+  // that would exceed it is refused (the session keeps running client-local).
+  std::uint64_t max_offloaded_bytes = 0;
+  // Logical remote operations one session may issue per scheduling turn; the
+  // turn driver checks charge_ops() and yields once the allowance is spent.
+  std::uint32_t max_ops_per_turn = 0;
+};
+
+struct ServerConfig {
+  // Admission control: concurrent-session cap.
+  std::size_t max_sessions = 64;
+  // Per-session heap capacities (client device heap, surrogate-side slab).
+  std::int64_t client_heap = std::int64_t{6} << 20;
+  std::int64_t session_heap = std::int64_t{64} << 20;
+  double surrogate_speedup = 3.5;
+  netsim::LinkParams link = netsim::LinkParams::wavelan();
+  rpc::RetryPolicy retry;
+  rpc::BatchPolicy batching;
+  SessionBudget budget;
+  // Startup gates, identical semantics to PlatformConfig: run once over the
+  // shared registry, never per session.
+  bool static_analysis = true;
+  bool effect_verify = true;
+};
+
+enum class TurnOutcome : std::uint8_t {
+  yielded,   // turn finished at a yield point; schedule the session again
+  finished,  // session script complete; the server closes the session
+};
+
+// One admitted client session: an isolated client/surrogate VM pair wired
+// through its own endpoint pair and link, sharing only the registry, the
+// analysis artifacts and the server clock.
+class Session {
+ public:
+  Session(SessionId id, std::shared_ptr<const vm::ClassRegistry> registry,
+          const ServerConfig& cfg, SimClock& clock,
+          const analysis::BatchSafety* oracle);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] SessionId id() const noexcept { return id_; }
+  [[nodiscard]] vm::Vm& client() noexcept { return *client_; }
+  [[nodiscard]] vm::Vm& surrogate() noexcept { return *surrogate_; }
+  [[nodiscard]] rpc::Endpoint& client_endpoint() noexcept {
+    return *client_ep_;
+  }
+  [[nodiscard]] rpc::Endpoint& surrogate_endpoint() noexcept {
+    return *surrogate_ep_;
+  }
+  [[nodiscard]] netsim::Link& link() noexcept { return link_; }
+
+  // Budget-checked offload of client objects to this session's surrogate
+  // heap. Refuses (returns false, nothing migrates, budget_refusals ticks)
+  // when the batch would push the session past max_offloaded_bytes.
+  bool offload(std::span<const ObjectId> ids);
+  [[nodiscard]] std::uint64_t offloaded_bytes() const noexcept {
+    return offloaded_bytes_;
+  }
+  [[nodiscard]] std::uint64_t budget_refusals() const noexcept {
+    return budget_refusals_;
+  }
+
+  // Op-rate budget: charges `n` logical remote ops against this turn's
+  // allowance. Returns false — and counts a throttle — once the allowance
+  // would be exceeded; the driver must yield and retry next turn.
+  bool charge_ops(std::uint32_t n = 1) noexcept {
+    if (budget_.max_ops_per_turn != 0 &&
+        ops_this_turn_ + n > budget_.max_ops_per_turn) {
+      throttled_ += 1;
+      return false;
+    }
+    ops_this_turn_ += n;
+    return true;
+  }
+  [[nodiscard]] std::uint32_t ops_this_turn() const noexcept {
+    return ops_this_turn_;
+  }
+  [[nodiscard]] std::uint64_t throttles() const noexcept { return throttled_; }
+  [[nodiscard]] std::uint64_t turns_taken() const noexcept { return turns_; }
+
+  // Virtual time this session's turns have consumed (its own service time,
+  // excluding the rounds where neighbors held the clock). The fleet bench's
+  // per-session overhead gate compares this across fleet sizes.
+  [[nodiscard]] SimDuration service_time() const noexcept {
+    return service_time_;
+  }
+
+  // Opaque driver slot: the turn function may park per-session script state
+  // here (e.g. an iteration cursor) instead of allocating side tables.
+  std::uint64_t driver_state = 0;
+
+ private:
+  friend class SurrogateServer;
+
+  void begin_turn() noexcept {
+    ops_this_turn_ = 0;
+    turns_ += 1;
+  }
+
+  SessionId id_;
+  SessionBudget budget_;
+  netsim::Link link_;
+  std::unique_ptr<vm::Vm> client_;
+  std::unique_ptr<vm::Vm> surrogate_;
+  std::unique_ptr<rpc::Endpoint> client_ep_;
+  std::unique_ptr<rpc::Endpoint> surrogate_ep_;
+  std::uint64_t offloaded_bytes_ = 0;
+  std::uint64_t budget_refusals_ = 0;
+  std::uint32_t ops_this_turn_ = 0;
+  std::uint64_t throttled_ = 0;
+  std::uint64_t turns_ = 0;
+  SimDuration service_time_ = 0;
+  bool finished_ = false;  // marked by run_rounds, closed at round end
+};
+
+// Aggregate server accounting. Transport counters are kept namespaced per
+// session (each session owns its endpoints); aggregate() sums them on demand,
+// so a single admitted session's aggregate is byte-identical to that
+// session's own endpoint stats.
+struct ServerStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t admission_rejections = 0;
+  std::uint64_t turns = 0;
+  std::uint64_t rounds = 0;
+};
+
+class SurrogateServer {
+ public:
+  // Runs the aidelint/aideverify gates once over the shared registry
+  // (throwing analysis::AnalysisError on findings, exactly like Platform)
+  // and derives the shared BatchSafety oracle when the registry carries
+  // full effect-IR coverage.
+  SurrogateServer(std::shared_ptr<const vm::ClassRegistry> registry,
+                  ServerConfig config = {});
+
+  SurrogateServer(const SurrogateServer&) = delete;
+  SurrogateServer& operator=(const SurrogateServer&) = delete;
+
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::optional<analysis::AnalysisReport>&
+  analysis_report() const noexcept {
+    return analysis_;
+  }
+  [[nodiscard]] const std::optional<analysis::VerifyReport>& verify_report()
+      const noexcept {
+    return verify_;
+  }
+  [[nodiscard]] const analysis::BatchSafety* batch_safety() const noexcept {
+    return batch_safety_.has_value() ? &*batch_safety_ : nullptr;
+  }
+
+  // Admission control: opens a new isolated session, or returns nullptr
+  // (counting an admission rejection) when max_sessions are already live.
+  // The returned pointer stays valid until close_session.
+  Session* open_session();
+  // Closes a session: severs its endpoint pair and releases its slot. The
+  // freed slot is immediately available to a new admission.
+  void close_session(SessionId id);
+
+  [[nodiscard]] std::size_t session_count() const noexcept { return live_; }
+  [[nodiscard]] Session* find_session(SessionId id) noexcept;
+
+  // Deterministic round-robin scheduling: runs up to `max_rounds` rounds; in
+  // each round every live session, in ascending session-id order, takes one
+  // turn. A turn that returns TurnOutcome::finished closes its session at
+  // the end of the round (so one round's visit order is never perturbed
+  // mid-flight). Returns after max_rounds rounds or when no session remains.
+  // The dispatch loop performs no allocations: turn state lives in the
+  // sessions and the round order is the slot order itself.
+  using TurnFn = std::function<TurnOutcome(Session&)>;
+  std::size_t run_rounds(std::size_t max_rounds, const TurnFn& turn);
+
+  // Per-session transport stats, summed across the given session's two
+  // endpoints — the per-session namespace of the server's accounting.
+  [[nodiscard]] static rpc::EndpointStats session_stats(Session& s) {
+    rpc::EndpointStats sum = s.client_endpoint().stats();
+    sum += s.surrogate_endpoint().stats();
+    return sum;
+  }
+  // Aggregate transport stats over every live session.
+  [[nodiscard]] rpc::EndpointStats aggregate_stats() const;
+
+ private:
+  ServerConfig config_;
+  SimClock clock_;
+  std::shared_ptr<const vm::ClassRegistry> registry_;
+  std::optional<analysis::AnalysisReport> analysis_;
+  std::optional<analysis::VerifyReport> verify_;
+  std::optional<analysis::BatchSafety> batch_safety_;
+
+  void do_close(std::size_t slot);
+
+  // Slot table: closed sessions leave a null slot that the next admission
+  // reuses; session ids are minted monotonically and never reused. `order_`
+  // holds the live slots in admission order — ascending session id, since
+  // ids are monotone — and is what the round-robin dispatch iterates.
+  std::vector<std::unique_ptr<Session>> slots_;
+  std::vector<std::size_t> order_;
+  std::size_t live_ = 0;
+  std::uint32_t next_session_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace aide::platform

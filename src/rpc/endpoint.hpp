@@ -117,6 +117,44 @@ struct EndpointStats {
   std::uint64_t unproven_riders_flushed = 0;  // pre-invoke queue flushes
   std::uint64_t prefetches_filtered = 0;  // group mates pruned as ineligible
 
+  // Accumulates another endpoint's counters into this one. The multi-session
+  // surrogate server keeps its transport stats namespaced per session (each
+  // session owns its endpoints, so its counters never mix with a neighbor's)
+  // and aggregates with this — summing one session's stats into a
+  // zero-initialized accumulator reproduces that session's stats
+  // byte-identically, so the single-session output is unchanged by the
+  // aggregation layer.
+  EndpointStats& operator+=(const EndpointStats& o) noexcept {
+    rpcs_sent += o.rpcs_sent;
+    rpcs_served += o.rpcs_served;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    releases_sent += o.releases_sent;
+    migrations_sent += o.migrations_sent;
+    objects_migrated_out += o.objects_migrated_out;
+    bytes_migrated_out += o.bytes_migrated_out;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    aborted_rpcs += o.aborted_rpcs;
+    duplicates_served += o.duplicates_served;
+    recovered_rpcs += o.recovered_rpcs;
+    corrupt_frames_rejected += o.corrupt_frames_rejected;
+    stale_frames_fenced += o.stale_frames_fenced;
+    duplicate_frames_dropped += o.duplicate_frames_dropped;
+    heartbeats_sent += o.heartbeats_sent;
+    ops_sent += o.ops_sent;
+    batches_sent += o.batches_sent;
+    batched_ops += o.batched_ops;
+    readahead_hits += o.readahead_hits;
+    snapshots_fetched += o.snapshots_fetched;
+    objects_prefetched += o.objects_prefetched;
+    pending_applied_locally += o.pending_applied_locally;
+    unproven_stores_flushed += o.unproven_stores_flushed;
+    unproven_riders_flushed += o.unproven_riders_flushed;
+    prefetches_filtered += o.prefetches_filtered;
+    return *this;
+  }
+
   friend bool operator==(const EndpointStats&, const EndpointStats&) = default;
 };
 
@@ -196,6 +234,17 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   [[nodiscard]] vm::Vm& local_vm() noexcept { return vm_; }
   [[nodiscard]] RefMap& refs() noexcept { return refs_; }
   [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
+
+  // Session tag for multi-session surrogate serving: namespaces this
+  // endpoint's stats (and its RefMap's handle space) under one session id.
+  // The single-session platform never calls this — stats and handles stay
+  // exactly as before.
+  void set_session(SessionId id) {
+    session_ = id;
+    refs_.set_handle_namespace(
+        static_cast<std::uint16_t>((id.value() % 0xFFFEu) + 1));
+  }
+  [[nodiscard]] SessionId session() const noexcept { return session_; }
 
   void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
   [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
@@ -460,6 +509,7 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   Endpoint* peer_ = nullptr;
   RefMap refs_;
   EndpointStats stats_;
+  SessionId session_ = SessionId::invalid();
   RetryPolicy retry_;
   BatchPolicy batch_;
   std::function<bool()> peer_failure_handler_;

@@ -9,6 +9,14 @@
 //             ExportHandle; exported objects are GC roots until the peer's
 //             distributed GC releases them.
 //   imports — peer handles for which this VM holds local stubs.
+//
+// Handle namespaces: a multi-session surrogate server gives every session's
+// RefMaps a distinct 16-bit namespace, stamped into the top bits of each
+// handle it mints. A handle that leaks across sessions then carries the
+// wrong namespace and resolve_export rejects it outright — the session
+// isolation boundary of the reference-mapping layer. The default namespace
+// (0) mints handles 1, 2, ... exactly as the single-session platform always
+// has, so paired endpoints remain bit-identical on the wire.
 #pragma once
 
 #include <cstdint>
@@ -22,19 +30,48 @@ namespace aide::rpc {
 
 class RefMap {
  public:
+  // Top 16 bits of a handle hold the minting session's namespace.
+  static constexpr unsigned kNamespaceShift = 48;
+
+  [[nodiscard]] static constexpr std::uint16_t namespace_of(
+      ExportHandle h) noexcept {
+    return static_cast<std::uint16_t>(h.value() >> kNamespaceShift);
+  }
+
+  // Assigns this map's handle namespace. Must be called before the first
+  // export; the single-session default is namespace 0 (plain handles).
+  void set_handle_namespace(std::uint16_t ns) {
+    namespace_ = ns;
+    next_handle_ = 1;
+  }
+  [[nodiscard]] std::uint16_t handle_namespace() const noexcept {
+    return namespace_;
+  }
+
   // --- export side ----------------------------------------------------------
 
   // Registers (idempotently) a local object as referenced by the peer.
   ExportHandle export_object(ObjectId id) {
     const auto it = export_by_id_.find(id);
     if (it != export_by_id_.end()) return it->second;
-    const ExportHandle h{next_handle_++};
+    const ExportHandle h{
+        (static_cast<std::uint64_t>(namespace_) << kNamespaceShift) |
+        next_handle_++};
     export_by_id_.emplace(id, h);
     export_by_handle_.emplace(h, id);
     return h;
   }
 
   [[nodiscard]] ObjectId resolve_export(ExportHandle h) const {
+    if (namespace_of(h) != namespace_) {
+      // A handle minted under another session's namespace: a cross-session
+      // reference can never resolve, whatever its low bits happen to match.
+      throw VmError(VmErrorCode::null_reference,
+                    "cross-session reference: handle " +
+                        std::to_string(h.value()) + " belongs to namespace " +
+                        std::to_string(namespace_of(h)) + ", not " +
+                        std::to_string(namespace_));
+    }
     const auto it = export_by_handle_.find(h);
     if (it == export_by_handle_.end()) {
       throw VmError(VmErrorCode::null_reference,
@@ -103,6 +140,7 @@ class RefMap {
   std::unordered_map<ExportHandle, ObjectId> export_by_handle_;
   std::unordered_map<ObjectId, ExportHandle> import_by_id_;
   std::uint64_t next_handle_ = 1;
+  std::uint16_t namespace_ = 0;
 };
 
 }  // namespace aide::rpc
