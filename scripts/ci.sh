@@ -43,6 +43,12 @@ step "chaos smoke (crash-consistent offload under seeded schedules)"
 step "rpc batch smoke (batched vs per-op transport parity + frame reduction)"
 ./build-ci/bench/bench_rpc_batch --smoke
 
+step "disconnect suite (ctest -L disconnect: detector, redo log, reconcile)"
+ctest --test-dir build-ci --output-on-failure -L disconnect -j "$JOBS"
+
+step "disconnect smoke (hoard/journal/reconcile under mid-run outages)"
+./build-ci/bench/bench_disconnect --smoke
+
 step "fleet suite (ctest -L fleet: session isolation, admission, scheduling)"
 ctest --test-dir build-ci --output-on-failure -L fleet -j "$JOBS"
 
@@ -67,6 +73,7 @@ if [[ "${AIDE_CI_SKIP_SANITIZE:-0}" != 1 ]]; then
   ./build-asan/tests/chaos_test --smoke
   ./build-asan/bench/bench_vm_hotpath --smoke
   ./build-asan/bench/bench_rpc_batch --smoke
+  ./build-asan/bench/bench_disconnect --smoke
   ./build-asan/bench/bench_fleet --smoke
 else
   step "sanitizer job skipped (AIDE_CI_SKIP_SANITIZE=1)"

@@ -537,7 +537,11 @@ void register_collections(vm::ClassRegistry& reg) {
     ClassBuilder chunk("ListChunk");
     chunk.source("src/apps/stdlib.cpp").migratable();
     for (int i = 0; i < kChunkSlots; ++i) {
-      chunk.field("s" + std::to_string(i));
+      // Built with append rather than `"s" + to_string(i)`: the temporary
+      // concat trips GCC 12's -Wrestrict false positive (PR105329) here.
+      std::string slot(1, 's');
+      slot += std::to_string(i);
+      chunk.field(slot);
     }
     chunk.field("count");
     chunk.field("next", "ListChunk");

@@ -191,7 +191,11 @@ ExecutionMonitor::component_names() const {
   for (const auto& [key, info] : graph_.nodes()) {
     std::string label = registry_->get(key.cls).name;
     if (key.is_object_granularity()) {
-      label += "#" + std::to_string(key.object.value() & 0xFFFFFFFFULL);
+      // Two appends rather than `"#" + to_string(...)`: the temporary-concat
+      // form trips GCC 12's -Wrestrict false positive (PR105329) under some
+      // inlining contexts, and this build is -Werror.
+      label += '#';
+      label += std::to_string(key.object.value() & 0xFFFFFFFFULL);
     }
     names[key] = std::move(label);
   }

@@ -115,6 +115,20 @@ struct FaultPlan {
   SimTime revive_at = kNever;
   // Repeating outage schedule: when outage_period > 0, the link is down
   // during [phase + k*period, phase + k*period + duration) for every k >= 0.
+  //
+  // Phase edge: the schedule only exists from `outage_phase` onward — for
+  // now < outage_phase the repeating term contributes nothing (always-up),
+  // because is_down() never evaluates the modulo for negative offsets. A
+  // flap schedule that should start with the link up therefore sets `phase`
+  // to the first down-edge; one that starts down sets phase = 0 (the k = 0
+  // window then begins at t = 0).
+  //
+  // Interaction with the death window: is_down() ORs all terms, so a
+  // repeating schedule composes with [dead_after, revive_at) — the link is
+  // down inside the death window even between flap windows, and a flap
+  // window that straddles revive_at keeps the link down past the revival
+  // until that window's duration elapses. Death refuses delivery; it does
+  // not pause or re-anchor the flap phase.
   SimDuration outage_period = 0;
   SimDuration outage_duration = 0;
   SimTime outage_phase = 0;
@@ -134,6 +148,22 @@ struct FaultPlan {
            duplicate_probability > 0.0 || reorder_probability > 0.0;
   }
 };
+
+// Composes a repeated connect/disconnect ("flap") schedule onto `base`: the
+// link goes down at `first_down`, stays down for `down_for`, comes back for
+// `up_for`, and repeats forever. Everything before `first_down` is up (the
+// phase edge documented on FaultPlan). Other fields of `base` — death
+// window, drop/chaos probabilities, one-shot outages — are preserved and
+// compose by OR with the flap windows.
+[[nodiscard]] inline FaultPlan make_flap_plan(SimTime first_down,
+                                              SimDuration down_for,
+                                              SimDuration up_for,
+                                              FaultPlan base = {}) {
+  base.outage_phase = first_down;
+  base.outage_duration = down_for;
+  base.outage_period = down_for + up_for;
+  return base;
+}
 
 // Cumulative traffic accounting for one link.
 struct LinkStats {

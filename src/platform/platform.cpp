@@ -100,6 +100,20 @@ Platform::Platform(std::shared_ptr<const vm::ClassRegistry> registry,
     client_->set_journal_enabled(true);
     surrogate_->set_journal_enabled(true);
   }
+  if (config_.disconnect.enabled) {
+    // Arm the partition detector. Passive — counters and timestamps only —
+    // so arming it never perturbs a schedule; it only changes what
+    // handle_peer_failure decides when an RPC is finally abandoned.
+    rpc::PartitionPolicy pp;
+    pp.enabled = true;
+    pp.consecutive_timeouts = config_.disconnect.consecutive_timeouts;
+    pp.silence_after = config_.disconnect.silence_after;
+    client_ep_->set_partition_policy(pp);
+    // The surrogate's endpoint carries call-backs and release traffic; a
+    // partition first surfaces on whichever side happens to be mid-RPC, so
+    // both detectors must be armed and handle_peer_failure consults both.
+    surrogate_ep_->set_partition_policy(pp);
+  }
   client_ep_->set_peer_failure_handler([this] { return handle_peer_failure(); });
 
   client_->add_hooks(&exec_monitor_);
@@ -128,17 +142,53 @@ PlatformConfig Platform::config_for(const SurrogateInfo& surrogate,
 
 void Platform::on_gc(NodeId vm, const vm::GcReport&) {
   if (vm != kClientNode || offloading_in_progress_) return;
+  if (mode_ == Mode::disconnected) {
+    sync_partition_stats();
+    maybe_reconcile();
+    return;
+  }
   if (surrogate_dead_) {
     maybe_readmit();
     return;
   }
-  maybe_heartbeat();  // may detect a dead surrogate and run recovery
-  if (surrogate_dead_ || !config_.auto_offload) return;
+  maybe_heartbeat();  // may detect a dead/partitioned surrogate
+  if (mode_ == Mode::disconnected || surrogate_dead_) return;
+  maybe_proactive_recall();
+  if (mode_ == Mode::disconnected || surrogate_dead_) return;
+  if (!config_.auto_offload) return;
   if (offloads_.size() >= offload_budget()) return;
   if (resource_monitor_.triggered()) {
     resource_monitor_.consume_trigger();
     offload_now();
   }
+}
+
+void Platform::on_invoke(const vm::InvokeEvent& ev) {
+  link_maintenance(ev.vm);
+}
+
+void Platform::on_access(const vm::AccessEvent& ev) {
+  // A compute-heavy stretch can burn hundreds of simulated milliseconds
+  // inside one method without a single invocation exit or GC; data accesses
+  // are the only events dense enough to notice the link there.
+  link_maintenance(ev.vm);
+}
+
+void Platform::link_maintenance(NodeId vm) {
+  if (vm != kClientNode || offloading_in_progress_ || disconnect_dispatch_) {
+    return;
+  }
+  disconnect_dispatch_ = true;
+  if (mode_ == Mode::disconnected) {
+    sync_partition_stats();
+    maybe_reconcile();
+  } else if (!surrogate_dead_) {
+    // Quiet-window detection: a long local stretch with an idle link never
+    // GCs either, so the heartbeat needs this dispatch point too. A no-op
+    // unless the heartbeat policy is armed and the link has gone silent.
+    maybe_heartbeat();
+  }
+  disconnect_dispatch_ = false;
 }
 
 void Platform::maybe_heartbeat() {
@@ -205,7 +255,10 @@ void Platform::readmit() {
 }
 
 bool Platform::low_memory_rescue(vm::Vm&) {
-  if (offloading_in_progress_ || surrogate_dead_) return false;
+  if (offloading_in_progress_ || surrogate_dead_ ||
+      mode_ == Mode::disconnected) {
+    return false;
+  }
   // Forced offload: free at least the configured fraction, but accept any
   // partitioning that frees something if the policy's constraint cannot be
   // met — failing the allocation is strictly worse.
@@ -246,7 +299,16 @@ partition::PartitionRequest Platform::make_request(
 }
 
 bool Platform::handle_peer_failure() {
+  if (mode_ == Mode::disconnected) return true;
   if (surrogate_dead_) return true;
+  // A sustained partition is not a dead surrogate: when the detector says
+  // the link (not the peer) is gone, keep the surrogate's state where it is
+  // and switch to disconnected execution against hoarded replicas instead of
+  // tearing the offload down.
+  if (config_.disconnect.enabled && (client_ep_->partition_suspected() ||
+                                     surrogate_ep_->partition_suspected())) {
+    return enter_disconnected_mode();
+  }
   surrogate_dead_ = true;
   // Re-admission probing starts one probe_interval from now.
   last_probe_at_ = clock_.now();
@@ -308,7 +370,10 @@ bool Platform::handle_peer_failure() {
 
 std::optional<OffloadReport> Platform::offload_now(
     std::optional<std::int64_t> min_free_override) {
-  if (offloading_in_progress_ || surrogate_dead_) return std::nullopt;
+  if (offloading_in_progress_ || surrogate_dead_ ||
+      mode_ == Mode::disconnected) {
+    return std::nullopt;
+  }
   offloading_in_progress_ = true;
 
   exec_monitor_.prune_dead_components();
@@ -399,8 +464,225 @@ std::optional<OffloadReport> Platform::offload_now(
                 report.client_heap_used_after / 1024, "KB");
 
   offloads_.push_back(report);
+  last_offload_min_free_ = min_free_override;
   offloading_in_progress_ = false;
   return report;
+}
+
+// --- disconnected operation ----------------------------------------------------
+
+bool Platform::enter_disconnected_mode() {
+  mode_ = Mode::disconnected;
+  // Reconnect probing starts one probe_interval from now; the reconcile
+  // budget is per-episode, so a flappy link gets a fresh allowance each time.
+  last_reconcile_probe_at_ = clock_.now();
+  reconcile_attempts_ = 0;
+
+  DisconnectReport report;
+  report.at = clock_.now();
+
+  // Enumerate the surrogate's surviving working set (sorted: determinism of
+  // the hoard order, and thus of every downstream byte).
+  std::vector<ObjectId> ids;
+  surrogate_->heap().for_each(
+      [&](const vm::Object& o) { ids.push_back(o.id); });
+  std::sort(ids.begin(), ids.end());
+
+  // Sever the pair: no regular RPC may charge the partitioned link, and the
+  // release handlers become no-ops. Refs are preserved — unlike a surrogate
+  // death, both heaps survive and reconcile needs them to keep resolving.
+  client_ep_->detach_partitioned();
+
+  // Hoard: adopt a *replica* (copy) of every surrogate-resident object into
+  // the client heap, replacing its stub. Unlike handle_peer_failure the
+  // surrogate keeps its originals — it is provably idle while partitioned
+  // (the two VMs never execute simultaneously), and those originals are the
+  // replay target at reconcile time. Each replica is pinned until the whole
+  // batch lands so a client GC forced mid-loop cannot reclaim replicas only
+  // referenced from surrogate-side state.
+  std::uint64_t bytes = 0;
+  for (const ObjectId id : ids) {
+    const vm::Object* obj = surrogate_->find_object(id);
+    bytes += static_cast<std::uint64_t>(obj->size_bytes());
+    client_->migrate_in(std::make_unique<vm::Object>(*obj));
+    client_->add_root(vm::ObjectRef{id});
+  }
+  for (const ObjectId id : ids) {
+    client_->remove_root(vm::ObjectRef{id});
+  }
+
+  // Install the redo log watching exactly the replicas, BEFORE flushing the
+  // write-behind queue: the queued stores now target local replicas and
+  // their local application must be captured for replay like any other
+  // disconnected-era mutation.
+  disconnect_log_.clear_entries();
+  disconnect_log_.watch(ids);
+  hoarded_ids_ = std::move(ids);
+  client_->set_redo_log(&disconnect_log_);
+  client_ep_->flush_pending();
+
+  // Charge the recovery channel for the hoard: partition detection plus
+  // shipping the replicas over whatever path survived (the same cost model
+  // as failure reintegration — hoarding is reintegration that keeps a copy).
+  clock_.advance(config_.recovery_latency +
+                 static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                          config_.recovery_bandwidth_bps *
+                                          1e9));
+
+  // No offload target while partitioned: stop raising triggers. The registry
+  // is NOT told the surrogate died — it is expected back.
+  resource_monitor_.note_peer_failure();
+  client_ep_->note_disconnect_detected();
+
+  report.objects_hoarded = hoarded_ids_.size();
+  report.bytes_hoarded = bytes;
+  disconnects_.push_back(report);
+  AIDE_LOG_INFO("platform", "partition detected at ", report.at,
+                "ns; hoarded ", report.objects_hoarded, " replicas (",
+                report.bytes_hoarded / 1024, "KB), running disconnected");
+  return true;
+}
+
+void Platform::sync_partition_stats() {
+  client_ep_->note_partition_stats(
+      disconnect_log_.ops_journaled() - synced_journaled_,
+      disconnect_log_.ops_coalesced() - synced_coalesced_);
+  synced_journaled_ = disconnect_log_.ops_journaled();
+  synced_coalesced_ = disconnect_log_.ops_coalesced();
+}
+
+void Platform::maybe_reconcile() {
+  if (reconcile_attempts_ >= config_.disconnect.max_reconciles) {
+    return;
+  }
+  if (last_reconcile_probe_at_ != 0 &&
+      clock_.now() - last_reconcile_probe_at_ <
+          config_.disconnect.probe_interval) {
+    return;
+  }
+  last_reconcile_probe_at_ = clock_.now();
+  const auto probe = link_.try_one_way(config_.disconnect.probe_bytes,
+                                       clock_.now(), netsim::Leg::request);
+  if (!probe.delivered) return;
+  clock_.advance(probe.cost);
+  reconcile();
+}
+
+void Platform::reconcile() {
+  reconcile_attempts_ += 1;
+  sync_partition_stats();
+  rpc::Endpoint::connect(*client_ep_, *surrogate_ep_);
+
+  bool applied = false;
+  try {
+    applied = client_ep_->reconcile_log(disconnect_log_);
+  } catch (const PeerUnavailable&) {
+    // Unreachable with the log not applied: keep the log, keep the replicas,
+    // retry on a later probe. Exactly-once holds because nothing landed.
+    applied = false;
+  } catch (const VmError&) {
+    // The peer rejected or rolled back the replay (semantic failure). The
+    // serving side unwound atomically, so the log is still intact to retry.
+    applied = false;
+  }
+
+  const auto& traces = client_ep_->reconciles();
+  const bool acked = applied && !traces.empty() && traces.back().committed;
+  if (applied) {
+    // The mutations landed exactly once; they must never replay again. A
+    // fresh log accumulates whatever the application writes from here on.
+    disconnects_.back().reconciles += 1;
+    disconnects_.back().entries_replayed += traces.back().entries;
+    disconnect_log_.clear_entries();
+  }
+  if (!acked) {
+    // Either not applied (retry the same log later) or applied with the ack
+    // lost (fresh log, still partitioned). Both stay disconnected, and the
+    // refs stay: the next attempt reconciles with the same surviving heap.
+    client_ep_->detach_partitioned();
+    return;
+  }
+
+  // Applied and acked over a live link: resume partitioned execution. Drop
+  // the replicas — the surrogate's replayed originals are authoritative
+  // again — leaving stubs behind so remote access resolves as before.
+  client_->set_redo_log(nullptr);
+  for (const ObjectId id : hoarded_ids_) {
+    if (client_->is_local(id)) {
+      (void)client_->migrate_out(id);  // discard the replica, keep the stub
+    }
+  }
+  hoarded_ids_.clear();
+  disconnect_log_.reset();
+  synced_journaled_ = 0;
+  synced_coalesced_ = 0;
+  mode_ = Mode::connected;
+  resource_monitor_.note_peer_recovered();
+  disconnects_.back().resumed = true;
+  disconnects_.back().resumed_at = clock_.now();
+  AIDE_LOG_INFO("platform", "reconciled ",
+                disconnects_.back().entries_replayed,
+                " redo entries; partitioned execution resumed at ",
+                clock_.now(), "ns");
+
+  // Everything the application allocated while away sits on the client, but
+  // the remote working set it interleaves with went back with the replicas —
+  // left split, the rest of the run ping-pongs across the link for state the
+  // partitioner would colocate. Re-run the offload decision under the same
+  // admission threshold that produced the pre-partition placement; a "no
+  // beneficial partitioning" verdict leaves everything where it is.
+  (void)offload_now(last_offload_min_free_);
+}
+
+void Platform::maybe_proactive_recall() {
+  const DisconnectPolicy& pol = config_.disconnect;
+  if (!pol.enabled || pol.degrade_rtt <= 0 || !offloaded()) return;
+  const rpc::RttEstimator& rtt = client_ep_->rtt_estimator();
+  if (!rtt.primed ||
+      static_cast<SimDuration>(rtt.srtt) <= pol.degrade_rtt) {
+    return;
+  }
+  if (last_recall_at_ != 0 &&
+      clock_.now() - last_recall_at_ < pol.probe_interval) {
+    return;
+  }
+  last_recall_at_ = clock_.now();
+
+  // Choose what to hoard with the static hints: prefetch-eligible classes
+  // (encapsulated writes) are exactly the objects the client can keep
+  // coherent locally, so they come home first while the link still works.
+  const analysis::StaticHints* hints = nullptr;
+  if (verify_.has_value()) {
+    hints = &verify_->hints;
+  } else if (analysis_.has_value()) {
+    hints = &analysis_->hints;
+  }
+  if (hints == nullptr || hints->prefetch_eligible.empty()) return;
+
+  std::vector<ObjectId> ids;
+  surrogate_->heap().for_each([&](const vm::Object& o) {
+    if (std::binary_search(hints->prefetch_eligible.begin(),
+                           hints->prefetch_eligible.end(), o.cls)) {
+      ids.push_back(o.id);
+    }
+  });
+  std::sort(ids.begin(), ids.end());
+  if (ids.empty()) return;
+
+  try {
+    // A real reverse migration over the live (if slow) link: two-phase,
+    // epoch-fenced, rollback on death — the surrogate keeps nothing.
+    const std::uint64_t bytes = surrogate_ep_->migrate_objects(ids);
+    recalls_.push_back(RecallReport{clock_.now(), ids.size(), bytes});
+    AIDE_LOG_INFO("platform", "degrading link (srtt ",
+                  static_cast<SimDuration>(rtt.srtt), "ns): recalled ",
+                  ids.size(), " objects (", bytes / 1024, "KB)");
+  } catch (const PeerUnavailable&) {
+    // The link died under the recall; migrate_objects already rolled the
+    // batch to wherever it authoritatively lives. Let the normal failure
+    // path (which may choose disconnected mode) take it from here.
+    handle_peer_failure();
+  }
 }
 
 }  // namespace aide::platform

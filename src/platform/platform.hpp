@@ -65,6 +65,32 @@ struct ReadmissionPolicy {
   std::size_t max_readmissions = 4;
 };
 
+// Disconnected operation: when the client endpoint's partition detector
+// distinguishes a sustained partition from transient loss, the platform
+// enters an explicit Disconnected mode instead of tearing the offload down —
+// it hoards replicas of the surrogate-resident working set into the client
+// heap, executes everything locally while journaling intended remote
+// mutations into a coalescing redo log, probes the link, and reconciles the
+// log against the revived surrogate exactly-once before resuming partitioned
+// execution. Off by default: PR 1's teardown semantics remain the baseline.
+struct DisconnectPolicy {
+  bool enabled = false;
+  // Partition-detector thresholds (see rpc::PartitionPolicy).
+  std::uint32_t consecutive_timeouts = 3;
+  SimDuration silence_after = sim_ms(60);
+  // Reconnect probing while disconnected, on client GC ticks (the platform's
+  // deterministic timer), rate-limited like readmission probing.
+  SimDuration probe_interval = sim_ms(250);
+  std::uint64_t probe_bytes = 64;
+  std::size_t max_reconciles = 16;
+  // Proactive hoard on a degrading link: while connected and offloaded, if
+  // the Jacobson-estimated RTT exceeds this threshold the platform recalls
+  // the prefetch-eligible working set (StaticHints: encapsulated-writes
+  // classes) over the still-live link, so an eventual partition strands less
+  // state. 0 disables the proactive path.
+  SimDuration degrade_rtt = 0;
+};
+
 struct PlatformConfig {
   std::int64_t client_heap = std::int64_t{6} << 20;   // paper: 6 MB Java heap
   std::int64_t surrogate_heap = std::int64_t{64} << 20;
@@ -89,6 +115,8 @@ struct PlatformConfig {
   HeartbeatPolicy heartbeat;
   // Probe-and-reconnect after a surrogate failure (off by default).
   ReadmissionPolicy readmission;
+  // Disconnected operation: hoard / journal / reconcile (off by default).
+  DisconnectPolicy disconnect;
   // Recovery-channel cost model for pulling state back from a dead
   // surrogate: a flat re-handshake latency plus the reclaimed bytes over the
   // recovery bandwidth.
@@ -160,6 +188,26 @@ struct ReadmissionReport {
   bool reoffloaded = false;       // the immediate re-partitioning migrated
 };
 
+// One disconnected-operation episode: entered on partition detection, left
+// (resumed == true) when a reconcile both applied and acked over a live link.
+struct DisconnectReport {
+  SimTime at = 0;                    // partition detected, mode entered
+  std::size_t objects_hoarded = 0;   // replicas pulled into the client heap
+  std::uint64_t bytes_hoarded = 0;
+  std::size_t reconciles = 0;        // redo logs applied on the peer
+  std::size_t entries_replayed = 0;  // coalesced entries those logs carried
+  bool resumed = false;              // back to connected partitioned execution
+  SimTime resumed_at = 0;
+};
+
+// One proactive recall: prefetch-eligible state pulled back over a live but
+// degrading link (DisconnectPolicy::degrade_rtt).
+struct RecallReport {
+  SimTime at = 0;
+  std::size_t objects = 0;
+  std::uint64_t bytes = 0;
+};
+
 class Platform : private vm::VmHooks {
  public:
   Platform(std::shared_ptr<const vm::ClassRegistry> registry,
@@ -225,6 +273,25 @@ class Platform : private vm::VmHooks {
     return readmissions_;
   }
 
+  // --- disconnected operation ----------------------------------------------
+
+  enum class Mode : std::uint8_t { connected, disconnected };
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool disconnected() const noexcept {
+    return mode_ == Mode::disconnected;
+  }
+  [[nodiscard]] const std::vector<DisconnectReport>& disconnects()
+      const noexcept {
+    return disconnects_;
+  }
+  [[nodiscard]] const std::vector<RecallReport>& recalls() const noexcept {
+    return recalls_;
+  }
+  // The live redo log (test/bench visibility into coalescing behavior).
+  [[nodiscard]] const vm::DisconnectLog& disconnect_log() const noexcept {
+    return disconnect_log_;
+  }
+
   // Registers the registry entry this platform's surrogate was selected
   // from, so a failure can be reported back for future selections.
   void attach_surrogate_registry(SurrogateRegistry* registry,
@@ -254,12 +321,30 @@ class Platform : private vm::VmHooks {
   // with the respective policies armed, for heartbeat and re-admission
   // probing — GC cadence is the platform's deterministic timer).
   void on_gc(NodeId vm, const vm::GcReport& report) override;
+  // Disconnected-mode reconcile probing cannot depend on GC cadence alone: a
+  // workload that stops allocating (hot loops over hoarded arrays) would
+  // starve the probe loop and never notice the link returning. Invocation
+  // exit is the densest safe dispatch point; the probe interval gates cost.
+  void on_invoke(const vm::InvokeEvent& ev) override;
+  void on_access(const vm::AccessEvent& ev) override;
+  // Shared probe/heartbeat dispatch behind the three event hooks above.
+  void link_maintenance(NodeId vm);
 
   // Idle-period liveness probe; a failed ping runs handle_peer_failure.
   void maybe_heartbeat();
   // Probe the link after a failure; reconnect + re-offload on recovery.
   void maybe_readmit();
   void readmit();
+  // Disconnected-mode transitions. enter_disconnected_mode hoards replicas
+  // and installs the redo log; maybe_reconcile probes the link while
+  // disconnected; reconcile replays the log and resumes on success;
+  // maybe_proactive_recall pulls eligible state back over a degrading link.
+  bool enter_disconnected_mode();
+  void maybe_reconcile();
+  void reconcile();
+  void maybe_proactive_recall();
+  // Pushes redo-log counter deltas into the client endpoint's stats.
+  void sync_partition_stats();
   // max_offloads covers the normal policy; each re-admission is entitled to
   // one more migration on top of it.
   [[nodiscard]] std::size_t offload_budget() const noexcept {
@@ -294,6 +379,26 @@ class Platform : private vm::VmHooks {
   std::size_t probes_since_failure_ = 0;
   bool offloading_in_progress_ = false;
   bool surrogate_dead_ = false;
+  // Disconnected-operation state. `mode_` is deliberately separate from
+  // surrogate_dead_: a dead surrogate has no state worth reconciling (it was
+  // pulled back), while a disconnected one keeps its originals as the replay
+  // target. The hoarded ids are the replicas to drop at resume; the synced_*
+  // cursors track which log counters already reached EndpointStats.
+  Mode mode_ = Mode::connected;
+  vm::DisconnectLog disconnect_log_;
+  std::vector<ObjectId> hoarded_ids_;
+  // Admission threshold of the most recent successful offload, replayed by
+  // the post-reconcile re-offload so resume restores the same placement
+  // policy that was in effect when the partition hit.
+  std::optional<std::int64_t> last_offload_min_free_;
+  std::vector<DisconnectReport> disconnects_;
+  std::vector<RecallReport> recalls_;
+  SimTime last_reconcile_probe_at_ = 0;
+  std::size_t reconcile_attempts_ = 0;
+  bool disconnect_dispatch_ = false;  // reentrancy guard for on_invoke
+  SimTime last_recall_at_ = 0;
+  std::uint64_t synced_journaled_ = 0;
+  std::uint64_t synced_coalesced_ = 0;
   SurrogateRegistry* surrogate_registry_ = nullptr;
   NodeId registered_surrogate_ = NodeId::invalid();
 };

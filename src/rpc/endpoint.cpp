@@ -51,6 +51,28 @@ void Endpoint::disconnect() {
   drop_transport_state();
 }
 
+void Endpoint::detach_partitioned() {
+  // The partition flavor of disconnect(): both heaps survive and will be
+  // reconciled with each other, so every cross-VM reference must keep
+  // resolving after the link returns. Export tables stay registered on both
+  // sides — they are the GC roots that keep referenced objects (including
+  // the surrogate originals the redo log replays into) alive across the
+  // disconnected epoch. Only transport state dies.
+  if (peer_ != nullptr) {
+    Endpoint& other = *peer_;
+    other.peer_ = nullptr;
+    other.vm_.set_peer(nullptr);
+    other.has_cached_response_ = false;
+    other.cached_response_.clear();
+    other.drop_transport_state();
+  }
+  peer_ = nullptr;
+  vm_.set_peer(nullptr);
+  has_cached_response_ = false;
+  cached_response_.clear();
+  drop_transport_state();
+}
+
 void Endpoint::drop_transport_state() {
   // A PREPARE-staged batch dies with the connection: it never touched the
   // heap, so dropping the bytes is the rollback. In-flight frame copies for
@@ -59,9 +81,14 @@ void Endpoint::drop_transport_state() {
   // targets are local and flush_pending/apply_pending_locally lands it.
   has_staged_migration_ = false;
   staged_migration_.clear();
+  has_staged_reconcile_ = false;
+  staged_reconcile_.clear();
   last_req_frame_.clear();
   last_resp_frame_.clear();
   invalidate_snapshots();
+  // A new connection epoch starts the partition detector fresh: the old
+  // link's timeout run and silence window say nothing about the new link.
+  detector_.reset(vm_.clock().now());
 }
 
 std::optional<std::vector<std::uint8_t>> Endpoint::take_cached_response(
@@ -82,10 +109,15 @@ WireRef Endpoint::translate_out(vm::ObjectRef ref) {
     wire.owner = vm_.node();
     wire.handle = refs_.export_object(ref.id);
   } else {
-    // A stub: the peer owns the object. For co-migrated objects mid-batch the
-    // import handle is not known yet; the id is sufficient for the peer.
+    // A stub: the peer owns the object, so the raw id is sufficient — the
+    // owner resolves its own ids directly (see translate_in). Deliberately
+    // do NOT embed the import handle: encoded requests can sit in the
+    // write-behind queue across a GC cycle (or a link outage), and a stub
+    // release delivered in between would leave a dangling handle frozen in
+    // the queued bytes. Ids never dangle on the owner. The handle field is
+    // fixed-width, so frame sizes and timing are unchanged.
     wire.owner = peer_ != nullptr ? peer_->vm_.node() : NodeId::invalid();
-    wire.handle = refs_.import_handle_for(ref.id);
+    wire.handle = ExportHandle::invalid();
     wire.kind = vm::ObjectKind::plain;  // refined on the receiving side
   }
   return wire;
@@ -243,12 +275,14 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request,
       // advanced the clock between the legs and must not inflate the RTO).
       rtt_.sample(rtt_sample);
       last_contact_ = vm_.clock().now();
+      detector_.note_delivery(last_contact_);
       last_req_frame_ = frame;
       ByteReader r(resp_payload);
       const auto status = r.read_u8();
       if (status == kStatusVmError) {
         const auto code = static_cast<VmErrorCode>(r.read_u8());
-        throw VmError(code, "remote: " + r.read_string());
+        const std::string msg = r.read_string();
+        throw VmError(code, "remote: " + msg);
       }
       // Strip the status byte; hand the remainder to the caller.
       return {resp_payload.begin() + 1, resp_payload.end()};
@@ -260,10 +294,23 @@ std::vector<std::uint8_t> Endpoint::transact(ByteWriter request,
     // adaptive estimate rather than the configured worst case.
     stats_.timeouts += 1;
     vm_.clock().advance(effective_timeout());
+    detector_.note_timeout(vm_.clock().now());
     if (attempt >= max_attempts) {
-      stats_.aborted_rpcs += 1;
-      throw PeerUnavailable(seq, "rpc aborted after " +
-                                     std::to_string(attempt) + " attempts");
+      // With the partition policy armed, an exhausted retry budget is not
+      // yet proof of a *sustained* outage: traffic may have been flowing
+      // right up to the cut, so the silence window can be shorter than the
+      // policy floor when the budget runs out. Hold the RPC open — keep
+      // retrying at the current backoff — until the two resolve: a transient
+      // blip delivers on a later attempt and nothing trips, while a true
+      // partition crosses the silence floor and aborts into a detector that
+      // now answers suspected() == true. Abandonment and suspicion coincide,
+      // so the failure handler never mistakes a partition for a dead peer.
+      if (!detector_.policy().enabled ||
+          detector_.suspected(vm_.clock().now())) {
+        stats_.aborted_rpcs += 1;
+        throw PeerUnavailable(seq, "rpc aborted after " +
+                                       std::to_string(attempt) + " attempts");
+      }
     }
     stats_.retries += 1;
     vm_.clock().advance(backoff);
@@ -1073,6 +1120,207 @@ std::uint64_t Endpoint::migrate_objects(std::span<const ObjectId> ids) {
   return bytes;
 }
 
+// --- disconnected-operation reconcile ----------------------------------------
+//
+// Redo-log values travel self-described instead of via export handles:
+// during a partition both heaps hold the same object ids (the hoarded
+// replicas were byte copies and disconnected-era allocations exist only on
+// the client), so raw ids are unambiguous and the RefMaps — cleared at
+// disconnect — are not needed.
+
+namespace {
+constexpr std::uint8_t kRedoNil = 0;
+constexpr std::uint8_t kRedoBool = 1;
+constexpr std::uint8_t kRedoInt = 2;
+constexpr std::uint8_t kRedoReal = 3;
+constexpr std::uint8_t kRedoStr = 4;
+constexpr std::uint8_t kRedoRef = 5;
+}  // namespace
+
+void Endpoint::write_redo_value(ByteWriter& w, const vm::Value& v,
+                                const vm::DisconnectLog& log) {
+  if (v.is_nil()) {
+    w.write_u8(kRedoNil);
+  } else if (v.is_bool()) {
+    w.write_u8(kRedoBool);
+    w.write_u8(v.as_bool() ? 1 : 0);
+  } else if (v.is_int()) {
+    w.write_u8(kRedoInt);
+    w.write_i64(v.as_int());
+  } else if (v.is_real()) {
+    w.write_u8(kRedoReal);
+    w.write_f64(v.as_real());
+  } else if (v.is_str()) {
+    w.write_u8(kRedoStr);
+    w.write_string(v.as_str());
+  } else {
+    const vm::ObjectRef ref = v.as_ref();
+    w.write_u8(kRedoRef);
+    w.write_u64(ref.id.value());
+    if (ref.is_null()) {
+      w.write_u64(ExportHandle::invalid().value());
+      w.write_u32(ClassId::invalid().value());
+      w.write_u8(static_cast<std::uint8_t>(vm::ObjectKind::plain));
+      return;
+    }
+    // A ref the surrogate is about to hold must keep resolving after we
+    // resume: export it (which also GC-roots it here) unless it names a
+    // hoarded replica — the surrogate owns that original already — or a
+    // stub of some other surrogate object that escaped the hoard. The
+    // handle travels so the peer's stub joins the distributed GC: when the
+    // surrogate drops the stub, the release names our export and the
+    // object becomes collectible again.
+    const vm::Object* obj = vm_.find_object(ref.id);
+    ExportHandle h = ExportHandle::invalid();
+    if (obj != nullptr && !log.watches(ref.id)) {
+      h = refs_.export_object(ref.id);
+    }
+    w.write_u64(h.value());
+    w.write_u32(vm_.class_of(ref.id).value());
+    w.write_u8(static_cast<std::uint8_t>(
+        obj != nullptr ? obj->kind : vm::ObjectKind::plain));
+  }
+}
+
+vm::Value Endpoint::read_redo_value(ByteReader& r) {
+  switch (r.read_u8()) {
+    case kRedoNil: return vm::Value{};
+    case kRedoBool: return vm::Value{r.read_u8() != 0};
+    case kRedoInt: return vm::Value{r.read_i64()};
+    case kRedoReal: return vm::Value{r.read_f64()};
+    case kRedoStr: return vm::Value{r.read_string()};
+    case kRedoRef: {
+      const ObjectId id{r.read_u64()};
+      const ExportHandle h{r.read_u64()};
+      const ClassId cls{r.read_u32()};
+      const auto kind = static_cast<vm::ObjectKind>(r.read_u8());
+      if (!id.valid()) return vm::Value{vm::ObjectRef{}};
+      // Resolve local-first: a replica's id names our own original. Anything
+      // unknown was born on the disconnected client — hold a stub, and
+      // remember the initiator's export handle so our eventual stub sweep
+      // releases its root.
+      if (!vm_.knows(id)) vm_.install_stub(id, cls, kind);
+      if (h.valid() && !vm_.is_local(id)) refs_.note_import(h, id);
+      return vm::Value{vm::ObjectRef{id}};
+    }
+    default:
+      throw VmError(VmErrorCode::type_mismatch, "bad redo value tag");
+  }
+}
+
+void Endpoint::write_redo_entry(ByteWriter& w, const vm::RedoEntry& e,
+                                const vm::DisconnectLog& log) {
+  w.write_u8(static_cast<std::uint8_t>(e.kind));
+  w.write_u64(e.obj.value());
+  w.write_u64(e.key);
+  switch (e.kind) {
+    case vm::RedoEntry::Kind::field:
+      write_redo_value(w, e.value, log);
+      break;
+    case vm::RedoEntry::Kind::array_elem: w.write_i64(e.elem); break;
+    case vm::RedoEntry::Kind::chars: w.write_string(e.data); break;
+  }
+}
+
+bool Endpoint::reconcile_log(const vm::DisconnectLog& log) {
+  if (peer_ == nullptr) {
+    throw VmError(VmErrorCode::null_reference, "endpoint not connected");
+  }
+  ReconcileTrace trace;
+  trace.begin = vm_.clock().now();
+  const auto entries = log.replay_order();
+  trace.entries = entries.size();
+  // A fresh epoch fences every frame from the pre-partition connection (and
+  // from any earlier, abandoned reconcile attempt).
+  advance_epoch();
+  trace.epoch = epoch_;
+
+  ByteWriter prepare;
+  prepare.write_u8(static_cast<std::uint8_t>(Op::reconcile_prepare));
+  prepare.write_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const vm::RedoEntry* e : entries) write_redo_entry(prepare, *e, log);
+
+  try {
+    (void)transact(std::move(prepare));
+  } catch (const PeerUnavailable&) {
+    // PREPARE staged raw bytes at most; the peer's heap is untouched and the
+    // caller keeps its log, so a later attempt replays the same mutations.
+    reconciles_.push_back(trace);
+    throw;
+  }
+  trace.prepare_acked = vm_.clock().now();
+
+  ByteWriter commit;
+  commit.write_u8(static_cast<std::uint8_t>(Op::reconcile_commit));
+  commit.write_u32(static_cast<std::uint32_t>(entries.size()));
+
+  try {
+    (void)transact(std::move(commit));
+  } catch (const PeerUnavailable&) {
+    // Replay is atomic on the serving side. If the peer recorded this epoch
+    // as applied, only the ack was lost: the mutations landed exactly once
+    // and the caller must clear its log. Otherwise the staged bytes die
+    // unapplied and the caller retries with the same log later.
+    const bool applied =
+        peer_ != nullptr && peer_->last_applied_reconcile_epoch_ == epoch_;
+    trace.applied_on_peer = applied;
+    reconciles_.push_back(trace);
+    if (!applied) throw;
+    stats_.reconciles_completed += 1;
+    stats_.reconcile_replayed_ops += entries.size();
+    return true;
+  }
+  trace.commit_acked = vm_.clock().now();
+  trace.committed = true;
+  trace.applied_on_peer = true;
+  reconciles_.push_back(trace);
+  stats_.reconciles_completed += 1;
+  stats_.reconcile_replayed_ops += entries.size();
+  return true;
+}
+
+void Endpoint::apply_staged_reconcile() {
+  const std::vector<std::uint8_t> staged = std::move(staged_reconcile_);
+  staged_reconcile_.clear();
+  has_staged_reconcile_ = false;
+  ByteReader sr(staged);
+  const auto count = sr.read_u32();
+  // Batch-atomic replay: one journal scope covers every entry, so a decode
+  // or apply error unwinds the whole log and the initiator can retry it as a
+  // unit. Entries arrive in last-write order and every target is one of our
+  // own originals (the client only watched hoarded replicas), applied
+  // through the same raw mutators incoming RPCs use.
+  const std::size_t mark = vm_.journal_begin();
+  try {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto kind = static_cast<vm::RedoEntry::Kind>(sr.read_u8());
+      const ObjectId obj{sr.read_u64()};
+      const std::uint64_t key = sr.read_u64();
+      switch (kind) {
+        case vm::RedoEntry::Kind::field:
+          vm_.raw_put_field(obj, FieldId{static_cast<std::uint32_t>(key)},
+                            read_redo_value(sr));
+          break;
+        case vm::RedoEntry::Kind::array_elem:
+          vm_.raw_array_put(obj, static_cast<std::int64_t>(key),
+                            vm::Value{sr.read_i64()});
+          break;
+        case vm::RedoEntry::Kind::chars:
+          vm_.raw_chars_write(obj, static_cast<std::int64_t>(key),
+                              sr.read_string());
+          break;
+        default:
+          throw VmError(VmErrorCode::type_mismatch, "bad redo entry kind");
+      }
+    }
+  } catch (...) {
+    vm_.journal_rollback(mark);
+    throw;
+  }
+  vm_.journal_commit();
+  last_applied_reconcile_epoch_ = epoch_;
+}
+
 // --- serving ---------------------------------------------------------------------
 
 std::optional<std::vector<std::uint8_t>> Endpoint::receive_frame(
@@ -1392,6 +1640,33 @@ std::vector<std::uint8_t> Endpoint::serve_one(
       }
       case Op::ping: {
         // Heartbeat probe: prove liveness, touch nothing.
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::reconcile_prepare: {
+        // Stage the encoded redo log verbatim without touching the heap —
+        // the same deferred-adoption shape as migrate_prepare, so a link
+        // death at any boundary of the reconcile leaves this VM exactly as
+        // it was. A higher-epoch PREPARE (a retried reconcile) supersedes
+        // stale staging; disconnect drops it entirely.
+        staged_reconcile_.assign(request.begin() + 1, request.end());
+        staged_reconcile_epoch_ = epoch_;
+        has_staged_reconcile_ = true;
+        out.write_u8(kStatusOk);
+        break;
+      }
+      case Op::reconcile_commit: {
+        const auto expected = r.read_u32();
+        if (!has_staged_reconcile_ || staged_reconcile_epoch_ != epoch_) {
+          throw VmError(VmErrorCode::type_mismatch,
+                        "reconcile commit without a staged log");
+        }
+        ByteReader peek(staged_reconcile_);
+        if (peek.read_u32() != expected) {
+          throw VmError(VmErrorCode::type_mismatch,
+                        "reconcile commit count mismatch");
+        }
+        apply_staged_reconcile();
         out.write_u8(kStatusOk);
         break;
       }

@@ -49,8 +49,10 @@
 #include "analysis/batch_oracle.hpp"
 #include "common/error.hpp"
 #include "netsim/link.hpp"
+#include "rpc/partition_detector.hpp"
 #include "rpc/refmap.hpp"
 #include "rpc/serializer.hpp"
+#include "vm/redo_log.hpp"
 #include "vm/remote.hpp"
 #include "vm/vm.hpp"
 
@@ -116,6 +118,13 @@ struct EndpointStats {
   std::uint64_t unproven_stores_flushed = 0;  // stores written through eagerly
   std::uint64_t unproven_riders_flushed = 0;  // pre-invoke queue flushes
   std::uint64_t prefetches_filtered = 0;  // group mates pruned as ineligible
+  // Disconnected-operation accounting (all zero unless the platform's
+  // DisconnectPolicy is enabled and a partition actually happens).
+  std::uint64_t disconnects_detected = 0;   // partitions the detector tripped
+  std::uint64_t ops_journaled = 0;          // mutations captured while away
+  std::uint64_t journal_coalesced = 0;      // of those, absorbed by coalescing
+  std::uint64_t reconciles_completed = 0;   // redo logs replayed exactly-once
+  std::uint64_t reconcile_replayed_ops = 0;  // coalesced entries shipped
 
   // Accumulates another endpoint's counters into this one. The multi-session
   // surrogate server keeps its transport stats namespaced per session (each
@@ -152,6 +161,11 @@ struct EndpointStats {
     unproven_stores_flushed += o.unproven_stores_flushed;
     unproven_riders_flushed += o.unproven_riders_flushed;
     prefetches_filtered += o.prefetches_filtered;
+    disconnects_detected += o.disconnects_detected;
+    ops_journaled += o.ops_journaled;
+    journal_coalesced += o.journal_coalesced;
+    reconciles_completed += o.reconciles_completed;
+    reconcile_replayed_ops += o.reconcile_replayed_ops;
     return *this;
   }
 
@@ -213,6 +227,19 @@ struct MigrationTrace {
   SimTime commit_acked = 0;   // COMMIT response received
 };
 
+// Message-boundary timestamps of one redo-log reconcile (the disconnected
+// client replaying its DisconnectLog against the revived surrogate), recorded
+// for the same reason: the chaos harness aims link deaths at each boundary.
+struct ReconcileTrace {
+  std::uint32_t epoch = 0;      // fresh epoch this reconcile fenced under
+  std::size_t entries = 0;      // coalesced redo entries shipped
+  bool committed = false;       // COMMIT acked
+  bool applied_on_peer = false;  // peer applied it (even if the ack was lost)
+  SimTime begin = 0;            // entering reconcile_log (before PREPARE)
+  SimTime prepare_acked = 0;    // PREPARE response received
+  SimTime commit_acked = 0;     // COMMIT response received
+};
+
 class Endpoint final : public vm::RemotePeer, private RefTranslator {
  public:
   Endpoint(vm::Vm& local_vm, netsim::Link& link);
@@ -229,6 +256,10 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   // recovery path does exactly that) — stale stubs simply become
   // unreachable garbage.
   void disconnect();
+  // Severs the pair like disconnect() but preserves both RefMaps: used when
+  // the peer is partitioned (not dead) and its heap will be reconciled with,
+  // so cross-VM references must survive the episode.
+  void detach_partitioned();
 
   [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
   [[nodiscard]] vm::Vm& local_vm() noexcept { return vm_; }
@@ -316,6 +347,50 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
     return migrations_;
   }
 
+  // --- disconnected operation ----------------------------------------------
+
+  // Partition detection (off unless the platform arms it). The detector is
+  // fed passively from the retry loop: any delivered frame resets it, any
+  // expired attempt advances it. Suspicion never aborts an RPC by itself —
+  // the platform consults partition_suspected() from its peer-failure
+  // handler to choose Disconnected mode over teardown.
+  void set_partition_policy(const PartitionPolicy& p) noexcept {
+    detector_.set_policy(p);
+  }
+  [[nodiscard]] const PartitionDetector& partition_detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] bool partition_suspected() const noexcept {
+    return detector_.suspected(vm_.clock().now());
+  }
+
+  // Disconnect-mode stat attribution (the redo log lives in the VM layer and
+  // the mode machine in the platform; both report through the endpoint so
+  // fleet aggregation sees one EndpointStats).
+  void note_disconnect_detected() noexcept { stats_.disconnects_detected += 1; }
+  void note_partition_stats(std::uint64_t journaled_delta,
+                            std::uint64_t coalesced_delta) noexcept {
+    stats_.ops_journaled += journaled_delta;
+    stats_.journal_coalesced += coalesced_delta;
+  }
+
+  // Replays a DisconnectLog against the (reconnected) peer exactly-once via
+  // epoch-fenced two-phase PREPARE/COMMIT: a fresh epoch fences every stale
+  // frame, PREPARE stages the encoded log with no heap effects, COMMIT
+  // applies it batch-atomically inside one journal scope. Returns true when
+  // the peer applied the log — including the COMMIT-executed-but-ack-lost
+  // case, detected the same way migration detects an adopted batch. Throws
+  // PeerUnavailable when the peer is unreachable with the log NOT applied
+  // (safe to retry later with the same log). Appends a ReconcileTrace either
+  // way.
+  bool reconcile_log(const vm::DisconnectLog& log);
+
+  // Message-boundary traces of every reconcile this endpoint initiated
+  // (including failed ones, with committed == false).
+  [[nodiscard]] const std::vector<ReconcileTrace>& reconciles() const noexcept {
+    return reconciles_;
+  }
+
   // Installed on the client endpoint by the platform: invoked when an RPC is
   // abandoned at the top level; returns true once every surviving object is
   // local again so the failed operation can be completed locally.
@@ -386,6 +461,8 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
     ping = 15,             // heartbeat: reply immediately, no side effects
     batch = 16,       // multi-op frame: N length-prefixed single-op requests
     get_object = 17,  // read-ahead: snapshot whole objects + group neighbors
+    reconcile_prepare = 18,  // stage the encoded redo log (no heap effects)
+    reconcile_commit = 19,   // atomically replay the staged redo log
   };
 
   // One write-behind operation: the encoded legacy request (exports already
@@ -496,6 +573,20 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   // retransmission copies) on disconnect.
   void drop_transport_state();
 
+  // Reconcile wire format. Values travel self-described (tag + payload);
+  // refs as raw [id][class][kind] rather than export handles — during a
+  // partition both heaps hold the same object ids (the replicas were copies),
+  // so the receiver resolves an id local-first and installs a stub for
+  // disconnected-era objects it has never seen.
+  void write_redo_value(ByteWriter& w, const vm::Value& v,
+                        const vm::DisconnectLog& log);
+  vm::Value read_redo_value(ByteReader& r);
+  void write_redo_entry(ByteWriter& w, const vm::RedoEntry& e,
+                        const vm::DisconnectLog& log);
+  // Applies the staged redo log batch-atomically (one journal scope; any
+  // VmError rolls the whole replay back and rethrows).
+  void apply_staged_reconcile();
+
   [[nodiscard]] bool fault_tolerant() const noexcept {
     return link_.fault_plan().enabled();
   }
@@ -553,10 +644,20 @@ class Endpoint final : public vm::RemotePeer, private RefTranslator {
   std::vector<std::uint8_t> staged_migration_;
   std::uint32_t staged_epoch_ = 0;
   bool has_staged_migration_ = false;
+  // PREPARE-staged redo log (reconcile), same lifecycle as staged_migration_.
+  std::vector<std::uint8_t> staged_reconcile_;
+  std::uint32_t staged_reconcile_epoch_ = 0;
+  bool has_staged_reconcile_ = false;
+  // Highest reconcile epoch whose COMMIT this endpoint executed, so an
+  // initiator whose COMMIT ack was lost can distinguish applied from
+  // not-applied (the exactly-once peek, mirroring migration's adopted-peek).
+  std::uint32_t last_applied_reconcile_epoch_ = 0;
   // Adaptive failure detection.
   RttEstimator rtt_;
   SimTime last_contact_ = 0;
   std::vector<MigrationTrace> migrations_;
+  std::vector<ReconcileTrace> reconciles_;
+  PartitionDetector detector_;
   // Depth of serve() frames on this endpoint; recovery must only run at the
   // top level, never while a peer frame is live above us on the stack.
   int serving_depth_ = 0;

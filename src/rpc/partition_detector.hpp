@@ -1,0 +1,89 @@
+// Partition detection: distinguishing sustained disconnection from loss.
+//
+// The endpoint's retry loop already absorbs transient loss — drops, reorder
+// and short outages ride the Jacobson adaptive RTO and succeed on a later
+// attempt. A *sustained* partition looks different on two axes at once:
+//
+//   1. consecutive timeouts — every attempt of every RPC times out, so the
+//      consecutive-timeout run grows without ever being reset by a delivery;
+//   2. heartbeat silence — nothing at all has been heard from the peer for
+//      longer than several full retry envelopes.
+//
+// Either signal alone misfires: a run of unlucky drops can produce a few
+// consecutive timeouts in a healthy link (axis 1), and an idle client hears
+// nothing for long stretches without the link being down (axis 2). The
+// detector therefore declares suspicion only when BOTH hold. It is fed from
+// the endpoint's transact loop (note_delivery on every frame that makes it
+// back, note_timeout on every expired attempt) and is purely passive:
+// counters and timestamps only — no RNG draws, no clock advances — so an
+// armed detector never perturbs byte-reproducible schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/simclock.hpp"
+
+namespace aide::rpc {
+
+struct PartitionPolicy {
+  // Off by default: the platform arms the detector only when its
+  // disconnected-operation mode is enabled.
+  bool enabled = false;
+  // Consecutive attempt timeouts (with no intervening delivery) before the
+  // link is suspect. The default retry policy exhausts 4 attempts per RPC,
+  // so 3 trips within the first failed call during a true outage.
+  std::uint32_t consecutive_timeouts = 3;
+  // Minimum silence — virtual time since the last frame was heard — before
+  // timeouts are believed. Covers the idle-link case and debounces bursts
+  // of drop-induced timeouts on a live link.
+  SimDuration silence_after = sim_ms(60);
+};
+
+class PartitionDetector {
+ public:
+  void set_policy(const PartitionPolicy& p) noexcept { policy_ = p; }
+  [[nodiscard]] const PartitionPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  // A frame arrived from the peer (reply delivered): the link is alive.
+  void note_delivery(SimTime now) noexcept {
+    consecutive_timeouts_ = 0;
+    last_delivery_ = now;
+  }
+
+  // One send attempt expired without a reply.
+  void note_timeout(SimTime /*now*/) noexcept { consecutive_timeouts_ += 1; }
+
+  // Current length of the consecutive-timeout run.
+  [[nodiscard]] std::uint32_t consecutive_timeouts() const noexcept {
+    return consecutive_timeouts_;
+  }
+
+  // Virtual time since the last delivery. Before anything was ever heard the
+  // connection epoch start (reset()) anchors the silence window.
+  [[nodiscard]] SimDuration silence(SimTime now) const noexcept {
+    return now - last_delivery_;
+  }
+
+  // True when the policy is armed and both thresholds hold.
+  [[nodiscard]] bool suspected(SimTime now) const noexcept {
+    return policy_.enabled &&
+           consecutive_timeouts_ >= policy_.consecutive_timeouts &&
+           silence(now) >= policy_.silence_after;
+  }
+
+  // Fresh connection epoch (connect/readmit): forget the old link's history
+  // and anchor the silence window at `now`.
+  void reset(SimTime now) noexcept {
+    consecutive_timeouts_ = 0;
+    last_delivery_ = now;
+  }
+
+ private:
+  PartitionPolicy policy_;
+  std::uint32_t consecutive_timeouts_ = 0;
+  SimTime last_delivery_ = 0;
+};
+
+}  // namespace aide::rpc

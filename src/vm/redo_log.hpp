@@ -1,0 +1,197 @@
+// Disconnected-operation redo log.
+//
+// While the platform runs in Disconnected mode the client executes everything
+// locally against hoarded replicas of the surrogate's objects. Every mutation
+// of a *watched* object (a replica whose authoritative copy still lives on the
+// unreachable surrogate) is appended here as an intended remote mutation, to
+// be replayed against the revived surrogate on reconnect.
+//
+// This is the redo-side complement of the Vm's undo journal (PR 1): the
+// journal records old values so a partial frame can be rolled back; the
+// DisconnectLog records new values so a whole disconnected epoch can be
+// rolled forward. Both hook the same mutation funnel points
+// (put_field_local / raw_array_put / raw_chars_write).
+//
+// Coalescing: every logged store is an absolute (last-writer-wins) store, so
+// only the final write per location needs to travel. Locations are keyed per
+// (kind, object, slot) — for char-region writes the key includes both offset
+// and length, because two writes with the same offset but different lengths
+// cover different byte ranges. Entries are kept in *last-write order*: when a
+// write coalesces into an existing entry, the entry moves to the back of the
+// replay sequence. This is what makes overlapping chars ranges sound — for
+// any byte, the chronologically last write covering it also has the latest
+// position in the replay order, so it wins on replay exactly as it did
+// locally. (First-write order would be wrong: write A [0,8), write B [4,4),
+// then write A' [0,8) coalescing into A must replay *after* B.)
+//
+// Determinism: iteration order is the replay order, which is a pure function
+// of the mutation sequence — no hashing order or addresses leak out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "vm/value.hpp"
+
+namespace aide::vm {
+
+struct RedoEntry {
+  enum class Kind : std::uint8_t { field, array_elem, chars };
+  Kind kind = Kind::field;
+  ObjectId obj;
+  // Field index (field), array index (array_elem), or byte offset (chars).
+  std::uint64_t key = 0;
+  Value value;        // field
+  std::int64_t elem = 0;  // array_elem
+  std::string data;       // chars
+};
+
+class DisconnectLog {
+ public:
+  // The set of object ids whose mutations must be journaled (the hoarded
+  // replicas). Replaces any previous watch set; the log itself is kept.
+  void watch(std::vector<ObjectId> ids) {
+    watched_.clear();
+    watched_.insert(ids.begin(), ids.end());
+  }
+  [[nodiscard]] bool watches(ObjectId id) const {
+    return watched_.contains(id);
+  }
+  [[nodiscard]] std::size_t watched_count() const noexcept {
+    return watched_.size();
+  }
+
+  void record_field(ObjectId obj, std::uint64_t field, const Value& v) {
+    RedoEntry e;
+    e.kind = RedoEntry::Kind::field;
+    e.obj = obj;
+    e.key = field;
+    e.value = v;
+    append(std::move(e));
+  }
+  void record_array(ObjectId obj, std::uint64_t index, std::int64_t elem) {
+    RedoEntry e;
+    e.kind = RedoEntry::Kind::array_elem;
+    e.obj = obj;
+    e.key = index;
+    e.elem = elem;
+    append(std::move(e));
+  }
+  void record_chars(ObjectId obj, std::uint64_t offset, std::string data) {
+    RedoEntry e;
+    e.kind = RedoEntry::Kind::chars;
+    e.obj = obj;
+    e.key = offset;
+    e.data = std::move(data);
+    append(std::move(e));
+  }
+
+  // Live (non-coalesced-away) entries in replay order.
+  [[nodiscard]] std::vector<const RedoEntry*> replay_order() const {
+    std::vector<const RedoEntry*> out;
+    out.reserve(index_.size());
+    for (const Slot& s : slots_) {
+      if (s.live) out.push_back(&s.entry);
+    }
+    return out;
+  }
+
+  // Visits every live field entry's value, for GC rooting: a ref recorded
+  // for replay must keep its target alive until the reconcile ships it (or
+  // the log is dropped), even if the disconnected program has since dropped
+  // its own last reference.
+  template <typename F>
+  void for_each_live_value(F&& visit) const {
+    for (const Slot& s : slots_) {
+      if (s.live && s.entry.kind == RedoEntry::Kind::field) {
+        visit(s.entry.value);
+      }
+    }
+  }
+
+  // Number of live entries (what a replay ships).
+  [[nodiscard]] std::size_t entries() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+
+  // Counters for EndpointStats: every recorded store, and how many of those
+  // coalesced into an existing entry instead of growing the log.
+  [[nodiscard]] std::uint64_t ops_journaled() const noexcept {
+    return ops_journaled_;
+  }
+  [[nodiscard]] std::uint64_t ops_coalesced() const noexcept {
+    return ops_coalesced_;
+  }
+
+  // Drops the entries (after a successful replay) but keeps the watch set and
+  // the cumulative counters: the client is typically still disconnected and
+  // new mutations start a fresh log.
+  void clear_entries() {
+    slots_.clear();
+    index_.clear();
+  }
+
+  // Full reset (reconnected; replicas dropped).
+  void reset() {
+    clear_entries();
+    watched_.clear();
+    ops_journaled_ = 0;
+    ops_coalesced_ = 0;
+  }
+
+ private:
+  // The location key. For chars the length is part of the key: same-offset
+  // writes of different lengths cover different ranges and must not merge.
+  struct LocKey {
+    std::uint8_t kind;
+    ObjectId obj;
+    std::uint64_t key;
+    std::uint64_t len;
+    friend bool operator==(const LocKey&, const LocKey&) = default;
+  };
+  struct LocKeyHash {
+    std::size_t operator()(const LocKey& k) const noexcept {
+      std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ k.kind;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      };
+      mix(k.obj.value());
+      mix(k.key);
+      mix(k.len);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  // Tombstone storage: coalescing marks the old slot dead and appends the
+  // entry at the back, preserving last-write replay order in O(1) amortized.
+  struct Slot {
+    RedoEntry entry;
+    bool live = true;
+  };
+
+  void append(RedoEntry e) {
+    if (!watched_.contains(e.obj)) return;
+    ops_journaled_ += 1;
+    const LocKey k{static_cast<std::uint8_t>(e.kind), e.obj, e.key,
+                   e.kind == RedoEntry::Kind::chars ? e.data.size() : 0};
+    if (const auto it = index_.find(k); it != index_.end()) {
+      ops_coalesced_ += 1;
+      slots_[it->second].live = false;  // splice-to-back
+      it->second = slots_.size();
+    } else {
+      index_.emplace(k, slots_.size());
+    }
+    slots_.push_back(Slot{std::move(e), true});
+  }
+
+  std::unordered_set<ObjectId> watched_;
+  std::vector<Slot> slots_;
+  std::unordered_map<LocKey, std::size_t, LocKeyHash> index_;
+  std::uint64_t ops_journaled_ = 0;
+  std::uint64_t ops_coalesced_ = 0;
+};
+
+}  // namespace aide::vm

@@ -148,6 +148,13 @@ GcReport Vm::collect_garbage() {
   // Journaled old values must survive until their scope resolves: a rollback
   // would write them back. Empty unless a fault plan is active.
   for (const JournalEntry& e : journal_) mark_value(e.old_value, worklist);
+  // Redo-log values are roots for the same reason: they are promised to the
+  // peer at the next reconcile and must not be collected out from under the
+  // replay. Empty unless a disconnected epoch is in progress.
+  if (redo_log_ != nullptr) {
+    redo_log_->for_each_live_value(
+        [&](const Value& v) { mark_value(v, worklist); });
+  }
   if (extra_roots_provider_) {
     extra_roots_provider_([&](ObjectId id) { worklist.push_back(id); });
   }
@@ -680,6 +687,9 @@ void Vm::put_field_local(Object& o, FieldId field, const Value& v) {
       (v.is_str() ? static_cast<std::int64_t>(v.as_str().size()) : 0) -
       (old.is_str() ? static_cast<std::int64_t>(old.as_str().size()) : 0);
   o.fields[field.value()] = v;
+  if (redo_log_ != nullptr) [[unlikely]] {
+    redo_log_->record_field(o.id, field.value(), v);
+  }
   if (delta != 0) {
     heap_.adjust_used(o, delta);
     fire([&](VmHooks& h) { h.on_resize(cfg_.node, o.id, o.cls, delta); });
@@ -970,12 +980,20 @@ void Vm::raw_array_put(ObjectId target, std::int64_t index, const Value& v) {
                         static_cast<std::uint64_t>(index), Value{}, old, {}});
   }
   switch (o.kind) {
-    case ObjectKind::int_array: o.ints[index] = v.as_int(); return;
+    case ObjectKind::int_array: o.ints[index] = v.as_int(); break;
     case ObjectKind::char_array:
       o.chars[index] = static_cast<char>(v.as_int());
-      return;
+      break;
     case ObjectKind::plain:
       throw VmError(VmErrorCode::type_mismatch, "array_put on plain object");
+  }
+  if (redo_log_ != nullptr) [[unlikely]] {
+    const std::int64_t stored =
+        o.kind == ObjectKind::int_array
+            ? o.ints[index]
+            : static_cast<std::int64_t>(
+                  static_cast<unsigned char>(o.chars[index]));
+    redo_log_->record_array(target, static_cast<std::uint64_t>(index), stored);
   }
 }
 
@@ -1015,6 +1033,10 @@ void Vm::raw_chars_write(ObjectId target, std::int64_t offset,
                                        data.size())});
   }
   o.chars.replace(static_cast<std::size_t>(offset), data.size(), data);
+  if (redo_log_ != nullptr) [[unlikely]] {
+    redo_log_->record_chars(target, static_cast<std::uint64_t>(offset),
+                            std::string(data));
+  }
 }
 
 // --- migration -------------------------------------------------------------------

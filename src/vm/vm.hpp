@@ -36,6 +36,7 @@
 #include "vm/hooks.hpp"
 #include "vm/klass.hpp"
 #include "vm/object.hpp"
+#include "vm/redo_log.hpp"
 #include "vm/remote.hpp"
 #include "vm/value.hpp"
 
@@ -168,7 +169,7 @@ class Vm {
   void put_field(ObjectRef obj, FieldId field, const Value& v) {
     if (Object* o = heap_.find(obj.id);
         o != nullptr && hooks_.empty() && !journal_recording() &&
-        field.value() < o->fields.size()) [[likely]] {
+        redo_log_ == nullptr && field.value() < o->fields.size()) [[likely]] {
       Value& slot = o->fields[field.value()];
       if (!v.is_str() && !slot.is_str()) [[likely]] {
         slot = v;
@@ -268,6 +269,19 @@ class Vm {
   [[nodiscard]] std::size_t journal_size() const noexcept {
     return journal_.size();
   }
+
+  // --- disconnected-operation redo log -------------------------------------
+  //
+  // While the platform is in Disconnected mode it installs a DisconnectLog
+  // here; every raw mutation of a watched object (a hoarded replica of
+  // surrogate-owned state) is then also recorded as a redo entry for replay
+  // at reconcile time. Unlike the undo journal this captures *new* values,
+  // and it records during journal rollback too — an undone mutation's
+  // restored value is the correct final state to replay. nullptr (the
+  // default) disables capture entirely and keeps the inline fast paths.
+
+  void set_redo_log(DisconnectLog* log) noexcept { redo_log_ = log; }
+  [[nodiscard]] DisconnectLog* redo_log() const noexcept { return redo_log_; }
 
   // --- location / migration (used by the rpc layer and offload engine) ----
 
@@ -465,6 +479,7 @@ class Vm {
   int journal_depth_ = 0;
   bool journal_enabled_ = false;
   bool journal_replaying_ = false;
+  DisconnectLog* redo_log_ = nullptr;
 
   std::uint64_t next_object_counter_ = 1;
   std::int64_t allocs_since_gc_ = 0;

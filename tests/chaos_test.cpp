@@ -118,12 +118,32 @@ struct Outcome {
   rpc::EndpointStats client;
   rpc::EndpointStats surrogate;
   netsim::LinkStats link;
+  // Disconnected-operation outcome (populated only when the run armed the
+  // DisconnectPolicy; all defaults otherwise).
+  bool disconnected_at_end = false;
+  std::size_t disconnects = 0;
+  bool first_resumed = false;
+  std::size_t reconcile_count = 0;
+  rpc::ReconcileTrace reconcile;  // first reconcile attempt's trace
+  std::size_t log_entries_left = 0;
 };
 
 Outcome run(const apps::AppInfo& app, const apps::AppParams& params,
-            const netsim::FaultPlan& plan) {
+            const netsim::FaultPlan& plan, bool disconnect = false,
+            SimDuration heartbeat = 0) {
   auto cfg = chaos_config();
   cfg.fault_plan = plan;
+  if (disconnect) {
+    cfg.disconnect.enabled = true;
+    cfg.disconnect.probe_interval = sim_ms(20);
+  }
+  // Several apps run long stretches with zero demanded wire traffic (reads
+  // served from snapshots, writes deferred), so a quiet-window outage is
+  // invisible to the detector until something transmits. The fault-bearing
+  // disconnect families keep a heartbeat running so detection does not
+  // depend on the app's I/O pattern; the inertness test passes 0 to assert
+  // zero-traffic stillness.
+  cfg.heartbeat.idle_after = heartbeat;
   auto reg = std::make_shared<vm::ClassRegistry>();
   app.register_classes(*reg);
   platform::Platform p(reg, cfg);
@@ -146,6 +166,16 @@ Outcome run(const apps::AppInfo& app, const apps::AppParams& params,
   o.client = p.client_endpoint().stats();
   o.surrogate = p.surrogate_endpoint().stats();
   o.link = p.link().stats();
+  o.disconnected_at_end = p.disconnected();
+  o.disconnects = p.disconnects().size();
+  if (!p.disconnects().empty()) {
+    o.first_resumed = p.disconnects().front().resumed;
+  }
+  o.reconcile_count = p.client_endpoint().reconciles().size();
+  if (!p.client_endpoint().reconciles().empty()) {
+    o.reconcile = p.client_endpoint().reconciles().front();
+  }
+  o.log_entries_left = p.disconnect_log().entries();
   return o;
 }
 
@@ -378,6 +408,269 @@ TEST_P(CrashPointSweepTest, LinkDeathAtEveryMigrationBoundaryIsConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Apps, CrashPointSweepTest, ::testing::ValuesIn(kApps));
+
+// --- disconnected operation (ISSUE 9) ----------------------------------------
+//
+// Four further chaos families, all with the DisconnectPolicy armed: a long
+// outage at every migration boundary, a repeating flap schedule, permanent
+// death after a partial reconcile (the reconcile crash-point sweep below),
+// and a reconnect window landing mid-reconcile (a second outage spliced into
+// the reconcile's own timeline). The invariant is unchanged: byte-identical
+// application output, never a torn-down surrogate, never a lost or
+// double-applied redo entry.
+
+class DisconnectChaosTest : public ::testing::TestWithParam<const char*> {};
+
+// Heartbeat idle threshold shared by every fault-bearing disconnect family.
+constexpr SimDuration kBeat = sim_ms(100);
+
+TEST_P(DisconnectChaosTest, ArmedPolicyIsInertOnAFaultFreeRun) {
+  // The partition detector is passive: arming it without any fault must not
+  // move a single byte of the schedule.
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const Outcome plain = run(app, params, netsim::FaultPlan{});
+  const Outcome armed = run(app, params, netsim::FaultPlan{}, true);
+  EXPECT_EQ(armed.checksum, plain.checksum);
+  EXPECT_EQ(armed.end, plain.end);
+  EXPECT_TRUE(armed.client == plain.client);
+  EXPECT_TRUE(armed.surrogate == plain.surrogate);
+  EXPECT_TRUE(armed.link == plain.link);
+  EXPECT_EQ(armed.disconnects, 0u);
+}
+
+TEST_P(DisconnectChaosTest, LongOutageAtEveryMigrationBoundary) {
+  // A 500 ms blackout — far past the retry budget — opening at each
+  // two-phase migration boundary. Whatever the protocol was doing, the
+  // platform must hoard, run disconnected, reconcile when the radio
+  // returns, and finish byte-identical, without ever declaring the
+  // surrogate dead.
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+  const Outcome probe = run(app, params, netsim::FaultPlan{}, true, kBeat);
+  ASSERT_TRUE(probe.offloaded);
+  ASSERT_EQ(probe.checksum, expected);
+  ASSERT_EQ(probe.disconnects, 0u);
+  const rpc::MigrationTrace& m = probe.migration;
+
+  const SimTime points[] = {
+      m.begin,
+      m.begin + 1,
+      m.begin + (m.prepare_acked - m.begin) / 2,
+      m.prepare_acked + 1,
+      m.commit_acked + 1,
+  };
+  const std::size_t n = g_smoke ? 2 : sizeof(points) / sizeof(points[0]);
+  std::size_t episodes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("outage at migration point " + std::to_string(i));
+    netsim::FaultPlan plan;
+    plan.outages.push_back({points[i], points[i] + sim_ms(500)});
+    const Outcome o = run(app, params, plan, true, kBeat);
+    EXPECT_EQ(o.checksum, expected);
+    EXPECT_FALSE(o.dead);
+    EXPECT_EQ(o.failures, 0u);
+    EXPECT_FALSE(o.disconnected_at_end);
+    // A boundary outage that only becomes observable late in the window can
+    // legitimately be ridden out by the retry envelope (transient, not
+    // sustained); every episode that did disconnect must end resumed.
+    if (o.disconnects > 0) {
+      EXPECT_TRUE(o.first_resumed);
+    }
+    episodes += o.disconnects;
+  }
+  // At most one of the boundary points may be absorbed as transient.
+  EXPECT_GE(episodes, n - 1);
+}
+
+TEST_P(DisconnectChaosTest, RepeatedFlapDisconnectsAndReconcilesEachLap) {
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+  const Outcome probe = run(app, params, netsim::FaultPlan{}, true, kBeat);
+  ASSERT_TRUE(probe.offloaded);
+
+  // Down 400 ms, up 1.5 s, repeating from just after the offload commits.
+  const netsim::FaultPlan plan = netsim::make_flap_plan(
+      probe.migration.commit_acked + 1, sim_ms(400), sim_ms(1500));
+  const Outcome o = run(app, params, plan, true, kBeat);
+  EXPECT_EQ(o.checksum, expected);
+  EXPECT_FALSE(o.dead);
+  EXPECT_EQ(o.failures, 0u);
+  EXPECT_GE(o.disconnects, 1u);
+  EXPECT_TRUE(o.first_resumed);
+  // Every disconnect lap that resumed did so through a completed reconcile.
+  EXPECT_GE(o.client.reconciles_completed, 1u);
+  EXPECT_GE(o.client.ops_journaled, o.client.reconcile_replayed_ops);
+}
+
+TEST(DisconnectDeterminismTest, SameFlapScheduleReproducesIdenticalRuns) {
+  const auto& app = apps::app_by_name("Dia");
+  const auto params = chaos_params();
+  const Outcome probe = run(app, params, netsim::FaultPlan{}, true, kBeat);
+  ASSERT_TRUE(probe.offloaded);
+  const netsim::FaultPlan plan = netsim::make_flap_plan(
+      probe.migration.commit_acked + 1, sim_ms(400), sim_ms(1500));
+  const Outcome a = run(app, params, plan, true, kBeat);
+  const Outcome b = run(app, params, plan, true, kBeat);
+  ASSERT_GE(a.disconnects, 1u);  // the schedule genuinely partitions
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.disconnects, b.disconnects);
+  EXPECT_EQ(a.reconcile_count, b.reconcile_count);
+  EXPECT_EQ(a.log_entries_left, b.log_entries_left);
+  EXPECT_TRUE(a.link == b.link);
+  EXPECT_TRUE(a.client == b.client);
+  EXPECT_TRUE(a.surrogate == b.surrogate);
+}
+
+class ReconcileCrashPointSweepTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReconcileCrashPointSweepTest, DeathAtEveryReconcileBoundary) {
+  // Exactly-once acceptance: the link dies for good at every boundary of the
+  // reconcile PREPARE/COMMIT exchange. Before the COMMIT lands the log must
+  // survive for a later retry; once it lands it must never replay again —
+  // and in every case the application, which finishes on the hoarded
+  // replicas, produces the standalone output byte-for-byte.
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+  const Outcome probe = run(app, params, netsim::FaultPlan{}, true, kBeat);
+  ASSERT_TRUE(probe.offloaded);
+
+  // Disconnect probe: one finite outage after the offload commits gives a
+  // clean disconnect -> journal -> reconcile -> resume episode whose trace
+  // anchors the kill points.
+  netsim::FaultPlan outage;
+  // Long enough disconnected that even the slowest-writing app journals at
+  // least one watched mutation before the link returns.
+  outage.outages.push_back({probe.migration.commit_acked + 1,
+                            probe.migration.commit_acked + 1 + sim_ms(1500)});
+  const Outcome dprobe = run(app, params, outage, true, kBeat);
+  ASSERT_EQ(dprobe.checksum, expected);
+  ASSERT_GE(dprobe.disconnects, 1u);
+  ASSERT_TRUE(dprobe.first_resumed);
+  ASSERT_GE(dprobe.reconcile_count, 1u);
+  const rpc::ReconcileTrace& t = dprobe.reconcile;
+  ASSERT_TRUE(t.committed);
+  ASSERT_TRUE(t.applied_on_peer);
+  ASSERT_GE(t.entries, 1u);
+  ASSERT_LT(t.begin, t.prepare_acked);
+  ASSERT_LT(t.prepare_acked, t.commit_acked);
+
+  enum class Expect { not_applied, applied_unacked, completed };
+  struct KillPoint {
+    const char* label;
+    SimTime at;
+    Expect expect;
+  };
+  const KillPoint points[] = {
+      {"PREPARE refused at send", t.begin, Expect::not_applied},
+      {"PREPARE in flight", t.begin + 1, Expect::not_applied},
+      {"mid-replay-transfer", t.begin + (t.prepare_acked - t.begin) / 2,
+       Expect::not_applied},
+      {"COMMIT refused at send", t.prepare_acked, Expect::not_applied},
+      {"COMMIT applied but unacked", t.prepare_acked + 1,
+       Expect::applied_unacked},
+      {"immediately after COMMIT ack", t.commit_acked, Expect::completed},
+      {"one tick after COMMIT ack", t.commit_acked + 1, Expect::completed},
+  };
+  // Smoke covers one point from each expectation bucket.
+  const std::size_t smoke_points[] = {0, 4, 6};
+  const std::size_t n_points =
+      g_smoke ? sizeof(smoke_points) / sizeof(smoke_points[0])
+              : sizeof(points) / sizeof(points[0]);
+
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const KillPoint& kp = points[g_smoke ? smoke_points[i] : i];
+    SCOPED_TRACE(kp.label);
+    netsim::FaultPlan plan = outage;
+    plan.dead_after = kp.at;  // permanent death after the partial reconcile
+    const Outcome o = run(app, params, plan, true, kBeat);
+    EXPECT_EQ(o.checksum, expected);
+    EXPECT_FALSE(o.dead);  // disconnected, never torn down
+    EXPECT_EQ(o.failures, 0u);
+    switch (kp.expect) {
+      case Expect::not_applied:
+        // Nothing landed on the surrogate: the log is retained for a retry
+        // that never comes, and the episode never resumes.
+        EXPECT_TRUE(o.disconnected_at_end);
+        EXPECT_FALSE(o.first_resumed);
+        EXPECT_GE(o.log_entries_left, 1u);
+        EXPECT_EQ(o.client.reconciles_completed, 0u);
+        if (o.reconcile_count > 0) {
+          EXPECT_FALSE(o.reconcile.applied_on_peer);
+          EXPECT_FALSE(o.reconcile.committed);
+        }
+        break;
+      case Expect::applied_unacked:
+        // The COMMIT executed but its ack died: the initiator proves the
+        // apply through the epoch fence, retires the log (it must never
+        // replay), and stays disconnected on the dead link.
+        EXPECT_TRUE(o.disconnected_at_end);
+        EXPECT_FALSE(o.first_resumed);
+        ASSERT_GE(o.reconcile_count, 1u);
+        EXPECT_TRUE(o.reconcile.applied_on_peer);
+        EXPECT_FALSE(o.reconcile.committed);
+        break;
+      case Expect::completed:
+        // The episode finished cleanly; the later death starts a second
+        // episode, which the client again survives on hoarded replicas.
+        EXPECT_TRUE(o.first_resumed);
+        ASSERT_GE(o.reconcile_count, 1u);
+        EXPECT_TRUE(o.reconcile.committed);
+        break;
+    }
+  }
+}
+
+TEST_P(ReconcileCrashPointSweepTest, ReconnectWindowLandingMidReconcile) {
+  // The fourth family: instead of dying for good at a reconcile boundary,
+  // the link blinks off for 300 ms right as the reconcile runs, then comes
+  // back. The platform must either have finished the exchange or retry it
+  // on a later probe — both ways the run ends resumed and byte-identical.
+  const auto& app = apps::app_by_name(GetParam());
+  const auto params = chaos_params();
+  const std::uint64_t expected = standalone_checksum(app, params);
+  const Outcome probe = run(app, params, netsim::FaultPlan{}, true, kBeat);
+  ASSERT_TRUE(probe.offloaded);
+  netsim::FaultPlan outage;
+  // Long enough disconnected that even the slowest-writing app journals at
+  // least one watched mutation before the link returns.
+  outage.outages.push_back({probe.migration.commit_acked + 1,
+                            probe.migration.commit_acked + 1 + sim_ms(1500)});
+  const Outcome dprobe = run(app, params, outage, true, kBeat);
+  ASSERT_GE(dprobe.reconcile_count, 1u);
+  const rpc::ReconcileTrace& t = dprobe.reconcile;
+
+  const SimTime points[] = {t.begin, t.prepare_acked, t.commit_acked};
+  const std::size_t n = g_smoke ? 1 : sizeof(points) / sizeof(points[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("second outage at reconcile point " + std::to_string(i));
+    netsim::FaultPlan plan = outage;
+    // 100 ms: long enough to sever whichever leg is in flight, short enough
+    // that the fastest-finishing app still outlives it — a blink the app
+    // ends inside would leave no later probe to retry on.
+    plan.outages.push_back({points[i], points[i] + sim_ms(100)});
+    const Outcome o = run(app, params, plan, true, kBeat);
+    EXPECT_EQ(o.checksum, expected);
+    EXPECT_FALSE(o.dead);
+    EXPECT_EQ(o.failures, 0u);
+    EXPECT_GE(o.disconnects, 1u);
+    EXPECT_TRUE(o.first_resumed);
+    EXPECT_FALSE(o.disconnected_at_end);
+    // However the exchange was cut, every retired log was applied once and
+    // a resumed run carries no leftover redo entries.
+    EXPECT_GE(o.client.reconciles_completed, 1u);
+    EXPECT_EQ(o.log_entries_left, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, DisconnectChaosTest, ::testing::ValuesIn(kApps));
+INSTANTIATE_TEST_SUITE_P(Apps, ReconcileCrashPointSweepTest,
+                         ::testing::ValuesIn(kApps));
 
 }  // namespace
 }  // namespace aide::chaos

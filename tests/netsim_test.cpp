@@ -402,5 +402,73 @@ TEST(LinkFaultTest, DefaultPlanIsInert) {
   EXPECT_TRUE(chaotic.enabled());
 }
 
+TEST(LinkFaultTest, PeriodicOutagePhaseEdgeIsAlwaysUpBeforeFirstDown) {
+  // The repeating schedule exists only from outage_phase onward: any instant
+  // before the first down-edge is up, however large the phase. The modulo
+  // arithmetic must never be evaluated for a negative offset — with a phase
+  // beyond every queried time, nothing may go down.
+  Link link;
+  FaultPlan plan;
+  plan.outage_phase = sim_sec(3600);
+  plan.outage_period = sim_ms(10);
+  plan.outage_duration = sim_ms(10);  // duration == period: down forever after
+  link.set_fault_plan(plan);
+  EXPECT_FALSE(link.is_down(0));
+  EXPECT_FALSE(link.is_down(sim_ms(5)));
+  EXPECT_FALSE(link.is_down(sim_sec(3600) - 1));
+  EXPECT_TRUE(link.is_down(sim_sec(3600)));  // the first down-edge itself
+  EXPECT_TRUE(link.is_down(sim_sec(7200)));
+}
+
+TEST(LinkFaultTest, PeriodicOutageComposesWithDeathWindow) {
+  // The flap schedule and the [dead_after, revive_at) death window OR
+  // together: down whenever either says down. Death does not pause or
+  // re-anchor the flap phase — after revival the flap picks up exactly where
+  // the wall clock says it should be, not where it left off.
+  Link link;
+  FaultPlan plan;
+  plan.outage_phase = sim_ms(2);
+  plan.outage_period = sim_ms(10);
+  plan.outage_duration = sim_ms(3);  // down [2,5), [12,15), [22,25), ...
+  plan.dead_after = sim_ms(13);
+  plan.revive_at = sim_ms(21);  // death spans parts of two flap periods
+  link.set_fault_plan(plan);
+  EXPECT_FALSE(link.is_down(sim_ms(1)));   // before everything
+  EXPECT_TRUE(link.is_down(sim_ms(3)));    // flap only
+  EXPECT_FALSE(link.is_down(sim_ms(8)));   // flap up, death not started
+  EXPECT_TRUE(link.is_down(sim_ms(12)));   // flap down (death also starts at 13)
+  EXPECT_TRUE(link.is_down(sim_ms(16)));   // flap up but dead
+  EXPECT_TRUE(link.is_down(sim_ms(20)));   // still dead
+  EXPECT_FALSE(link.is_down(sim_ms(21)));  // revived, flap up ([22,25) next)
+  EXPECT_TRUE(link.is_down(sim_ms(22)));   // flap phase unshifted by the death
+  EXPECT_FALSE(link.is_down(sim_ms(25)));
+}
+
+TEST(LinkFaultTest, MakeFlapPlanComposesSchedule) {
+  // make_flap_plan(first_down, down_for, up_for): down at
+  // [first_down + k*(down+up), first_down + k*(down+up) + down).
+  FaultPlan base;
+  base.drop_probability = 0.25;
+  base.drop_seed = 42;
+  const FaultPlan plan =
+      make_flap_plan(sim_ms(7), sim_ms(4), sim_ms(6), base);
+  EXPECT_EQ(plan.outage_phase, sim_ms(7));
+  EXPECT_EQ(plan.outage_duration, sim_ms(4));
+  EXPECT_EQ(plan.outage_period, sim_ms(10));
+  // The base plan's other faults ride along untouched.
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.25);
+  EXPECT_EQ(plan.drop_seed, 42u);
+
+  Link link;
+  link.set_fault_plan(plan);
+  for (int k = 0; k < 4; ++k) {
+    const SimTime down = sim_ms(7) + k * sim_ms(10);
+    EXPECT_FALSE(link.is_down(down - 1)) << k;
+    EXPECT_TRUE(link.is_down(down)) << k;
+    EXPECT_TRUE(link.is_down(down + sim_ms(4) - 1)) << k;
+    EXPECT_FALSE(link.is_down(down + sim_ms(4))) << k;
+  }
+}
+
 }  // namespace
 }  // namespace aide::netsim
