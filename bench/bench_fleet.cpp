@@ -18,14 +18,24 @@
 //     of total emulated time — the capacity story the ROADMAP's k-way fleet
 //     item starts from.
 //
+// The surrogate *pool* rides on both layers: emul-side, FleetConfig
+// pool_size gives the fleet k busy windows with deterministic
+// earliest-free placement; platform-side, SurrogatePool routes admission
+// across k servers and re-places sessions on surrogate death.
+//
 // `--smoke` runs the acceptance gates only and writes nothing (CI):
 //   1. per-session service time at N=64 within 1.5x of N=1 (the shared
 //      server adds no per-session cost);
-//   2. zero steady-state allocations in the session dispatch path;
+//   2. zero steady-state allocations in the session dispatch path —
+//      including the pool front door;
 //   3. an N=4 emulated fleet is byte-deterministic across repeats, and a
-//      1-session fleet equals the plain single-session emulator exactly.
-// Full runs additionally sweep N in {1, 8, 64, 256} on both layers and
-// write BENCH_fleet.json.
+//      1-session fleet equals the plain single-session emulator exactly;
+//   4. pool scaling on the saturating N=256 fleet: sessions/sec at k=4 is
+//      >= 2.5x k=1 and queue share at k=8 falls below 60%;
+//   5. pooled fleet runs and surrogate-death re-placement schedules are
+//      byte-deterministic (repeat-run digests).
+// Full runs additionally sweep N in {1, 8, 64, 256} on both layers plus
+// pool sizes k in {1, 2, 4, 8} at N=256, and write BENCH_fleet.json.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +48,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "emul/fleet.hpp"
+#include "platform/surrogate_pool.hpp"
 #include "platform/surrogate_server.hpp"
 #include "vm/klass.hpp"
 #include "vm/vm.hpp"
@@ -140,6 +151,13 @@ ServerRun run_server_fleet(std::size_t n) {
     Script& sc = scripts[s.id().value()];
     vm::Vm& client = s.client();
     SimClock& clock = server.clock();
+    // Batched ops don't advance the clock at issue time — measuring
+    // issue-to-issue would record an exact 0 for most samples (the old
+    // p50=0 artifact). An op completes when the wire sees it: immediately
+    // for synchronous ops, at the turn's flush for deferred ones; each
+    // sample is its op's full queue+service delta.
+    SimTime issued_at[kOpsPerTurn];
+    std::uint32_t deferred = 0;
     for (std::uint32_t op = 0; op < kOpsPerTurn; ++op) {
       const SimTime t0 = clock.now();
       const vm::ObjectRef obj =
@@ -157,9 +175,18 @@ ServerRun run_server_fleet(std::size_t n) {
         }
       }
       s.charge_ops(1);
-      op_lat.push_back(clock.now() - t0);
+      const SimTime t1 = clock.now();
+      if (t1 > t0) {
+        op_lat.push_back(t1 - t0);
+      } else {
+        issued_at[deferred++] = t0;
+      }
     }
     s.client_endpoint().flush_pending();
+    const SimTime flushed = clock.now();
+    for (std::uint32_t i = 0; i < deferred; ++i) {
+      op_lat.push_back(flushed - issued_at[i]);
+    }
     s.driver_state += 1;
     // Always yield: run_rounds bounds the run, and keeping sessions live
     // lets the stats sweep below read them after the last round.
@@ -270,6 +297,169 @@ EmulRun run_emul_fleet(const bench::RecordedApp& app, std::size_t n) {
   return out;
 }
 
+// --- surrogate pool ----------------------------------------------------------
+
+constexpr std::size_t kPoolSizes[] = {1, 2, 4, 8};
+constexpr std::size_t kPoolFleetN = 256;  // the saturating fleet size
+// The pool sweep models fleet members as multi-context surrogate boxes
+// (desktop-class: cores + async NIC retire concurrent sessions' charges in
+// parallel), held constant across k so the sweep isolates pool-size scaling.
+// The single-context k=1 legacy window stays in the emul_fleet table above.
+constexpr std::size_t kPoolConcurrency = 16;
+
+struct PoolRun {
+  std::size_t k = 0;
+  std::size_t n = 0;
+  double makespan_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double agg_ops_per_sec = 0.0;
+  double queue_share = 0.0;
+  double busy_balance = 1.0;  // busiest member / mean member occupancy
+  std::uint64_t remote_ops = 0;
+  std::uint64_t placements = 0;
+};
+
+PoolRun summarize_pool_run(const emul::FleetResult& r, std::size_t n,
+                           std::size_t k) {
+  PoolRun out;
+  out.k = k;
+  out.n = n;
+  out.makespan_s = sim_to_seconds(r.makespan);
+  out.sessions_per_sec =
+      out.makespan_s > 0 ? static_cast<double>(n) / out.makespan_s : 0.0;
+  out.agg_ops_per_sec =
+      out.makespan_s > 0
+          ? static_cast<double>(r.total_remote_ops) / out.makespan_s
+          : 0.0;
+  SimDuration queued = 0, emulated = 0;
+  for (const auto& s : r.sessions) {
+    queued += s.queue_time;
+    emulated += s.emulated_time;
+  }
+  out.queue_share = emulated > 0 ? static_cast<double>(queued) /
+                                       static_cast<double>(emulated)
+                                 : 0.0;
+  SimDuration busy_max = 0, busy_sum = 0;
+  for (const SimDuration b : r.surrogate_busy_each) {
+    busy_max = b > busy_max ? b : busy_max;
+    busy_sum += b;
+  }
+  out.busy_balance =
+      busy_sum > 0 ? static_cast<double>(busy_max) * static_cast<double>(k) /
+                         static_cast<double>(busy_sum)
+                   : 1.0;
+  out.remote_ops = r.total_remote_ops;
+  out.placements = r.placements.size();
+  return out;
+}
+
+emul::FleetResult run_pool_fleet_raw(const bench::RecordedApp& app,
+                                     std::size_t n, std::size_t k) {
+  emul::FleetConfig cfg = fleet_config();
+  cfg.pool_size = k;
+  cfg.surrogate_concurrency = kPoolConcurrency;
+  emul::FleetEmulator fleet(app.registry, cfg);
+  return fleet.run(app.trace, n);
+}
+
+// Everything observable about a fleet run folded into one word: per-session
+// times, every op latency, the (session, part) -> member placement schedule
+// and per-member occupancy. Two runs of the same config must agree exactly.
+std::uint64_t fleet_digest(const emul::FleetResult& r) {
+  std::uint64_t h = 0x5EEDF1EE7ULL;
+  for (const auto& s : r.sessions) {
+    h = mix(h, static_cast<std::uint64_t>(s.emulated_time));
+    h = mix(h, static_cast<std::uint64_t>(s.queue_time));
+  }
+  for (const SimDuration d : r.op_latencies) {
+    h = mix(h, static_cast<std::uint64_t>(d));
+  }
+  for (const auto& p : r.placements) {
+    h = mix(h, p.session);
+    h = mix(h, p.part);
+    h = mix(h, p.surrogate);
+    h = mix(h, static_cast<std::uint64_t>(p.at));
+  }
+  for (const SimDuration b : r.surrogate_busy_each) {
+    h = mix(h, static_cast<std::uint64_t>(b));
+  }
+  return h;
+}
+
+// Platform-layer pool: heterogeneous members, policy-routed admission, a
+// surrogate death mid-run. The digest covers the placement map, the
+// re-placement schedule and the aggregate counters; two runs must agree
+// bit-for-bit (the fleet determinism story includes failover).
+std::uint64_t pool_failover_digest() {
+  platform::PoolConfig pc;
+  pc.members.resize(4);
+  for (std::size_t i = 0; i < pc.members.size(); ++i) {
+    platform::ServerConfig& m = pc.members[i];
+    m.max_sessions = 8;
+    m.static_analysis = false;
+    m.effect_verify = false;
+    m.surrogate_speedup = 2.0 + 0.5 * static_cast<double>(i);
+  }
+  platform::SurrogatePool pool(rec_registry(), pc);
+  constexpr std::uint32_t kSessions = 12;
+  for (std::uint32_t i = 0; i < kSessions; ++i) (void)pool.open_session();
+
+  const platform::SurrogateServer::TurnFn turn =
+      [](platform::Session& s) {
+        s.charge_ops(1);
+        s.driver_state += 1;
+        return platform::TurnOutcome::yielded;
+      };
+  pool.run_rounds(4, turn);
+
+  std::uint64_t h = 0xF007BA11ULL;
+  for (std::uint32_t i = 0; i < kSessions; ++i) {
+    h = mix(h, pool.member_of(SessionId{i}));
+  }
+  const std::size_t victim = pool.member_of(SessionId{0});
+  for (const platform::Replacement& r : pool.kill_surrogate(victim)) {
+    h = mix(h, r.old_id.value());
+    h = mix(h, r.new_id.value());
+    h = mix(h, r.from);
+    h = mix(h, r.to);
+  }
+  pool.run_rounds(4, turn);
+  const platform::ServerStats agg = pool.aggregate_server_stats();
+  h = mix(h, agg.sessions_opened);
+  h = mix(h, agg.sessions_closed);
+  h = mix(h, agg.turns);
+  h = mix(h, agg.rounds);
+  h = mix(h, pool.stats().replacements);
+  h = mix(h, static_cast<std::uint64_t>(pool.clock().now()));
+  return h;
+}
+
+// Pool front-door analogue of measure_dispatch_allocs: routing turns through
+// k members must stay allocation-free once the session tables are warm.
+std::uint64_t measure_pool_dispatch_allocs(std::size_t k, std::size_t n,
+                                           std::size_t rounds) {
+  platform::PoolConfig pc;
+  pc.members.resize(k);
+  for (platform::ServerConfig& m : pc.members) {
+    m.max_sessions = n;
+    m.static_analysis = false;
+    m.effect_verify = false;
+  }
+  platform::SurrogatePool pool(rec_registry(), pc);
+  for (std::size_t i = 0; i < n; ++i) (void)pool.open_session();
+
+  const platform::SurrogateServer::TurnFn turn =
+      [](platform::Session& s) {
+        s.charge_ops(1);
+        s.driver_state += 1;
+        return platform::TurnOutcome::yielded;
+      };
+  pool.run_rounds(2, turn);  // warmup
+  const std::uint64_t before = g_alloc_count;
+  pool.run_rounds(rounds, turn);
+  return g_alloc_count - before;
+}
+
 void print_server_run(const ServerRun& r) {
   std::printf(
       "  server N=%-4zu %8.1f sessions/s  %10.0f ops/s  fairness %5.3f  "
@@ -286,6 +476,14 @@ void print_emul_run(const EmulRun& r) {
       r.n, r.sessions_per_sec, r.agg_ops_per_sec, r.fairness,
       r.op_latency.p50_ns, r.op_latency.p95_ns, r.op_latency.p99_ns,
       r.queue_share * 100.0);
+}
+
+void print_pool_run(const PoolRun& r) {
+  std::printf(
+      "  pool   k=%-2zu N=%-4zu %8.1f sessions/s  %10.0f ops/s  "
+      "queue share %5.1f%%  busy balance %5.3f\n",
+      r.k, r.n, r.sessions_per_sec, r.agg_ops_per_sec, r.queue_share * 100.0,
+      r.busy_balance);
 }
 
 apps::AppParams fleet_app_params() {
@@ -354,7 +552,50 @@ int main(int argc, char** argv) {
               "%s\n",
               deterministic ? "yes" : "NO", parity ? "yes" : "NO");
 
-  const bool gates_ok = overhead_ok && alloc_ok && deterministic && parity;
+  // --- pool gates -------------------------------------------------------------
+  // The saturating Tracer fleet (N=256, queue share ~99%) is where the
+  // single surrogate dies; the pool has to buy the throughput back.
+  const emul::FleetResult pr1 = run_pool_fleet_raw(app, kPoolFleetN, 1);
+  const emul::FleetResult pr4 = run_pool_fleet_raw(app, kPoolFleetN, 4);
+  const emul::FleetResult pr8 = run_pool_fleet_raw(app, kPoolFleetN, 8);
+  const PoolRun pool_k1 = summarize_pool_run(pr1, kPoolFleetN, 1);
+  const PoolRun pool_k4 = summarize_pool_run(pr4, kPoolFleetN, 4);
+  const PoolRun pool_k8 = summarize_pool_run(pr8, kPoolFleetN, 8);
+  const double pool_speedup =
+      pool_k1.sessions_per_sec > 0
+          ? pool_k4.sessions_per_sec / pool_k1.sessions_per_sec
+          : 0.0;
+  const bool pool_scaling_ok = pool_speedup >= 2.5;
+  const bool pool_queue_ok = pool_k8.queue_share < 0.6;
+  const bool pool_fleet_deterministic =
+      fleet_digest(run_pool_fleet_raw(app, 8, 4)) ==
+      fleet_digest(run_pool_fleet_raw(app, 8, 4));
+  const bool pool_failover_deterministic =
+      pool_failover_digest() == pool_failover_digest();
+  const std::uint64_t pool_allocs = measure_pool_dispatch_allocs(4, 64, 64);
+  const bool pool_alloc_ok = pool_allocs == 0;
+
+  std::printf(
+      "  gate: pool N=%zu sessions/s k=4 %.1f vs k=1 %.1f  (%.2fx %s 2.5x)\n",
+      kPoolFleetN, pool_k4.sessions_per_sec, pool_k1.sessions_per_sec,
+      pool_speedup, pool_scaling_ok ? ">=" : "BELOW");
+  std::printf("  gate: pool N=%zu queue share k=8 %.1f%% %s 60%%\n",
+              kPoolFleetN, pool_k8.queue_share * 100.0,
+              pool_queue_ok ? "<" : "EXCEEDS");
+  std::printf("  gate: pool fleet digest deterministic: %s   "
+              "failover schedule deterministic: %s\n",
+              pool_fleet_deterministic ? "yes" : "NO",
+              pool_failover_deterministic ? "yes" : "NO");
+  std::printf("  gate: pool dispatch allocations over 64 rounds x 64 "
+              "sessions x 4 members: %llu %s\n",
+              static_cast<unsigned long long>(pool_allocs),
+              pool_alloc_ok ? "(zero OK)" : "(GATE FAILED)");
+
+  const bool pool_ok = pool_scaling_ok && pool_queue_ok &&
+                       pool_fleet_deterministic &&
+                       pool_failover_deterministic && pool_alloc_ok;
+  const bool gates_ok =
+      overhead_ok && alloc_ok && deterministic && parity && pool_ok;
 
   if (smoke) {
     std::printf("  %s\n", gates_ok ? "OK" : "FAILED");
@@ -375,6 +616,17 @@ int main(int argc, char** argv) {
   for (const std::size_t n : kFleetSizes) {
     emul_runs.push_back(run_emul_fleet(app, n));
     print_emul_run(emul_runs.back());
+  }
+  std::printf("\n");
+  std::vector<PoolRun> pool_runs;
+  for (const std::size_t k : kPoolSizes) {
+    pool_runs.push_back(
+        k == 1   ? pool_k1
+        : k == 4 ? pool_k4
+        : k == 8 ? pool_k8
+                 : summarize_pool_run(run_pool_fleet_raw(app, kPoolFleetN, k),
+                                      kPoolFleetN, k));
+    print_pool_run(pool_runs.back());
   }
 
   std::ofstream json("BENCH_fleet.json");
@@ -410,9 +662,35 @@ int main(int argc, char** argv) {
          << ", \"op_latency\": " << bench::latency_json(r.op_latency) << "}"
          << (i + 1 < emul_runs.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
-  std::printf("\n  wrote BENCH_fleet.json (%zu fleet sizes, 2 layers)\n",
-              server_runs.size());
+  json << "  ],\n  \"pool\": {\n    \"gate\": {\"n\": " << kPoolFleetN
+       << ", \"speedup_k4_vs_k1\": " << pool_speedup
+       << ", \"speedup_floor\": 2.5"
+       << ", \"queue_share_k8\": " << pool_k8.queue_share
+       << ", \"queue_share_limit\": 0.6"
+       << ", \"dispatch_allocs\": " << pool_allocs
+       << ", \"fleet_deterministic\": "
+       << (pool_fleet_deterministic ? "true" : "false")
+       << ", \"failover_deterministic\": "
+       << (pool_failover_deterministic ? "true" : "false")
+       << ", \"gate_ok\": " << (pool_ok ? "true" : "false") << "},\n";
+  json << "    \"sweep\": [\n";
+  for (std::size_t i = 0; i < pool_runs.size(); ++i) {
+    const PoolRun& r = pool_runs[i];
+    json << "      {\"k\": " << r.k << ", \"n\": " << r.n
+         << ", \"workload\": \"Tracer\""
+         << ", \"makespan_s\": " << r.makespan_s
+         << ", \"sessions_per_sec\": " << r.sessions_per_sec
+         << ", \"agg_remote_ops_per_sec\": " << r.agg_ops_per_sec
+         << ", \"queue_share\": " << r.queue_share
+         << ", \"busy_balance\": " << r.busy_balance
+         << ", \"remote_ops\": " << r.remote_ops
+         << ", \"placements\": " << r.placements << "}"
+         << (i + 1 < pool_runs.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }\n}\n";
+  std::printf("\n  wrote BENCH_fleet.json (%zu fleet sizes, %zu pool sizes, "
+              "2 layers)\n",
+              server_runs.size(), pool_runs.size());
 
   std::printf("  %s\n", gates_ok ? "OK" : "FAILED");
   return gates_ok ? 0 : 1;

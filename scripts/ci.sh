@@ -52,7 +52,10 @@ step "disconnect smoke (hoard/journal/reconcile under mid-run outages)"
 step "fleet suite (ctest -L fleet: session isolation, admission, scheduling)"
 ctest --test-dir build-ci --output-on-failure -L fleet -j "$JOBS"
 
-step "fleet smoke (multi-session overhead + zero-alloc dispatch gates)"
+step "pool suite (ctest -L pool: k-way differential, placement, failover)"
+ctest --test-dir build-ci --output-on-failure -L pool -j "$JOBS"
+
+step "fleet smoke (multi-session overhead, zero-alloc dispatch + pool gates)"
 ./build-ci/bench/bench_fleet --smoke
 
 if [[ "${AIDE_CI_SKIP_TIDY:-0}" != 1 ]] && command -v clang-tidy >/dev/null; then

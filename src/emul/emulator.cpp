@@ -1,6 +1,7 @@
 #include "emul/emulator.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/log.hpp"
 
@@ -19,9 +20,11 @@ SimDuration Emulator::rpc_cost(std::uint64_t bytes) const {
   return netsim::estimate_rpc_cost(config_.link, bytes);
 }
 
-void Emulator::charge_service(SimDuration service, ServiceKind kind) {
+void Emulator::charge_service(SimDuration service, ServiceKind kind,
+                              std::size_t part) {
   if (service_ == nullptr || service <= 0) return;
-  result_.queue_time += service_->acquire(current_time(), service, kind);
+  result_.queue_time +=
+      service_->acquire(current_time(), service, kind, part);
 }
 
 void Emulator::try_offload(SimTime at, EmulationResult& result) {
@@ -73,6 +76,7 @@ void Emulator::try_offload(SimTime at, EmulationResult& result) {
   req.history_duration = std::max<SimDuration>(at, 1);
   req.weight = config_.weight;
   req.charge_migration = config_.charge_migration;
+  req.k = std::max<std::size_t>(config_.surrogate_parts, 1);
 
   const auto decision =
       partition::decide_partitioning(monitor_->graph(), req);
@@ -81,27 +85,49 @@ void Emulator::try_offload(SimTime at, EmulationResult& result) {
     return;
   }
 
+  // Destination part (1-based placement value) for each selected key:
+  // parts from the k-way split when present, else everything on part 1
+  // (the single-surrogate path, byte-identical to the pre-pool emulator).
+  const auto target_part = [&](const graph::ComponentKey& key) -> int {
+    if (!decision.selected.offload.contains(key)) return 0;
+    for (std::size_t p = 0; p < decision.parts.size(); ++p) {
+      if (decision.parts[p].contains(key)) return static_cast<int>(p) + 1;
+    }
+    return 1;
+  };
+
   // Apply the new placement; charge migration for every component that
   // changes side (repeated repartitioning may also pull components back).
+  // With parts, each surrogate's batch ships separately and occupies only
+  // that surrogate; the parts-free path keeps the original single batch.
   std::uint64_t moved_bytes = 0;
+  std::map<std::size_t, std::uint64_t> moved_by_part;
   for (const auto& [key, info] : monitor_->graph().nodes()) {
-    const bool should_offload = decision.selected.offload.contains(key);
+    const int want = target_part(key);
     const int current = placement_of(key);
-    if (should_offload && current == 0) {
-      moved_bytes += static_cast<std::uint64_t>(
-          std::max<std::int64_t>(info.mem_bytes, 0));
-      placement_[key] = 1;
-    } else if (!should_offload && current == 1) {
-      moved_bytes += static_cast<std::uint64_t>(
-          std::max<std::int64_t>(info.mem_bytes, 0));
-      placement_[key] = 0;
-    }
+    if (want == current) continue;
+    const auto bytes = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(info.mem_bytes, 0));
+    moved_bytes += bytes;
+    // The surrogate end of the move: the destination when offloading (or
+    // re-balancing between parts), the source when returning to the client.
+    const int surrogate_end = want != 0 ? want : current;
+    moved_by_part[static_cast<std::size_t>(surrogate_end - 1)] += bytes;
+    placement_[key] = want;
   }
 
   if (config_.charge_migration) {
-    const SimDuration cost = rpc_cost(moved_bytes);
-    charge_service(cost, ServiceKind::migration);
-    result.migration_time += cost;
+    if (decision.parts.empty()) {
+      const SimDuration cost = rpc_cost(moved_bytes);
+      charge_service(cost, ServiceKind::migration);
+      result.migration_time += cost;
+    } else {
+      for (const auto& [part, bytes] : moved_by_part) {
+        const SimDuration cost = rpc_cost(bytes);
+        charge_service(cost, ServiceKind::migration, part);
+        result.migration_time += cost;
+      }
+    }
   }
 
   OffloadSnapshot snap;
@@ -166,14 +192,18 @@ void Emulator::replay_event(const TraceEvent& e) {
       monitor_->on_method_exit(kEmulatedClient, e.cls_a, e.obj_a, e.method,
                                e.bytes, e.t);
       const auto comp = monitor_->component_of(e.cls_a, e.obj_a);
-      const bool on_surrogate = placement_of(comp) == 1;
+      const int p = placement_of(comp);
+      const bool on_surrogate = p >= 1;
       const double speed = on_surrogate ? config_.surrogate_speedup : 1.0;
       const auto scaled =
           static_cast<SimDuration>(static_cast<double>(e.bytes) / speed);
       compute_raw_ += e.bytes;
       compute_scaled_ += scaled;
-      // Surrogate-placed self-time occupies the shared surrogate CPU.
-      if (on_surrogate) charge_service(scaled, ServiceKind::compute);
+      // Surrogate-placed self-time occupies that part's surrogate CPU.
+      if (on_surrogate) {
+        charge_service(scaled, ServiceKind::compute,
+                       static_cast<std::size_t>(p - 1));
+      }
       break;
     }
 
@@ -205,7 +235,11 @@ void Emulator::replay_event(const TraceEvent& e) {
         result_.remote_bytes += static_cast<std::uint64_t>(e.bytes);
         const SimDuration cost =
             rpc_cost(static_cast<std::uint64_t>(e.bytes));
-        charge_service(cost, ServiceKind::remote_op);
+        // The surrogate end executes the op: the callee's part, or the
+        // caller's when the callee is the client.
+        const int sp = to_p >= 1 ? to_p : from_p;
+        charge_service(cost, ServiceKind::remote_op,
+                       static_cast<std::size_t>(sp - 1));
         result_.comm_time += cost;
       }
 
@@ -242,7 +276,9 @@ void Emulator::replay_event(const TraceEvent& e) {
         result_.remote_bytes += static_cast<std::uint64_t>(e.bytes);
         const SimDuration cost =
             rpc_cost(static_cast<std::uint64_t>(e.bytes));
-        charge_service(cost, ServiceKind::remote_op);
+        const int sp = to_p >= 1 ? to_p : from_p;
+        charge_service(cost, ServiceKind::remote_op,
+                       static_cast<std::size_t>(sp - 1));
         result_.comm_time += cost;
       }
 
@@ -266,7 +302,7 @@ void Emulator::replay_event(const TraceEvent& e) {
       // offloaded to the surrogate.
       std::int64_t offloaded = 0;
       for (const auto& [key, p] : placement_) {
-        if (p != 1) continue;
+        if (p == 0) continue;
         if (const auto* node = monitor_->graph().find_node(key)) {
           offloaded += std::max<std::int64_t>(node->mem_bytes, 0);
         }

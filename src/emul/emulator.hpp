@@ -91,6 +91,13 @@ struct EmulatorConfig {
   // non-empty, the trigger offloads exactly the named classes instead of
   // consulting the partitioning policy.
   std::vector<std::string> manual_offload_classes;
+
+  // Number of surrogates one session's offload set may span: the partition
+  // request runs with k = surrogate_parts and the selected set is split
+  // across parts 1..k (placement value p means surrogate part p; 0 stays
+  // the client). 1 is the single-surrogate pipeline, byte-identical to the
+  // pre-pool emulator.
+  std::size_t surrogate_parts = 1;
 };
 
 struct OffloadSnapshot {
@@ -115,11 +122,12 @@ enum class ServiceKind : std::uint8_t {
 class SurrogateService {
  public:
   virtual ~SurrogateService() = default;
-  // Occupies the surrogate for `service` virtual ns beginning no earlier
-  // than the session-local time `now`; returns the queueing delay (0 when
-  // the surrogate is idle at `now`).
+  // Occupies the surrogate serving this session's part `part` (0-based; a
+  // session with surrogate_parts == 1 always passes 0) for `service`
+  // virtual ns beginning no earlier than the session-local time `now`;
+  // returns the queueing delay (0 when that surrogate is idle at `now`).
   virtual SimDuration acquire(SimTime now, SimDuration service,
-                              ServiceKind kind) = 0;
+                              ServiceKind kind, std::size_t part) = 0;
 };
 
 struct EmulationResult {
@@ -213,9 +221,10 @@ class Emulator {
   [[nodiscard]] SimDuration rpc_cost(std::uint64_t bytes) const;
   void try_offload(SimTime at, EmulationResult& result);
   void replay_event(const TraceEvent& e);
-  // Serializes `service` on the shared surrogate (when one is installed) and
-  // accumulates the wait into queue_time.
-  void charge_service(SimDuration service, ServiceKind kind);
+  // Serializes `service` on the shared surrogate serving part `part` (when
+  // one is installed) and accumulates the wait into queue_time.
+  void charge_service(SimDuration service, ServiceKind kind,
+                      std::size_t part = 0);
 
   std::shared_ptr<const vm::ClassRegistry> registry_;
   EmulatorConfig config_;

@@ -2,32 +2,47 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <utility>
 
 namespace aide::emul {
 
 namespace {
 
-// The shared surrogate's single busy-until window. Sessions acquire it in
-// the order the fleet scheduler replays their ops (min-virtual-time-first,
-// so acquisition order is the deterministic merge order of the timelines).
-// A session never queues behind its own previous acquisition: its occupancy
-// is already serialized into its virtual clock, so only a *neighbor's*
-// occupancy can push it out.
+// The shared pool's busy-until windows: pool_size members, each with
+// surrogate_concurrency hardware contexts. Sessions acquire in the order the
+// fleet scheduler replays their ops (min-virtual-time-first, so acquisition
+// order is the deterministic merge order of the timelines). A session never
+// queues behind its own previous acquisition on the same context: its
+// occupancy is already serialized into its virtual clock, so only a
+// *neighbor's* occupancy can push it out. Each (session, part) pair binds to
+// a pool member at its first acquire — the member free earliest, ties to the
+// lowest index — and keeps it; within the member, every charge books the
+// earliest-free context. With pool_size == 1 and concurrency == 1 everything
+// lands on one context and the arithmetic is the pre-pool single window.
 class BusySurrogate final : public SurrogateService {
  public:
-  explicit BusySurrogate(FleetResult& out) : out_(out) {}
+  BusySurrogate(FleetResult& out, std::size_t pool_size,
+                std::size_t concurrency)
+      : out_(out),
+        members_(std::max<std::size_t>(pool_size, 1),
+                 Member(std::max<std::size_t>(concurrency, 1))) {}
 
   void set_active(std::size_t session) noexcept { active_ = session; }
 
-  SimDuration acquire(SimTime now, SimDuration service,
-                      ServiceKind kind) override {
+  SimDuration acquire(SimTime now, SimDuration service, ServiceKind kind,
+                      std::size_t part) override {
+    const Binding b = binding_of(active_, part, now);
+    Member& m = members_[b.member];
+    Context& c = m.contexts[b.context];
     SimTime start = now;
-    if (last_session_ != active_ && busy_until_ > now) {
-      start = busy_until_;
+    if (c.last_session != active_ && c.busy_until > now) {
+      start = c.busy_until;
     }
     const SimDuration delay = start - now;
-    busy_until_ = std::max(busy_until_, start + service);
-    last_session_ = active_;
+    c.busy_until = std::max(c.busy_until, start + service);
+    c.last_session = active_;
+    m.busy += service;
     out_.surrogate_busy += service;
     if (kind == ServiceKind::remote_op) {
       out_.total_remote_ops += 1;
@@ -36,11 +51,64 @@ class BusySurrogate final : public SurrogateService {
     return delay;
   }
 
+  void fold_into(FleetResult& out) const {
+    out.surrogate_busy_each.reserve(members_.size());
+    for (const Member& m : members_) out.surrogate_busy_each.push_back(m.busy);
+  }
+
  private:
+  struct Context {
+    SimTime busy_until = 0;
+    std::size_t last_session = std::numeric_limits<std::size_t>::max();
+  };
+
+  struct Member {
+    explicit Member(std::size_t concurrency) : contexts(concurrency) {}
+
+    [[nodiscard]] std::size_t earliest_free() const noexcept {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < contexts.size(); ++i) {
+        if (contexts[i].busy_until < contexts[best].busy_until) best = i;
+      }
+      return best;
+    }
+    [[nodiscard]] SimTime free_at() const noexcept {
+      return contexts[earliest_free()].busy_until;
+    }
+
+    std::vector<Context> contexts;
+    SimDuration busy = 0;
+  };
+
+  struct Binding {
+    std::size_t member = 0;
+    std::size_t context = 0;
+  };
+
+  // A (session, part) pair's surrogate half is *hosted*: its first acquire
+  // picks the member whose earliest context frees first, then the
+  // earliest-free context on it (ties to the lowest index both times), and
+  // every later charge lands on that same context — a serial stream cannot
+  // use two contexts at once. The schedule is a pure function of the
+  // acquire sequence.
+  Binding binding_of(std::size_t session, std::size_t part, SimTime now) {
+    const auto key = std::make_pair(session, part);
+    const auto it = binding_.find(key);
+    if (it != binding_.end()) return it->second;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      if (members_[i].free_at() < members_[best].free_at()) best = i;
+    }
+    const Binding b{best, members_[best].earliest_free()};
+    binding_.emplace(key, b);
+    out_.placements.push_back(FleetPlacement{session, part, best, now});
+    return b;
+  }
+
   FleetResult& out_;
-  SimTime busy_until_ = 0;
+  std::vector<Member> members_;
+  std::map<std::pair<std::size_t, std::size_t>, Binding> binding_;
   std::size_t active_ = std::numeric_limits<std::size_t>::max();
-  std::size_t last_session_ = std::numeric_limits<std::size_t>::max();
 };
 
 }  // namespace
@@ -55,7 +123,8 @@ FleetResult FleetEmulator::run(std::span<const Trace* const> traces) {
   out.sessions.reserve(n);
   if (n == 0) return out;
 
-  BusySurrogate surrogate(out);
+  BusySurrogate surrogate(out, config_.pool_size,
+                          config_.surrogate_concurrency);
 
   std::vector<std::unique_ptr<Emulator>> sessions;
   sessions.reserve(n);
@@ -91,6 +160,7 @@ FleetResult FleetEmulator::run(std::span<const Trace* const> traces) {
     out.sessions.push_back(sessions[i]->finish());
     out.makespan = std::max(out.makespan, out.sessions.back().emulated_time);
   }
+  surrogate.fold_into(out);
   return out;
 }
 

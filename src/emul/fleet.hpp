@@ -33,6 +33,28 @@ struct FleetConfig {
   // When false, sessions get dedicated surrogates (no queueing; queue_time
   // stays 0 for everyone) — the "infinite surrogates" baseline.
   bool shared_surrogate = true;
+  // Number of surrogates the shared pool holds. Each (session, part) pair
+  // binds to one pool member at its first acquire — the member whose busy
+  // window frees earliest, ties to the lowest index — and keeps it for the
+  // run. 1 is the single shared surrogate, byte-identical to the pre-pool
+  // fleet.
+  std::size_t pool_size = 1;
+  // Hardware contexts per pool member. Each charge books the member context
+  // that frees earliest (ties to the lowest context index), so a member
+  // retires up to `surrogate_concurrency` sessions' charges in parallel;
+  // the charging session's own timeline still pays its full service. 1 is
+  // the legacy single-context surrogate, byte-identical to the pre-pool
+  // fleet.
+  std::size_t surrogate_concurrency = 1;
+};
+
+// One lazy (session, part) -> pool member binding, in binding order — the
+// fleet's placement schedule, part of the determinism digest.
+struct FleetPlacement {
+  std::size_t session = 0;
+  std::size_t part = 0;
+  std::size_t surrogate = 0;
+  SimTime at = 0;  // session-local virtual time of the first acquire
 };
 
 struct FleetResult {
@@ -44,8 +66,11 @@ struct FleetResult {
   // Longest per-session emulated time — the fleet's completion proxy on the
   // shared virtual-time axis.
   SimDuration makespan = 0;
-  // Total virtual time the shared surrogate was occupied, by any session.
+  // Total virtual time the pool was occupied, summed over members.
   SimDuration surrogate_busy = 0;
+  // Per-member occupancy (size pool_size) and the placement schedule.
+  std::vector<SimDuration> surrogate_busy_each;
+  std::vector<FleetPlacement> placements;
   std::uint64_t total_remote_ops = 0;
   std::uint64_t turns = 0;
 

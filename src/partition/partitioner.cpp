@@ -188,6 +188,44 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
   decision.predicted_original_time = static_cast<SimDuration>(
       sim_to_seconds(total_self) / req.client_speed * 1e9);
 
+  // Post-reconcile gravity: map each cut-graph node to the bytes of
+  // disconnected-era rebuilt state it stands for (folded members included
+  // when hints contracted the graph). Candidates containing gravity bytes
+  // get a per-byte credit against their cut cost so the rebuilt working
+  // tree wins over a cheaper-to-cut sliver. Empty map = zero bias and the
+  // exact pre-existing selection arithmetic.
+  // std::map keys the sums in component order so the floating-point
+  // accumulation below is independent of hash/bucket layout.
+  std::map<graph::ComponentKey, double> gravity_bytes;
+  if (req.reoffload_gravity != nullptr && !req.reoffload_gravity->empty() &&
+      req.gravity_credit_per_byte > 0.0) {
+    for (graph::ExecGraph::NodeIndex i = 0; i < graph.node_count(); ++i) {
+      const graph::ComponentKey& key = graph.key_of(i);
+      if (req.reoffload_gravity->count(key) == 0) continue;
+      gravity_bytes[key] +=
+          static_cast<double>(graph.node_at(i).mem_bytes);
+    }
+    if (decision.hints_applied && !gravity_bytes.empty()) {
+      std::map<graph::ComponentKey, double> folded;
+      for (const auto& [rep, members] : contracted.members) {
+        double sum = 0.0;
+        for (const auto& member : members) {
+          const auto it = gravity_bytes.find(member);
+          if (it != gravity_bytes.end()) sum += it->second;
+        }
+        if (sum > 0.0) folded.emplace(rep, sum);
+      }
+      gravity_bytes = std::move(folded);
+    }
+  }
+  const auto gravity_in = [&](const graph::Candidate& cand) {
+    double sum = 0.0;
+    for (const auto& [key, bytes] : gravity_bytes) {
+      if (cand.offload.count(key) != 0) sum += bytes;
+    }
+    return sum;
+  };
+
   // The candidate series streams through the incremental visitor: one running
   // candidate, O(deg) updates per step, and a copy taken only when a
   // candidate is actually selected.
@@ -198,8 +236,12 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
           ++decision.candidates_total;
           if (cand.offload_mem_bytes < req.min_free_bytes) return;
           ++decision.candidates_feasible;
-          if (cand.cut_weight < best_cost) {
-            best_cost = cand.cut_weight;
+          double cost = cand.cut_weight;
+          if (!gravity_bytes.empty()) {
+            cost -= req.gravity_credit_per_byte * gravity_in(cand);
+          }
+          if (cost < best_cost) {
+            best_cost = cost;
             decision.selected = cand;
             decision.offload = true;
           }
@@ -241,20 +283,38 @@ PartitionDecision decide_partitioning(const graph::ExecGraph& graph,
     }
   }
 
+  // Split the selected set across k surrogates while it is still in
+  // cut-graph keys: hint-contracted groups are single nodes here, so
+  // statically-inseparable components land in the same part by
+  // construction. k == 1 never reaches this and stays byte-identical.
+  if (decision.offload && req.k > 1 && decision.selected.offload.size() > 1) {
+    const std::vector<graph::ComponentKey> members(
+        decision.selected.offload.begin(), decision.selected.offload.end());
+    graph::KWayCut kc =
+        graph::k_way_split(*cut_graph, members, req.k, req.weight);
+    decision.part_cross_weight = kc.cross_weight;
+    decision.parts = std::move(kc.parts);
+  }
+
   // A contracted representative stands for every component folded into it;
-  // expand the selection back to monitor-visible keys so the platform can
-  // gather the right objects.
+  // expand the selection (and each part) back to monitor-visible keys so
+  // the platform can gather the right objects.
   if (decision.offload && decision.hints_applied) {
-    std::unordered_set<graph::ComponentKey> expanded;
-    for (const auto& comp : decision.selected.offload) {
-      const auto it = contracted.members.find(comp);
-      if (it == contracted.members.end()) {
-        expanded.insert(comp);
-        continue;
-      }
-      expanded.insert(it->second.begin(), it->second.end());
-    }
-    decision.selected.offload = std::move(expanded);
+    const auto expand =
+        [&](const std::unordered_set<graph::ComponentKey>& set) {
+          std::unordered_set<graph::ComponentKey> expanded;
+          for (const auto& comp : set) {
+            const auto it = contracted.members.find(comp);
+            if (it == contracted.members.end()) {
+              expanded.insert(comp);
+              continue;
+            }
+            expanded.insert(it->second.begin(), it->second.end());
+          }
+          return expanded;
+        };
+    decision.selected.offload = expand(decision.selected.offload);
+    for (auto& part : decision.parts) part = expand(part);
   }
 
   decision.compute_seconds =

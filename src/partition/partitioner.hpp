@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/hints.hpp"
@@ -65,6 +66,21 @@ struct PartitionRequest {
   // the graph is pre-contracted before MINCUT. Not owned; must outlive the
   // call.
   const analysis::StaticHints* hints = nullptr;
+
+  // Number of surrogates the selected offload set may span. With k > 1 the
+  // selected set is split into min(k, |set|) parts by recursive bisection
+  // (graph::k_way_split) over the (contracted) cut graph; k == 1 leaves the
+  // decision byte-identical to the single-surrogate pipeline.
+  std::size_t k = 1;
+
+  // Post-reconcile re-offload seeding: components whose working tree was
+  // rebuilt while disconnected (derived from the redo-log watch set) receive
+  // a per-byte credit against their candidate's cut cost under the
+  // free_memory objective, so allocation-gravity apps re-offload the tree
+  // they grew offline instead of the cheapest sliver. Not owned; must
+  // outlive the call. Null or empty means no bias (byte-identical path).
+  const std::unordered_set<graph::ComponentKey>* reoffload_gravity = nullptr;
+  double gravity_credit_per_byte = 0.0;
 };
 
 struct PartitionDecision {
@@ -89,6 +105,14 @@ struct PartitionDecision {
   std::size_t mincut_nodes = 0;
   std::size_t mincut_edges = 0;
   bool hints_applied = false;
+
+  // k-way placement (request.k > 1 only): the selected offload set split
+  // into per-surrogate parts, expanded to monitor-visible component keys,
+  // ordered by smallest member key. Empty means single-surrogate placement
+  // (the union is `selected.offload` either way). `part_cross_weight` is the
+  // policy weight of surrogate-to-surrogate edges introduced by the split.
+  std::vector<std::unordered_set<graph::ComponentKey>> parts;
+  double part_cross_weight = 0.0;
 };
 
 // Result of pre-contracting an execution graph with static hints. `members`

@@ -285,6 +285,11 @@ partition::PartitionRequest Platform::make_request(
   const SimTime since = offloads_.empty() ? 0 : offloads_.back().at;
   req.history_duration = std::max<SimDuration>(clock_.now() - since, 1);
   req.weight = config_.edge_weight;
+  if (!reoffload_gravity_.empty()) {
+    req.reoffload_gravity = &reoffload_gravity_;
+    req.gravity_credit_per_byte = config_.disconnect.reoffload_gravity_credit *
+                                  config_.edge_weight.bytes_factor;
+  }
   if (config_.use_static_hints) {
     // Prefer the verify-layer hints: a superset of the metadata-only ones
     // (same contraction fields, plus replay/prefetch facts the partitioner
@@ -477,6 +482,9 @@ bool Platform::enter_disconnected_mode() {
   // budget is per-episode, so a flappy link gets a fresh allowance each time.
   last_reconcile_probe_at_ = clock_.now();
   reconcile_attempts_ = 0;
+  // A fresh disconnection era: gravity harvested from the previous
+  // reconcile no longer describes the working set this episode will build.
+  reoffload_gravity_.clear();
 
   DisconnectReport report;
   report.at = clock_.now();
@@ -593,6 +601,10 @@ void Platform::reconcile() {
     // fresh log accumulates whatever the application writes from here on.
     disconnects_.back().reconciles += 1;
     disconnects_.back().entries_replayed += traces.back().entries;
+    // Harvest allocation gravity while the log still holds its values: the
+    // live field entries are the attach points the reconciled roots hold
+    // into everything built while disconnected.
+    collect_reoffload_gravity();
     disconnect_log_.clear_entries();
   }
   if (!acked) {
@@ -629,9 +641,44 @@ void Platform::reconcile() {
   // the remote working set it interleaves with went back with the replicas —
   // left split, the rest of the run ping-pongs across the link for state the
   // partitioner would colocate. Re-run the offload decision under the same
-  // admission threshold that produced the pre-partition placement; a "no
-  // beneficial partitioning" verdict leaves everything where it is.
+  // admission threshold that produced the pre-partition placement, seeded
+  // with the harvested allocation gravity so the rebuilt tree outranks a
+  // cheaper-to-cut sliver; a "no beneficial partitioning" verdict leaves
+  // everything where it is. The gravity keys are allocation-site components,
+  // so the seed stays live for trigger-driven evaluations after this one —
+  // a short outage reconciles before the program has rebuilt much, and the
+  // tree it keeps growing at those same sites still needs the pull. A new
+  // disconnection starts a fresh era (enter_disconnected_mode clears).
   (void)offload_now(last_offload_min_free_);
+}
+
+void Platform::collect_reoffload_gravity() {
+  if (config_.disconnect.reoffload_gravity_credit <= 0.0) return;
+  // BFS over client-local references from the redo log's watch set: the
+  // hoarded replicas (still client-local here — they drop only after the
+  // ack) plus every live journaled value. Everything reachable belongs to
+  // the working tree the disconnected program used or rebuilt — allocation-
+  // heavy apps grow that tree under hoarded containers without journaling a
+  // single surrogate write, so the hoard seeds are what find it — and that
+  // tree is exactly what the post-reconcile re-offload should pull back
+  // together.
+  std::vector<ObjectId> stack(hoarded_ids_.begin(), hoarded_ids_.end());
+  disconnect_log_.for_each_live_value([&](const vm::Value& v) {
+    if (v.is_ref()) stack.push_back(v.as_ref().id);
+  });
+  std::unordered_set<ObjectId> seen;
+  while (!stack.empty()) {
+    const ObjectId id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    if (!client_->is_local(id)) continue;
+    const vm::Object* o = client_->find_object(id);
+    if (o == nullptr) continue;
+    reoffload_gravity_.insert(exec_monitor_.component_of(o->cls, id));
+    for (const vm::Value& f : o->fields) {
+      if (f.is_ref()) stack.push_back(f.as_ref().id);
+    }
+  }
 }
 
 void Platform::maybe_proactive_recall() {

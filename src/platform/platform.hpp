@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -89,6 +90,17 @@ struct DisconnectPolicy {
   // classes) over the still-live link, so an eventual partition strands less
   // state. 0 disables the proactive path.
   SimDuration degrade_rtt = 0;
+  // Allocation-gravity credit (cut-weight units per byte, scaled by the
+  // platform's edge_weight.bytes_factor) that post-reconcile offload
+  // decisions grant to components of the working tree the program used or
+  // rebuilt while disconnected (harvested from the redo-log watch set at
+  // reconcile). The MINCUT benefit model alone picks the cheapest-to-cut
+  // sliver and strands the rebuilt tree on the client (JavaNote pays +174%
+  // for it); the credit makes the rebuilt tree the preferred candidate.
+  // The seed persists for the connected era — the sites keep allocating
+  // after a short outage — and resets at the next disconnection. 0
+  // restores the unseeded re-offload.
+  double reoffload_gravity_credit = 1.0;
 };
 
 struct PlatformConfig {
@@ -354,6 +366,7 @@ class Platform : private vm::VmHooks {
   bool low_memory_rescue(vm::Vm& vm);
   [[nodiscard]] partition::PartitionRequest make_request(
       std::optional<std::int64_t> min_free_override) const;
+  void collect_reoffload_gravity();
 
   PlatformConfig config_;
   SimClock clock_;
@@ -387,6 +400,10 @@ class Platform : private vm::VmHooks {
   Mode mode_ = Mode::connected;
   vm::DisconnectLog disconnect_log_;
   std::vector<ObjectId> hoarded_ids_;
+  // Components of the working tree rebuilt while disconnected, harvested
+  // from the redo log's live values just before they ship; seeds the
+  // post-reconcile re-offload with allocation gravity, then clears.
+  std::unordered_set<graph::ComponentKey> reoffload_gravity_;
   // Admission threshold of the most recent successful offload, replayed by
   // the post-reconcile re-offload so resume restores the same placement
   // policy that was in effect when the partition hit.

@@ -84,6 +84,13 @@ bool Session::offload(std::span<const ObjectId> ids) {
 }
 
 SurrogateServer::SurrogateServer(
+    std::shared_ptr<const vm::ClassRegistry> registry, ServerConfig config,
+    SimClock& shared_clock)
+    : SurrogateServer(std::move(registry), config) {
+  clock_ = &shared_clock;
+}
+
+SurrogateServer::SurrogateServer(
     std::shared_ptr<const vm::ClassRegistry> registry, ServerConfig config)
     : config_(config), registry_(std::move(registry)) {
   // The startup gates run once, against the one registry every session
@@ -119,10 +126,17 @@ SurrogateServer::SurrogateServer(
 }
 
 Session* SurrogateServer::open_session() {
+  return open_session(SessionId{next_session_});
+}
+
+Session* SurrogateServer::open_session(SessionId id) {
   if (live_ >= config_.max_sessions) {
     stats_.admission_rejections += 1;
     return nullptr;
   }
+  // Externally minted ids (pool admission) must not reuse or reorder: the
+  // round-robin invariant is that `order_` stays ascending by session id.
+  if (id.value() < next_session_) return nullptr;
   // Reuse the lowest closed slot; grow the table otherwise.
   std::size_t slot = slots_.size();
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -133,14 +147,25 @@ Session* SurrogateServer::open_session() {
   }
   if (slot == slots_.size()) slots_.emplace_back();
 
-  const SessionId id{next_session_++};
+  next_session_ = id.value() + 1;
   slots_[slot] = std::make_unique<Session>(
-      id, registry_, config_, clock_,
+      id, registry_, config_, *clock_,
       batch_safety_.has_value() ? &*batch_safety_ : nullptr);
   order_.push_back(slot);
   live_ += 1;
   stats_.sessions_opened += 1;
   return slots_[slot].get();
+}
+
+ServerStats SurrogateServer::stats() const {
+  ServerStats s = stats_;
+  s.live_sessions = live_;
+  for (const std::size_t slot : order_) {
+    s.offloaded_bytes += slots_[slot]->offloaded_bytes();
+    s.budget_refusals += slots_[slot]->budget_refusals();
+    s.throttles += slots_[slot]->throttles();
+  }
+  return s;
 }
 
 Session* SurrogateServer::find_session(SessionId id) noexcept {
@@ -185,9 +210,9 @@ std::size_t SurrogateServer::run_rounds(std::size_t max_rounds,
       if (s.finished_) continue;
       s.begin_turn();
       stats_.turns += 1;
-      const SimTime t0 = clock_.now();
+      const SimTime t0 = clock_->now();
       const TurnOutcome out = turn(s);
-      s.service_time_ += clock_.now() - t0;
+      s.service_time_ += clock_->now() - t0;
       if (out == TurnOutcome::finished) {
         s.finished_ = true;
         any_finished = true;
@@ -206,6 +231,20 @@ std::size_t SurrogateServer::run_rounds(std::size_t max_rounds,
     }
   }
   return rounds;
+}
+
+double SurrogateServer::mean_session_srtt() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const std::size_t slot : order_) {
+    const rpc::RttEstimator& est =
+        slots_[slot]->client_ep_->rtt_estimator();
+    if (est.primed) {
+      sum += est.srtt;
+      n += 1;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 rpc::EndpointStats SurrogateServer::aggregate_stats() const {

@@ -176,12 +176,36 @@ class Session {
 // session (each session owns its endpoints); aggregate() sums them on demand,
 // so a single admitted session's aggregate is byte-identical to that
 // session's own endpoint stats.
+//
+// Layout contract (same as rpc::EndpointStats): every field is a uint64_t
+// counter so the struct is byte-orderable as a flat array — operator+= must
+// cover every field, which the pool's aggregation and the bit_cast
+// completeness test both rely on. The last four fields are load gauges
+// snapshotted over the live sessions at stats() time; a pool's placement
+// policy reads them as the member's current load.
 struct ServerStats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;
   std::uint64_t admission_rejections = 0;
   std::uint64_t turns = 0;
   std::uint64_t rounds = 0;
+  std::uint64_t live_sessions = 0;    // gauge: sessions currently admitted
+  std::uint64_t offloaded_bytes = 0;  // gauge: sum over live sessions
+  std::uint64_t budget_refusals = 0;  // gauge: sum over live sessions
+  std::uint64_t throttles = 0;        // gauge: sum over live sessions
+
+  ServerStats& operator+=(const ServerStats& o) noexcept {
+    sessions_opened += o.sessions_opened;
+    sessions_closed += o.sessions_closed;
+    admission_rejections += o.admission_rejections;
+    turns += o.turns;
+    rounds += o.rounds;
+    live_sessions += o.live_sessions;
+    offloaded_bytes += o.offloaded_bytes;
+    budget_refusals += o.budget_refusals;
+    throttles += o.throttles;
+    return *this;
+  }
 };
 
 class SurrogateServer {
@@ -192,13 +216,19 @@ class SurrogateServer {
   // full effect-IR coverage.
   SurrogateServer(std::shared_ptr<const vm::ClassRegistry> registry,
                   ServerConfig config = {});
+  // Pool form: the server runs on `shared_clock` (not owned, must outlive
+  // the server) so every pool member serializes turns on one virtual
+  // timeline.
+  SurrogateServer(std::shared_ptr<const vm::ClassRegistry> registry,
+                  ServerConfig config, SimClock& shared_clock);
 
   SurrogateServer(const SurrogateServer&) = delete;
   SurrogateServer& operator=(const SurrogateServer&) = delete;
 
-  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] SimClock& clock() noexcept { return *clock_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  // Counter fields plus load gauges snapshotted over the live sessions.
+  [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const std::optional<analysis::AnalysisReport>&
   analysis_report() const noexcept {
     return analysis_;
@@ -215,6 +245,11 @@ class SurrogateServer {
   // (counting an admission rejection) when max_sessions are already live.
   // The returned pointer stays valid until close_session.
   Session* open_session();
+  // Pool form: admits under an externally minted id so ids stay globally
+  // unique (and node/object-id spaces disjoint) across pool members. `id`
+  // must be at least this server's next unminted id; the internal mint
+  // advances past it, preserving the ascending-id order of `order_`.
+  Session* open_session(SessionId id);
   // Closes a session: severs its endpoint pair and releases its slot. The
   // freed slot is immediately available to a new admission.
   void close_session(SessionId id);
@@ -242,9 +277,15 @@ class SurrogateServer {
   // Aggregate transport stats over every live session.
   [[nodiscard]] rpc::EndpointStats aggregate_stats() const;
 
+  // Mean smoothed transport RTT (virtual ns) over the live sessions' client
+  // endpoints — the pool placement policy's live link-cost signal. 0.0
+  // until any session's estimator is primed.
+  [[nodiscard]] double mean_session_srtt() const;
+
  private:
   ServerConfig config_;
-  SimClock clock_;
+  SimClock own_clock_;
+  SimClock* clock_ = &own_clock_;  // pool members point at the shared clock
   std::shared_ptr<const vm::ClassRegistry> registry_;
   std::optional<analysis::AnalysisReport> analysis_;
   std::optional<analysis::VerifyReport> verify_;

@@ -1,0 +1,224 @@
+// K-way partition tests: the greedy recursive-bisection splitter
+// (k_way_split) against the exact set-partition oracle (brute_force_k_way).
+//
+// The differential corpus uses clustered graphs — heavy intra-cluster
+// cliques joined by light inter-cluster edges — where the optimal k-way cut
+// is structurally forced (cutting inside a cluster costs orders of magnitude
+// more than every inter-cluster edge combined), so the greedy splitter must
+// reproduce the oracle's parts and cross weight exactly. Fully random graphs
+// (n <= 12, k <= 4) additionally pin the structural contract: parts form a
+// partition, the reported cross weight matches a recount, the oracle never
+// loses to the greedy, and both sides are deterministic across calls.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/mincut.hpp"
+
+namespace aide::graph {
+namespace {
+
+ComponentKey cls(std::uint32_t id) { return ComponentKey{ClassId{id}}; }
+
+EdgeInfo bytes_edge(std::uint64_t bytes) {
+  EdgeInfo e;
+  e.bytes = bytes;
+  return e;
+}
+
+struct Clustered {
+  ExecGraph g;
+  std::vector<ComponentKey> members;
+  // Expected optimal parts in canonical order (ascending smallest member).
+  std::vector<std::unordered_set<ComponentKey>> clusters;
+};
+
+// A chain of heavy cliques: cluster i connects to cluster i+1 through one
+// light edge with a weight distinct from every other boundary (10*(i+1) plus
+// a small jitter), so every optimal k-way partition of the chain is unique.
+Clustered chain_clusters(Rng& rng, const std::vector<std::size_t>& sizes) {
+  Clustered out;
+  std::vector<std::vector<ComponentKey>> keys;
+  std::uint32_t next = 0;
+  for (const std::size_t size : sizes) {
+    std::vector<ComponentKey> cluster;
+    for (std::size_t i = 0; i < size; ++i) {
+      const ComponentKey key = cls(next++);
+      out.g.node(key);
+      out.members.push_back(key);
+      cluster.push_back(key);
+    }
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+        out.g.set_edge(cluster[i], cluster[j], bytes_edge(100000));
+      }
+    }
+    out.clusters.emplace_back(cluster.begin(), cluster.end());
+    keys.push_back(std::move(cluster));
+  }
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    const ComponentKey a = keys[i][rng.next_below(keys[i].size())];
+    const ComponentKey b = keys[i + 1][rng.next_below(keys[i + 1].size())];
+    out.g.set_edge(a, b, bytes_edge(10 * (i + 1) + rng.next_below(9)));
+  }
+  return out;
+}
+
+ExecGraph random_graph(Rng& rng, std::size_t n, double edge_prob) {
+  ExecGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.node(cls(static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.next_double() >= edge_prob) continue;
+      EdgeInfo info;
+      info.invocations = rng.next_below(20) + 1;
+      info.bytes = rng.next_below(10000);
+      g.set_edge(cls(static_cast<std::uint32_t>(i)),
+                 cls(static_cast<std::uint32_t>(j)), info);
+    }
+  }
+  return g;
+}
+
+std::vector<ComponentKey> all_members(std::size_t n) {
+  std::vector<ComponentKey> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(cls(static_cast<std::uint32_t>(i)));
+  }
+  return keys;
+}
+
+// Recounts the weight of every edge whose endpoints land in different parts
+// (edges leaving the member set entirely don't count — same contract as the
+// splitter).
+double recount_cross_weight(const ExecGraph& g, const KWayCut& cut,
+                            const EdgeWeightFn& w) {
+  const auto part_of = [&](const ComponentKey& key) -> int {
+    for (std::size_t p = 0; p < cut.parts.size(); ++p) {
+      if (cut.parts[p].contains(key)) return static_cast<int>(p);
+    }
+    return -1;
+  };
+  double total = 0.0;
+  for (const auto& [ekey, einfo] : g.edges()) {
+    const int pa = part_of(ekey.a);
+    const int pb = part_of(ekey.b);
+    if (pa >= 0 && pb >= 0 && pa != pb) total += w(einfo);
+  }
+  return total;
+}
+
+TEST(KWaySplitTest, KOneReturnsTheUnsplitSet) {
+  Rng rng(7);
+  const Clustered c = chain_clusters(rng, {3, 3});
+  const KWayCut cut = k_way_split(c.g, c.members, 1);
+  ASSERT_EQ(cut.parts.size(), 1u);
+  EXPECT_EQ(cut.parts[0].size(), c.members.size());
+  EXPECT_DOUBLE_EQ(cut.cross_weight, 0.0);
+}
+
+TEST(KWaySplitTest, ProducesExactlyMinKMembersParts) {
+  Rng rng(11);
+  const Clustered c = chain_clusters(rng, {2, 2});
+  // k beyond the member count saturates at one singleton per member.
+  const KWayCut cut = k_way_split(c.g, c.members, 9);
+  ASSERT_EQ(cut.parts.size(), 4u);
+  for (const auto& part : cut.parts) EXPECT_EQ(part.size(), 1u);
+}
+
+TEST(KWaySplitTest, PartsFormAPartitionWithAccurateWeight) {
+  Rng rng(23);
+  const EdgeWeightFn w;
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 4 + rng.next_below(9);  // 4..12
+    const std::size_t k = 2 + rng.next_below(3);  // 2..4
+    const ExecGraph g = random_graph(rng, n, 0.5);
+    const std::vector<ComponentKey> members = all_members(n);
+    const KWayCut cut = k_way_split(g, members, k, w);
+
+    ASSERT_EQ(cut.parts.size(), std::min(k, n));
+    std::unordered_set<ComponentKey> seen;
+    for (const auto& part : cut.parts) {
+      EXPECT_FALSE(part.empty());
+      for (const ComponentKey& key : part) {
+        EXPECT_TRUE(seen.insert(key).second) << "member in two parts";
+      }
+    }
+    EXPECT_EQ(seen.size(), members.size());
+    EXPECT_NEAR(cut.cross_weight, recount_cross_weight(g, cut, w), 1e-6);
+  }
+}
+
+TEST(KWaySplitTest, DeterministicAcrossCalls) {
+  Rng rng(31);
+  const ExecGraph g = random_graph(rng, 10, 0.6);
+  const std::vector<ComponentKey> members = all_members(10);
+  const KWayCut a = k_way_split(g, members, 4);
+  const KWayCut b = k_way_split(g, members, 4);
+  ASSERT_EQ(a.parts.size(), b.parts.size());
+  for (std::size_t p = 0; p < a.parts.size(); ++p) {
+    EXPECT_EQ(a.parts[p], b.parts[p]);
+  }
+  EXPECT_DOUBLE_EQ(a.cross_weight, b.cross_weight);
+}
+
+TEST(KWayDifferentialTest, MatchesOracleOnClusteredGraphs) {
+  // Every cluster-count / k combination with k <= clusters: the forced
+  // optimum is the k-part chain grouping, and greedy must hit it exactly —
+  // same parts in the same canonical order, same weight.
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {2, 2},    {3, 2},       {3, 3},       {2, 2, 2},   {3, 2, 3},
+      {4, 3, 3}, {2, 2, 2, 2}, {3, 3, 2, 2}, {3, 3, 3, 3}};
+  Rng rng(101);
+  for (const auto& shape : shapes) {
+    for (std::size_t k = 2; k <= shape.size() && k <= 4; ++k) {
+      const Clustered c = chain_clusters(rng, shape);
+      const KWayCut greedy = k_way_split(c.g, c.members, k);
+      const KWayCut oracle = brute_force_k_way(c.g, c.members, k);
+
+      ASSERT_EQ(greedy.parts.size(), k) << "shape size " << shape.size();
+      ASSERT_EQ(oracle.parts.size(), k);
+      EXPECT_DOUBLE_EQ(greedy.cross_weight, oracle.cross_weight);
+      for (std::size_t p = 0; p < k; ++p) {
+        EXPECT_EQ(greedy.parts[p], oracle.parts[p])
+            << "part " << p << " diverges at k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KWayDifferentialTest, RecoversTheClustersAtKEqualsClusterCount) {
+  Rng rng(211);
+  const Clustered c = chain_clusters(rng, {3, 2, 4, 3});
+  const KWayCut cut = k_way_split(c.g, c.members, 4);
+  ASSERT_EQ(cut.parts.size(), c.clusters.size());
+  for (std::size_t p = 0; p < cut.parts.size(); ++p) {
+    EXPECT_EQ(cut.parts[p], c.clusters[p]);
+  }
+}
+
+TEST(KWayDifferentialTest, OracleNeverLosesOnRandomGraphs) {
+  Rng rng(307);
+  const EdgeWeightFn w;
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 4 + rng.next_below(9);  // 4..12
+    const std::size_t k = 2 + rng.next_below(3);  // 2..4
+    const ExecGraph g = random_graph(rng, n, 0.45);
+    const std::vector<ComponentKey> members = all_members(n);
+    const KWayCut greedy = k_way_split(g, members, k, w);
+    const KWayCut oracle = brute_force_k_way(g, members, k, w);
+
+    ASSERT_EQ(oracle.parts.size(), std::min(k, n));
+    EXPECT_LE(oracle.cross_weight, greedy.cross_weight + 1e-9)
+        << "oracle must be optimal (n=" << n << ", k=" << k << ")";
+    EXPECT_NEAR(oracle.cross_weight, recount_cross_weight(g, oracle, w),
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace aide::graph
